@@ -1,0 +1,55 @@
+// Ablation for the §6.1.3 boot-time result: how much of Xoar's boot speedup
+// comes from dependency-parallel shard boot versus simply having smaller
+// components. Compares stock Dom0, Xoar with strictly serialized shard
+// boot, and Xoar with the real dependency-parallel schedule.
+#include <cstdio>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/xoar_platform.h"
+#include "src/ctl/monolithic_platform.h"
+
+namespace xoar {
+namespace {
+
+void Run() {
+  Logger::Get().set_level(LogLevel::kError);
+  PrintHeading("Ablation: boot parallelism (§6.1.3)");
+
+  MonolithicPlatform dom0;
+  (void)dom0.Boot();
+
+  XoarPlatform::Config serial_config;
+  serial_config.serialize_boot = true;
+  XoarPlatform serial(serial_config);
+  (void)serial.Boot();
+
+  XoarPlatform parallel;
+  (void)parallel.Boot();
+
+  Table table({"Configuration", "Console (s)", "ping (s)"});
+  table.AddRow({"Dom0 (monolithic)",
+                StrFormat("%.1f", ToSeconds(dom0.console_ready_at())),
+                StrFormat("%.1f", ToSeconds(dom0.network_ready_at()))});
+  table.AddRow({"Xoar, serialized shard boot",
+                StrFormat("%.1f", ToSeconds(serial.console_ready_at())),
+                StrFormat("%.1f", ToSeconds(serial.network_ready_at()))});
+  table.AddRow({"Xoar, dependency-parallel boot",
+                StrFormat("%.1f", ToSeconds(parallel.console_ready_at())),
+                StrFormat("%.1f", ToSeconds(parallel.network_ready_at()))});
+  table.Print();
+
+  std::printf(
+      "\nSerializing the shards erases the win — disaggregation alone adds "
+      "components\nto boot; the speedup the paper reports comes from the "
+      "compartmentalised\ncomponents booting in parallel (§6.1.3).\n");
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation for the §3.3 snapshot/rollback design: rollback latency as a
+// function of captured state size, the cost of the two recovery grades on
+// the live data path, and what the recovery box buys on reconnection.
+#include <cstdio>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/snapshot.h"
+#include "src/core/xoar_platform.h"
+#include "src/workloads/wget.h"
+
+namespace xoar {
+namespace {
+
+class BlobComponent : public Snapshottable {
+ public:
+  explicit BlobComponent(std::size_t bytes) : state_(bytes, 's') {}
+  std::string SaveState() const override { return state_; }
+  void RestoreState(const std::string& s) override { state_ = s; }
+
+ private:
+  std::string state_;
+};
+
+void RollbackCostSweep() {
+  std::printf("Rollback cost vs captured state size (§3.3 cost model):\n");
+  Table table({"State size", "Modeled rollback cost"});
+  for (std::uint64_t mb : {1, 4, 16, 64, 128, 256}) {
+    SnapshotManager manager;
+    BlobComponent component(mb * kMiB);
+    (void)manager.TakeSnapshot(DomainId(1), &component);
+    auto cost = manager.Rollback(DomainId(1));
+    table.AddRow({StrFormat("%lluMB", (unsigned long long)mb),
+                  StrFormat("%.2fms", ToMilliseconds(*cost))});
+  }
+  table.Print();
+  std::printf(
+      "The paper's CoW mechanism only copies dirtied pages, which is why a "
+      "full\nrestart of a 128MB driver domain costs 260ms while a rollback "
+      "with a small\ndirty set stays in the low milliseconds.\n\n");
+}
+
+void RecoveryGradeSweep() {
+  std::printf(
+      "Data-path cost of one restart per interval, by recovery grade\n"
+      "(512MB wget, MB/s):\n");
+  Table table({"Interval", "slow (260ms)", "fast (140ms)", "fast benefit"});
+  for (double interval : {1.0, 2.0, 5.0, 10.0}) {
+    double slow = 0, fast = 0;
+    for (bool use_fast : {false, true}) {
+      XoarPlatform platform;
+      if (!platform.Boot().ok()) {
+        return;
+      }
+      DomainId guest = *platform.CreateGuest(GuestSpec{});
+      (void)platform.EnableNetBackRestarts(FromSeconds(interval), use_fast);
+      auto result = RunWget(&platform, guest, 512ull * 1000 * 1000,
+                            WgetSink::kDevNull);
+      (use_fast ? fast : slow) = result.ok() ? result->throughput_mbps : 0;
+    }
+    table.AddRow({StrFormat("%.0fs", interval), StrFormat("%.1f", slow),
+                  StrFormat("%.1f", fast),
+                  StrFormat("%+.1f%%", (fast / slow - 1) * 100)});
+  }
+  table.Print();
+  std::printf(
+      "The recovery box persists configuration otherwise renegotiated via "
+      "XenStore,\ncutting device downtime from 260ms to 140ms (§6.1.2).\n");
+}
+
+void Run() {
+  Logger::Get().set_level(LogLevel::kError);
+  PrintHeading("Ablation: snapshot/rollback and recovery grades (§3.3)");
+  RollbackCostSweep();
+  RecoveryGradeSweep();
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

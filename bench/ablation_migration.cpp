@@ -1,0 +1,63 @@
+// Ablation: live migration (§2.1.1) on the disaggregated platform — the
+// enterprise feature the small-hypervisor alternatives of §2.3.1 give up.
+// Sweeps the guest's page-dirty rate and reports the classic pre-copy
+// trade-off: rounds, total migration time, and downtime, including the
+// divergence point where pre-copy stops converging.
+#include <cstdio>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/xoar_platform.h"
+#include "src/ctl/migration.h"
+
+namespace xoar {
+namespace {
+
+void Run() {
+  Logger::Get().set_level(LogLevel::kError);
+  PrintHeading("Ablation: live migration under increasing dirty rates");
+
+  Table table({"Dirty rate", "Pre-copy rounds", "Converged", "Total time",
+               "Downtime", "Data sent"});
+  for (double dirty_mbps : {5.0, 20.0, 50.0, 80.0, 100.0, 150.0, 300.0}) {
+    XoarPlatform source, destination;
+    if (!source.Boot().ok() || !destination.Boot().ok()) {
+      return;
+    }
+    DomainId guest =
+        *source.CreateGuest(GuestSpec{.name = "mover", .memory_mb = 1024});
+    MigrationParams params;
+    params.dirty_rate_bytes_per_sec = dirty_mbps * 1e6;
+    auto result = LiveMigrate(&source, guest, &destination, params);
+    if (!result.ok()) {
+      std::printf("migration failed at %.0f MB/s dirty rate: %s\n",
+                  dirty_mbps, result.status().ToString().c_str());
+      continue;
+    }
+    table.AddRow({StrFormat("%.0f MB/s", dirty_mbps),
+                  StrFormat("%d", result->precopy_rounds),
+                  result->converged ? "yes" : "NO (stop-and-copy)",
+                  StrFormat("%.2fs", ToSeconds(result->total_time)),
+                  StrFormat("%.0fms", ToMilliseconds(result->downtime)),
+                  StrFormat("%.0f MB",
+                            static_cast<double>(result->bytes_transferred) /
+                                1e6)});
+  }
+  table.Print();
+  std::printf(
+      "\nBelow the stream rate (~105 MB/s effective over GbE) pre-copy "
+      "converges and\ndowntime stays in the tens of milliseconds; past it, "
+      "the round cap forces a\nbulk stop-and-copy and downtime jumps by two "
+      "orders of magnitude. Xoar keeps\nthis capability — the §2.3.1 "
+      "alternatives (NoHype et al.) lose interposition\nand with it live "
+      "migration.\n");
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Ablation for §5.3's closing observation: SR-IOV moves device
+// multiplexing into hardware and looks like it removes sharing — but
+// provisioning virtual functions on the fly requires a *persistent*
+// privileged shard for interrupt assignment and config-space multiplexing.
+// "Ironically, although appearing to reduce the amount of sharing in the
+// system, such techniques may increase the number of shared, trusted
+// components."
+#include <cstdio>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/xoar_platform.h"
+
+namespace xoar {
+namespace {
+
+struct Outcome {
+  bool pciback_resident = false;
+  bool pciback_privileged = false;
+  int guests_sharing_netback = 0;
+  int guests_with_direct_hw = 0;
+  std::uint64_t control_plane_mb = 0;
+};
+
+Outcome RunParavirtual() {
+  Outcome out;
+  XoarPlatform::Config config;
+  config.destroy_pciback_after_boot = true;  // steady state: PCIBack gone
+  XoarPlatform platform(config);
+  if (!platform.Boot().ok()) {
+    return out;
+  }
+  for (int i = 0; i < 3; ++i) {
+    (void)platform.CreateGuest(
+        GuestSpec{.name = StrFormat("pv-%d", i), .memory_mb = 512});
+  }
+  const Domain* pciback =
+      platform.hv().domain(platform.shard_domain(ShardClass::kPciBack));
+  out.pciback_resident = pciback != nullptr && pciback->alive();
+  out.pciback_privileged = out.pciback_resident;
+  for (DomainId id : platform.hv().AllDomains()) {
+    const Domain* dom = platform.hv().domain(id);
+    if (!dom->is_shard() &&
+        dom->MayUseShard(platform.shard_domain(ShardClass::kNetBack))) {
+      ++out.guests_sharing_netback;
+    }
+    if (!dom->is_shard() && !dom->pci_devices().empty()) {
+      ++out.guests_with_direct_hw;
+    }
+  }
+  out.control_plane_mb = platform.ControlPlaneMemoryMb();
+  return out;
+}
+
+Outcome RunSriov() {
+  Outcome out;
+  XoarPlatform platform;  // PCIBack must stay for VF provisioning
+  if (!platform.Boot().ok()) {
+    return out;
+  }
+  for (int i = 0; i < 3; ++i) {
+    (void)platform.CreateGuestWithSriovVif(
+        GuestSpec{.name = StrFormat("vf-%d", i), .memory_mb = 512});
+  }
+  const Domain* pciback =
+      platform.hv().domain(platform.shard_domain(ShardClass::kPciBack));
+  out.pciback_resident = pciback != nullptr && pciback->alive();
+  out.pciback_privileged =
+      out.pciback_resident &&
+      pciback->hypercall_policy().Permits(Hypercall::kDomctlSetPrivileges);
+  for (DomainId id : platform.hv().AllDomains()) {
+    const Domain* dom = platform.hv().domain(id);
+    if (!dom->is_shard() &&
+        dom->MayUseShard(platform.shard_domain(ShardClass::kNetBack))) {
+      ++out.guests_sharing_netback;
+    }
+    if (!dom->is_shard() && !dom->pci_devices().empty()) {
+      ++out.guests_with_direct_hw;
+    }
+  }
+  out.control_plane_mb = platform.ControlPlaneMemoryMb();
+  // Confirm the §5.3 pinning: PCIBack now refuses to self-destruct.
+  Status destroy = platform.pci_service().SelfDestruct();
+  std::printf("attempting PCIBack self-destruct under SR-IOV: %s\n\n",
+              destroy.ToString().c_str());
+  return out;
+}
+
+void Run() {
+  Logger::Get().set_level(LogLevel::kError);
+  PrintHeading("Ablation: paravirtual driver domains vs SR-IOV (§5.3)");
+
+  const Outcome pv = RunParavirtual();
+  const Outcome vf = RunSriov();
+
+  Table table({"Metric", "Paravirtual (NetBack)", "SR-IOV VFs"});
+  table.AddRow({"guests sharing NetBack", StrFormat("%d", pv.guests_sharing_netback),
+                StrFormat("%d", vf.guests_sharing_netback)});
+  table.AddRow({"guests with direct hardware",
+                StrFormat("%d", pv.guests_with_direct_hw),
+                StrFormat("%d", vf.guests_with_direct_hw)});
+  table.AddRow({"PCIBack resident in steady state",
+                pv.pciback_resident ? "yes" : "no (destroyed, §5.3)",
+                vf.pciback_resident ? "YES (pinned)" : "no"});
+  table.AddRow({"persistent privileged multiplexer",
+                pv.pciback_privileged ? "yes" : "no",
+                vf.pciback_privileged ? "YES" : "no"});
+  table.AddRow({"control-plane memory",
+                StrFormat("%llu MB", (unsigned long long)pv.control_plane_mb),
+                StrFormat("%llu MB", (unsigned long long)vf.control_plane_mb)});
+  table.Print();
+
+  std::printf(
+      "\nSR-IOV removes the shared data-path component (no NetBack "
+      "dependency) but\nre-introduces a *persistent, privileged* shared "
+      "component: PCIBack cannot be\ndestroyed while VFs are provisioned "
+      "dynamically — the paper's irony, made\nmeasurable.\n");
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

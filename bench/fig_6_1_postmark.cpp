@@ -1,0 +1,76 @@
+// Reproduces Fig 6.1: disk performance using Postmark, four configurations
+// (files x transactions [x subdirectories]), Dom0 vs Xoar.
+//
+// The paper's claim is parity: "disk throughput is more or less unchanged."
+#include <cstdio>
+#include <vector>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/xoar_platform.h"
+#include "src/ctl/monolithic_platform.h"
+#include "src/workloads/postmark.h"
+
+namespace xoar {
+namespace {
+
+PostmarkConfig MakeConfig(int files, int transactions, int subdirs) {
+  PostmarkConfig config;
+  config.files = files;
+  config.transactions = transactions;
+  config.subdirectories = subdirs;
+  return config;
+}
+
+void Run() {
+  Logger::Get().set_level(LogLevel::kError);
+  PrintHeading("Fig 6.1: Disk performance using Postmark (ops/second)");
+
+  const std::vector<PostmarkConfig> configs = {
+      MakeConfig(1'000, 50'000, 1),
+      MakeConfig(20'000, 50'000, 1),
+      MakeConfig(20'000, 100'000, 1),
+      MakeConfig(20'000, 100'000, 100),
+  };
+
+  Table table({"Configuration", "Dom0 (ops/s)", "Xoar (ops/s)", "Xoar/Dom0"});
+  for (const auto& config : configs) {
+    MonolithicPlatform dom0;
+    if (!dom0.Boot().ok()) {
+      return;
+    }
+    DomainId dom0_guest = *dom0.CreateGuest(GuestSpec{});
+    auto dom0_result = RunPostmark(&dom0, dom0_guest, config);
+
+    XoarPlatform xoar;
+    if (!xoar.Boot().ok()) {
+      return;
+    }
+    DomainId xoar_guest = *xoar.CreateGuest(GuestSpec{});
+    auto xoar_result = RunPostmark(&xoar, xoar_guest, config);
+
+    if (!dom0_result.ok() || !xoar_result.ok()) {
+      std::printf("postmark failed for %s\n", config.Label().c_str());
+      continue;
+    }
+    table.AddRow({config.Label(),
+                  StrFormat("%.0f", dom0_result->ops_per_second),
+                  StrFormat("%.0f", xoar_result->ops_per_second),
+                  StrFormat("%.3f", xoar_result->ops_per_second /
+                                        dom0_result->ops_per_second)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): the Dom0 and Xoar bars are indistinguishable in "
+      "every\nconfiguration — the paravirtual block path is identical; only "
+      "the domain\nhosting the backend changed.\n");
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

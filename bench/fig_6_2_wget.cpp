@@ -1,0 +1,86 @@
+// Reproduces Fig 6.2: network performance with wget — 512 MB and 2 GB
+// fetches over a GbE LAN written to /dev/null or through the virtual disk.
+//
+// Shape targets from §6.1.2: network throughput down 1–2.5% on Xoar;
+// network-to-disk combined throughput *up* ~6.5% on Xoar (performance
+// isolation of separate driver domains).
+#include <cstdio>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/xoar_platform.h"
+#include "src/ctl/monolithic_platform.h"
+#include "src/workloads/wget.h"
+
+namespace xoar {
+namespace {
+
+struct Cell {
+  double dom0 = 0;
+  double xoar = 0;
+};
+
+Cell Measure(std::uint64_t bytes, WgetSink sink) {
+  Cell cell;
+  {
+    MonolithicPlatform platform;
+    (void)platform.Boot();
+    DomainId guest = *platform.CreateGuest(GuestSpec{});
+    auto result = RunWget(&platform, guest, bytes, sink);
+    if (result.ok()) {
+      cell.dom0 = result->throughput_mbps;
+    }
+  }
+  {
+    XoarPlatform platform;
+    (void)platform.Boot();
+    DomainId guest = *platform.CreateGuest(GuestSpec{});
+    auto result = RunWget(&platform, guest, bytes, sink);
+    if (result.ok()) {
+      cell.xoar = result->throughput_mbps;
+    }
+  }
+  return cell;
+}
+
+void Run() {
+  Logger::Get().set_level(LogLevel::kError);
+  PrintHeading("Fig 6.2: Network performance with wget (MB/s)");
+
+  Table table({"Workload", "Dom0", "Xoar", "Xoar/Dom0", "Paper shape"});
+  struct Row {
+    const char* label;
+    std::uint64_t bytes;
+    WgetSink sink;
+    const char* shape;
+  };
+  const Row rows[] = {
+      {"/dev/null (512MB)", 512ull * 1000 * 1000, WgetSink::kDevNull,
+       "-1..-2.5%"},
+      {"Disk (512MB)", 512ull * 1000 * 1000, WgetSink::kDisk, "+6.5%"},
+      {"/dev/null (2GB)", 2048ull * 1000 * 1000, WgetSink::kDevNull,
+       "-1..-2.5%"},
+      {"Disk (2GB)", 2048ull * 1000 * 1000, WgetSink::kDisk, "+6.5%"},
+  };
+  for (const Row& row : rows) {
+    const Cell cell = Measure(row.bytes, row.sink);
+    table.AddRow({row.label, StrFormat("%.1f", cell.dom0),
+                  StrFormat("%.1f", cell.xoar),
+                  StrFormat("%+.1f%%", (cell.xoar / cell.dom0 - 1.0) * 100.0),
+                  row.shape});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: pure-network transfers pay the small vif-hop cost on "
+      "Xoar;\nnetwork-onto-disk gains ~6.5%% because the disk and network "
+      "drivers no longer\nshare one control VM (§6.1.2).\n");
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

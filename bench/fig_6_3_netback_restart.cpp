@@ -1,0 +1,68 @@
+// Reproduces Fig 6.3: throughput of a 2 GB wget to /dev/null while NetBack
+// microreboots at intervals from 1 s to 10 s, for both recovery grades:
+// "slow" (hardware state untouched, full XenStore renegotiation, ~260 ms
+// downtime) and "fast" (configuration persisted in the recovery box,
+// ~140 ms downtime).
+//
+// Paper shape: ~58% throughput drop at 1 s intervals, ~8% at 10 s; the fast
+// path helps visibly at high frequencies and hardly at all at 10 s.
+#include <cstdio>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/xoar_platform.h"
+#include "src/workloads/wget.h"
+
+namespace xoar {
+namespace {
+
+double MeasureThroughput(double interval_seconds, bool fast) {
+  XoarPlatform platform;
+  if (!platform.Boot().ok()) {
+    return 0;
+  }
+  DomainId guest = *platform.CreateGuest(GuestSpec{});
+  if (interval_seconds > 0) {
+    (void)platform.EnableNetBackRestarts(FromSeconds(interval_seconds), fast);
+  }
+  auto result =
+      RunWget(&platform, guest, 2048ull * 1000 * 1000, WgetSink::kDevNull);
+  return result.ok() ? result->throughput_mbps : 0;
+}
+
+void Run() {
+  Logger::Get().set_level(LogLevel::kError);
+  PrintHeading(
+      "Fig 6.3: Throughput with a restarting NetBack (2GB wget, MB/s)");
+
+  const double baseline = MeasureThroughput(0, false);
+  std::printf("baseline (no restarts): %.1f MB/s\n\n", baseline);
+
+  Table table({"Restart interval", "slow (260ms)", "fast (140ms)",
+               "slow drop", "fast drop"});
+  for (int interval = 1; interval <= 10; ++interval) {
+    const double slow = MeasureThroughput(interval, false);
+    const double fast = MeasureThroughput(interval, true);
+    table.AddRow({StrFormat("%ds", interval), StrFormat("%.1f", slow),
+                  StrFormat("%.1f", fast),
+                  StrFormat("%.0f%%", (1.0 - slow / baseline) * 100.0),
+                  StrFormat("%.0f%%", (1.0 - fast / baseline) * 100.0)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: 58%% drop at 1s, 8%% at 10s (slow); the fast path's "
+      "benefit is\nnoticeable for very frequent reboots and fades as the "
+      "interval grows.\nThe mechanism: each outage costs the device downtime "
+      "plus TCP's RTO\ndiscretization (the first retransmit at 200 ms fails "
+      "during a 260 ms outage,\nso recovery waits for the 600 ms backoff "
+      "point), then a slow-start ramp.\n");
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

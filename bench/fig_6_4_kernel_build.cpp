@@ -1,0 +1,77 @@
+// Reproduces Fig 6.4: Linux kernel build off a local ext3 volume and off an
+// NFS mount, on Dom0 and Xoar, plus Xoar with NetBack restarts at 10 s and
+// 5 s intervals.
+//
+// Paper shape: Xoar overhead "much less than 1%"; NFS builds are markedly
+// slower than local; restarts add a visible but small penalty on NFS.
+#include <cstdio>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/xoar_platform.h"
+#include "src/ctl/monolithic_platform.h"
+#include "src/workloads/kernel_build.h"
+
+namespace xoar {
+namespace {
+
+KernelBuildConfig BuildConfig(bool nfs) {
+  KernelBuildConfig config;
+  config.over_nfs = nfs;
+  return config;
+}
+
+template <typename PlatformT>
+double Measure(bool nfs, double restart_interval_s = 0, bool fast = false) {
+  PlatformT platform;
+  if (!platform.Boot().ok()) {
+    return 0;
+  }
+  DomainId guest = *platform.CreateGuest(GuestSpec{});
+  if constexpr (std::is_same_v<PlatformT, XoarPlatform>) {
+    if (restart_interval_s > 0) {
+      (void)platform.EnableNetBackRestarts(FromSeconds(restart_interval_s),
+                                           fast);
+    }
+  }
+  auto result = RunKernelBuild(&platform, guest, BuildConfig(nfs));
+  return result.ok() ? result->seconds : 0;
+}
+
+void Run() {
+  Logger::Get().set_level(LogLevel::kError);
+  PrintHeading("Fig 6.4: Kernel Build — Local ext3 and Remote NFS (seconds)");
+
+  const double dom0_local = Measure<MonolithicPlatform>(false);
+  const double xoar_local = Measure<XoarPlatform>(false);
+  const double dom0_nfs = Measure<MonolithicPlatform>(true);
+  const double xoar_nfs = Measure<XoarPlatform>(true);
+  const double restarts_10s = Measure<XoarPlatform>(true, 10);
+  const double restarts_5s = Measure<XoarPlatform>(true, 5);
+
+  Table table({"Configuration", "Time (s)", "vs Dom0 same-storage"});
+  table.AddRow({"Dom0 (local)", StrFormat("%.1f", dom0_local), "-"});
+  table.AddRow({"Xoar (local)", StrFormat("%.1f", xoar_local),
+                StrFormat("%+.2f%%", (xoar_local / dom0_local - 1) * 100)});
+  table.AddRow({"Dom0 (nfs)", StrFormat("%.1f", dom0_nfs), "-"});
+  table.AddRow({"Xoar (nfs)", StrFormat("%.1f", xoar_nfs),
+                StrFormat("%+.2f%%", (xoar_nfs / dom0_nfs - 1) * 100)});
+  table.AddRow({"Xoar nfs + restarts (10s)", StrFormat("%.1f", restarts_10s),
+                StrFormat("%+.2f%%", (restarts_10s / dom0_nfs - 1) * 100)});
+  table.AddRow({"Xoar nfs + restarts (5s)", StrFormat("%.1f", restarts_5s),
+                StrFormat("%+.2f%%", (restarts_5s / dom0_nfs - 1) * 100)});
+  table.Print();
+  std::printf(
+      "\nPaper shape: \"the overhead added by Xoar is much less than 1%%\" "
+      "for the\nbuild itself; NFS pays metadata RPC latency; frequent driver "
+      "restarts add a\nsmall additional penalty on the NFS path only.\n");
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces Fig 6.5: the Apache benchmark serving a static page — Dom0,
+// Xoar, and Xoar with NetBack restarts at 10 s, 5 s, and 1 s intervals.
+// Reports the figure's four metrics: total time, throughput, mean latency,
+// and transfer rate, plus the worst-case request latency the text discusses
+// (8–9 ms without restarts; 3,000–7,000 ms with).
+#include <cstdio>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/xoar_platform.h"
+#include "src/ctl/monolithic_platform.h"
+#include "src/workloads/apache.h"
+
+namespace xoar {
+namespace {
+
+// Server saturation rate, calibrated to the figure: Dom0 sustains
+// ~3230 req/s; Xoar's extra vif hop costs ~1.5%.
+constexpr double kDom0ServerRate = 3'310.0;
+constexpr double kXoarServerRate = kDom0ServerRate * 0.985;
+
+struct RunResult {
+  ApacheBenchResult bench;
+  bool ok = false;
+};
+
+template <typename PlatformT>
+RunResult Measure(double server_rate, double restart_interval_s) {
+  RunResult out;
+  PlatformT platform;
+  if (!platform.Boot().ok()) {
+    return out;
+  }
+  DomainId guest = *platform.CreateGuest(GuestSpec{});
+  if constexpr (std::is_same_v<PlatformT, XoarPlatform>) {
+    if (restart_interval_s > 0) {
+      (void)platform.EnableNetBackRestarts(FromSeconds(restart_interval_s),
+                                           /*fast=*/false);
+    }
+  }
+  ApacheBenchConfig config;
+  config.total_requests = 100'000;
+  config.server_rate_rps = server_rate;
+  auto result = RunApacheBench(&platform, guest, config);
+  if (result.ok()) {
+    out.bench = *result;
+    out.ok = true;
+  }
+  return out;
+}
+
+void Run() {
+  Logger::Get().set_level(LogLevel::kError);
+  PrintHeading("Fig 6.5: Apache Benchmark — regular and with NetBack restarts");
+
+  struct Config {
+    const char* label;
+    bool xoar;
+    double restart_interval;
+    const char* paper_rps;
+  };
+  const Config configs[] = {
+      {"Dom0", false, 0, "3230.8"},
+      {"Xoar", true, 0, "3182.0"},
+      {"Restarts (10s)", true, 10, "2273.4"},
+      {"Restarts (5s)", true, 5, "2208.7"},
+      {"Restarts (1s)", true, 1, "883.2"},
+  };
+
+  Table table({"Configuration", "Total time (s)", "Req/s", "Mean lat (ms)",
+               "Max lat (ms)", "Transfer (MB/s)", "Paper req/s"});
+  for (const Config& config : configs) {
+    RunResult result =
+        config.xoar ? Measure<XoarPlatform>(kXoarServerRate,
+                                            config.restart_interval)
+                    : Measure<MonolithicPlatform>(kDom0ServerRate, 0);
+    if (!result.ok) {
+      std::printf("run failed for %s\n", config.label);
+      continue;
+    }
+    const ApacheBenchResult& r = result.bench;
+    table.AddRow({config.label, StrFormat("%.2f", r.total_seconds),
+                  StrFormat("%.1f", r.throughput_rps),
+                  StrFormat("%.2f", r.mean_latency_ms),
+                  StrFormat("%.0f", r.max_latency_ms),
+                  StrFormat("%.2f", r.transfer_rate_mbps),
+                  config.paper_rps});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: Xoar costs ~1.5%%; degradation is non-uniform in the "
+      "restart\ninterval (5s -> 10s barely matters, 1s is a cliff); dropped "
+      "SYNs during\noutages produce multi-second worst-case requests "
+      "(3000-7000 ms in the paper).\n");
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Microbenchmarks (google-benchmark) for the platform's communication
+// primitives: hypercall policy checks, grant lifecycle, event-channel
+// signalling, I/O-ring round trips, and XenStore operations. These are the
+// building blocks whose costs §5.1 argues must stay small for
+// disaggregation to be viable.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "src/base/log.h"
+#include "src/hv/hypervisor.h"
+#include "src/hv/io_ring.h"
+#include "src/xs/store.h"
+
+namespace xoar {
+namespace {
+
+struct HvFixture {
+  HvFixture() {
+    Logger::Get().set_level(LogLevel::kNone);
+    Hypervisor::Options options;
+    options.enforce_shard_sharing_policy = true;
+    hv = std::make_unique<Hypervisor>(&sim, options);
+    DomainConfig boot_config;
+    boot_config.name = "boot";
+    boot_config.memory_mb = 32;
+    boot_config.is_shard = true;
+    boot = *hv->CreateInitialDomain(boot_config, false);
+    hv->domain(boot)->hypercall_policy().PermitAll();
+    shard = NewDomain("shard", true);
+    DomainConfig guest_config;
+    guest_config.name = "guest";
+    guest_config.memory_mb = 64;
+    guest = *hv->CreateDomain(boot, guest_config);
+    (void)hv->FinishBuild(boot, guest);
+    (void)hv->UnpauseDomain(boot, guest);
+    (void)hv->AllowDelegation(boot, shard, boot);
+    (void)hv->AuthorizeShardUse(boot, guest, shard);
+  }
+
+  DomainId NewDomain(const char* name, bool is_shard) {
+    DomainConfig config;
+    config.name = name;
+    config.memory_mb = 32;
+    config.is_shard = is_shard;
+    DomainId id = *hv->CreateDomain(boot, config);
+    (void)hv->FinishBuild(boot, id);
+    (void)hv->UnpauseDomain(boot, id);
+    return id;
+  }
+
+  Simulator sim;
+  std::unique_ptr<Hypervisor> hv;
+  DomainId boot, shard, guest;
+};
+
+void BM_HypercallPolicyCheck(benchmark::State& state) {
+  HvFixture fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.hv->CheckHypercall(fixture.guest, Hypercall::kGrantTableOp));
+  }
+}
+BENCHMARK(BM_HypercallPolicyCheck);
+
+void BM_IvcPolicyCheck(benchmark::State& state) {
+  HvFixture fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.hv->CheckIvcAllowed(fixture.guest, fixture.shard));
+  }
+}
+BENCHMARK(BM_IvcPolicyCheck);
+
+void BM_GrantCreateMapUnmapEnd(benchmark::State& state) {
+  HvFixture fixture;
+  Pfn pfn = *fixture.hv->memory().AllocatePages(fixture.guest, 1);
+  for (auto _ : state) {
+    GrantRef ref =
+        *fixture.hv->GrantAccess(fixture.guest, fixture.shard, pfn, true);
+    benchmark::DoNotOptimize(
+        fixture.hv->MapGrant(fixture.shard, fixture.guest, ref));
+    (void)fixture.hv->UnmapGrant(fixture.shard, fixture.guest, ref);
+    (void)fixture.hv->EndGrantAccess(fixture.guest, ref);
+  }
+}
+BENCHMARK(BM_GrantCreateMapUnmapEnd);
+
+void BM_EventChannelSendDeliver(benchmark::State& state) {
+  HvFixture fixture;
+  EvtchnPort unbound =
+      *fixture.hv->EvtchnAllocUnbound(fixture.guest, fixture.shard);
+  EvtchnPort bound =
+      *fixture.hv->EvtchnBindInterdomain(fixture.shard, fixture.guest,
+                                         unbound);
+  int delivered = 0;
+  (void)fixture.hv->EvtchnSetHandler(fixture.guest, unbound,
+                                     [&] { ++delivered; });
+  for (auto _ : state) {
+    (void)fixture.hv->EvtchnSend(fixture.shard, bound);
+    fixture.sim.Run();
+  }
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_EventChannelSendDeliver);
+
+struct RingReq {
+  std::uint64_t id;
+  std::uint32_t payload;
+};
+struct RingRsp {
+  std::uint64_t id;
+  std::int32_t status;
+};
+
+void BM_IoRingRoundTrip(benchmark::State& state) {
+  alignas(64) std::array<std::byte, kPageSize> page{};
+  auto front = IoRing<RingReq, RingRsp>::Create(page.data());
+  auto back = IoRing<RingReq, RingRsp>::Attach(page.data());
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    front.PushRequest({id, 42});
+    auto req = back.PopRequest();
+    back.PushResponse({req->id, 0});
+    benchmark::DoNotOptimize(front.PopResponse());
+    ++id;
+  }
+}
+BENCHMARK(BM_IoRingRoundTrip);
+
+void BM_XenStoreWrite(benchmark::State& state) {
+  XsStore store;
+  store.AddManagerDomain(DomainId(0));
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    (void)store.Write(DomainId(0), "/bench/key",
+                      std::to_string(counter++));
+  }
+}
+BENCHMARK(BM_XenStoreWrite);
+
+void BM_XenStoreReadDeepPath(benchmark::State& state) {
+  XsStore store;
+  store.AddManagerDomain(DomainId(0));
+  (void)store.Write(DomainId(0), "/local/domain/7/device/vif/0/state", "4");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Read(DomainId(0), "/local/domain/7/device/vif/0/state"));
+  }
+}
+BENCHMARK(BM_XenStoreReadDeepPath);
+
+void BM_XenStoreWatchFire(benchmark::State& state) {
+  XsStore store;
+  store.AddManagerDomain(DomainId(0));
+  int fires = 0;
+  (void)store.Watch(DomainId(0), "/w", "tok",
+                    [&](const XsWatchEvent&) { ++fires; });
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    (void)store.Write(DomainId(0), "/w/key", std::to_string(counter++));
+  }
+  benchmark::DoNotOptimize(fires);
+}
+BENCHMARK(BM_XenStoreWatchFire);
+
+void BM_XenStoreTransaction(benchmark::State& state) {
+  XsStore store;
+  store.AddManagerDomain(DomainId(0));
+  for (auto _ : state) {
+    auto tx = store.TransactionStart(DomainId(0));
+    (void)store.Write(DomainId(0), "/tx/a", "1", *tx);
+    (void)store.TransactionEnd(DomainId(0), *tx, true);
+  }
+}
+BENCHMARK(BM_XenStoreTransaction);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    sim.ScheduleAfter(1, [] {});
+    sim.Run();
+  }
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+}  // namespace
+}  // namespace xoar
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Shared table-rendering helpers for the reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation chapter and prints (a) the measured rows and (b) a
+// paper-vs-measured comparison where the thesis gives concrete numbers.
+#ifndef XOAR_BENCH_REPORT_H_
+#define XOAR_BENCH_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace xoar {
+
+inline void PrintHeading(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+inline void PrintRule(const std::vector<int>& widths) {
+  std::printf("+");
+  for (int w : widths) {
+    for (int i = 0; i < w + 2; ++i) {
+      std::printf("-");
+    }
+    std::printf("+");
+  }
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::vector<int>& widths,
+                     const std::vector<std::string>& cells) {
+  std::printf("|");
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const std::string& cell = i < cells.size() ? cells[i] : std::string();
+    std::printf(" %-*s |", widths[i], cell.c_str());
+  }
+  std::printf("\n");
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) {
+    rows_.push_back(std::move(header));
+  }
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<int> widths;
+    for (const auto& row : rows_) {
+      if (widths.size() < row.size()) {
+        widths.resize(row.size(), 0);
+      }
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        widths[i] = std::max(widths[i], static_cast<int>(row[i].size()));
+      }
+    }
+    PrintRule(widths);
+    PrintRow(widths, rows_[0]);
+    PrintRule(widths);
+    for (std::size_t i = 1; i < rows_.size(); ++i) {
+      PrintRow(widths, rows_[i]);
+    }
+    PrintRule(widths);
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_BENCH_REPORT_H_

@@ -1,0 +1,109 @@
+// Reproduces §6.2.1 ("Known Attacks"): the guest-originated vulnerability
+// registry replayed against both platforms, with the attacker's reach
+// computed from the hypervisor's actual privilege state.
+#include <cstdio>
+#include <map>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/xoar_platform.h"
+#include "src/ctl/monolithic_platform.h"
+#include "src/security/containment.h"
+
+namespace xoar {
+namespace {
+
+struct Sweep {
+  int total = 0;
+  int platform_lost = 0;
+  int contained = 0;
+  int mitigated = 0;
+  int dos_only = 0;
+};
+
+template <typename PlatformT>
+Sweep RunSweep(std::map<std::string, std::string>* outcomes) {
+  PlatformT platform;
+  Sweep sweep;
+  if (!platform.Boot().ok()) {
+    return sweep;
+  }
+  DomainId attacker =
+      *platform.CreateGuest(GuestSpec{.name = "attacker", .hvm = true});
+  for (int i = 0; i < 3; ++i) {
+    (void)*platform.CreateGuest(GuestSpec{.name = StrFormat("victim-%d", i)});
+  }
+  CompromiseAnalyzer analyzer(&platform, /*deprivilege=*/true);
+  for (const auto& result : analyzer.AnalyzeAll(attacker)) {
+    ++sweep.total;
+    if (result.mitigated) {
+      ++sweep.mitigated;
+    } else if (result.platform_compromised) {
+      ++sweep.platform_lost;
+    } else if (result.dos_only) {
+      ++sweep.dos_only;
+    } else {
+      ++sweep.contained;
+    }
+    if (outcomes != nullptr) {
+      (*outcomes)[result.vulnerability_id] = result.Summary();
+    }
+  }
+  return sweep;
+}
+
+void Run() {
+  Logger::Get().set_level(LogLevel::kError);
+  PrintHeading("§6.2.1: Known attacks replayed against both platforms");
+
+  std::map<std::string, std::string> dom0_outcomes, xoar_outcomes;
+  const Sweep dom0 = RunSweep<MonolithicPlatform>(&dom0_outcomes);
+  const Sweep xoar = RunSweep<XoarPlatform>(&xoar_outcomes);
+
+  Table summary({"Outcome", "Dom0", "Xoar"});
+  summary.AddRow({"attacks analyzed", StrFormat("%d", dom0.total),
+                  StrFormat("%d", xoar.total)});
+  summary.AddRow({"platform compromised", StrFormat("%d", dom0.platform_lost),
+                  StrFormat("%d", xoar.platform_lost)});
+  summary.AddRow({"contained to component scope",
+                  StrFormat("%d", dom0.contained),
+                  StrFormat("%d", xoar.contained)});
+  summary.AddRow({"denial of service only", StrFormat("%d", dom0.dos_only),
+                  StrFormat("%d", xoar.dos_only)});
+  summary.AddRow({"mitigated (patched/deprivileged)",
+                  StrFormat("%d", dom0.mitigated),
+                  StrFormat("%d", xoar.mitigated)});
+  summary.Print();
+
+  std::printf("\nPer-vector outcomes on Xoar:\n");
+  Table detail({"Vulnerability", "Xoar outcome", "Dom0 outcome"});
+  for (const auto& vuln : GuestOriginatedVulnerabilities()) {
+    auto xoar_it = xoar_outcomes.find(vuln.id);
+    auto dom0_it = dom0_outcomes.find(vuln.id);
+    if (xoar_it == xoar_outcomes.end()) {
+      continue;
+    }
+    detail.AddRow({StrFormat("%s [%s]", vuln.id.c_str(),
+                             std::string(AttackVectorName(vuln.vector)).c_str()),
+                   xoar_it->second,
+                   dom0_it != dom0_outcomes.end() ? dom0_it->second : "-"});
+  }
+  detail.Print();
+
+  std::printf(
+      "\nPaper shape: Xoar entirely contains the device-emulation attacks "
+      "(QemuVM has\nno rights over any other VM); virtualized-device and "
+      "toolstack attacks reach\nonly guests sharing the same shard; the "
+      "debug-register and XenStore exploits\nare mitigated; only the "
+      "hypervisor exploit remains uncontained — on Dom0,\nevery one of these "
+      "is a full-platform compromise.\n");
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

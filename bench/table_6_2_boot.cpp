@@ -1,0 +1,53 @@
+// Reproduces Table 6.2: comparison of boot times (time to a console login
+// prompt and time to the first external ping response).
+#include <cstdio>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/xoar_platform.h"
+#include "src/ctl/monolithic_platform.h"
+
+namespace xoar {
+namespace {
+
+void Run() {
+  Logger::Get().set_level(LogLevel::kError);
+  PrintHeading("Table 6.2: Comparison of Boot Times");
+
+  MonolithicPlatform dom0;
+  XoarPlatform xoar;
+  if (!dom0.Boot().ok() || !xoar.Boot().ok()) {
+    std::printf("boot failed\n");
+    return;
+  }
+
+  const double dom0_console = ToSeconds(dom0.console_ready_at());
+  const double dom0_ping = ToSeconds(dom0.network_ready_at());
+  const double xoar_console = ToSeconds(xoar.console_ready_at());
+  const double xoar_ping = ToSeconds(xoar.network_ready_at());
+
+  Table table({"Milestone", "Dom0", "Xoar", "Speedup", "Paper"});
+  table.AddRow({"Console", StrFormat("%.1fs", dom0_console),
+                StrFormat("%.1fs", xoar_console),
+                StrFormat("%.2fx", dom0_console / xoar_console),
+                "38.9s / 25.9s / 1.5x"});
+  table.AddRow({"ping", StrFormat("%.1fs", dom0_ping),
+                StrFormat("%.1fs", xoar_ping),
+                StrFormat("%.2fx", dom0_ping / xoar_ping),
+                "42.2s / 36.6s / 1.15x"});
+  table.Print();
+
+  std::printf(
+      "\nThe speedup comes from dependency-parallel shard boot (§6.1.3); the "
+      "Console\nManager skips PCI enumeration entirely (§5.5) and reaches the "
+      "login prompt\nwhile PCIBack is still initializing hardware.\n");
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

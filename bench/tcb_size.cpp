@@ -1,0 +1,58 @@
+// Reproduces the §6.2 TCB-size comparison: lines of code with the privilege
+// to arbitrarily access guest memory, stock Xen vs Xoar.
+#include <cstdio>
+
+#include "bench/report.h"
+#include "src/base/strings.h"
+#include "src/security/tcb.h"
+
+namespace xoar {
+namespace {
+
+void PrintReport(const TcbReport& report) {
+  std::printf("%s\n", report.platform.c_str());
+  Table table({"Component", "Source LoC", "Compiled LoC", "Privileged"});
+  for (const auto& component : report.components) {
+    table.AddRow({component.name,
+                  StrFormat("%llu", (unsigned long long)
+                                component.size.source_loc),
+                  StrFormat("%llu", (unsigned long long)
+                                component.size.compiled_loc),
+                  component.privileged ? "YES" : "no"});
+  }
+  table.Print();
+  const CodeSize total = report.PrivilegedTotal();
+  const CodeSize above = report.PrivilegedAboveHypervisor();
+  std::printf(
+      "privileged total: %llu source (%llu compiled); above the hypervisor: "
+      "%llu source (%llu compiled)\n\n",
+      (unsigned long long)total.source_loc,
+      (unsigned long long)total.compiled_loc,
+      (unsigned long long)above.source_loc,
+      (unsigned long long)above.compiled_loc);
+}
+
+void Run() {
+  PrintHeading("§6.2: TCB size — stock Xen vs Xoar");
+  const TcbReport stock = StockXenTcb();
+  const TcbReport xoar = XoarTcb();
+  PrintReport(stock);
+  PrintReport(xoar);
+
+  const double reduction =
+      static_cast<double>(stock.PrivilegedAboveHypervisor().source_loc) /
+      static_cast<double>(xoar.PrivilegedAboveHypervisor().source_loc);
+  std::printf(
+      "Reduction of the privileged control plane: %.0fx (paper: Linux's 7.6M "
+      "/ 400k\ncompiled lines reduced to nanOS's 13k / 8k, both atop Xen's "
+      "280k / 70k).\n",
+      reduction);
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main() {
+  xoar::Run();
+  return 0;
+}

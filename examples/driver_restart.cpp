@@ -1,0 +1,91 @@
+// Live driver-domain microreboots under load (§3.3, Fig 6.3).
+//
+// Streams a 1 GB transfer into a guest while NetBack restarts on a timer,
+// printing a per-second throughput trace so the outage/recovery cycle is
+// visible: the device downtime, the TCP retransmission backoff, and the
+// slow-start ramp after each reconnect. Then compares the slow and fast
+// recovery grades.
+#include <cstdio>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/core/xoar_platform.h"
+#include "src/net/tcp.h"
+
+using namespace xoar;
+
+namespace {
+
+// Runs a transfer with a per-second throughput probe.
+std::vector<double> TraceTransfer(XoarPlatform& platform, DomainId guest,
+                                  std::uint64_t bytes) {
+  std::vector<double> samples;
+  bool done = false;
+  std::uint64_t last_bytes = 0;
+
+  TcpFlow flow(
+      &platform.sim(), TcpParams{}, bytes,
+      [&platform, guest] {
+        NetBack* nb = platform.netback_of(guest);
+        return nb != nullptr && nb->IsVifConnected(guest);
+      },
+      [&platform, guest] { return platform.EffectiveNetRateBps(guest); },
+      [&done](const TcpFlow::Result&) { done = true; });
+
+  PeriodicTimer sampler(&platform.sim(), kSecond, [&] {
+    const std::uint64_t now_bytes = flow.bytes_delivered();
+    samples.push_back(static_cast<double>(now_bytes - last_bytes) / 1e6);
+    last_bytes = now_bytes;
+  });
+  sampler.Start();
+  flow.Start();
+  while (!done && platform.sim().Step()) {
+  }
+  sampler.Stop();
+  return samples;
+}
+
+void PrintTrace(const char* label, const std::vector<double>& samples) {
+  std::printf("%s\n", label);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    std::printf("  t=%2zus %6.1f MB/s |", i + 1, samples[i]);
+    const int bar = static_cast<int>(samples[i] / 2.5);
+    for (int j = 0; j < bar; ++j) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  Logger::Get().set_level(LogLevel::kWarning);
+
+  XoarPlatform platform;
+  if (!platform.Boot().ok()) {
+    return 1;
+  }
+  DomainId guest = *platform.CreateGuest(GuestSpec{.name = "streamer"});
+
+  std::printf("=== no restarts ===\n");
+  PrintTrace("baseline:", TraceTransfer(platform, guest, 500ull * 1000 * 1000));
+
+  std::printf("\n=== NetBack restarting every 3 s, slow recovery (260 ms "
+              "device downtime + XenStore renegotiation) ===\n");
+  (void)platform.EnableNetBackRestarts(FromSeconds(3), /*fast=*/false);
+  PrintTrace("slow:", TraceTransfer(platform, guest, 500ull * 1000 * 1000));
+  (void)platform.DisableNetBackRestarts();
+
+  std::printf("\n=== NetBack restarting every 3 s, fast recovery (recovery "
+              "box persists device config, 140 ms) ===\n");
+  (void)platform.EnableNetBackRestarts(FromSeconds(3), /*fast=*/true);
+  PrintTrace("fast:", TraceTransfer(platform, guest, 500ull * 1000 * 1000));
+  (void)platform.DisableNetBackRestarts();
+
+  std::printf("\nNetBack restarted %d times in total; every cycle "
+              "renegotiated via XenStore\nwatch events, and the guest's "
+              "frontend retransmitted whatever was in flight.\n",
+              platform.restarts().RestartCount("NetBack"));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Live migration between two hosts (§2.1.1): the interposition-dependent
+// enterprise feature Xoar preserves and the from-scratch alternatives of
+// §2.3.1 lose. Migrates a guest from a legacy monolithic host onto a Xoar
+// host (the drop-in upgrade path, §8), then between Xoar hosts under
+// different memory-dirtying loads.
+#include <cstdio>
+
+#include "src/base/log.h"
+#include "src/core/xoar_platform.h"
+#include "src/ctl/migration.h"
+#include "src/ctl/monolithic_platform.h"
+
+using namespace xoar;
+
+namespace {
+
+void Report(const char* label, const StatusOr<MigrationResult>& result) {
+  if (!result.ok()) {
+    std::printf("%-40s FAILED: %s\n", label, result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-40s %2d rounds %s  total %6.2fs  downtime %7.1fms  sent "
+              "%5.0f MB\n",
+              label, result->precopy_rounds,
+              result->converged ? "(converged)" : "(forced)   ",
+              ToSeconds(result->total_time),
+              ToMilliseconds(result->downtime),
+              static_cast<double>(result->bytes_transferred) / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  Logger::Get().set_level(LogLevel::kWarning);
+
+  // --- Act 1: evacuate a legacy Dom0 host onto a fresh Xoar host. ---
+  MonolithicPlatform legacy;
+  XoarPlatform modern;
+  if (!legacy.Boot().ok() || !modern.Boot().ok()) {
+    return 1;
+  }
+  DomainId vm = *legacy.CreateGuest(GuestSpec{.name = "prod-db"});
+  std::printf("prod-db running on '%s'; evacuating to '%s'...\n\n",
+              std::string(legacy.name()).c_str(),
+              std::string(modern.name()).c_str());
+  auto lift = LiveMigrate(&legacy, vm, &modern, MigrationParams{});
+  Report("Dom0 -> Xoar (idle guest)", lift);
+  if (lift.ok()) {
+    std::printf("  prod-db is now dom%u on Xoar; the legacy host can be "
+                "retired.\n\n",
+                lift->destination_guest.value());
+  }
+
+  // --- Act 2: Xoar -> Xoar under increasing write pressure. ---
+  std::printf("Xoar -> Xoar, 1 GiB guest, varying page-dirty rates:\n");
+  for (double dirty_mbps : {10.0, 60.0, 120.0}) {
+    XoarPlatform source, destination;
+    if (!source.Boot().ok() || !destination.Boot().ok()) {
+      return 1;
+    }
+    DomainId guest =
+        *source.CreateGuest(GuestSpec{.name = "worker", .memory_mb = 1024});
+    MigrationParams params;
+    params.dirty_rate_bytes_per_sec = dirty_mbps * 1e6;
+    char label[64];
+    std::snprintf(label, sizeof(label), "  dirtying %3.0f MB/s", dirty_mbps);
+    Report(label, LiveMigrate(&source, guest, &destination, params));
+  }
+
+  std::printf(
+      "\nBelow the GbE stream rate pre-copy converges in a handful of rounds "
+      "with\ntens-of-milliseconds downtime; a guest dirtying faster than the "
+      "link forces\nstop-and-copy. The migration stream is just another flow "
+      "through NetBack —\ndisaggregation did not cost the feature.\n");
+  return 0;
+}

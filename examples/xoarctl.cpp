@@ -1,0 +1,252 @@
+// xoarctl: an xl-style administrative CLI over the platform API.
+//
+// Runs a command script against a freshly booted Xoar host:
+//
+//   ./build/examples/xoarctl                    # runs the built-in demo
+//   ./build/examples/xoarctl script.xctl        # runs commands from a file
+//
+// Commands (one per line, '#' comments):
+//   create <name> [mem_mb] [tag]     create a guest
+//   destroy <name>                   destroy a guest
+//   pause <name> | unpause <name>    VM lifecycle
+//   list                             list domains with state and privileges
+//   restart <component> [fast]      microreboot NetBack/BlkBack/...
+//   restart-every <component> <sec> periodic restarts
+//   balloon <name> <+/-mb>           balloon a guest up or down
+//   migrate-out <name>               live-migrate to a scratch peer host
+//   audit [n]                        show the last n audit records
+//   exposure <component>             guests exposed to a shard (forensics)
+//   run <seconds>                    advance simulated time
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/core/xoar_platform.h"
+#include "src/ctl/migration.h"
+
+using namespace xoar;
+
+namespace {
+
+class XoarCtl {
+ public:
+  bool Boot() {
+    if (!platform_.Boot().ok()) {
+      return false;
+    }
+    std::printf("xoarctl: host up (console %.1fs, network %.1fs)\n",
+                ToSeconds(platform_.console_ready_at()),
+                ToSeconds(platform_.network_ready_at()));
+    return true;
+  }
+
+  void Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') {
+      return;
+    }
+    std::printf("xoarctl> %s\n", line.c_str());
+    if (cmd == "create") {
+      std::string name, tag;
+      std::uint64_t mem = 512;
+      in >> name >> mem >> tag;
+      GuestSpec spec;
+      spec.name = name;
+      spec.memory_mb = mem == 0 ? 512 : mem;
+      spec.constraint_tag = tag;
+      auto guest = platform_.CreateGuest(spec);
+      if (guest.ok()) {
+        names_[name] = *guest;
+        std::printf("  created %s as dom%u\n", name.c_str(), guest->value());
+      } else {
+        std::printf("  error: %s\n", guest.status().ToString().c_str());
+      }
+    } else if (cmd == "destroy") {
+      WithGuest(in, [&](DomainId id, const std::string& name) {
+        Report(platform_.DestroyGuest(id));
+        names_.erase(name);
+      });
+    } else if (cmd == "pause") {
+      WithGuest(in, [&](DomainId id, const std::string&) {
+        Report(platform_.toolstack().PauseGuest(id));
+      });
+    } else if (cmd == "unpause") {
+      WithGuest(in, [&](DomainId id, const std::string&) {
+        Report(platform_.toolstack().UnpauseGuest(id));
+      });
+    } else if (cmd == "list") {
+      List();
+    } else if (cmd == "restart") {
+      std::string component, grade;
+      in >> component >> grade;
+      Report(platform_.restarts().RestartNow(component, grade == "fast"));
+      platform_.Settle(kSecond);
+    } else if (cmd == "restart-every") {
+      std::string component;
+      double seconds = 0;
+      in >> component >> seconds;
+      Report(platform_.restarts().EnablePeriodicRestarts(
+          component, FromSeconds(seconds), /*fast=*/true));
+    } else if (cmd == "balloon") {
+      std::string name;
+      long delta = 0;
+      in >> name >> delta;
+      auto it = names_.find(name);
+      if (it == names_.end()) {
+        std::printf("  no such guest\n");
+        return;
+      }
+      Report(delta < 0 ? platform_.hv().BalloonDown(
+                             it->second, static_cast<std::uint64_t>(-delta))
+                       : platform_.hv().BalloonUp(
+                             it->second, static_cast<std::uint64_t>(delta)));
+    } else if (cmd == "migrate-out") {
+      WithGuest(in, [&](DomainId id, const std::string& name) {
+        XoarPlatform peer;
+        if (!peer.Boot().ok()) {
+          std::printf("  peer host failed to boot\n");
+          return;
+        }
+        auto result = LiveMigrate(&platform_, id, &peer, MigrationParams{});
+        if (result.ok()) {
+          std::printf("  %s migrated: %d rounds, downtime %.0fms\n",
+                      name.c_str(), result->precopy_rounds,
+                      ToMilliseconds(result->downtime));
+          names_.erase(name);
+        } else {
+          std::printf("  error: %s\n", result.status().ToString().c_str());
+        }
+      });
+    } else if (cmd == "audit") {
+      int n = 8;
+      in >> n;
+      const auto& events = platform_.audit().events();
+      const std::size_t start =
+          events.size() > static_cast<std::size_t>(n) ? events.size() - n : 0;
+      for (std::size_t i = start; i < events.size(); ++i) {
+        if (events[i].kind == AuditEventKind::kHypervisor) {
+          continue;
+        }
+        std::printf("  [%8.3fs] %-15s %s\n", ToSeconds(events[i].time),
+                    std::string(AuditEventKindName(events[i].kind)).c_str(),
+                    events[i].detail.c_str());
+      }
+      std::printf("  integrity: %s\n",
+                  platform_.audit().FirstCorruptedRecord() == -1 ? "OK"
+                                                                 : "BROKEN");
+    } else if (cmd == "exposure") {
+      std::string component;
+      in >> component;
+      const DomainId shard =
+          component == "BlkBack" ? platform_.shard_domain(ShardClass::kBlkBack)
+                                 : platform_.shard_domain(ShardClass::kNetBack);
+      auto exposed = platform_.audit().GuestsExposedToShard(
+          shard, 0, platform_.sim().Now());
+      std::printf("  guests exposed to %s:", component.c_str());
+      for (DomainId g : exposed) {
+        std::printf(" dom%u", g.value());
+      }
+      std::printf("\n");
+    } else if (cmd == "run") {
+      double seconds = 1;
+      in >> seconds;
+      platform_.Settle(FromSeconds(seconds));
+      std::printf("  t=%.1fs\n", ToSeconds(platform_.sim().Now()));
+    } else {
+      std::printf("  unknown command: %s\n", cmd.c_str());
+    }
+  }
+
+ private:
+  template <typename Fn>
+  void WithGuest(std::istringstream& in, Fn fn) {
+    std::string name;
+    in >> name;
+    auto it = names_.find(name);
+    if (it == names_.end()) {
+      std::printf("  no such guest: %s\n", name.c_str());
+      return;
+    }
+    fn(it->second, name);
+  }
+
+  void Report(const Status& status) {
+    std::printf("  %s\n", status.ToString().c_str());
+  }
+
+  void List() {
+    std::printf("  %-4s %-18s %-10s %-6s %s\n", "ID", "NAME", "STATE", "MEM",
+                "FLAGS");
+    for (DomainId id : platform_.hv().AllDomains()) {
+      const Domain* dom = platform_.hv().domain(id);
+      std::string flags;
+      if (dom->is_shard()) {
+        flags += "shard ";
+      }
+      if (dom->hypercall_policy().PermittedCount() > 0) {
+        flags += StrFormat("priv(%zu) ",
+                           dom->hypercall_policy().PermittedCount());
+      }
+      if (!dom->pci_devices().empty()) {
+        flags += "pci ";
+      }
+      std::printf("  %-4u %-18s %-10s %-6llu %s\n", id.value(),
+                  dom->name().c_str(),
+                  std::string(DomainStateName(dom->state())).c_str(),
+                  (unsigned long long)dom->config().memory_mb, flags.c_str());
+    }
+  }
+
+  XoarPlatform platform_;
+  std::map<std::string, DomainId> names_;
+};
+
+const char* kDemoScript = R"(# xoarctl demo script
+list
+create web 1024
+create db 1024
+list
+balloon web -256
+restart NetBack fast
+run 2
+audit 10
+exposure NetBack
+pause db
+unpause db
+migrate-out db
+destroy web
+list
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::Get().set_level(LogLevel::kWarning);
+  XoarCtl ctl;
+  if (!ctl.Boot()) {
+    std::fprintf(stderr, "boot failed\n");
+    return 1;
+  }
+  std::istringstream demo(kDemoScript);
+  std::ifstream file;
+  std::istream* input = &demo;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    input = &file;
+  }
+  std::string line;
+  while (std::getline(*input, line)) {
+    ctl.Execute(line);
+  }
+  return 0;
+}

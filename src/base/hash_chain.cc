@@ -1,0 +1,38 @@
+#include "src/base/hash_chain.h"
+
+namespace xoar {
+
+std::uint64_t HashBytes(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // A second avalanche round to mix high bits.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::uint64_t HashChain::Append(std::string_view record) {
+  head_ = HashBytes(record, head_ ^ 0x9e3779b97f4a7c15ULL);
+  links_.push_back(head_);
+  return head_;
+}
+
+long HashChain::VerifyAgainst(const std::vector<std::string>& records) const {
+  if (records.size() != links_.size()) {
+    return 0;
+  }
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    running = HashBytes(records[i], running ^ 0x9e3779b97f4a7c15ULL);
+    if (running != links_[i]) {
+      return static_cast<long>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace xoar

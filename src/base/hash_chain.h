@@ -1,0 +1,46 @@
+// Tamper-evident hash chain used by the secure audit log (§3.2.2).
+//
+// Every appended record is hashed together with the previous chain head, so
+// any after-the-fact modification of a record invalidates every subsequent
+// link. The paper ships records to an off-host append-only store; we model
+// that property with the chain plus an explicit verification pass.
+//
+// The hash is FNV-1a/64 folded twice — not cryptographic, but the simulator
+// only needs tamper *evidence* within the model, and the interface is the
+// same one a real SHA-256 implementation would present.
+#ifndef XOAR_SRC_BASE_HASH_CHAIN_H_
+#define XOAR_SRC_BASE_HASH_CHAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xoar {
+
+// 64-bit FNV-1a over arbitrary bytes.
+std::uint64_t HashBytes(std::string_view data, std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+class HashChain {
+ public:
+  HashChain() = default;
+
+  // Appends a record; returns the new chain head.
+  std::uint64_t Append(std::string_view record);
+
+  std::uint64_t head() const { return head_; }
+  std::size_t size() const { return links_.size(); }
+
+  // Recomputes the chain over `records` and compares it with the stored
+  // links. Returns the index of the first corrupted record, or -1 if intact.
+  // `records` must have the same length as the chain.
+  long VerifyAgainst(const std::vector<std::string>& records) const;
+
+ private:
+  std::uint64_t head_ = 0;
+  std::vector<std::uint64_t> links_;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_BASE_HASH_CHAIN_H_

@@ -1,0 +1,108 @@
+// Strongly typed identifiers used across the platform.
+//
+// Each identifier wraps an integer but is a distinct type, so a DomainId can
+// never be passed where a grant reference is expected. The hypervisor's
+// access-control checks in src/hv depend on this discipline.
+#ifndef XOAR_SRC_BASE_IDS_H_
+#define XOAR_SRC_BASE_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace xoar {
+
+// CRTP base providing comparison, hashing, and streaming for id wrappers.
+template <typename Tag, typename ValueT = std::uint32_t>
+class TypedId {
+ public:
+  using value_type = ValueT;
+
+  constexpr TypedId() : value_(kInvalidValue) {}
+  constexpr explicit TypedId(ValueT value) : value_(value) {}
+
+  constexpr ValueT value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  static constexpr TypedId Invalid() { return TypedId(); }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TypedId a, TypedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TypedId a, TypedId b) {
+    return a.value_ < b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, TypedId id) {
+    if (!id.valid()) {
+      return os << Tag::kName << "<invalid>";
+    }
+    return os << Tag::kName << id.value_;
+  }
+
+ private:
+  static constexpr ValueT kInvalidValue = static_cast<ValueT>(-1);
+  ValueT value_;
+};
+
+struct DomainIdTag {
+  static constexpr const char* kName = "dom";
+};
+struct PfnTag {
+  static constexpr const char* kName = "pfn";
+};
+struct GrantRefTag {
+  static constexpr const char* kName = "gref";
+};
+struct EvtchnPortTag {
+  static constexpr const char* kName = "port";
+};
+struct VcpuIdTag {
+  static constexpr const char* kName = "vcpu";
+};
+struct EventIdTag {
+  static constexpr const char* kName = "ev";
+};
+struct FlowIdTag {
+  static constexpr const char* kName = "flow";
+};
+
+// Identifies a domain (virtual machine). Domain 0 is special in stock Xen;
+// Xoar removes that assumption (see §5.8 of the paper).
+using DomainId = TypedId<DomainIdTag>;
+
+// Physical frame number of a 4 KiB machine page.
+using Pfn = TypedId<PfnTag, std::uint64_t>;
+
+// Index into a domain's grant table.
+using GrantRef = TypedId<GrantRefTag>;
+
+// Event channel port, local to a domain.
+using EvtchnPort = TypedId<EvtchnPortTag>;
+
+// Virtual CPU index within a domain.
+using VcpuId = TypedId<VcpuIdTag>;
+
+// Handle for a scheduled simulator event.
+using EventId = TypedId<EventIdTag, std::uint64_t>;
+
+// Identifies a TCP flow in the network model.
+using FlowId = TypedId<FlowIdTag, std::uint64_t>;
+
+constexpr DomainId kDom0 = DomainId(0);
+
+}  // namespace xoar
+
+namespace std {
+template <typename Tag, typename ValueT>
+struct hash<xoar::TypedId<Tag, ValueT>> {
+  size_t operator()(xoar::TypedId<Tag, ValueT> id) const {
+    return std::hash<ValueT>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // XOAR_SRC_BASE_IDS_H_

@@ -1,0 +1,47 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+
+namespace xoar {
+
+namespace {
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+void DefaultSink(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+}
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LogLevel::kWarning), sink_(DefaultSink) {}
+
+void Logger::set_sink(Sink sink) {
+  sink_ = sink ? std::move(sink) : Sink(DefaultSink);
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (level < level_) {
+    return;
+  }
+  sink_(level, message);
+}
+
+}  // namespace xoar

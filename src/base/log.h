@@ -1,0 +1,71 @@
+// Minimal leveled logger.
+//
+// Components log through a process-wide sink. Tests and benchmarks set the
+// level to kWarning to keep output quiet; examples turn on kInfo to narrate
+// the platform's behaviour. Not thread-safe: the simulator is single-threaded
+// by design (deterministic replay), so the logger follows suit.
+#ifndef XOAR_SRC_BASE_LOG_H_
+#define XOAR_SRC_BASE_LOG_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace xoar {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Get();
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  // Replaces the output sink (default: stderr). Passing nullptr restores the
+  // default sink.
+  void set_sink(Sink sink);
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+
+  LogLevel level_;
+  Sink sink_;
+};
+
+// Internal: stream-accumulating helper behind the XLOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Write(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace xoar
+
+// Usage: XLOG(kInfo) << "domain " << id << " created";
+#define XLOG(severity)                                                  \
+  if (::xoar::LogLevel::severity < ::xoar::Logger::Get().level()) {     \
+  } else                                                                \
+    ::xoar::LogMessage(::xoar::LogLevel::severity)
+
+#endif  // XOAR_SRC_BASE_LOG_H_

@@ -1,0 +1,89 @@
+#include "src/base/status.h"
+
+namespace xoar {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace {
+Status Make(StatusCode code, std::string_view message) {
+  return Status(code, std::string(message));
+}
+}  // namespace
+
+Status InvalidArgumentError(std::string_view message) {
+  return Make(StatusCode::kInvalidArgument, message);
+}
+Status NotFoundError(std::string_view message) {
+  return Make(StatusCode::kNotFound, message);
+}
+Status AlreadyExistsError(std::string_view message) {
+  return Make(StatusCode::kAlreadyExists, message);
+}
+Status PermissionDeniedError(std::string_view message) {
+  return Make(StatusCode::kPermissionDenied, message);
+}
+Status FailedPreconditionError(std::string_view message) {
+  return Make(StatusCode::kFailedPrecondition, message);
+}
+Status UnavailableError(std::string_view message) {
+  return Make(StatusCode::kUnavailable, message);
+}
+Status ResourceExhaustedError(std::string_view message) {
+  return Make(StatusCode::kResourceExhausted, message);
+}
+Status OutOfRangeError(std::string_view message) {
+  return Make(StatusCode::kOutOfRange, message);
+}
+Status AbortedError(std::string_view message) {
+  return Make(StatusCode::kAborted, message);
+}
+Status UnimplementedError(std::string_view message) {
+  return Make(StatusCode::kUnimplemented, message);
+}
+Status InternalError(std::string_view message) {
+  return Make(StatusCode::kInternal, message);
+}
+
+}  // namespace xoar

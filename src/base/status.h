@@ -1,0 +1,137 @@
+// Error handling primitives for the Xoar platform simulator.
+//
+// The platform code does not use exceptions (os-systems convention); fallible
+// operations return Status or StatusOr<T>. Codes deliberately mirror the
+// canonical absl/gRPC set so call sites read familiarly.
+#ifndef XOAR_SRC_BASE_STATUS_H_
+#define XOAR_SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xoar {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kUnavailable,
+  kResourceExhausted,
+  kOutOfRange,
+  kAborted,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of a status code, e.g. "PERMISSION_DENIED".
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy when OK (no message allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Factory helpers; each tags the status with the matching code.
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status PermissionDeniedError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status UnavailableError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status AbortedError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+Status InternalError(std::string_view message);
+
+// A value of type T or an error Status. Accessing the value of a non-OK
+// StatusOr is a programming error and asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return MakeThing();` and `return SomeError();`
+  // both work, matching absl::StatusOr ergonomics.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace xoar
+
+// Propagates a non-OK Status from the current function.
+#define XOAR_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::xoar::Status xoar_status_ = (expr);   \
+    if (!xoar_status_.ok()) {               \
+      return xoar_status_;                  \
+    }                                       \
+  } while (0)
+
+#define XOAR_STATUS_CONCAT_INNER_(x, y) x##y
+#define XOAR_STATUS_CONCAT_(x, y) XOAR_STATUS_CONCAT_INNER_(x, y)
+
+// Evaluates `rexpr` (a StatusOr<T>); on error returns the Status, otherwise
+// moves the value into `lhs`.
+#define XOAR_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  auto XOAR_STATUS_CONCAT_(xoar_statusor_, __LINE__) = (rexpr);            \
+  if (!XOAR_STATUS_CONCAT_(xoar_statusor_, __LINE__).ok()) {               \
+    return XOAR_STATUS_CONCAT_(xoar_statusor_, __LINE__).status();         \
+  }                                                                        \
+  lhs = std::move(XOAR_STATUS_CONCAT_(xoar_statusor_, __LINE__)).value()
+
+#endif  // XOAR_SRC_BASE_STATUS_H_

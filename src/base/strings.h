@@ -1,0 +1,27 @@
+// Small string utilities shared across modules (path handling for XenStore,
+// printf-style formatting for reports).
+#ifndef XOAR_SRC_BASE_STRINGS_H_
+#define XOAR_SRC_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xoar {
+
+// Splits `input` on `sep`, dropping empty segments ("/a//b" -> {"a","b"}).
+std::vector<std::string> SplitPath(std::string_view input, char sep = '/');
+
+// Joins segments with `sep`, prefixing with a leading separator.
+std::string JoinPath(const std::vector<std::string>& segments, char sep = '/');
+
+// True if `path` equals `prefix` or is a descendant of it ("/a/b" has prefix
+// "/a" but not "/ab").
+bool PathHasPrefix(std::string_view path, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_BASE_STRINGS_H_

@@ -1,0 +1,129 @@
+#include "src/core/audit_log.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/base/strings.h"
+
+namespace xoar {
+
+std::string_view AuditEventKindName(AuditEventKind kind) {
+  switch (kind) {
+    case AuditEventKind::kVmCreated:
+      return "vm-created";
+    case AuditEventKind::kVmDestroyed:
+      return "vm-destroyed";
+    case AuditEventKind::kShardLinked:
+      return "shard-linked";
+    case AuditEventKind::kShardRestarted:
+      return "shard-restarted";
+    case AuditEventKind::kShardUpgraded:
+      return "shard-upgraded";
+    case AuditEventKind::kCompromise:
+      return "compromise";
+    case AuditEventKind::kHypervisor:
+      return "hypervisor";
+  }
+  return "unknown";
+}
+
+std::string AuditEvent::Serialize() const {
+  return StrFormat("%llu|%s|%u|%u|%s",
+                   static_cast<unsigned long long>(time),
+                   std::string(AuditEventKindName(kind)).c_str(),
+                   subject.valid() ? subject.value() : 0xffffffffu,
+                   object.valid() ? object.value() : 0xffffffffu,
+                   detail.c_str());
+}
+
+void AuditLog::Record(AuditEvent event) {
+  chain_.Append(event.Serialize());
+  events_.push_back(std::move(event));
+}
+
+void AuditLog::RecordHypervisor(SimTime time, const std::string& detail) {
+  AuditEvent event;
+  event.time = time;
+  event.kind = AuditEventKind::kHypervisor;
+  event.detail = detail;
+  Record(std::move(event));
+}
+
+long AuditLog::FirstCorruptedRecord() const {
+  std::vector<std::string> serialized;
+  serialized.reserve(events_.size());
+  for (const auto& event : events_) {
+    serialized.push_back(event.Serialize());
+  }
+  return chain_.VerifyAgainst(serialized);
+}
+
+std::vector<DomainId> AuditLog::GuestsExposedToShard(DomainId shard,
+                                                     SimTime window_start,
+                                                     SimTime window_end) const {
+  // Build link intervals: a guest is exposed from the kShardLinked record
+  // until its kVmDestroyed record (or forever).
+  struct Interval {
+    DomainId guest;
+    SimTime start;
+    SimTime end;
+  };
+  std::vector<Interval> intervals;
+  for (const auto& event : events_) {
+    if (event.kind == AuditEventKind::kShardLinked && event.object == shard) {
+      intervals.push_back(Interval{event.subject, event.time, UINT64_MAX});
+    } else if (event.kind == AuditEventKind::kVmDestroyed) {
+      for (auto& interval : intervals) {
+        if (interval.guest == event.subject && interval.end == UINT64_MAX) {
+          interval.end = event.time;
+        }
+      }
+    }
+  }
+  std::set<DomainId> exposed;
+  for (const auto& interval : intervals) {
+    if (interval.start <= window_end && interval.end >= window_start) {
+      exposed.insert(interval.guest);
+    }
+  }
+  return std::vector<DomainId>(exposed.begin(), exposed.end());
+}
+
+std::vector<DomainId> AuditLog::GuestsServicedByRelease(
+    DomainId shard, const std::string& release) const {
+  // Release windows: [upgrade-to-release, next-upgrade).
+  std::vector<std::pair<SimTime, SimTime>> windows;
+  SimTime open_start = 0;
+  bool open = false;
+  for (const auto& event : events_) {
+    if (event.kind != AuditEventKind::kShardUpgraded || event.object != shard) {
+      continue;
+    }
+    if (open) {
+      windows.emplace_back(open_start, event.time);
+      open = false;
+    }
+    if (event.detail == release) {
+      open_start = event.time;
+      open = true;
+    }
+  }
+  if (open) {
+    windows.emplace_back(open_start, UINT64_MAX);
+  }
+  std::set<DomainId> serviced;
+  for (const auto& [start, end] : windows) {
+    for (DomainId guest : GuestsExposedToShard(shard, start, end)) {
+      serviced.insert(guest);
+    }
+  }
+  return std::vector<DomainId>(serviced.begin(), serviced.end());
+}
+
+void AuditLog::TamperForTest(std::size_t index, const std::string& new_detail) {
+  if (index < events_.size()) {
+    events_[index].detail = new_detail;
+  }
+}
+
+}  // namespace xoar

@@ -1,0 +1,153 @@
+#include "src/core/microreboot.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace xoar {
+
+RestartEngine::RestartEngine(Hypervisor* hv, Simulator* sim,
+                             SnapshotManager* snapshots, DomainId controller,
+                             AuditLog* audit)
+    : hv_(hv),
+      sim_(sim),
+      snapshots_(snapshots),
+      controller_(controller),
+      audit_(audit) {}
+
+Status RestartEngine::Register(const std::string& name, DomainId domain,
+                               ComponentHooks hooks) {
+  if (components_.count(name) > 0) {
+    return AlreadyExistsError(
+        StrFormat("component %s already registered", name.c_str()));
+  }
+  Entry entry;
+  entry.domain = domain;
+  entry.hooks = std::move(hooks);
+  if (entry.hooks.state != nullptr) {
+    XOAR_RETURN_IF_ERROR(snapshots_->TakeSnapshot(domain, entry.hooks.state));
+  }
+  components_.emplace(name, std::move(entry));
+  return Status::Ok();
+}
+
+Status RestartEngine::DoRestart(Entry& entry, const std::string& name,
+                                bool fast) {
+  if (entry.in_progress) {
+    return FailedPreconditionError(
+        StrFormat("%s is already mid-restart", name.c_str()));
+  }
+  const Domain* dom = hv_->domain(entry.domain);
+  if (dom == nullptr || dom->state() != DomainState::kRunning) {
+    return FailedPreconditionError(
+        StrFormat("%s's domain is not running", name.c_str()));
+  }
+  entry.in_progress = true;
+
+  // 1. Orderly suspend: the component closes its backend state while its
+  //    domain can still issue XenStore writes.
+  if (entry.hooks.suspend) {
+    entry.hooks.suspend();
+  }
+  // 2. The hypervisor tears down channels; peers observe the outage.
+  XOAR_RETURN_IF_ERROR(hv_->BeginReboot(controller_, entry.domain));
+
+  // 3. Rollback to the post-init snapshot. The recovery box survives; the
+  //    fast path uses it to skip part of the renegotiation.
+  SimDuration downtime = fast ? kFastRestartDowntime : kSlowRestartDowntime;
+  if (entry.hooks.state != nullptr) {
+    StatusOr<SimDuration> rollback_cost = snapshots_->Rollback(entry.domain);
+    if (rollback_cost.ok()) {
+      downtime += *rollback_cost;
+    }
+  }
+  entry.last_downtime = downtime;
+
+  // 4. After the device downtime, the domain resumes and re-advertises.
+  const DomainId domain = entry.domain;
+  sim_->ScheduleAfter(downtime, [this, name, domain] {
+    auto it = components_.find(name);
+    if (it == components_.end() || it->second.domain != domain) {
+      return;
+    }
+    Entry& e = it->second;
+    Status status = hv_->CompleteReboot(controller_, e.domain);
+    if (!status.ok()) {
+      XLOG(kWarning) << "[restart] complete-reboot failed for " << name << ": "
+                     << status;
+      e.in_progress = false;
+      return;
+    }
+    if (e.hooks.resume) {
+      e.hooks.resume();
+    }
+    e.in_progress = false;
+    ++e.restarts;
+    if (audit_ != nullptr) {
+      AuditEvent event;
+      event.time = sim_->Now();
+      event.kind = AuditEventKind::kShardRestarted;
+      event.object = e.domain;
+      event.detail = name;
+      audit_->Record(std::move(event));
+    }
+  });
+  return Status::Ok();
+}
+
+Status RestartEngine::RestartNow(const std::string& name, bool fast) {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    return NotFoundError(StrFormat("no component %s", name.c_str()));
+  }
+  return DoRestart(it->second, name, fast);
+}
+
+Status RestartEngine::EnablePeriodicRestarts(const std::string& name,
+                                             SimDuration interval, bool fast) {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    return NotFoundError(StrFormat("no component %s", name.c_str()));
+  }
+  Entry& entry = it->second;
+  entry.fast = fast;
+  entry.timer = std::make_unique<PeriodicTimer>(
+      sim_, interval, [this, name] {
+        auto entry_it = components_.find(name);
+        if (entry_it == components_.end()) {
+          return;
+        }
+        Status status = DoRestart(entry_it->second, name, entry_it->second.fast);
+        if (!status.ok()) {
+          XLOG(kDebug) << "[restart] skipped cycle for " << name << ": "
+                       << status;
+        }
+      });
+  entry.timer->Start();
+  return Status::Ok();
+}
+
+Status RestartEngine::DisableRestarts(const std::string& name) {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    return NotFoundError(StrFormat("no component %s", name.c_str()));
+  }
+  it->second.timer.reset();
+  return Status::Ok();
+}
+
+bool RestartEngine::IsRestarting(const std::string& name) const {
+  auto it = components_.find(name);
+  return it != components_.end() && it->second.in_progress;
+}
+
+int RestartEngine::RestartCount(const std::string& name) const {
+  auto it = components_.find(name);
+  return it == components_.end() ? 0 : it->second.restarts;
+}
+
+SimDuration RestartEngine::LastDowntime(const std::string& name) const {
+  auto it = components_.find(name);
+  return it == components_.end() ? 0 : it->second.last_downtime;
+}
+
+}  // namespace xoar

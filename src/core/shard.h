@@ -1,0 +1,119 @@
+// Shard classes: the decomposition of the control VM (Table 5.1, Table 6.1).
+//
+// Each descriptor records the shard's OS profile, its Table 6.1 memory
+// footprint, whether it holds heightened privilege, its lifetime class, and
+// the code-size contribution used for the §6.2 TCB accounting.
+#ifndef XOAR_SRC_CORE_SHARD_H_
+#define XOAR_SRC_CORE_SHARD_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/hv/domain.h"
+
+namespace xoar {
+
+enum class ShardClass : std::uint8_t {
+  kBootstrapper = 0,
+  kXenStoreState,
+  kXenStoreLogic,
+  kConsoleManager,
+  kBuilder,
+  kPciBack,
+  kNetBack,
+  kBlkBack,
+  kToolstack,
+  kQemuVm,
+  kCount,
+};
+
+enum class ShardLifetime : std::uint8_t {
+  kBootUp,    // destroyed once the system reaches steady state
+  kForever,   // lives as long as the host
+  kGuestVm,   // lives as long as its guest
+};
+
+struct ShardDescriptor {
+  ShardClass shard_class;
+  std::string_view name;
+  bool privileged;           // Table 5.1 "Privileged"
+  ShardLifetime lifetime;    // Table 5.1 "Lifetime"
+  bool restartable;          // Table 5.1 "(R)"
+  OsProfile os;              // Table 5.1 "OS"
+  std::uint64_t memory_mb;   // Table 6.1
+  std::string_view parent;   // Table 5.1 "Parent"
+  std::string_view functionality;
+};
+
+// The Table 5.1 / Table 6.1 inventory. Memory figures are the paper's.
+inline const std::vector<ShardDescriptor>& ShardInventory() {
+  static const std::vector<ShardDescriptor> kInventory = {
+      {ShardClass::kBootstrapper, "Bootstrapper", true, ShardLifetime::kBootUp,
+       false, OsProfile::kNanOs, 32, "Xen", "Instantiate boot shards"},
+      {ShardClass::kXenStoreState, "XenStore-State", false,
+       ShardLifetime::kForever, false, OsProfile::kMiniOs, 32, "Bootstrapper",
+       "In-memory contents of XenStore"},
+      {ShardClass::kXenStoreLogic, "XenStore-Logic", false,
+       ShardLifetime::kForever, true, OsProfile::kMiniOs, 32, "Bootstrapper",
+       "Processes requests for inter-VM comms and config state"},
+      {ShardClass::kConsoleManager, "Console Manager", false,
+       ShardLifetime::kForever, false, OsProfile::kLinux, 128, "Bootstrapper",
+       "Expose physical console as virtual consoles to VMs"},
+      {ShardClass::kBuilder, "Builder", true, ShardLifetime::kForever, true,
+       OsProfile::kNanOs, 64, "Bootstrapper", "Instantiate non-boot VMs"},
+      {ShardClass::kPciBack, "PCIBack", true, ShardLifetime::kBootUp, false,
+       OsProfile::kLinux, 256, "Bootstrapper",
+       "Initialize hardware and PCI bus, pass through PCI devices"},
+      {ShardClass::kNetBack, "NetBack", false, ShardLifetime::kForever, true,
+       OsProfile::kLinux, 128, "PCIBack",
+       "Expose physical network device as virtual devices to VMs"},
+      {ShardClass::kBlkBack, "BlkBack", false, ShardLifetime::kForever, true,
+       OsProfile::kLinux, 128, "PCIBack",
+       "Expose physical block device as virtual devices to VMs"},
+      {ShardClass::kToolstack, "Toolstack", false, ShardLifetime::kForever,
+       true, OsProfile::kLinux, 128, "Bootstrapper",
+       "Admin toolstack to manage VMs"},
+      {ShardClass::kQemuVm, "QemuVM", false, ShardLifetime::kGuestVm, false,
+       OsProfile::kMiniOs, 32, "Toolstack",
+       "Device emulation for a single guest VM"},
+  };
+  return kInventory;
+}
+
+inline const ShardDescriptor& DescriptorFor(ShardClass cls) {
+  return ShardInventory()[static_cast<std::size_t>(cls)];
+}
+
+// §6.2 code-size model (lines of code; compiled figures in parentheses in
+// the paper). These drive the TCB comparison in bench/tcb_size.
+struct CodeSize {
+  std::uint64_t source_loc;
+  std::uint64_t compiled_loc;
+};
+
+inline CodeSize CodeSizeOf(OsProfile os) {
+  switch (os) {
+    case OsProfile::kNanOs:
+      // nanOS: 13,000 source / 8,000 compiled — small enough for static
+      // analysis (§5.7).
+      return {13'000, 8'000};
+    case OsProfile::kMiniOs:
+      return {120'000, 40'000};
+    case OsProfile::kLinux:
+    case OsProfile::kGuestLinux:
+    case OsProfile::kHvmGuest:
+      // Linux: 7.6 M source / 400 k compiled.
+      return {7'600'000, 400'000};
+  }
+  return {0, 0};
+}
+
+inline CodeSize HypervisorCodeSize() {
+  // Xen: 280 k source / 70 k compiled.
+  return {280'000, 70'000};
+}
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_CORE_SHARD_H_

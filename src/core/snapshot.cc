@@ -1,0 +1,46 @@
+#include "src/core/snapshot.h"
+
+#include "src/base/strings.h"
+
+namespace xoar {
+
+Status SnapshotManager::TakeSnapshot(DomainId domain,
+                                     Snapshottable* component) {
+  if (component == nullptr) {
+    return InvalidArgumentError("null component");
+  }
+  if (snapshots_.count(domain) > 0) {
+    // §3.3: the snapshot is taken exactly once, at the ready-to-serve
+    // point; re-snapshotting a served component would capture tainted
+    // state.
+    return AlreadyExistsError(
+        StrFormat("dom%u already has a snapshot", domain.value()));
+  }
+  snapshots_.emplace(domain, Snapshot{component, component->SaveState()});
+  return Status::Ok();
+}
+
+StatusOr<SimDuration> SnapshotManager::Rollback(DomainId domain) {
+  auto it = snapshots_.find(domain);
+  if (it == snapshots_.end()) {
+    return FailedPreconditionError(
+        StrFormat("dom%u has no snapshot to roll back to", domain.value()));
+  }
+  it->second.component->RestoreState(it->second.image);
+  ++rollbacks_;
+  const SimDuration cost =
+      cost_model_.fixed +
+      static_cast<SimDuration>(cost_model_.ns_per_byte *
+                               static_cast<double>(it->second.image.size()));
+  return cost;
+}
+
+StatusOr<std::uint64_t> SnapshotManager::SnapshotBytes(DomainId domain) const {
+  auto it = snapshots_.find(domain);
+  if (it == snapshots_.end()) {
+    return NotFoundError(StrFormat("dom%u has no snapshot", domain.value()));
+  }
+  return static_cast<std::uint64_t>(it->second.image.size());
+}
+
+}  // namespace xoar

@@ -1,0 +1,110 @@
+// Snapshot/rollback with recovery boxes (§3.3, Fig 3.2).
+//
+// A restartable shard snapshots itself once, after boot and initialization
+// but before serving requests over any external interface. A rollback
+// (triggered by the restart policy) restores that image; the paper uses
+// hypervisor copy-on-write tracking, which we model as an explicit state
+// copy with a size-proportional cost. State that must survive — open
+// connection descriptors, system-wide configuration — goes into the
+// component's *recovery box* [Baker & Sullivan], a memory region excluded
+// from rollback; components re-validate and re-adopt it right after a
+// rollback completes.
+#ifndef XOAR_SRC_CORE_SNAPSHOT_H_
+#define XOAR_SRC_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+#include "src/base/units.h"
+
+namespace xoar {
+
+// A component whose mutable state can be captured and restored.
+class Snapshottable {
+ public:
+  virtual ~Snapshottable() = default;
+  virtual std::string SaveState() const = 0;
+  virtual void RestoreState(const std::string& state) = 0;
+};
+
+// Rollback-surviving key-value region.
+class RecoveryBox {
+ public:
+  void Put(const std::string& key, std::string value) {
+    entries_[key] = std::move(value);
+  }
+  StatusOr<std::string> Get(const std::string& key) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return NotFoundError("no such recovery-box entry: " + key);
+    }
+    return it->second;
+  }
+  bool Contains(const std::string& key) const {
+    return entries_.count(key) > 0;
+  }
+  void Erase(const std::string& key) { entries_.erase(key); }
+  void Clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& [key, value] : entries_) {
+      total += key.size() + value.size();
+    }
+    return total;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+class SnapshotManager {
+ public:
+  // Cost model for a rollback: fixed overhead plus a per-byte copy charge
+  // (the CoW page restore). Exposed so the microreboot ablation bench can
+  // sweep state sizes.
+  struct CostModel {
+    SimDuration fixed = 2 * kMillisecond;
+    double ns_per_byte = 0.25;  // ~4 GB/s page-copy bandwidth
+  };
+
+  // vm_snapshot(): captures the component's post-init image.
+  Status TakeSnapshot(DomainId domain, Snapshottable* component);
+
+  // Restores the snapshot image; the recovery box is left untouched.
+  // Returns the modeled rollback duration.
+  StatusOr<SimDuration> Rollback(DomainId domain);
+
+  bool HasSnapshot(DomainId domain) const {
+    return snapshots_.count(domain) > 0;
+  }
+  StatusOr<std::uint64_t> SnapshotBytes(DomainId domain) const;
+
+  RecoveryBox& recovery_box(DomainId domain) { return boxes_[domain]; }
+
+  void Forget(DomainId domain) {
+    snapshots_.erase(domain);
+    boxes_.erase(domain);
+  }
+
+  std::uint64_t rollbacks() const { return rollbacks_; }
+  CostModel& cost_model() { return cost_model_; }
+
+ private:
+  struct Snapshot {
+    Snapshottable* component;
+    std::string image;
+  };
+
+  std::map<DomainId, Snapshot> snapshots_;
+  std::map<DomainId, RecoveryBox> boxes_;
+  CostModel cost_model_;
+  std::uint64_t rollbacks_ = 0;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_CORE_SNAPSHOT_H_

@@ -1,0 +1,93 @@
+#include "src/ctl/migration.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace xoar {
+
+StatusOr<MigrationResult> LiveMigrate(Platform* source, DomainId guest,
+                                      Platform* destination,
+                                      const MigrationParams& params) {
+  const GuestSpec* spec = source->guest_spec(guest);
+  if (spec == nullptr) {
+    return NotFoundError(
+        StrFormat("dom%u is not a guest on the source host", guest.value()));
+  }
+  const Domain* dom = source->hv().domain(guest);
+  if (dom == nullptr || dom->state() != DomainState::kRunning) {
+    return FailedPreconditionError("only running guests can live-migrate");
+  }
+  if (params.link_bps <= 0 || params.protocol_efficiency <= 0) {
+    return InvalidArgumentError("migration stream rate must be positive");
+  }
+
+  // The stream cannot exceed the source's network data path when the guest
+  // shares it with the migration client.
+  double stream_bps = params.link_bps * params.protocol_efficiency;
+  const double guest_net = source->EffectiveNetRateBps(guest);
+  if (guest_net > 0) {
+    stream_bps = std::min(stream_bps, guest_net * params.protocol_efficiency);
+  }
+  const double stream_bytes_per_sec = stream_bps / 8.0;
+
+  MigrationResult result;
+  const SimTime started_at = source->sim().Now();
+
+  // --- Pre-copy: ship memory while the guest keeps running. ---
+  std::uint64_t to_send = dom->memory_bytes();
+  while (true) {
+    ++result.precopy_rounds;
+    const double round_seconds =
+        static_cast<double>(to_send) / stream_bytes_per_sec;
+    result.bytes_transferred += to_send;
+    source->sim().RunFor(FromSeconds(round_seconds));
+    // While this round was in flight, the guest dirtied more pages (capped
+    // at its whole memory).
+    const std::uint64_t dirtied = std::min<std::uint64_t>(
+        dom->memory_bytes(),
+        static_cast<std::uint64_t>(params.dirty_rate_bytes_per_sec *
+                                   round_seconds));
+    to_send = dirtied;
+    if (to_send <= params.stop_copy_threshold_bytes) {
+      result.converged = true;
+      break;
+    }
+    if (result.precopy_rounds >= params.max_precopy_rounds) {
+      // Dirty rate beats the link: fall back to stop-and-copy of whatever
+      // remains.
+      break;
+    }
+  }
+
+  // --- Stop-and-copy: pause, ship the residue, switch over. ---
+  const double residue_seconds =
+      static_cast<double>(to_send) / stream_bytes_per_sec;
+  result.bytes_transferred += to_send;
+  result.downtime =
+      FromSeconds(residue_seconds) + params.switchover_overhead;
+  source->sim().RunFor(result.downtime);
+
+  // Build the guest on the destination before tearing down the source, so
+  // a destination failure leaves the source intact (the Remus-style safety
+  // rule).
+  GuestSpec dest_spec = *spec;
+  StatusOr<DomainId> dest_guest = destination->CreateGuest(dest_spec);
+  if (!dest_guest.ok()) {
+    return FailedPreconditionError(
+        StrFormat("destination rejected the guest: %s",
+                  dest_guest.status().ToString().c_str()));
+  }
+  result.destination_guest = *dest_guest;
+
+  XOAR_RETURN_IF_ERROR(source->DestroyGuest(guest));
+  result.total_time = source->sim().Now() - started_at;
+  XLOG(kDebug) << "[migrate] dom" << guest.value() << " -> "
+               << destination->name() << " dom" << dest_guest->value()
+               << " in " << ToSeconds(result.total_time) << "s (downtime "
+               << ToMilliseconds(result.downtime) << "ms)";
+  return result;
+}
+
+}  // namespace xoar

@@ -1,0 +1,58 @@
+// Live migration (pre-copy), one of the enterprise features the paper
+// insists disaggregation must preserve (§1, §2.1.1, §2.3.1: NoHype's loss
+// of interposition "is necessary for live migration...").
+//
+// Classic pre-copy: iteratively ship the guest's memory over the network
+// while it keeps running and dirtying pages; when the remaining dirty set
+// is small enough (or the round budget is exhausted), pause the guest,
+// copy the residue, and resume on the destination. On Xoar the transfer
+// runs through the migration client's NetBack path and the destination
+// Builder instantiates the incoming VM — the same privilege rules as any
+// other build.
+#ifndef XOAR_SRC_CTL_MIGRATION_H_
+#define XOAR_SRC_CTL_MIGRATION_H_
+
+#include <cstdint>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/ctl/platform.h"
+
+namespace xoar {
+
+struct MigrationParams {
+  // Effective migration-stream rate; bounded by the source's network path
+  // when the guest has one.
+  double link_bps = 1e9;
+  double protocol_efficiency = 0.9;  // stream framing + page metadata
+  // How fast the running guest dirties memory during pre-copy.
+  double dirty_rate_bytes_per_sec = 50.0 * 1e6;
+  int max_precopy_rounds = 30;
+  // Stop-and-copy once the residue drops below this.
+  std::uint64_t stop_copy_threshold_bytes = 1 * kMiB;
+  // Fixed switch-over cost (device reattach, ARP, resume).
+  SimDuration switchover_overhead = FromMilliseconds(30);
+};
+
+struct MigrationResult {
+  int precopy_rounds = 0;
+  std::uint64_t bytes_transferred = 0;
+  SimDuration total_time = 0;
+  SimDuration downtime = 0;  // guest paused during stop-and-copy
+  DomainId destination_guest;
+  bool converged = false;  // residue fell below threshold before the cap
+};
+
+// Migrates `guest` from `source` to `destination`. Advances the source
+// platform's clock through the pre-copy phase, pauses and destroys the
+// source instance, and rebuilds the guest on the destination through its
+// normal CreateGuest path. Fails without side effects if the destination
+// cannot host the guest.
+StatusOr<MigrationResult> LiveMigrate(Platform* source, DomainId guest,
+                                      Platform* destination,
+                                      const MigrationParams& params = {});
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_CTL_MIGRATION_H_

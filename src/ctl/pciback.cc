@@ -1,0 +1,150 @@
+#include "src/ctl/pciback.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace xoar {
+
+Status PciBackService::InitializeHardware(DomainId grantor) {
+  if (hardware_initialized_) {
+    return AlreadyExistsError("hardware already initialized");
+  }
+  // §5.8: stock Xen hard-codes these to Dom0; Xoar maps them explicitly.
+  XOAR_RETURN_IF_ERROR(
+      hv_->GrantHwCapability(grantor, self_, HwCapability::kPciBusControl));
+  XOAR_RETURN_IF_ERROR(
+      hv_->GrantHwCapability(grantor, self_, HwCapability::kInterruptRouting));
+  XOAR_RETURN_IF_ERROR(
+      hv_->GrantHwCapability(grantor, self_, HwCapability::kIoPorts));
+  XOAR_RETURN_IF_ERROR(
+      hv_->GrantHwCapability(grantor, self_, HwCapability::kMmio));
+  discovered_ = bus_->Enumerate();
+  // Touch each device's config header, as bus enumeration does.
+  for (const auto& device : discovered_) {
+    (void)bus_->ReadConfig(device.slot, 0);
+  }
+  hardware_initialized_ = true;
+  XLOG(kDebug) << "[pciback] enumerated " << discovered_.size()
+               << " PCI devices";
+  return Status::Ok();
+}
+
+void PciBackService::TriggerUdevRules() {
+  if (!udev_rule_) {
+    return;
+  }
+  for (const auto& device : discovered_) {
+    if (device.device_class == PciClass::kNetwork ||
+        device.device_class == PciClass::kStorage) {
+      udev_rule_(device);
+    }
+  }
+}
+
+Status PciBackService::PassThrough(DomainId target, const PciSlot& slot) {
+  if (!hardware_initialized_) {
+    return FailedPreconditionError("hardware not initialized");
+  }
+  XOAR_RETURN_IF_ERROR(hv_->CheckHwCapability(self_, HwCapability::kPciBusControl));
+  return hv_->AssignPciDevice(self_, target, slot);
+}
+
+Status PciBackService::CheckProxyAccess(DomainId caller,
+                                        const PciSlot& slot) const {
+  if (destroyed_) {
+    return UnavailableError("PCIBack has been destroyed");
+  }
+  const Domain* dom = hv_->domain(caller);
+  if (dom == nullptr || !dom->alive()) {
+    return PermissionDeniedError("caller does not exist");
+  }
+  if (caller == self_ || dom->is_control_domain()) {
+    return Status::Ok();
+  }
+  if (dom->pci_devices().count(slot) == 0) {
+    return PermissionDeniedError(
+        StrFormat("dom%u has not been assigned PCI device %s", caller.value(),
+                  slot.ToString().c_str()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::uint32_t> PciBackService::ProxyConfigRead(DomainId caller,
+                                                        const PciSlot& slot,
+                                                        std::uint8_t offset) {
+  XOAR_RETURN_IF_ERROR(CheckProxyAccess(caller, slot));
+  return bus_->ReadConfig(slot, offset);
+}
+
+Status PciBackService::ProxyConfigWrite(DomainId caller, const PciSlot& slot,
+                                        std::uint8_t offset,
+                                        std::uint32_t value) {
+  XOAR_RETURN_IF_ERROR(CheckProxyAccess(caller, slot));
+  return bus_->WriteConfig(slot, offset, value);
+}
+
+StatusOr<std::vector<PciSlot>> PciBackService::CreateVirtualFunctions(
+    const PciSlot& parent, int count) {
+  if (!hardware_initialized_) {
+    return FailedPreconditionError("hardware not initialized");
+  }
+  if (destroyed_) {
+    return UnavailableError("PCIBack has been destroyed");
+  }
+  XOAR_RETURN_IF_ERROR(
+      hv_->CheckHwCapability(self_, HwCapability::kPciBusControl));
+  if (count <= 0 || count > 64) {
+    return InvalidArgumentError("VF count must be in [1, 64]");
+  }
+  XOAR_ASSIGN_OR_RETURN(PciDeviceInfo pf, bus_->Find(parent));
+  if (pf.device_class != PciClass::kNetwork &&
+      pf.device_class != PciClass::kStorage) {
+    return InvalidArgumentError("device class does not support SR-IOV");
+  }
+  int& next_vf = vf_counts_[parent];
+  if (next_vf + count > 64) {
+    return ResourceExhaustedError("physical function out of VFs");
+  }
+  std::vector<PciSlot> vfs;
+  vfs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // VFs appear on a virtual bus well above the physical topology,
+    // numbered sequentially per physical function.
+    PciDeviceInfo vf;
+    vf.slot = PciSlot{parent.pci_domain,
+                      static_cast<std::uint8_t>(parent.bus + 0x40),
+                      static_cast<std::uint8_t>(next_vf++)};
+    vf.vendor_id = pf.vendor_id;
+    vf.device_id = static_cast<std::uint16_t>(pf.device_id + 0x100);
+    vf.device_class = pf.device_class;
+    vf.name = pf.name + StrFormat(" VF%d", vf.slot.slot);
+    XOAR_RETURN_IF_ERROR(bus_->AddDevice(vf));
+    vfs.push_back(vf.slot);
+  }
+  discovered_ = bus_->Enumerate();
+  sriov_active_ = true;
+  XLOG(kDebug) << "[pciback] created " << count << " VFs under "
+               << parent.ToString();
+  return vfs;
+}
+
+Status PciBackService::SelfDestruct() {
+  if (destroyed_) {
+    return FailedPreconditionError("already destroyed");
+  }
+  if (sriov_active_) {
+    // §5.3: "provisioning new virtual devices on the fly requires a
+    // persistent shard to assign interrupts and multiplex accesses to the
+    // PCI configuration space."
+    return FailedPreconditionError(
+        "SR-IOV provisioning requires a persistent PCIBack");
+  }
+  // §5.3: once every driver domain runs, there is no further interaction
+  // with shared PCI state; removing PCIBack removes a privileged component.
+  XOAR_RETURN_IF_ERROR(hv_->DestroyDomain(self_, self_));
+  destroyed_ = true;
+  XLOG(kDebug) << "[pciback] self-destructed after boot";
+  return Status::Ok();
+}
+
+}  // namespace xoar

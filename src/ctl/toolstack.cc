@@ -1,0 +1,178 @@
+#include "src/ctl/toolstack.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace xoar {
+
+Toolstack::Toolstack(Hypervisor* hv, XenStoreService* xs, Simulator* sim,
+                     DomainId self, Builder* builder)
+    : hv_(hv), xs_(xs), sim_(sim), self_(self), builder_(builder) {}
+
+bool Toolstack::ShardTagCompatible(DomainId shard,
+                                   const std::string& tag) const {
+  auto it = shard_tags_.find(shard);
+  if (it == shard_tags_.end()) {
+    return true;  // shard serves nobody yet
+  }
+  for (const auto& [existing_tag, count] : it->second) {
+    if (count > 0 && existing_tag != tag) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename BackendT>
+StatusOr<BackendT*> Toolstack::PickBackend(
+    const std::vector<BackendT*>& candidates, const std::string& tag,
+    const char* kind) const {
+  for (BackendT* backend : candidates) {
+    if (ShardTagCompatible(backend->self(), tag)) {
+      return backend;
+    }
+  }
+  // §3.2.1: "In case there is a lack of appropriate shards, VM creation
+  // fails rather than forcing the guest VM into an undesired sharing
+  // configuration."
+  return ResourceExhaustedError(
+      StrFormat("no %s shard compatible with constraint group '%s'", kind,
+                tag.c_str()));
+}
+
+StatusOr<DomainId> Toolstack::CreateGuest(const GuestSpec& spec) {
+  if (memory_quota_mb_ != 0 &&
+      guest_memory_in_use_mb() + spec.memory_mb > memory_quota_mb_) {
+    return ResourceExhaustedError(
+        StrFormat("toolstack dom%u memory quota exceeded (%llu MB in use, "
+                  "quota %llu MB)",
+                  self_.value(),
+                  static_cast<unsigned long long>(guest_memory_in_use_mb()),
+                  static_cast<unsigned long long>(memory_quota_mb_)));
+  }
+
+  // Select compliant shards *before* building, so a constraint failure does
+  // not leave a half-created guest behind.
+  NetBack* netback = nullptr;
+  BlkBack* blkback = nullptr;
+  if (spec.with_net) {
+    XOAR_ASSIGN_OR_RETURN(netback,
+                          PickBackend(netbacks_, spec.constraint_tag, "NetBack"));
+  }
+  if (spec.with_disk) {
+    XOAR_ASSIGN_OR_RETURN(blkback,
+                          PickBackend(blkbacks_, spec.constraint_tag, "BlkBack"));
+  }
+
+  BuildRequest request;
+  request.config.name = spec.name;
+  request.config.memory_mb = spec.memory_mb;
+  request.config.vcpus = spec.vcpus;
+  request.config.os =
+      spec.hvm ? OsProfile::kHvmGuest : OsProfile::kGuestLinux;
+  request.config.constraint_tag = spec.constraint_tag;
+  request.image = spec.hvm ? "guest-hvm" : spec.image;
+  request.allow_bootloader = spec.allow_bootloader;
+  XOAR_ASSIGN_OR_RETURN(DomainId guest, builder_->BuildVm(self_, request));
+
+  GuestRecord record;
+  record.id = guest;
+  record.spec = spec;
+
+  if (spec.with_net) {
+    if (authorize_shard_use_) {
+      XOAR_RETURN_IF_ERROR(
+          hv_->AuthorizeShardUse(self_, guest, netback->self()));
+    }
+    XOAR_RETURN_IF_ERROR(netback->AttachVif(guest));
+    record.netback = netback;
+    record.netfront = std::make_unique<NetFront>(hv_, xs_, sim_, guest,
+                                                 netback->self());
+    XOAR_RETURN_IF_ERROR(record.netfront->Connect());
+    shard_tags_[netback->self()][spec.constraint_tag] += 1;
+  }
+  if (spec.with_disk) {
+    if (authorize_shard_use_) {
+      XOAR_RETURN_IF_ERROR(
+          hv_->AuthorizeShardUse(self_, guest, blkback->self()));
+    }
+    // §5.4: disk images live in BlkBack; the Toolstack proxies requests to
+    // the daemon there instead of mounting files itself.
+    const std::string image_name = StrFormat("vm-%u-disk0", guest.value());
+    XOAR_RETURN_IF_ERROR(
+        blkback->CreateImage(image_name, spec.disk_image_mb * kMiB));
+    XOAR_RETURN_IF_ERROR(blkback->BindImage(guest, image_name));
+    record.blkback = blkback;
+    record.blkfront = std::make_unique<BlkFront>(hv_, xs_, sim_, guest,
+                                                 blkback->self());
+    XOAR_RETURN_IF_ERROR(record.blkfront->Connect());
+    shard_tags_[blkback->self()][spec.constraint_tag] += 1;
+  }
+  if (spec.hvm) {
+    XOAR_ASSIGN_OR_RETURN(record.qemu_domain,
+                          builder_->BuildEmulatorDomain(self_, guest));
+    record.emulator =
+        std::make_unique<DeviceEmulator>(hv_, record.qemu_domain, guest);
+  }
+
+  guests_.emplace(guest, std::move(record));
+  XLOG(kDebug) << "[toolstack dom" << self_.value() << "] created guest dom"
+               << guest.value();
+  return guest;
+}
+
+Status Toolstack::DestroyGuest(DomainId guest) {
+  auto it = guests_.find(guest);
+  if (it == guests_.end()) {
+    return NotFoundError(
+        StrFormat("dom%u is not managed by this toolstack", guest.value()));
+  }
+  GuestRecord& record = it->second;
+  if (record.netback != nullptr) {
+    auto& tags = shard_tags_[record.netback->self()];
+    tags[record.spec.constraint_tag] -= 1;
+  }
+  if (record.blkback != nullptr) {
+    auto& tags = shard_tags_[record.blkback->self()];
+    tags[record.spec.constraint_tag] -= 1;
+  }
+  if (record.qemu_domain.valid()) {
+    (void)hv_->DestroyDomain(self_, record.qemu_domain);
+  }
+  xs_->Disconnect(guest);
+  XOAR_RETURN_IF_ERROR(hv_->DestroyDomain(self_, guest));
+  guests_.erase(it);
+  return Status::Ok();
+}
+
+Status Toolstack::PauseGuest(DomainId guest) {
+  return hv_->PauseDomain(self_, guest);
+}
+
+Status Toolstack::UnpauseGuest(DomainId guest) {
+  return hv_->UnpauseDomain(self_, guest);
+}
+
+Toolstack::GuestRecord* Toolstack::guest(DomainId id) {
+  auto it = guests_.find(id);
+  return it == guests_.end() ? nullptr : &it->second;
+}
+
+std::vector<DomainId> Toolstack::Guests() const {
+  std::vector<DomainId> out;
+  out.reserve(guests_.size());
+  for (const auto& [id, record] : guests_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::uint64_t Toolstack::guest_memory_in_use_mb() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, record] : guests_) {
+    total += record.spec.memory_mb;
+  }
+  return total;
+}
+
+}  // namespace xoar

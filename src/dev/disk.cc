@@ -1,0 +1,47 @@
+#include "src/dev/disk.h"
+
+#include <cstdlib>
+
+namespace xoar {
+
+SimDuration DiskDevice::ServiceTime(std::uint64_t offset,
+                                    std::uint32_t bytes) {
+  SimDuration t = 0;
+  const std::uint64_t distance = offset > head_position_
+                                     ? offset - head_position_
+                                     : head_position_ - offset;
+  if (distance > geometry_.sequential_window) {
+    // Scale the seek with distance (short seeks are cheaper), capped at the
+    // average for a full-stroke-ish move.
+    const double frac =
+        std::min(1.0, static_cast<double>(distance) /
+                          (static_cast<double>(geometry_.capacity_bytes) / 3));
+    t += static_cast<SimDuration>(
+             static_cast<double>(geometry_.average_seek) * (0.3 + 0.7 * frac)) +
+         geometry_.rotational_latency;
+    ++seek_count_;
+  }
+  t += static_cast<SimDuration>(static_cast<double>(bytes) /
+                                geometry_.sequential_rate *
+                                static_cast<double>(kSecond));
+  return t;
+}
+
+void DiskDevice::SubmitIo(std::uint64_t offset, std::uint32_t bytes,
+                          bool is_write, IoDone done) {
+  const SimTime start = std::max(sim_->Now(), busy_until_);
+  const SimDuration service = ServiceTime(offset, bytes);
+  busy_until_ = start + service;
+  head_position_ = offset + bytes;
+  ++io_count_;
+  if (is_write) {
+    bytes_written_ += bytes;
+  } else {
+    bytes_read_ += bytes;
+  }
+  if (done) {
+    sim_->ScheduleAt(busy_until_, std::move(done));
+  }
+}
+
+}  // namespace xoar

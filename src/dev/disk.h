@@ -1,0 +1,66 @@
+// SATA disk model (the paper's WD3200AAKS, 7200 RPM).
+//
+// FIFO service of I/O requests with a positional cost model: sequential
+// access streams at the platter rate; a discontiguous request first pays
+// seek plus rotational latency. This is enough to make Postmark-style
+// small-file workloads behave qualitatively like the paper's testbed.
+#ifndef XOAR_SRC_DEV_DISK_H_
+#define XOAR_SRC_DEV_DISK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/base/units.h"
+#include "src/hv/pci_slot.h"
+#include "src/sim/simulator.h"
+
+namespace xoar {
+
+struct DiskGeometry {
+  std::uint64_t capacity_bytes = 320 * 1000ULL * 1000ULL * 1000ULL;
+  double sequential_rate = 90.0 * 1e6;    // bytes/second at the platter
+  SimDuration average_seek = FromMilliseconds(8.9);
+  SimDuration rotational_latency = FromMilliseconds(4.2);  // half-rotation
+  // Requests within this distance of the previous request's end are treated
+  // as sequential (track buffer / readahead).
+  std::uint64_t sequential_window = 2 * kMiB;
+};
+
+class DiskDevice {
+ public:
+  using IoDone = std::function<void()>;
+
+  DiskDevice(Simulator* sim, PciSlot slot, DiskGeometry geometry = {})
+      : sim_(sim), slot_(slot), geometry_(geometry) {}
+
+  PciSlot slot() const { return slot_; }
+  const DiskGeometry& geometry() const { return geometry_; }
+
+  // Submits an I/O; `done` fires at completion. Requests are serviced in
+  // submission order.
+  void SubmitIo(std::uint64_t offset, std::uint32_t bytes, bool is_write,
+                IoDone done);
+
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t io_count() const { return io_count_; }
+  std::uint64_t seek_count() const { return seek_count_; }
+
+ private:
+  SimDuration ServiceTime(std::uint64_t offset, std::uint32_t bytes);
+
+  Simulator* sim_;
+  PciSlot slot_;
+  DiskGeometry geometry_;
+  SimTime busy_until_ = 0;
+  std::uint64_t head_position_ = 0;  // byte offset after the last request
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t io_count_ = 0;
+  std::uint64_t seek_count_ = 0;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_DEV_DISK_H_

@@ -1,0 +1,30 @@
+#include "src/dev/nic.h"
+
+namespace xoar {
+
+void NicDevice::Transmit(std::uint32_t bytes, TxDone done) {
+  if (!link_up_) {
+    ++dropped_frames_;
+    return;
+  }
+  const SimTime start = std::max(sim_->Now(), tx_busy_until_);
+  const SimDuration wire_time = TransferTime(bytes, link_rate_);
+  tx_busy_until_ = start + wire_time;
+  tx_bytes_ += bytes;
+  ++tx_frames_;
+  if (done) {
+    sim_->ScheduleAt(tx_busy_until_, std::move(done));
+  }
+}
+
+void NicDevice::DeliverFrame(std::uint32_t bytes) {
+  if (!link_up_ || !rx_handler_) {
+    ++dropped_frames_;
+    return;
+  }
+  rx_bytes_ += bytes;
+  ++rx_frames_;
+  rx_handler_(bytes);
+}
+
+}  // namespace xoar

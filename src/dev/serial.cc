@@ -1,0 +1,27 @@
+#include "src/dev/serial.h"
+
+namespace xoar {
+
+void SerialDevice::Write(std::string_view text) {
+  transcript_.append(text);
+  bytes_written_ += text.size();
+  const SimTime start = std::max(sim_->Now(), busy_until_);
+  busy_until_ = start + static_cast<SimDuration>(
+                            static_cast<double>(text.size()) / rate_ *
+                            static_cast<double>(kSecond));
+}
+
+void SerialDevice::InjectInput(std::string_view text) {
+  input_.append(text);
+  if (input_notifier_) {
+    input_notifier_();
+  }
+}
+
+std::string SerialDevice::DrainInput() {
+  std::string out;
+  out.swap(input_);
+  return out;
+}
+
+}  // namespace xoar

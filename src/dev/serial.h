@@ -1,0 +1,59 @@
+// Serial console device (§5.5).
+//
+// The hypervisor retains control of the serial controller; the holder of the
+// kSerialConsole capability receives console input via the console VIRQ and
+// writes output through I/O ports. Output is captured into a transcript so
+// tests and examples can assert on what reached the physical console.
+#ifndef XOAR_SRC_DEV_SERIAL_H_
+#define XOAR_SRC_DEV_SERIAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/sim/simulator.h"
+
+namespace xoar {
+
+class SerialDevice {
+ public:
+  // 115200 baud, 8N1: ~11.5 KB/s of character throughput.
+  explicit SerialDevice(Simulator* sim, double bytes_per_second = 11520.0)
+      : sim_(sim), rate_(bytes_per_second) {}
+
+  // Output path (console writes from the console owner).
+  void Write(std::string_view text);
+
+  // Input path: characters typed at the physical console; the owner drains
+  // them after the console VIRQ fires.
+  void InjectInput(std::string_view text);
+  std::string DrainInput();
+  bool HasInput() const { return !input_.empty(); }
+
+  // Fires when input arrives (wired to Hypervisor::RaiseVirq by the owner).
+  void set_input_notifier(std::function<void()> fn) {
+    input_notifier_ = std::move(fn);
+  }
+
+  const std::string& transcript() const { return transcript_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  // Simulated time at which all queued output has drained.
+  SimTime output_drained_at() const { return busy_until_; }
+
+ private:
+  Simulator* sim_;
+  double rate_;
+  SimTime busy_until_ = 0;
+  std::string transcript_;
+  std::string input_;
+  std::function<void()> input_notifier_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_DEV_SERIAL_H_

@@ -1,0 +1,424 @@
+#include "src/drv/blk.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/drv/xenbus.h"
+
+namespace xoar {
+
+namespace {
+// Largest single ring request, in sectors (matches blkif's 11-page segment
+// limit closely enough: 64 sectors = 32 KiB).
+constexpr std::uint32_t kMaxSectorsPerRequest = 64;
+}  // namespace
+
+// --- BlkBack -----------------------------------------------------------------
+
+BlkBack::BlkBack(Hypervisor* hv, XenStoreService* xs, Simulator* sim,
+                 DomainId self, DiskDevice* disk)
+    : hv_(hv), xs_(xs), sim_(sim), self_(self), disk_(disk) {}
+
+Status BlkBack::Initialize() {
+  XOAR_RETURN_IF_ERROR(xs_->Mkdir(self_, BackendRoot(self_, kVbdType)));
+  available_ = true;
+  return Status::Ok();
+}
+
+Status BlkBack::CreateImage(const std::string& name, std::uint64_t bytes) {
+  if (images_.count(name) > 0) {
+    return AlreadyExistsError(StrFormat("image %s exists", name.c_str()));
+  }
+  if (next_image_offset_ + bytes > disk_->geometry().capacity_bytes) {
+    return ResourceExhaustedError("disk full");
+  }
+  images_.emplace(name, std::make_pair(next_image_offset_, bytes));
+  next_image_offset_ += bytes;
+  return Status::Ok();
+}
+
+StatusOr<std::uint64_t> BlkBack::ImageSize(const std::string& name) const {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    return NotFoundError(StrFormat("no image %s", name.c_str()));
+  }
+  return it->second.second;
+}
+
+Status BlkBack::BindImage(DomainId guest, const std::string& image) {
+  auto img = images_.find(image);
+  if (img == images_.end()) {
+    return NotFoundError(StrFormat("no image %s", image.c_str()));
+  }
+  if (vbds_.count(guest) > 0) {
+    return AlreadyExistsError(
+        StrFormat("dom%u already has a VBD on this backend", guest.value()));
+  }
+  Vbd vbd;
+  vbd.guest = guest;
+  vbd.image = image;
+  vbd.base_offset = img->second.first;
+  vbd.size_bytes = img->second.second;
+  vbds_.emplace(guest, vbd);
+
+  // Advertise the backend half and let the guest read our state.
+  const std::string back_dir = BackendDir(self_, guest, kVbdType);
+  XOAR_RETURN_IF_ERROR(xs_->Write(self_, back_dir + "/frontend-id",
+                                  StrFormat("%u", guest.value())));
+  XOAR_RETURN_IF_ERROR(
+      xs_->Write(self_, back_dir + "/state",
+                 XenbusStateString(XenbusState::kInitWait)));
+  XsNodePerms perms;
+  perms.owner = self_;
+  perms.acl[guest] = XsPerm::kRead;
+  XOAR_RETURN_IF_ERROR(xs_->SetPerms(self_, back_dir + "/state", perms));
+
+  // Watch the frontend's state node; fires immediately (covers the case the
+  // frontend published first) and again on every state change.
+  const std::string front_state = FrontendDir(guest, kVbdType) + "/state";
+  return xs_->Watch(self_, front_state,
+                    StrFormat("blkback-%u", guest.value()),
+                    [this, guest](const XsWatchEvent&) {
+                      OnFrontendStateChange(guest);
+                    });
+}
+
+void BlkBack::OnFrontendStateChange(DomainId guest) {
+  auto it = vbds_.find(guest);
+  if (it == vbds_.end() || !available_) {
+    return;
+  }
+  Vbd& vbd = it->second;
+  StatusOr<std::string> state =
+      xs_->Read(self_, FrontendDir(guest, kVbdType) + "/state");
+  if (!state.ok()) {
+    return;
+  }
+  const XenbusState front_state = XenbusStateFromString(*state);
+  if (front_state == XenbusState::kInitialised && !vbd.connected) {
+    ConnectVbd(vbd);
+  }
+}
+
+void BlkBack::ConnectVbd(Vbd& vbd) {
+  const std::string front_dir = FrontendDir(vbd.guest, kVbdType);
+  StatusOr<std::string> gref_str = xs_->Read(self_, front_dir + "/ring-ref");
+  StatusOr<std::string> port_str =
+      xs_->Read(self_, front_dir + "/event-channel");
+  if (!gref_str.ok() || !port_str.ok()) {
+    return;
+  }
+  const GrantRef gref(
+      static_cast<std::uint32_t>(std::stoul(*gref_str)));
+  const EvtchnPort front_port(
+      static_cast<std::uint32_t>(std::stoul(*port_str)));
+
+  StatusOr<MappedPage> page = hv_->MapGrant(self_, vbd.guest, gref);
+  if (!page.ok()) {
+    XLOG(kWarning) << "[blkback] map grant failed: " << page.status();
+    return;
+  }
+  StatusOr<EvtchnPort> port =
+      hv_->EvtchnBindInterdomain(self_, vbd.guest, front_port);
+  if (!port.ok()) {
+    XLOG(kWarning) << "[blkback] bind evtchn failed: " << port.status();
+    return;
+  }
+  vbd.ring_gref = gref;
+  vbd.ring_page = page->data;
+  vbd.port = *port;
+  vbd.connected = true;
+  const DomainId guest = vbd.guest;
+  (void)hv_->EvtchnSetHandler(self_, vbd.port,
+                              [this, guest] { ServiceRing(guest); });
+  (void)xs_->Write(self_, BackendDir(self_, guest, kVbdType) + "/state",
+                   XenbusStateString(XenbusState::kConnected));
+  XLOG(kDebug) << "[blkback] VBD connected for dom" << guest.value();
+  // Drain anything the frontend pushed before we connected.
+  ServiceRing(guest);
+}
+
+void BlkBack::DisconnectVbd(Vbd& vbd) {
+  if (!vbd.connected) {
+    return;
+  }
+  vbd.connected = false;
+  (void)hv_->UnmapGrant(self_, vbd.guest, vbd.ring_gref);
+  (void)hv_->EvtchnClose(self_, vbd.port);
+  vbd.ring_page = nullptr;
+}
+
+void BlkBack::ServiceRing(DomainId guest) {
+  auto it = vbds_.find(guest);
+  if (it == vbds_.end() || !it->second.connected || !available_) {
+    return;
+  }
+  Vbd& vbd = it->second;
+  BlkRing ring = BlkRing::Attach(vbd.ring_page);
+  while (auto req = ring.PopRequest()) {
+    const BlkRingRequest request = *req;
+    const std::uint64_t byte_offset =
+        vbd.base_offset + request.sector * kSectorSize;
+    const std::uint64_t byte_len =
+        static_cast<std::uint64_t>(request.sector_count) * kSectorSize;
+    std::int8_t status = 0;
+    if (request.sector * kSectorSize + byte_len > vbd.size_bytes) {
+      status = -1;  // out of range for this VBD
+    }
+    ++requests_served_;
+    const SimDuration overhead = static_cast<SimDuration>(
+        static_cast<double>(kBlkBackPerOpOverhead) * overhead_multiplier_);
+    if (status != 0) {
+      // Fail fast without touching the disk.
+      sim_->ScheduleAfter(overhead, [this, guest, request, status] {
+        auto vbd_it = vbds_.find(guest);
+        if (vbd_it == vbds_.end() || !vbd_it->second.connected) {
+          return;
+        }
+        BlkRing r = BlkRing::Attach(vbd_it->second.ring_page);
+        r.PushResponse(BlkRingResponse{request.id, status});
+        (void)hv_->EvtchnSend(self_, vbd_it->second.port);
+      });
+      continue;
+    }
+    bytes_moved_ += byte_len;
+    // Demux overhead, then the physical I/O, then the response.
+    sim_->ScheduleAfter(overhead, [this, guest, request, byte_offset,
+                                   byte_len] {
+      disk_->SubmitIo(byte_offset, static_cast<std::uint32_t>(byte_len),
+                      request.is_write != 0, [this, guest, request] {
+                        auto vbd_it = vbds_.find(guest);
+                        if (vbd_it == vbds_.end() ||
+                            !vbd_it->second.connected || !available_) {
+                          return;  // completion lost; frontend retransmits
+                        }
+                        BlkRing r = BlkRing::Attach(vbd_it->second.ring_page);
+                        if (r.PushResponse(BlkRingResponse{request.id, 0})) {
+                          (void)hv_->EvtchnSend(self_, vbd_it->second.port);
+                        }
+                      });
+    });
+  }
+}
+
+void BlkBack::Suspend() {
+  available_ = false;
+  for (auto& [guest, vbd] : vbds_) {
+    DisconnectVbd(vbd);
+    (void)xs_->Write(self_, BackendDir(self_, guest, kVbdType) + "/state",
+                     XenbusStateString(XenbusState::kClosing));
+  }
+}
+
+void BlkBack::Resume() {
+  available_ = true;
+  // Re-advertise; frontends watching our state renegotiate from scratch.
+  for (auto& [guest, vbd] : vbds_) {
+    (void)xs_->Write(self_, BackendDir(self_, guest, kVbdType) + "/state",
+                     XenbusStateString(XenbusState::kInitWait));
+  }
+}
+
+bool BlkBack::IsVbdConnected(DomainId guest) const {
+  const Domain* self = hv_->domain(self_);
+  if (self == nullptr || self->state() != DomainState::kRunning) {
+    return false;
+  }
+  auto it = vbds_.find(guest);
+  return it != vbds_.end() && it->second.connected && available_;
+}
+
+// --- BlkFront ----------------------------------------------------------------
+
+BlkFront::BlkFront(Hypervisor* hv, XenStoreService* xs, Simulator* sim,
+                   DomainId self, DomainId backend)
+    : hv_(hv), xs_(xs), sim_(sim), self_(self), backend_(backend) {}
+
+Status BlkFront::Connect() {
+  if (handshake_started_) {
+    return AlreadyExistsError("frontend handshake already started");
+  }
+  handshake_started_ = true;
+  // The ring lives in one page of guest memory, reused across reconnects.
+  XOAR_ASSIGN_OR_RETURN(ring_pfn_, hv_->memory().AllocatePages(self_, 1));
+  ring_page_ = hv_->memory().PageData(ring_pfn_);
+  Republish();
+  // Watch the backend state: reconnect when a microrebooted backend
+  // re-advertises, mark connected when it reports Connected.
+  const std::string back_state =
+      BackendDir(backend_, self_, kVbdType) + "/state";
+  return xs_->Watch(self_, back_state, "blkfront",
+                    [this](const XsWatchEvent&) { OnBackendStateChange(); });
+}
+
+void BlkFront::Republish() {
+  // Retire the previous generation's grant (ignore failure: the backend may
+  // still hold a dangling mapping if it crashed rather than suspended).
+  if (ring_gref_.valid()) {
+    (void)hv_->EndGrantAccess(self_, ring_gref_);
+    ring_gref_ = GrantRef::Invalid();
+  }
+  awaiting_connect_ = true;
+  // Fresh grant + event channel for this connection generation.
+  StatusOr<GrantRef> gref =
+      hv_->GrantAccess(self_, backend_, ring_pfn_, /*writable=*/true);
+  if (!gref.ok()) {
+    XLOG(kWarning) << "[blkfront] grant failed: " << gref.status();
+    return;
+  }
+  StatusOr<EvtchnPort> port = hv_->EvtchnAllocUnbound(self_, backend_);
+  if (!port.ok()) {
+    XLOG(kWarning) << "[blkfront] evtchn alloc failed: " << port.status();
+    return;
+  }
+  ring_gref_ = *gref;
+  port_ = *port;
+  BlkRing::Create(ring_page_);  // reset indices for the new generation
+  (void)hv_->EvtchnSetHandler(self_, port_, [this] { OnResponse(); });
+
+  const std::string front_dir = FrontendDir(self_, kVbdType);
+  (void)xs_->Write(self_, front_dir + "/backend-id",
+                   StrFormat("%u", backend_.value()));
+  (void)xs_->Write(self_, front_dir + "/ring-ref",
+                   StrFormat("%u", ring_gref_.value()));
+  (void)xs_->Write(self_, front_dir + "/event-channel",
+                   StrFormat("%u", port_.value()));
+  // Give the backend read access to our device directory.
+  for (const char* leaf : {"/backend-id", "/ring-ref", "/event-channel"}) {
+    XsNodePerms perms;
+    perms.owner = self_;
+    perms.acl[backend_] = XsPerm::kRead;
+    (void)xs_->SetPerms(self_, front_dir + leaf, perms);
+  }
+  (void)xs_->Write(self_, front_dir + "/state",
+                   XenbusStateString(XenbusState::kInitialised));
+  XsNodePerms state_perms;
+  state_perms.owner = self_;
+  state_perms.acl[backend_] = XsPerm::kRead;
+  (void)xs_->SetPerms(self_, front_dir + "/state", state_perms);
+}
+
+void BlkFront::OnBackendStateChange() {
+  StatusOr<std::string> state =
+      xs_->Read(self_, BackendDir(backend_, self_, kVbdType) + "/state");
+  if (!state.ok()) {
+    return;
+  }
+  switch (XenbusStateFromString(*state)) {
+    case XenbusState::kConnected: {
+      if (connected_) {
+        break;
+      }
+      connected_ = true;
+      awaiting_connect_ = false;
+      // Retransmit everything that was in flight when the backend went
+      // down, then drain the queue.
+      if (!outstanding_.empty()) {
+        std::vector<PendingIo> retry;
+        retry.reserve(outstanding_.size());
+        for (auto& [id, io] : outstanding_) {
+          retry.push_back(std::move(io));
+        }
+        outstanding_.clear();
+        retransmits_ += retry.size();
+        for (auto it = retry.rbegin(); it != retry.rend(); ++it) {
+          queue_.push_front(std::move(*it));
+        }
+      }
+      PumpQueue();
+      break;
+    }
+    case XenbusState::kClosing:
+      connected_ = false;
+      break;
+    case XenbusState::kInitWait:
+      // Backend (re-)advertised. Republish unless our current generation is
+      // already awaiting its Connected ack — the immediate watch fire at
+      // registration would otherwise double-publish.
+      if (connected_ || (handshake_started_ && !awaiting_connect_)) {
+        connected_ = false;
+        Republish();
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void BlkFront::SubmitIo(std::uint64_t sector, std::uint32_t sector_count,
+                        bool is_write, IoDone done) {
+  while (sector_count > 0) {
+    const std::uint32_t chunk = std::min(sector_count, kMaxSectorsPerRequest);
+    PendingIo io;
+    io.request = BlkRingRequest{next_id_++, sector, chunk,
+                                static_cast<std::uint8_t>(is_write ? 1 : 0)};
+    // Only the final chunk carries the completion callback.
+    if (chunk == sector_count) {
+      io.done = std::move(done);
+    }
+    queue_.push_back(std::move(io));
+    sector += chunk;
+    sector_count -= chunk;
+  }
+  PumpQueue();
+}
+
+void BlkFront::ReadBytes(std::uint64_t offset, std::uint64_t bytes,
+                         IoDone done) {
+  const std::uint64_t first = offset / kSectorSize;
+  const std::uint64_t last = (offset + bytes + kSectorSize - 1) / kSectorSize;
+  SubmitIo(first, static_cast<std::uint32_t>(last - first), /*is_write=*/false,
+           std::move(done));
+}
+
+void BlkFront::WriteBytes(std::uint64_t offset, std::uint64_t bytes,
+                          IoDone done) {
+  const std::uint64_t first = offset / kSectorSize;
+  const std::uint64_t last = (offset + bytes + kSectorSize - 1) / kSectorSize;
+  SubmitIo(first, static_cast<std::uint32_t>(last - first), /*is_write=*/true,
+           std::move(done));
+}
+
+void BlkFront::PumpQueue() {
+  if (!connected_ || ring_page_ == nullptr) {
+    return;
+  }
+  BlkRing ring = BlkRing::Attach(ring_page_);
+  bool pushed = false;
+  while (!queue_.empty() && !ring.FullRequests()) {
+    PendingIo io = std::move(queue_.front());
+    queue_.pop_front();
+    const std::uint64_t id = io.request.id;
+    ring.PushRequest(io.request);
+    outstanding_.emplace(id, std::move(io));
+    pushed = true;
+  }
+  if (pushed) {
+    (void)hv_->EvtchnSend(self_, port_);
+  }
+}
+
+void BlkFront::OnResponse() {
+  if (ring_page_ == nullptr) {
+    return;
+  }
+  BlkRing ring = BlkRing::Attach(ring_page_);
+  while (auto rsp = ring.PopResponse()) {
+    auto it = outstanding_.find(rsp->id);
+    if (it == outstanding_.end()) {
+      continue;  // stale response from a previous connection generation
+    }
+    PendingIo io = std::move(it->second);
+    outstanding_.erase(it);
+    ++completed_ios_;
+    if (io.done) {
+      io.done(rsp->status == 0
+                  ? Status::Ok()
+                  : InternalError("block I/O failed at backend"));
+    }
+  }
+  PumpQueue();
+}
+
+}  // namespace xoar

@@ -1,0 +1,184 @@
+// Paravirtual block split driver (§4.5.1, §5.4).
+//
+// BlkFront runs in a guest and exposes an asynchronous sector-I/O API; it
+// communicates with BlkBack over a grant-mapped I/O ring plus an event
+// channel, negotiated via XenStore per the XenBus protocol. BlkBack hosts
+// the physical disk driver: it virtualizes one disk controller into
+// per-guest virtual block devices (VBDs), each backed by a byte range of
+// the disk (a disk image). BlkBack also runs the small proxy daemon the
+// Toolstack uses to create/inspect images after the Toolstack was split
+// out of the driver domain (§5.4).
+//
+// BlkBack is restartable: Suspend() drops its device state and mappings
+// (frames in flight are lost); Resume() re-advertises the backend, and
+// frontends renegotiate through XenStore, retransmitting outstanding
+// requests — the crash-only recovery loop of §3.3.
+#ifndef XOAR_SRC_DRV_BLK_H_
+#define XOAR_SRC_DRV_BLK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/dev/disk.h"
+#include "src/hv/hypervisor.h"
+#include "src/hv/io_ring.h"
+#include "src/sim/simulator.h"
+#include "src/xs/service.h"
+
+namespace xoar {
+
+// One 512-byte-sector I/O request as carried on the ring.
+struct BlkRingRequest {
+  std::uint64_t id;
+  std::uint64_t sector;
+  std::uint32_t sector_count;
+  std::uint8_t is_write;
+};
+
+struct BlkRingResponse {
+  std::uint64_t id;
+  std::int8_t status;  // 0 = OK
+};
+
+using BlkRing = IoRing<BlkRingRequest, BlkRingResponse, 32>;
+
+constexpr std::uint32_t kSectorSize = 512;
+
+// Per-request backend CPU overhead (request demux + completion).
+constexpr SimDuration kBlkBackPerOpOverhead = 15 * kMicrosecond;
+
+class BlkBack {
+ public:
+  BlkBack(Hypervisor* hv, XenStoreService* xs, Simulator* sim, DomainId self,
+          DiskDevice* disk);
+
+  // Registers the backend root and its XenStore watch.
+  Status Initialize();
+
+  DomainId self() const { return self_; }
+  bool available() const { return available_; }
+
+  // --- Disk image proxy (the §5.4 daemon) ---
+
+  // Carves a named image out of the disk; the Toolstack calls this instead
+  // of manipulating files itself.
+  Status CreateImage(const std::string& name, std::uint64_t bytes);
+  StatusOr<std::uint64_t> ImageSize(const std::string& name) const;
+
+  // Binds a guest's VBD to an image. Called by the Toolstack when attaching
+  // a virtual disk; the data-path handshake then runs over XenStore.
+  Status BindImage(DomainId guest, const std::string& image);
+
+  // --- Microreboot hooks (driven by the restart engine in src/core) ---
+
+  void Suspend();
+  void Resume();
+
+  bool IsVbdConnected(DomainId guest) const;
+
+  // Slowdown multiplier applied to per-op overhead (control-VM co-location
+  // interference; 1.0 = isolated driver domain).
+  void set_overhead_multiplier(double m) { overhead_multiplier_ = m; }
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+ private:
+  struct Vbd {
+    DomainId guest;
+    std::string image;
+    std::uint64_t base_offset = 0;
+    std::uint64_t size_bytes = 0;
+    bool connected = false;
+    GrantRef ring_gref;
+    std::byte* ring_page = nullptr;
+    EvtchnPort port;
+  };
+
+  void OnFrontendStateChange(DomainId guest);
+  void ConnectVbd(Vbd& vbd);
+  void DisconnectVbd(Vbd& vbd);
+  void ServiceRing(DomainId guest);
+
+  Hypervisor* hv_;
+  XenStoreService* xs_;
+  Simulator* sim_;
+  DomainId self_;
+  DiskDevice* disk_;
+  bool available_ = false;
+  double overhead_multiplier_ = 1.0;
+  std::map<DomainId, Vbd> vbds_;
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+      images_;  // name -> (offset, size)
+  std::uint64_t next_image_offset_ = 64 * kMiB;  // leave room for metadata
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+class BlkFront {
+ public:
+  using IoDone = std::function<void(Status)>;
+
+  BlkFront(Hypervisor* hv, XenStoreService* xs, Simulator* sim, DomainId self,
+           DomainId backend);
+
+  // Runs the frontend side of the XenBus handshake. Also watches the
+  // backend state so a microrebooted backend triggers renegotiation.
+  Status Connect();
+
+  bool connected() const { return connected_; }
+  DomainId backend() const { return backend_; }
+
+  // Asynchronous sector I/O. While disconnected (backend rebooting),
+  // requests queue and are retransmitted after reconnection.
+  void SubmitIo(std::uint64_t sector, std::uint32_t sector_count,
+                bool is_write, IoDone done);
+
+  // Convenience: byte-addressed I/O rounded to sectors.
+  void ReadBytes(std::uint64_t offset, std::uint64_t bytes, IoDone done);
+  void WriteBytes(std::uint64_t offset, std::uint64_t bytes, IoDone done);
+
+  std::uint64_t completed_ios() const { return completed_ios_; }
+  std::uint64_t retransmitted_ios() const { return retransmits_; }
+  std::size_t outstanding_ios() const { return outstanding_.size(); }
+
+ private:
+  struct PendingIo {
+    BlkRingRequest request;
+    IoDone done;
+  };
+
+  void Republish();
+  void OnBackendStateChange();
+  void PumpQueue();
+  void OnResponse();
+
+  Hypervisor* hv_;
+  XenStoreService* xs_;
+  Simulator* sim_;
+  DomainId self_;
+  DomainId backend_;
+  bool connected_ = false;
+  bool handshake_started_ = false;
+  bool awaiting_connect_ = false;
+  Pfn ring_pfn_;
+  std::byte* ring_page_ = nullptr;
+  GrantRef ring_gref_;
+  EvtchnPort port_;
+  std::uint64_t next_id_ = 1;
+  std::deque<PendingIo> queue_;                  // not yet on the ring
+  std::map<std::uint64_t, PendingIo> outstanding_;  // on the ring, unanswered
+  std::uint64_t completed_ios_ = 0;
+  std::uint64_t retransmits_ = 0;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_DRV_BLK_H_

@@ -1,0 +1,373 @@
+#include "src/drv/net.h"
+
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/drv/xenbus.h"
+
+namespace xoar {
+
+// --- NetBack -----------------------------------------------------------------
+
+NetBack::NetBack(Hypervisor* hv, XenStoreService* xs, Simulator* sim,
+                 DomainId self, NicDevice* nic)
+    : hv_(hv), xs_(xs), sim_(sim), self_(self), nic_(nic) {}
+
+Status NetBack::Initialize() {
+  XOAR_RETURN_IF_ERROR(xs_->Mkdir(self_, BackendRoot(self_, kVifType)));
+  available_ = true;
+  return Status::Ok();
+}
+
+Status NetBack::AttachVif(DomainId guest) {
+  if (vifs_.count(guest) > 0) {
+    return AlreadyExistsError(
+        StrFormat("dom%u already has a vif on this backend", guest.value()));
+  }
+  Vif vif;
+  vif.guest = guest;
+  vifs_.emplace(guest, vif);
+
+  const std::string back_dir = BackendDir(self_, guest, kVifType);
+  XOAR_RETURN_IF_ERROR(xs_->Write(self_, back_dir + "/frontend-id",
+                                  StrFormat("%u", guest.value())));
+  XOAR_RETURN_IF_ERROR(
+      xs_->Write(self_, back_dir + "/state",
+                 XenbusStateString(XenbusState::kInitWait)));
+  XsNodePerms perms;
+  perms.owner = self_;
+  perms.acl[guest] = XsPerm::kRead;
+  XOAR_RETURN_IF_ERROR(xs_->SetPerms(self_, back_dir + "/state", perms));
+
+  const std::string front_state = FrontendDir(guest, kVifType) + "/state";
+  return xs_->Watch(self_, front_state,
+                    StrFormat("netback-%u", guest.value()),
+                    [this, guest](const XsWatchEvent&) {
+                      OnFrontendStateChange(guest);
+                    });
+}
+
+void NetBack::OnFrontendStateChange(DomainId guest) {
+  auto it = vifs_.find(guest);
+  if (it == vifs_.end() || !available_) {
+    return;
+  }
+  StatusOr<std::string> state =
+      xs_->Read(self_, FrontendDir(guest, kVifType) + "/state");
+  if (!state.ok()) {
+    return;
+  }
+  if (XenbusStateFromString(*state) == XenbusState::kInitialised &&
+      !it->second.connected) {
+    ConnectVif(it->second);
+  }
+}
+
+void NetBack::ConnectVif(Vif& vif) {
+  const std::string front_dir = FrontendDir(vif.guest, kVifType);
+  StatusOr<std::string> tx_gref = xs_->Read(self_, front_dir + "/tx-ring-ref");
+  StatusOr<std::string> rx_gref = xs_->Read(self_, front_dir + "/rx-ring-ref");
+  StatusOr<std::string> port_str =
+      xs_->Read(self_, front_dir + "/event-channel");
+  if (!tx_gref.ok() || !rx_gref.ok() || !port_str.ok()) {
+    return;
+  }
+  const GrantRef tx(static_cast<std::uint32_t>(std::stoul(*tx_gref)));
+  const GrantRef rx(static_cast<std::uint32_t>(std::stoul(*rx_gref)));
+  const EvtchnPort front_port(
+      static_cast<std::uint32_t>(std::stoul(*port_str)));
+
+  StatusOr<MappedPage> tx_page = hv_->MapGrant(self_, vif.guest, tx);
+  StatusOr<MappedPage> rx_page = hv_->MapGrant(self_, vif.guest, rx);
+  if (!tx_page.ok() || !rx_page.ok()) {
+    XLOG(kWarning) << "[netback] map grants failed for dom"
+                   << vif.guest.value();
+    return;
+  }
+  StatusOr<EvtchnPort> port =
+      hv_->EvtchnBindInterdomain(self_, vif.guest, front_port);
+  if (!port.ok()) {
+    XLOG(kWarning) << "[netback] bind evtchn failed: " << port.status();
+    return;
+  }
+  vif.tx_gref = tx;
+  vif.rx_gref = rx;
+  vif.tx_ring = tx_page->data;
+  vif.rx_ring = rx_page->data;
+  vif.port = *port;
+  vif.connected = true;
+  const DomainId guest = vif.guest;
+  (void)hv_->EvtchnSetHandler(self_, vif.port,
+                              [this, guest] { ServiceTxRing(guest); });
+  (void)xs_->Write(self_, BackendDir(self_, guest, kVifType) + "/state",
+                   XenbusStateString(XenbusState::kConnected));
+  XLOG(kDebug) << "[netback] vif connected for dom" << guest.value();
+  ServiceTxRing(guest);
+}
+
+void NetBack::DisconnectVif(Vif& vif) {
+  if (!vif.connected) {
+    return;
+  }
+  vif.connected = false;
+  (void)hv_->UnmapGrant(self_, vif.guest, vif.tx_gref);
+  (void)hv_->UnmapGrant(self_, vif.guest, vif.rx_gref);
+  (void)hv_->EvtchnClose(self_, vif.port);
+  vif.tx_ring = nullptr;
+  vif.rx_ring = nullptr;
+}
+
+void NetBack::ServiceTxRing(DomainId guest) {
+  auto it = vifs_.find(guest);
+  if (it == vifs_.end() || !it->second.connected || !available_) {
+    return;
+  }
+  Vif& vif = it->second;
+  NetRing ring = NetRing::Attach(vif.tx_ring);
+  while (auto req = ring.PopRequest()) {
+    const NetRingRequest request = *req;
+    ++frames_forwarded_;
+    const SimDuration overhead = static_cast<SimDuration>(
+        static_cast<double>(kNetBackPerFrameOverhead) /
+        std::max(0.05, rate_multiplier_));
+    sim_->ScheduleAfter(overhead, [this, guest, request] {
+      auto vif_it = vifs_.find(guest);
+      if (vif_it == vifs_.end() || !vif_it->second.connected || !available_) {
+        return;  // frame lost mid-reboot; the guest's TCP retransmits
+      }
+      nic_->Transmit(request.bytes, [this, guest, request] {
+        auto v = vifs_.find(guest);
+        if (v == vifs_.end() || !v->second.connected || !available_) {
+          return;
+        }
+        NetRing r = NetRing::Attach(v->second.tx_ring);
+        if (r.PushResponse(NetRingResponse{request.id, 0})) {
+          (void)hv_->EvtchnSend(self_, v->second.port);
+        }
+      });
+    });
+  }
+}
+
+bool NetBack::InjectRx(DomainId guest, std::uint32_t bytes) {
+  auto it = vifs_.find(guest);
+  if (it == vifs_.end() || !it->second.connected || !available_ ||
+      !nic_->link_up()) {
+    ++frames_dropped_;
+    return false;
+  }
+  Vif& vif = it->second;
+  // Role-swapped ring: the backend produces rx "requests" the frontend
+  // consumes.
+  NetRing ring = NetRing::Attach(vif.rx_ring);
+  if (!ring.PushRequest(NetRingRequest{0, bytes})) {
+    ++frames_dropped_;  // frontend rx ring overrun
+    return false;
+  }
+  ++frames_forwarded_;
+  (void)hv_->EvtchnSend(self_, vif.port);
+  return true;
+}
+
+void NetBack::Suspend() {
+  available_ = false;
+  nic_->clear_rx_handler();
+  for (auto& [guest, vif] : vifs_) {
+    DisconnectVif(vif);
+    (void)xs_->Write(self_, BackendDir(self_, guest, kVifType) + "/state",
+                     XenbusStateString(XenbusState::kClosing));
+  }
+}
+
+void NetBack::Resume() {
+  available_ = true;
+  for (auto& [guest, vif] : vifs_) {
+    (void)xs_->Write(self_, BackendDir(self_, guest, kVifType) + "/state",
+                     XenbusStateString(XenbusState::kInitWait));
+  }
+}
+
+bool NetBack::IsVifConnected(DomainId guest) const {
+  // The hosting domain must actually be running: a crashed or rebooting
+  // driver domain serves nothing, whatever the object state says.
+  const Domain* self = hv_->domain(self_);
+  if (self == nullptr || self->state() != DomainState::kRunning) {
+    return false;
+  }
+  auto it = vifs_.find(guest);
+  return it != vifs_.end() && it->second.connected && available_;
+}
+
+// --- NetFront ----------------------------------------------------------------
+
+NetFront::NetFront(Hypervisor* hv, XenStoreService* xs, Simulator* sim,
+                   DomainId self, DomainId backend)
+    : hv_(hv), xs_(xs), sim_(sim), self_(self), backend_(backend) {}
+
+Status NetFront::Connect() {
+  if (handshake_started_) {
+    return AlreadyExistsError("frontend handshake already started");
+  }
+  handshake_started_ = true;
+  XOAR_ASSIGN_OR_RETURN(tx_pfn_, hv_->memory().AllocatePages(self_, 1));
+  XOAR_ASSIGN_OR_RETURN(rx_pfn_, hv_->memory().AllocatePages(self_, 1));
+  tx_page_ = hv_->memory().PageData(tx_pfn_);
+  rx_page_ = hv_->memory().PageData(rx_pfn_);
+  Republish();
+  const std::string back_state =
+      BackendDir(backend_, self_, kVifType) + "/state";
+  return xs_->Watch(self_, back_state, "netfront",
+                    [this](const XsWatchEvent&) { OnBackendStateChange(); });
+}
+
+void NetFront::Republish() {
+  if (tx_gref_.valid()) {
+    (void)hv_->EndGrantAccess(self_, tx_gref_);
+    tx_gref_ = GrantRef::Invalid();
+  }
+  if (rx_gref_.valid()) {
+    (void)hv_->EndGrantAccess(self_, rx_gref_);
+    rx_gref_ = GrantRef::Invalid();
+  }
+  awaiting_connect_ = true;
+  StatusOr<GrantRef> tx =
+      hv_->GrantAccess(self_, backend_, tx_pfn_, /*writable=*/true);
+  StatusOr<GrantRef> rx =
+      hv_->GrantAccess(self_, backend_, rx_pfn_, /*writable=*/true);
+  StatusOr<EvtchnPort> port = hv_->EvtchnAllocUnbound(self_, backend_);
+  if (!tx.ok() || !rx.ok() || !port.ok()) {
+    XLOG(kWarning) << "[netfront] republish failed for dom" << self_.value();
+    return;
+  }
+  tx_gref_ = *tx;
+  rx_gref_ = *rx;
+  port_ = *port;
+  NetRing::Create(tx_page_);
+  NetRing::Create(rx_page_);
+  (void)hv_->EvtchnSetHandler(self_, port_, [this] { OnEvent(); });
+
+  const std::string front_dir = FrontendDir(self_, kVifType);
+  (void)xs_->Write(self_, front_dir + "/backend-id",
+                   StrFormat("%u", backend_.value()));
+  (void)xs_->Write(self_, front_dir + "/tx-ring-ref",
+                   StrFormat("%u", tx_gref_.value()));
+  (void)xs_->Write(self_, front_dir + "/rx-ring-ref",
+                   StrFormat("%u", rx_gref_.value()));
+  (void)xs_->Write(self_, front_dir + "/event-channel",
+                   StrFormat("%u", port_.value()));
+  for (const char* leaf :
+       {"/backend-id", "/tx-ring-ref", "/rx-ring-ref", "/event-channel"}) {
+    XsNodePerms perms;
+    perms.owner = self_;
+    perms.acl[backend_] = XsPerm::kRead;
+    (void)xs_->SetPerms(self_, front_dir + leaf, perms);
+  }
+  (void)xs_->Write(self_, front_dir + "/state",
+                   XenbusStateString(XenbusState::kInitialised));
+  XsNodePerms state_perms;
+  state_perms.owner = self_;
+  state_perms.acl[backend_] = XsPerm::kRead;
+  (void)xs_->SetPerms(self_, front_dir + "/state", state_perms);
+}
+
+void NetFront::OnBackendStateChange() {
+  StatusOr<std::string> state =
+      xs_->Read(self_, BackendDir(backend_, self_, kVifType) + "/state");
+  if (!state.ok()) {
+    return;
+  }
+  switch (XenbusStateFromString(*state)) {
+    case XenbusState::kConnected: {
+      if (connected_) {
+        break;
+      }
+      connected_ = true;
+      awaiting_connect_ = false;
+      if (!tx_outstanding_.empty()) {
+        std::vector<PendingTx> retry;
+        retry.reserve(tx_outstanding_.size());
+        for (auto& [id, frame] : tx_outstanding_) {
+          retry.push_back(std::move(frame));
+        }
+        tx_outstanding_.clear();
+        retransmits_ += retry.size();
+        for (auto it = retry.rbegin(); it != retry.rend(); ++it) {
+          tx_queue_.push_front(std::move(*it));
+        }
+      }
+      PumpTxQueue();
+      break;
+    }
+    case XenbusState::kClosing:
+      connected_ = false;
+      break;
+    case XenbusState::kInitWait:
+      if (connected_ || (handshake_started_ && !awaiting_connect_)) {
+        connected_ = false;
+        Republish();
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void NetFront::SendFrame(std::uint32_t bytes, TxDone done) {
+  PendingTx frame;
+  frame.request = NetRingRequest{next_id_++, bytes};
+  frame.done = std::move(done);
+  tx_queue_.push_back(std::move(frame));
+  PumpTxQueue();
+}
+
+void NetFront::PumpTxQueue() {
+  if (!connected_ || tx_page_ == nullptr) {
+    return;
+  }
+  NetRing ring = NetRing::Attach(tx_page_);
+  bool pushed = false;
+  while (!tx_queue_.empty() && !ring.FullRequests()) {
+    PendingTx frame = std::move(tx_queue_.front());
+    tx_queue_.pop_front();
+    const std::uint64_t id = frame.request.id;
+    ring.PushRequest(frame.request);
+    tx_outstanding_.emplace(id, std::move(frame));
+    pushed = true;
+  }
+  if (pushed) {
+    (void)hv_->EvtchnSend(self_, port_);
+  }
+}
+
+void NetFront::OnEvent() {
+  if (tx_page_ == nullptr || rx_page_ == nullptr) {
+    return;
+  }
+  // Drain tx completions.
+  NetRing tx_ring = NetRing::Attach(tx_page_);
+  while (auto rsp = tx_ring.PopResponse()) {
+    auto it = tx_outstanding_.find(rsp->id);
+    if (it == tx_outstanding_.end()) {
+      continue;
+    }
+    PendingTx frame = std::move(it->second);
+    tx_outstanding_.erase(it);
+    ++tx_completed_;
+    if (frame.done) {
+      frame.done(rsp->status == 0 ? Status::Ok()
+                                  : InternalError("tx failed at backend"));
+    }
+  }
+  // Drain rx arrivals (role-swapped ring: we consume requests).
+  NetRing rx_ring = NetRing::Attach(rx_page_);
+  while (auto frame = rx_ring.PopRequest()) {
+    ++rx_frames_;
+    if (rx_handler_) {
+      rx_handler_(frame->bytes);
+    }
+  }
+  PumpTxQueue();
+}
+
+}  // namespace xoar

@@ -1,0 +1,177 @@
+// Paravirtual network split driver (§4.5.1, §5.4).
+//
+// NetFront exposes frame tx/rx to a guest; NetBack hosts the physical NIC
+// driver and virtualizes it into per-guest virtual interfaces (vifs).
+// Negotiation follows the XenBus protocol over XenStore with two rings per
+// vif (tx and rx) in granted guest pages plus one event channel.
+//
+// NetBack is the restartable component exercised by Fig 6.3 / Fig 6.5:
+// Suspend() detaches the NIC and breaks every vif (frames in flight are
+// lost, exactly what TCP sees as an outage); Resume() re-advertises the
+// backend and frontends renegotiate via XenStore.
+#ifndef XOAR_SRC_DRV_NET_H_
+#define XOAR_SRC_DRV_NET_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/dev/nic.h"
+#include "src/hv/hypervisor.h"
+#include "src/hv/io_ring.h"
+#include "src/sim/simulator.h"
+#include "src/xs/service.h"
+
+namespace xoar {
+
+struct NetRingRequest {
+  std::uint64_t id;
+  std::uint32_t bytes;
+};
+
+struct NetRingResponse {
+  std::uint64_t id;
+  std::int8_t status;  // 0 = OK
+};
+
+using NetRing = IoRing<NetRingRequest, NetRingResponse, 32>;
+
+// Backend CPU overhead per forwarded frame (demux + bridge + copy grant).
+constexpr SimDuration kNetBackPerFrameOverhead = 4 * kMicrosecond;
+
+class NetBack {
+ public:
+  NetBack(Hypervisor* hv, XenStoreService* xs, Simulator* sim, DomainId self,
+          NicDevice* nic);
+
+  // Registers the backend root in XenStore and attaches the NIC rx path.
+  Status Initialize();
+
+  DomainId self() const { return self_; }
+  NicDevice* nic() { return nic_; }
+  bool available() const { return available_; }
+
+  // Creates a vif record for `guest` and advertises the backend half.
+  Status AttachVif(DomainId guest);
+
+  // Frame arriving from the physical network destined for `guest`.
+  // Dropped (returns false) while the backend or the vif is down.
+  bool InjectRx(DomainId guest, std::uint32_t bytes);
+
+  // --- Microreboot hooks ---
+  void Suspend();
+  void Resume();
+
+  bool IsVifConnected(DomainId guest) const;
+
+  // Rate multiplier on the effective data-path throughput; below 1.0 when
+  // the driver shares a control VM with other busy services (Fig 6.2's
+  // performance-isolation effect). 1.0 for a dedicated driver domain.
+  void set_rate_multiplier(double m) { rate_multiplier_ = m; }
+  double rate_multiplier() const { return rate_multiplier_; }
+  // Effective deliverable rate for one guest's flow, in bits/second.
+  double EffectiveRateBps() const {
+    return nic_->link_rate() * rate_multiplier_;
+  }
+
+  std::uint64_t frames_forwarded() const { return frames_forwarded_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  struct Vif {
+    DomainId guest;
+    bool connected = false;
+    GrantRef tx_gref;
+    GrantRef rx_gref;
+    std::byte* tx_ring = nullptr;
+    std::byte* rx_ring = nullptr;
+    EvtchnPort port;  // backend-local port of the shared channel
+  };
+
+  void OnFrontendStateChange(DomainId guest);
+  void ConnectVif(Vif& vif);
+  void DisconnectVif(Vif& vif);
+  void ServiceTxRing(DomainId guest);
+
+  Hypervisor* hv_;
+  XenStoreService* xs_;
+  Simulator* sim_;
+  DomainId self_;
+  NicDevice* nic_;
+  bool available_ = false;
+  double rate_multiplier_ = 1.0;
+  std::map<DomainId, Vif> vifs_;
+  std::uint64_t frames_forwarded_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+class NetFront {
+ public:
+  using TxDone = std::function<void(Status)>;
+  using RxHandler = std::function<void(std::uint32_t bytes)>;
+
+  NetFront(Hypervisor* hv, XenStoreService* xs, Simulator* sim, DomainId self,
+           DomainId backend);
+
+  // Frontend half of the XenBus handshake; also arms reconnection on
+  // backend microreboots.
+  Status Connect();
+
+  bool connected() const { return connected_; }
+  DomainId backend() const { return backend_; }
+
+  // Queues a frame for transmission; `done` fires when the backend has put
+  // it on the wire. Frames queue while disconnected and flush on reconnect.
+  void SendFrame(std::uint32_t bytes, TxDone done);
+
+  void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
+
+  std::uint64_t tx_completed() const { return tx_completed_; }
+  std::uint64_t rx_frames() const { return rx_frames_; }
+  std::uint64_t retransmitted_frames() const { return retransmits_; }
+
+ private:
+  friend class NetBack;  // rx delivery
+
+  struct PendingTx {
+    NetRingRequest request;
+    TxDone done;
+  };
+
+  void Republish();
+  void OnBackendStateChange();
+  void PumpTxQueue();
+  void OnEvent();  // tx completions and rx arrivals
+
+  Hypervisor* hv_;
+  XenStoreService* xs_;
+  Simulator* sim_;
+  DomainId self_;
+  DomainId backend_;
+  bool connected_ = false;
+  bool handshake_started_ = false;
+  bool awaiting_connect_ = false;
+  Pfn tx_pfn_;
+  Pfn rx_pfn_;
+  std::byte* tx_page_ = nullptr;
+  std::byte* rx_page_ = nullptr;
+  GrantRef tx_gref_;
+  GrantRef rx_gref_;
+  EvtchnPort port_;
+  std::uint64_t next_id_ = 1;
+  std::deque<PendingTx> tx_queue_;
+  std::map<std::uint64_t, PendingTx> tx_outstanding_;
+  RxHandler rx_handler_;
+  std::uint64_t tx_completed_ = 0;
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t retransmits_ = 0;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_DRV_NET_H_

@@ -1,0 +1,76 @@
+// XenBus negotiation protocol shared by the split drivers (§4.5.1).
+//
+// Frontends and backends never talk to each other directly to set up: the
+// initial negotiation goes through XenStore. The frontend allocates a shared
+// ring page and an event channel, publishes the grant reference and port
+// under its device directory, and advances its state; the backend watches
+// for that state change, maps the grant, binds the channel, and advances its
+// own state to Connected. Teardown and microreboot re-run the same protocol.
+#ifndef XOAR_SRC_DRV_XENBUS_H_
+#define XOAR_SRC_DRV_XENBUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/base/ids.h"
+#include "src/base/strings.h"
+
+namespace xoar {
+
+enum class XenbusState : int {
+  kUnknown = 0,
+  kInitialising = 1,
+  kInitWait = 2,
+  kInitialised = 3,
+  kConnected = 4,
+  kClosing = 5,
+  kClosed = 6,
+};
+
+inline std::string XenbusStateString(XenbusState s) {
+  return StrFormat("%d", static_cast<int>(s));
+}
+
+inline XenbusState XenbusStateFromString(std::string_view s) {
+  if (s.empty()) {
+    return XenbusState::kUnknown;
+  }
+  const int v = s[0] - '0';
+  if (v < 1 || v > 6) {
+    return XenbusState::kUnknown;
+  }
+  return static_cast<XenbusState>(v);
+}
+
+// Device types carried over XenBus.
+inline constexpr std::string_view kVbdType = "vbd";
+inline constexpr std::string_view kVifType = "vif";
+inline constexpr std::string_view kConsoleType = "console";
+
+// /local/domain/<guest>/device/<type>/0
+inline std::string FrontendDir(DomainId guest, std::string_view type) {
+  return StrFormat("/local/domain/%u/device/%s/0", guest.value(),
+                   std::string(type).c_str());
+}
+
+// /local/domain/<backend>/backend/<type>/<guest>/0
+inline std::string BackendDir(DomainId backend, DomainId guest,
+                              std::string_view type) {
+  return StrFormat("/local/domain/%u/backend/%s/%u/0", backend.value(),
+                   std::string(type).c_str(), guest.value());
+}
+
+// /local/domain/<backend>/backend/<type>  (the watch root for a backend)
+inline std::string BackendRoot(DomainId backend, std::string_view type) {
+  return StrFormat("/local/domain/%u/backend/%s", backend.value(),
+                   std::string(type).c_str());
+}
+
+inline std::string DomainDir(DomainId domain) {
+  return StrFormat("/local/domain/%u", domain.value());
+}
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_DRV_XENBUS_H_

@@ -1,0 +1,37 @@
+#include "src/hv/domain.h"
+
+namespace xoar {
+
+std::string_view DomainStateName(DomainState state) {
+  switch (state) {
+    case DomainState::kBuilding:
+      return "building";
+    case DomainState::kPaused:
+      return "paused";
+    case DomainState::kRunning:
+      return "running";
+    case DomainState::kRebooting:
+      return "rebooting";
+    case DomainState::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+std::string_view OsProfileName(OsProfile os) {
+  switch (os) {
+    case OsProfile::kNanOs:
+      return "nanOS";
+    case OsProfile::kMiniOs:
+      return "miniOS";
+    case OsProfile::kLinux:
+      return "Linux";
+    case OsProfile::kGuestLinux:
+      return "Linux (guest)";
+    case OsProfile::kHvmGuest:
+      return "HVM guest";
+  }
+  return "unknown";
+}
+
+}  // namespace xoar

@@ -1,0 +1,196 @@
+#include "src/hv/event_channel.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace xoar {
+
+std::string_view VirqName(Virq virq) {
+  switch (virq) {
+    case Virq::kConsole:
+      return "console";
+    case Virq::kTimer:
+      return "timer";
+    case Virq::kDebug:
+      return "debug";
+    case Virq::kDomExc:
+      return "dom_exc";
+    case Virq::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+EventChannelManager::Channel* EventChannelManager::Find(DomainId domain,
+                                                        EvtchnPort port) {
+  auto it = channels_.find(Key(domain.value(), port.value()));
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+const EventChannelManager::Channel* EventChannelManager::Find(
+    DomainId domain, EvtchnPort port) const {
+  auto it = channels_.find(Key(domain.value(), port.value()));
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+EvtchnPort EventChannelManager::NextPort(DomainId domain) {
+  std::uint32_t& next = next_port_[domain.value()];
+  return EvtchnPort(next++);
+}
+
+StatusOr<EvtchnPort> EventChannelManager::AllocUnbound(DomainId owner,
+                                                       DomainId remote) {
+  if (!owner.valid() || !remote.valid()) {
+    return InvalidArgumentError("invalid domain for alloc_unbound");
+  }
+  EvtchnPort port = NextPort(owner);
+  Channel channel;
+  channel.state = ChannelState::kUnbound;
+  channel.remote = remote;
+  channels_[Key(owner.value(), port.value())] = std::move(channel);
+  return port;
+}
+
+StatusOr<EvtchnPort> EventChannelManager::BindInterdomain(
+    DomainId caller, DomainId remote, EvtchnPort remote_port) {
+  Channel* remote_channel = Find(remote, remote_port);
+  if (remote_channel == nullptr) {
+    return NotFoundError(StrFormat("no unbound port %u on dom%u",
+                                   remote_port.value(), remote.value()));
+  }
+  if (remote_channel->state != ChannelState::kUnbound) {
+    return FailedPreconditionError("remote port is not unbound");
+  }
+  if (remote_channel->remote != caller) {
+    return PermissionDeniedError(
+        StrFormat("port %u on dom%u is reserved for dom%u, not dom%u",
+                  remote_port.value(), remote.value(),
+                  remote_channel->remote.value(), caller.value()));
+  }
+  EvtchnPort local_port = NextPort(caller);
+  Channel local;
+  local.state = ChannelState::kConnected;
+  local.remote = remote;
+  local.remote_port = remote_port;
+  channels_[Key(caller.value(), local_port.value())] = std::move(local);
+
+  remote_channel = Find(remote, remote_port);  // map may have rehashed
+  remote_channel->state = ChannelState::kConnected;
+  remote_channel->remote = caller;
+  remote_channel->remote_port = local_port;
+  return local_port;
+}
+
+StatusOr<EvtchnPort> EventChannelManager::BindVirq(DomainId domain, Virq virq) {
+  // One binding per VIRQ per domain.
+  for (const auto& [key, channel] : channels_) {
+    if (key.first == domain.value() && channel.state == ChannelState::kVirq &&
+        channel.virq == virq) {
+      return AlreadyExistsError(StrFormat("virq %d already bound on dom%u",
+                                          static_cast<int>(virq),
+                                          domain.value()));
+    }
+  }
+  EvtchnPort port = NextPort(domain);
+  Channel channel;
+  channel.state = ChannelState::kVirq;
+  channel.virq = virq;
+  channels_[Key(domain.value(), port.value())] = std::move(channel);
+  return port;
+}
+
+Status EventChannelManager::SetHandler(DomainId domain, EvtchnPort port,
+                                       Handler handler) {
+  Channel* channel = Find(domain, port);
+  if (channel == nullptr) {
+    return NotFoundError("no such event channel");
+  }
+  channel->handler = std::move(handler);
+  return Status::Ok();
+}
+
+Status EventChannelManager::Send(DomainId caller, EvtchnPort port) {
+  Channel* channel = Find(caller, port);
+  if (channel == nullptr) {
+    return NotFoundError(StrFormat("dom%u has no port %u", caller.value(),
+                                   port.value()));
+  }
+  if (channel->state == ChannelState::kBroken) {
+    return UnavailableError("peer end of event channel is closed");
+  }
+  if (channel->state != ChannelState::kConnected) {
+    return FailedPreconditionError("event channel not connected");
+  }
+  ++sends_;
+  const DomainId remote = channel->remote;
+  const EvtchnPort remote_port = channel->remote_port;
+  sim_->ScheduleAfter(kEventDeliveryLatency, [this, remote, remote_port] {
+    const Channel* peer = Find(remote, remote_port);
+    if (peer != nullptr && peer->handler &&
+        peer->state == ChannelState::kConnected) {
+      ++deliveries_;
+      peer->handler();
+    }
+  });
+  return Status::Ok();
+}
+
+Status EventChannelManager::RaiseVirq(DomainId domain, Virq virq) {
+  for (auto& [key, channel] : channels_) {
+    if (key.first == domain.value() && channel.state == ChannelState::kVirq &&
+        channel.virq == virq) {
+      if (channel.handler) {
+        // Copy the handler: the channel may be closed before delivery fires.
+        Handler handler = channel.handler;
+        sim_->ScheduleAfter(kEventDeliveryLatency,
+                            [handler = std::move(handler)] { handler(); });
+        ++deliveries_;
+      }
+      return Status::Ok();
+    }
+  }
+  return NotFoundError(StrFormat("dom%u has no binding for virq %s",
+                                 domain.value(),
+                                 std::string(VirqName(virq)).c_str()));
+}
+
+Status EventChannelManager::Close(DomainId domain, EvtchnPort port) {
+  auto it = channels_.find(Key(domain.value(), port.value()));
+  if (it == channels_.end()) {
+    return NotFoundError("no such event channel");
+  }
+  if (it->second.state == ChannelState::kConnected) {
+    Channel* peer = Find(it->second.remote, it->second.remote_port);
+    if (peer != nullptr) {
+      peer->state = ChannelState::kBroken;
+    }
+  }
+  channels_.erase(it);
+  return Status::Ok();
+}
+
+int EventChannelManager::CloseAll(DomainId domain) {
+  int closed = 0;
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    if (it->first.first == domain.value()) {
+      if (it->second.state == ChannelState::kConnected) {
+        Channel* peer = Find(it->second.remote, it->second.remote_port);
+        if (peer != nullptr) {
+          peer->state = ChannelState::kBroken;
+        }
+      }
+      it = channels_.erase(it);
+      ++closed;
+    } else {
+      ++it;
+    }
+  }
+  return closed;
+}
+
+bool EventChannelManager::IsConnected(DomainId domain, EvtchnPort port) const {
+  const Channel* channel = Find(domain, port);
+  return channel != nullptr && channel->state == ChannelState::kConnected;
+}
+
+}  // namespace xoar

@@ -1,0 +1,102 @@
+// Event channels (§4.2): data-free signalling between domains and from the
+// hypervisor (VIRQs).
+//
+// Bi-directional interdomain channels connect two (domain, port) endpoints;
+// a Send on one side schedules the registered handler on the other after a
+// small delivery latency. Uni-directional VIRQs deliver virtualized hardware
+// interrupts. Handlers model the guest kernel's upcall path.
+#ifndef XOAR_SRC_HV_EVENT_CHANNEL_H_
+#define XOAR_SRC_HV_EVENT_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string_view>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/sim/simulator.h"
+
+namespace xoar {
+
+enum class Virq : std::uint8_t {
+  kConsole = 0,  // serial console input, owned by the hypervisor
+  kTimer,
+  kDebug,
+  kDomExc,  // domain exception (crash notification to the control plane)
+  kCount,
+};
+
+std::string_view VirqName(Virq virq);
+
+// Latency from evtchn_send to the peer's handler running.
+constexpr SimDuration kEventDeliveryLatency = 1 * kMicrosecond;
+
+class EventChannelManager {
+ public:
+  using Handler = std::function<void()>;
+
+  explicit EventChannelManager(Simulator* sim) : sim_(sim) {}
+
+  // Allocates an unbound port on `owner` that only `remote` may bind.
+  StatusOr<EvtchnPort> AllocUnbound(DomainId owner, DomainId remote);
+
+  // Binds a local port on `caller` to an unbound port `remote_port` on
+  // `remote`. Completes the interdomain pair.
+  StatusOr<EvtchnPort> BindInterdomain(DomainId caller, DomainId remote,
+                                       EvtchnPort remote_port);
+
+  // Binds a VIRQ to a fresh local port.
+  StatusOr<EvtchnPort> BindVirq(DomainId domain, Virq virq);
+
+  // Registers the upcall handler for a local port.
+  Status SetHandler(DomainId domain, EvtchnPort port, Handler handler);
+
+  // Signals the peer of an interdomain channel.
+  Status Send(DomainId caller, EvtchnPort port);
+
+  // Raises a VIRQ into `domain` if it has bound one.
+  Status RaiseVirq(DomainId domain, Virq virq);
+
+  // Closes a local port; the peer end (if any) is marked broken so later
+  // sends fail with UNAVAILABLE — this is what a frontend observes when its
+  // backend reboots, triggering reconnection (§3.3).
+  Status Close(DomainId domain, EvtchnPort port);
+
+  // Closes every port of `domain` (domain destruction / microreboot).
+  int CloseAll(DomainId domain);
+
+  // True if the channel exists and is connected to a live peer.
+  bool IsConnected(DomainId domain, EvtchnPort port) const;
+
+  std::uint64_t sends() const { return sends_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  enum class ChannelState { kUnbound, kConnected, kVirq, kBroken };
+
+  struct Channel {
+    ChannelState state = ChannelState::kUnbound;
+    DomainId remote;          // peer domain (or allowed binder while unbound)
+    EvtchnPort remote_port;   // peer port when connected
+    Virq virq = Virq::kCount;
+    Handler handler;
+  };
+
+  using Key = std::pair<std::uint32_t, std::uint32_t>;  // (domain, port)
+
+  Channel* Find(DomainId domain, EvtchnPort port);
+  const Channel* Find(DomainId domain, EvtchnPort port) const;
+  EvtchnPort NextPort(DomainId domain);
+
+  Simulator* sim_;
+  std::map<Key, Channel> channels_;
+  std::map<std::uint32_t, std::uint32_t> next_port_;
+  std::uint64_t sends_ = 0;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_HV_EVENT_CHANNEL_H_

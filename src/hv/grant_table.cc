@@ -1,0 +1,90 @@
+#include "src/hv/grant_table.h"
+
+#include "src/base/strings.h"
+
+namespace xoar {
+
+namespace {
+constexpr std::size_t kMaxGrantEntries = 4096;
+}  // namespace
+
+StatusOr<GrantRef> GrantTable::CreateGrant(DomainId grantee, Pfn pfn,
+                                           bool writable) {
+  if (!grantee.valid()) {
+    return InvalidArgumentError("grantee domain is invalid");
+  }
+  if (!pfn.valid()) {
+    return InvalidArgumentError("pfn is invalid");
+  }
+  // Reuse a free slot if one exists.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].in_use) {
+      entries_[i] = GrantEntry{grantee, pfn, writable, true, 0};
+      return GrantRef(static_cast<std::uint32_t>(i));
+    }
+  }
+  if (entries_.size() >= kMaxGrantEntries) {
+    return ResourceExhaustedError("grant table full");
+  }
+  entries_.push_back(GrantEntry{grantee, pfn, writable, true, 0});
+  return GrantRef(static_cast<std::uint32_t>(entries_.size() - 1));
+}
+
+StatusOr<GrantEntry> GrantTable::Lookup(GrantRef ref) const {
+  if (!ref.valid() || ref.value() >= entries_.size() ||
+      !entries_[ref.value()].in_use) {
+    return NotFoundError(StrFormat("grant ref %u not active", ref.value()));
+  }
+  return entries_[ref.value()];
+}
+
+Status GrantTable::NoteMapped(GrantRef ref) {
+  XOAR_ASSIGN_OR_RETURN(GrantEntry entry, Lookup(ref));
+  (void)entry;
+  ++entries_[ref.value()].map_count;
+  return Status::Ok();
+}
+
+Status GrantTable::NoteUnmapped(GrantRef ref) {
+  XOAR_ASSIGN_OR_RETURN(GrantEntry entry, Lookup(ref));
+  if (entry.map_count <= 0) {
+    return FailedPreconditionError("grant ref not mapped");
+  }
+  --entries_[ref.value()].map_count;
+  return Status::Ok();
+}
+
+Status GrantTable::EndAccess(GrantRef ref) {
+  XOAR_ASSIGN_OR_RETURN(GrantEntry entry, Lookup(ref));
+  if (entry.map_count > 0) {
+    return FailedPreconditionError(
+        StrFormat("grant ref %u still mapped %d time(s)", ref.value(),
+                  entry.map_count));
+  }
+  entries_[ref.value()].in_use = false;
+  return Status::Ok();
+}
+
+int GrantTable::RevokeAll() {
+  int dangling = 0;
+  for (auto& entry : entries_) {
+    if (entry.in_use && entry.map_count > 0) {
+      ++dangling;
+    }
+    entry.in_use = false;
+    entry.map_count = 0;
+  }
+  return dangling;
+}
+
+std::size_t GrantTable::ActiveEntries() const {
+  std::size_t n = 0;
+  for (const auto& entry : entries_) {
+    if (entry.in_use) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace xoar

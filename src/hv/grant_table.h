@@ -1,0 +1,54 @@
+// Grant tables (§4.3): page-granularity capability-style memory sharing.
+//
+// A domain exports a page by creating a grant entry naming a specific
+// grantee; the grantee redeems the GrantRef through the hypervisor, which
+// audits the mapping against the table. Revocation (end-access) fails while
+// mappings are outstanding, matching Xen's behaviour.
+#ifndef XOAR_SRC_HV_GRANT_TABLE_H_
+#define XOAR_SRC_HV_GRANT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+
+namespace xoar {
+
+struct GrantEntry {
+  DomainId grantee;
+  Pfn pfn;
+  bool writable = false;
+  bool in_use = false;
+  int map_count = 0;
+};
+
+class GrantTable {
+ public:
+  // Creates an entry allowing `grantee` to map `pfn`.
+  StatusOr<GrantRef> CreateGrant(DomainId grantee, Pfn pfn, bool writable);
+
+  // Read-only view of an active entry.
+  StatusOr<GrantEntry> Lookup(GrantRef ref) const;
+
+  // Mapping bookkeeping, called by the hypervisor on map/unmap.
+  Status NoteMapped(GrantRef ref);
+  Status NoteUnmapped(GrantRef ref);
+
+  // Revokes an entry. Fails with FAILED_PRECONDITION while mapped.
+  Status EndAccess(GrantRef ref);
+
+  // Force-revokes everything (domain destruction); returns how many entries
+  // were still mapped — a nonzero value indicates a peer held a dangling
+  // mapping, which the hypervisor must tear down.
+  int RevokeAll();
+
+  std::size_t ActiveEntries() const;
+
+ private:
+  std::vector<GrantEntry> entries_;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_HV_GRANT_TABLE_H_

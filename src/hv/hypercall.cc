@@ -1,0 +1,51 @@
+#include "src/hv/hypercall.h"
+
+namespace xoar {
+
+std::string_view HypercallName(Hypercall hc) {
+  switch (hc) {
+    case Hypercall::kEventChannelOp:
+      return "event_channel_op";
+    case Hypercall::kGrantTableOp:
+      return "grant_table_op";
+    case Hypercall::kSchedOp:
+      return "sched_op";
+    case Hypercall::kXenVersion:
+      return "xen_version";
+    case Hypercall::kConsoleIo:
+      return "console_io";
+    case Hypercall::kMemoryOp:
+      return "memory_op";
+    case Hypercall::kDomctlCreate:
+      return "domctl_create";
+    case Hypercall::kDomctlDestroy:
+      return "domctl_destroy";
+    case Hypercall::kDomctlPause:
+      return "domctl_pause";
+    case Hypercall::kDomctlUnpause:
+      return "domctl_unpause";
+    case Hypercall::kDomctlSetPrivileges:
+      return "domctl_set_privileges";
+    case Hypercall::kDomctlDelegate:
+      return "domctl_delegate";
+    case Hypercall::kForeignMemoryMap:
+      return "foreign_memory_map";
+    case Hypercall::kSetupGuestRings:
+      return "setup_guest_rings";
+    case Hypercall::kPhysdevOp:
+      return "physdev_op";
+    case Hypercall::kPciConfigOp:
+      return "pci_config_op";
+    case Hypercall::kSysctlReboot:
+      return "sysctl_reboot";
+    case Hypercall::kSnapshotOp:
+      return "snapshot_op";
+    case Hypercall::kVirqBind:
+      return "virq_bind";
+    case Hypercall::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace xoar

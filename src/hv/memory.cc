@@ -1,0 +1,98 @@
+#include "src/hv/memory.h"
+
+#include <cstring>
+
+#include "src/base/strings.h"
+
+namespace xoar {
+
+StatusOr<Pfn> MemoryManager::AllocatePages(DomainId owner, std::uint64_t count) {
+  if (count == 0) {
+    return InvalidArgumentError("cannot allocate zero pages");
+  }
+  if (!owner.valid()) {
+    return InvalidArgumentError("invalid owner domain");
+  }
+  if (count > free_pages_) {
+    return ResourceExhaustedError(
+        StrFormat("out of memory: want %llu pages, %llu free",
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(free_pages_)));
+  }
+  const std::uint64_t first = next_pfn_;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    frames_.emplace(next_pfn_ + i, Frame{owner, nullptr});
+  }
+  next_pfn_ += count;
+  free_pages_ -= count;
+  owned_count_[owner] += count;
+  return Pfn(first);
+}
+
+std::uint64_t MemoryManager::FreeDomainPages(DomainId owner) {
+  std::uint64_t freed = 0;
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second.owner == owner) {
+      it = frames_.erase(it);
+      ++freed;
+    } else {
+      ++it;
+    }
+  }
+  free_pages_ += freed;
+  owned_count_.erase(owner);
+  return freed;
+}
+
+Status MemoryManager::FreeSpecificPages(DomainId owner, Pfn first,
+                                        std::uint64_t count) {
+  // Validate the whole range before mutating anything.
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto it = frames_.find(first.value() + i);
+    if (it == frames_.end() || it->second.owner != owner) {
+      return PermissionDeniedError(
+          StrFormat("pfn %llu is not owned by dom%u",
+                    static_cast<unsigned long long>(first.value() + i),
+                    owner.value()));
+    }
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    frames_.erase(first.value() + i);
+  }
+  free_pages_ += count;
+  owned_count_[owner] -= count;
+  return Status::Ok();
+}
+
+StatusOr<DomainId> MemoryManager::OwnerOf(Pfn pfn) const {
+  auto it = frames_.find(pfn.value());
+  if (it == frames_.end()) {
+    return NotFoundError(StrFormat("pfn %llu not allocated",
+                                   static_cast<unsigned long long>(pfn.value())));
+  }
+  return it->second.owner;
+}
+
+bool MemoryManager::IsOwnedBy(Pfn pfn, DomainId domain) const {
+  auto it = frames_.find(pfn.value());
+  return it != frames_.end() && it->second.owner == domain;
+}
+
+std::byte* MemoryManager::PageData(Pfn pfn) {
+  auto it = frames_.find(pfn.value());
+  if (it == frames_.end()) {
+    return nullptr;
+  }
+  if (!it->second.data) {
+    it->second.data = std::make_unique<std::byte[]>(kPageSize);
+    std::memset(it->second.data.get(), 0, kPageSize);
+  }
+  return it->second.data.get();
+}
+
+std::uint64_t MemoryManager::PagesOwnedBy(DomainId owner) const {
+  auto it = owned_count_.find(owner);
+  return it == owned_count_.end() ? 0 : it->second;
+}
+
+}  // namespace xoar

@@ -1,0 +1,70 @@
+// Machine memory model.
+//
+// The MemoryManager tracks ownership of 4 KiB page frames and hands out the
+// backing bytes for pages that are actually touched (rings, XenStore wire
+// buffers). Ownership is the basis of every memory access-control decision
+// the hypervisor makes: foreign mapping and grant mapping both resolve
+// through here.
+#ifndef XOAR_SRC_HV_MEMORY_H_
+#define XOAR_SRC_HV_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+#include "src/base/units.h"
+
+namespace xoar {
+
+class MemoryManager {
+ public:
+  explicit MemoryManager(std::uint64_t total_bytes)
+      : total_pages_(total_bytes / kPageSize), free_pages_(total_pages_) {}
+
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  // Allocates `count` contiguous frames owned by `owner`; returns the first
+  // Pfn of the range.
+  StatusOr<Pfn> AllocatePages(DomainId owner, std::uint64_t count);
+
+  // Releases every frame owned by `owner` (domain destruction).
+  std::uint64_t FreeDomainPages(DomainId owner);
+
+  // Releases `count` frames starting at `first`, all of which must be
+  // owned by `owner` (ballooning).
+  Status FreeSpecificPages(DomainId owner, Pfn first, std::uint64_t count);
+
+  // Owner of a frame; error if the frame was never allocated.
+  StatusOr<DomainId> OwnerOf(Pfn pfn) const;
+
+  bool IsOwnedBy(Pfn pfn, DomainId domain) const;
+
+  // Backing bytes of a frame (allocated lazily, zero-filled). Returns nullptr
+  // for unallocated frames. Access control is the hypervisor's job; this is
+  // the "physical" memory itself.
+  std::byte* PageData(Pfn pfn);
+
+  std::uint64_t PagesOwnedBy(DomainId owner) const;
+  std::uint64_t total_pages() const { return total_pages_; }
+  std::uint64_t free_pages() const { return free_pages_; }
+
+ private:
+  struct Frame {
+    DomainId owner;
+    std::unique_ptr<std::byte[]> data;  // lazily allocated kPageSize bytes
+  };
+
+  std::uint64_t total_pages_;
+  std::uint64_t free_pages_;
+  std::uint64_t next_pfn_ = 0x1000;  // low frames reserved for the hypervisor
+  std::unordered_map<std::uint64_t, Frame> frames_;
+  std::unordered_map<DomainId, std::uint64_t> owned_count_;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_HV_MEMORY_H_

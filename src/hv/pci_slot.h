@@ -1,0 +1,39 @@
+// PCI device addressing as used by the Fig 3.1 privilege-assignment API:
+// assign_pci_device(PCI domain, bus, slot).
+#ifndef XOAR_SRC_HV_PCI_SLOT_H_
+#define XOAR_SRC_HV_PCI_SLOT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <tuple>
+
+#include "src/base/strings.h"
+
+namespace xoar {
+
+struct PciSlot {
+  std::uint16_t pci_domain = 0;
+  std::uint8_t bus = 0;
+  std::uint8_t slot = 0;
+
+  friend bool operator==(const PciSlot& a, const PciSlot& b) {
+    return std::tie(a.pci_domain, a.bus, a.slot) ==
+           std::tie(b.pci_domain, b.bus, b.slot);
+  }
+  friend bool operator<(const PciSlot& a, const PciSlot& b) {
+    return std::tie(a.pci_domain, a.bus, a.slot) <
+           std::tie(b.pci_domain, b.bus, b.slot);
+  }
+
+  std::string ToString() const {
+    return StrFormat("%04x:%02x:%02x", pci_domain, bus, slot);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const PciSlot& s) {
+    return os << s.ToString();
+  }
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_HV_PCI_SLOT_H_

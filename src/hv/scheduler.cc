@@ -1,0 +1,163 @@
+#include "src/hv/scheduler.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace xoar {
+
+Status CreditScheduler::AddDomain(DomainId domain, int vcpus,
+                                  SchedParams params) {
+  if (!domain.valid() || vcpus <= 0) {
+    return InvalidArgumentError("invalid domain or vcpu count");
+  }
+  if (domains_.count(domain) > 0) {
+    return AlreadyExistsError(
+        StrFormat("dom%u already scheduled", domain.value()));
+  }
+  if (params.weight == 0) {
+    return InvalidArgumentError("weight must be positive");
+  }
+  Entry entry;
+  entry.vcpus = vcpus;
+  entry.params = params;
+  domains_.emplace(domain, entry);
+  return Status::Ok();
+}
+
+Status CreditScheduler::RemoveDomain(DomainId domain) {
+  if (domains_.erase(domain) == 0) {
+    return NotFoundError(StrFormat("dom%u not scheduled", domain.value()));
+  }
+  return Status::Ok();
+}
+
+Status CreditScheduler::SetParams(DomainId domain, SchedParams params) {
+  auto it = domains_.find(domain);
+  if (it == domains_.end()) {
+    return NotFoundError(StrFormat("dom%u not scheduled", domain.value()));
+  }
+  if (params.weight == 0) {
+    return InvalidArgumentError("weight must be positive");
+  }
+  it->second.params = params;
+  return Status::Ok();
+}
+
+StatusOr<SchedParams> CreditScheduler::GetParams(DomainId domain) const {
+  auto it = domains_.find(domain);
+  if (it == domains_.end()) {
+    return NotFoundError(StrFormat("dom%u not scheduled", domain.value()));
+  }
+  return it->second.params;
+}
+
+Status CreditScheduler::SetDemand(DomainId domain, double demand_cpus) {
+  auto it = domains_.find(domain);
+  if (it == domains_.end()) {
+    return NotFoundError(StrFormat("dom%u not scheduled", domain.value()));
+  }
+  if (demand_cpus < 0) {
+    return InvalidArgumentError("demand cannot be negative");
+  }
+  it->second.demand_cpus = demand_cpus;
+  return Status::Ok();
+}
+
+double CreditScheduler::TotalRunnableWeight() const {
+  double total = 0;
+  for (const auto& [id, entry] : domains_) {
+    if (entry.demand_cpus > 0) {
+      total += entry.params.weight;
+    }
+  }
+  return total;
+}
+
+std::map<DomainId, double> CreditScheduler::ComputeAllocation() const {
+  std::map<DomainId, double> allocation;
+  // The effective demand ceiling per domain: min(demand, vcpus, cap).
+  auto ceiling = [](const Entry& entry) {
+    double limit = std::min(entry.demand_cpus,
+                            static_cast<double>(entry.vcpus));
+    if (entry.params.cap_percent > 0) {
+      limit = std::min(limit,
+                       static_cast<double>(entry.params.cap_percent) / 100.0);
+    }
+    return limit;
+  };
+
+  // Iterative water-filling: hand out capacity proportionally to weight;
+  // domains that hit their ceiling release the residue for redistribution
+  // (work-conserving).
+  std::map<DomainId, double> remaining_ceiling;
+  double capacity = static_cast<double>(pcpus_);
+  for (const auto& [id, entry] : domains_) {
+    allocation[id] = 0;
+    remaining_ceiling[id] = ceiling(entry);
+  }
+  for (int round = 0; round < 16 && capacity > 1e-9; ++round) {
+    double active_weight = 0;
+    for (const auto& [id, entry] : domains_) {
+      if (remaining_ceiling[id] > 1e-9) {
+        active_weight += entry.params.weight;
+      }
+    }
+    if (active_weight <= 0) {
+      break;
+    }
+    double distributed = 0;
+    for (const auto& [id, entry] : domains_) {
+      if (remaining_ceiling[id] <= 1e-9) {
+        continue;
+      }
+      const double share =
+          capacity * entry.params.weight / active_weight;
+      const double granted = std::min(share, remaining_ceiling[id]);
+      allocation[id] += granted;
+      remaining_ceiling[id] -= granted;
+      distributed += granted;
+    }
+    capacity -= distributed;
+    if (distributed < 1e-9) {
+      break;
+    }
+  }
+  return allocation;
+}
+
+Status CreditScheduler::Account(DomainId domain, SimDuration epoch,
+                                SimDuration used) {
+  auto it = domains_.find(domain);
+  if (it == domains_.end()) {
+    return NotFoundError(StrFormat("dom%u not scheduled", domain.value()));
+  }
+  const double total_weight = TotalRunnableWeight();
+  // Credit earned this epoch: the domain's weight share of total capacity.
+  const double earned =
+      total_weight > 0
+          ? static_cast<double>(epoch) * pcpus_ *
+                it->second.params.weight / total_weight
+          : static_cast<double>(epoch);
+  it->second.credit_ns += earned - static_cast<double>(used);
+  // Clamp: Xen bounds accumulated credit so idle domains cannot hoard.
+  const double bound = static_cast<double>(epoch) * pcpus_;
+  it->second.credit_ns =
+      std::clamp(it->second.credit_ns, -bound, bound);
+  return Status::Ok();
+}
+
+StatusOr<double> CreditScheduler::CreditOf(DomainId domain) const {
+  auto it = domains_.find(domain);
+  if (it == domains_.end()) {
+    return NotFoundError(StrFormat("dom%u not scheduled", domain.value()));
+  }
+  return it->second.credit_ns;
+}
+
+bool CreditScheduler::IsOver(DomainId domain) const {
+  auto it = domains_.find(domain);
+  return it != domains_.end() && it->second.credit_ns < 0;
+}
+
+}  // namespace xoar

@@ -1,0 +1,139 @@
+#include "src/net/tcp.h"
+
+#include <algorithm>
+
+namespace xoar {
+
+TcpFlow::TcpFlow(Simulator* sim, TcpParams params, std::uint64_t total_bytes,
+                 PathProbe path_up, RateProbe rate, DoneCallback done)
+    : sim_(sim),
+      params_(params),
+      total_bytes_(total_bytes),
+      path_up_(std::move(path_up)),
+      rate_(std::move(rate)),
+      done_(std::move(done)),
+      cwnd_(params.initial_cwnd),
+      ssthresh_(1e9),
+      rto_(params.initial_rto) {}
+
+double TcpFlow::CwndCapSegments() const {
+  const double rate_bps = rate_ ? rate_() : 1e9;
+  const double bdp_bytes = rate_bps / 8.0 * ToSeconds(params_.rtt);
+  return std::max(2.0, params_.cwnd_bdp_headroom * bdp_bytes /
+                           static_cast<double>(params_.mss));
+}
+
+void TcpFlow::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  result_.started_at = sim_->Now();
+  sim_->ScheduleAfter(0, [this] { Round(); });
+}
+
+void TcpFlow::Round() {
+  if (finished_) {
+    return;
+  }
+  if (result_.bytes_delivered >= total_bytes_) {
+    Complete();
+    return;
+  }
+  if (!path_up_()) {
+    OnLoss();
+    return;
+  }
+  // Bytes deliverable this round: window-limited or rate-limited.
+  const double rate_bps = rate_() * params_.protocol_efficiency;
+  if (rate_bps <= 0) {
+    OnLoss();
+    return;
+  }
+  const double window_bytes = cwnd_ * static_cast<double>(params_.mss);
+  const double rate_bytes = rate_bps / 8.0 * ToSeconds(params_.rtt);
+  const std::uint64_t remaining = total_bytes_ - result_.bytes_delivered;
+  const std::uint64_t burst = static_cast<std::uint64_t>(std::min(
+      {window_bytes, rate_bytes, static_cast<double>(remaining)}));
+  result_.bytes_delivered += std::max<std::uint64_t>(burst, params_.mss);
+
+  // Window evolution: slow start below ssthresh, then congestion avoidance.
+  if (cwnd_ < ssthresh_) {
+    cwnd_ *= 2.0;
+  } else {
+    cwnd_ += 1.0;
+  }
+  cwnd_ = std::min(cwnd_, CwndCapSegments());
+  rto_ = params_.initial_rto;  // successful round resets the timer
+
+  sim_->ScheduleAfter(params_.rtt, [this] { Round(); });
+}
+
+void TcpFlow::OnLoss() {
+  // The in-flight window is lost; the retransmission timer will fire after
+  // the current RTO. Multiplicative decrease records the new ssthresh.
+  ++result_.timeouts;
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = 1.0;
+  sim_->ScheduleAfter(rto_, [this] { Probe(); });
+}
+
+void TcpFlow::Probe() {
+  if (finished_) {
+    return;
+  }
+  if (path_up_()) {
+    // Retransmission got through; resume in slow start (cwnd is already 1).
+    rto_ = params_.initial_rto;
+    sim_->ScheduleAfter(params_.rtt, [this] { Round(); });
+    return;
+  }
+  ++result_.retransmits;
+  rto_ = std::min(rto_ * 2, params_.max_rto);
+  sim_->ScheduleAfter(rto_, [this] { Probe(); });
+}
+
+void TcpFlow::Complete() {
+  finished_ = true;
+  result_.completed_at = sim_->Now();
+  if (done_) {
+    done_(result_);
+  }
+}
+
+TcpConnect::TcpConnect(Simulator* sim, PathProbe path_up, DoneCallback done,
+                       SimDuration syn_retry_base, SimDuration give_up_after)
+    : sim_(sim),
+      path_up_(std::move(path_up)),
+      done_(std::move(done)),
+      syn_retry_base_(syn_retry_base),
+      give_up_after_(give_up_after),
+      next_backoff_(syn_retry_base) {}
+
+void TcpConnect::Start() {
+  started_at_ = sim_->Now();
+  Attempt();
+}
+
+void TcpConnect::Attempt() {
+  ++attempts_;
+  if (path_up_()) {
+    if (done_) {
+      done_(sim_->Now() - started_at_, attempts_);
+    }
+    return;
+  }
+  const SimDuration elapsed = sim_->Now() - started_at_;
+  if (elapsed + next_backoff_ > give_up_after_) {
+    if (done_) {
+      done_(elapsed, 0);  // connection failure
+    }
+    return;
+  }
+  // SYN lost: retry after the backoff (3 s, then 6 s, 12 s, ... as in
+  // Linux's doubling schedule starting from TCP_TIMEOUT_INIT).
+  sim_->ScheduleAfter(next_backoff_, [this] { Attempt(); });
+  next_backoff_ *= 2;
+}
+
+}  // namespace xoar

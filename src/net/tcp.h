@@ -1,0 +1,126 @@
+// Flow-level TCP model.
+//
+// The restart experiments (Fig 6.3, Fig 6.5) are governed by how TCP reacts
+// to a driver-domain outage: in-flight data is lost, the retransmission
+// timer backs off exponentially while the path is down, and the connection
+// resumes in slow start when a probe finally succeeds. TcpFlow reproduces
+// exactly that control loop at RTT-round granularity (one simulator event
+// per congestion-window round trip), which keeps multi-gigabyte transfers
+// tractable while preserving the timeout/backoff/slow-start dynamics that
+// shape the paper's curves.
+//
+// TcpConnect models connection establishment: a SYN sent into a dead path
+// is retried on the standard 3 s / 9 s / 21 s schedule — the source of the
+// multi-second worst-case latencies the paper reports for the Apache
+// benchmark under frequent restarts.
+#ifndef XOAR_SRC_NET_TCP_H_
+#define XOAR_SRC_NET_TCP_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/base/ids.h"
+#include "src/base/units.h"
+#include "src/sim/simulator.h"
+
+namespace xoar {
+
+struct TcpParams {
+  std::uint32_t mss = 1448;                         // bytes per segment
+  SimDuration rtt = 200 * kMicrosecond;             // LAN round trip
+  SimDuration initial_rto = FromMilliseconds(200);  // Linux TCP_RTO_MIN
+  SimDuration max_rto = FromSeconds(60);
+  double initial_cwnd = 10;  // segments (IW10)
+  // Congestion window ceiling as a multiple of the path BDP; models receive
+  // window / buffer autotuning headroom.
+  double cwnd_bdp_headroom = 1.2;
+  // Goodput fraction of raw link rate (header + ack overhead).
+  double protocol_efficiency = 0.941;
+};
+
+// True when the path can carry data end to end (backend up, link up).
+using PathProbe = std::function<bool()>;
+// Available path rate in bits/second at this instant (bottleneck link).
+using RateProbe = std::function<double()>;
+
+class TcpFlow {
+ public:
+  struct Result {
+    std::uint64_t bytes_delivered = 0;
+    SimTime started_at = 0;
+    SimTime completed_at = 0;
+    std::uint32_t timeouts = 0;       // RTO expirations
+    std::uint32_t retransmits = 0;    // failed probes during backoff
+    double MeanThroughputBytesPerSec() const {
+      if (completed_at <= started_at) {
+        return 0.0;
+      }
+      return static_cast<double>(bytes_delivered) /
+             ToSeconds(completed_at - started_at);
+    }
+  };
+
+  using DoneCallback = std::function<void(const Result&)>;
+
+  TcpFlow(Simulator* sim, TcpParams params, std::uint64_t total_bytes,
+          PathProbe path_up, RateProbe rate, DoneCallback done);
+
+  // Begins the transfer. One flow instance runs one transfer.
+  void Start();
+
+  bool finished() const { return finished_; }
+  const Result& result() const { return result_; }
+  std::uint64_t bytes_delivered() const { return result_.bytes_delivered; }
+
+ private:
+  void Round();
+  void OnLoss();
+  void Probe();
+  void Complete();
+  double CwndCapSegments() const;
+
+  Simulator* sim_;
+  TcpParams params_;
+  std::uint64_t total_bytes_;
+  PathProbe path_up_;
+  RateProbe rate_;
+  DoneCallback done_;
+
+  double cwnd_;      // segments
+  double ssthresh_;  // segments
+  SimDuration rto_;
+  bool started_ = false;
+  bool finished_ = false;
+  Result result_;
+};
+
+// Connection establishment with SYN retransmission backoff.
+class TcpConnect {
+ public:
+  // Calls `done(elapsed, attempts)` once the handshake completes. If the
+  // path stays down past `give_up_after`, done is called with attempts=0
+  // (connection failure).
+  using DoneCallback = std::function<void(SimDuration elapsed, int attempts)>;
+
+  TcpConnect(Simulator* sim, PathProbe path_up, DoneCallback done,
+             SimDuration syn_retry_base = FromSeconds(3),
+             SimDuration give_up_after = FromSeconds(63));
+
+  void Start();
+
+ private:
+  void Attempt();
+
+  Simulator* sim_;
+  PathProbe path_up_;
+  DoneCallback done_;
+  SimDuration syn_retry_base_;
+  SimDuration give_up_after_;
+  SimTime started_at_ = 0;
+  SimDuration next_backoff_;
+  int attempts_ = 0;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_NET_TCP_H_

@@ -1,0 +1,181 @@
+#include "src/security/containment.h"
+
+#include "src/base/strings.h"
+
+namespace xoar {
+
+std::size_t ContainmentResult::OtherGuestsAffected(DomainId attacker) const {
+  std::set<DomainId> affected;
+  for (const auto& set : {memory_access, interceptable, manageable}) {
+    for (DomainId id : set) {
+      if (id != attacker) {
+        affected.insert(id);
+      }
+    }
+  }
+  return affected.size();
+}
+
+std::string ContainmentResult::Summary() const {
+  if (mitigated) {
+    return "mitigated (no effect)";
+  }
+  if (platform_compromised) {
+    return "PLATFORM COMPROMISED";
+  }
+  if (dos_only) {
+    return StrFormat("DoS only: %zu guest(s) lose availability",
+                     interceptable.size());
+  }
+  return StrFormat(
+      "contained: memory of %zu guest(s), traffic of %zu, management of %zu",
+      memory_access.size(), interceptable.size(), manageable.size());
+}
+
+DomainId CompromiseAnalyzer::ResolveTargetDomain(DomainId attacker,
+                                                 AttackVector vector) {
+  switch (vector) {
+    case AttackVector::kDeviceEmulation:
+      return platform_->ServiceDomainOf(ServiceKind::kDeviceEmulator,
+                                        attacker);
+    case AttackVector::kVirtualizedDevice:
+      // Net and blk backends alternate per CVE in reality; the worse case
+      // (network interception) is representative.
+      return platform_->ServiceDomainOf(ServiceKind::kNetBack, attacker);
+    case AttackVector::kManagement:
+      return platform_->ServiceDomainOf(ServiceKind::kToolstack, attacker);
+    case AttackVector::kXenStore:
+      return platform_->ServiceDomainOf(ServiceKind::kXenStore, attacker);
+    case AttackVector::kDebugRegisters:
+    case AttackVector::kHypervisor:
+      return DomainId::Invalid();  // hypervisor-level
+  }
+  return DomainId::Invalid();
+}
+
+void CompromiseAnalyzer::ComputeReach(DomainId compromised,
+                                      ContainmentResult* result) {
+  Hypervisor& hv = platform_->hv();
+  const Domain* dom = hv.domain(compromised);
+  if (dom == nullptr) {
+    return;
+  }
+  if (dom->is_control_domain()) {
+    // Dom0 compromise: everything is lost (§4: "a compromise of Dom0
+    // compromises the security of all the hosted machines").
+    result->platform_compromised = true;
+    for (DomainId id : hv.AllDomains()) {
+      const Domain* other = hv.domain(id);
+      if (other != nullptr && !other->is_control_domain()) {
+        result->memory_access.insert(id);
+        result->interceptable.insert(id);
+        result->manageable.insert(id);
+      }
+    }
+    return;
+  }
+  // Builder-class privilege: arbitrary foreign mapping of any guest.
+  const bool arbitrary_memory =
+      dom->is_shard() &&
+      dom->hypercall_policy().Permits(Hypercall::kForeignMemoryMap);
+  for (DomainId id : hv.AllDomains()) {
+    const Domain* other = hv.domain(id);
+    if (other == nullptr || id == compromised || other->is_control_domain()) {
+      continue;
+    }
+    const bool is_guest = !other->config().is_shard;
+    if (arbitrary_memory && is_guest) {
+      result->memory_access.insert(id);
+    }
+    // privileged-for: the QemuVM's reach is exactly its own guest.
+    if (dom->IsPrivilegedFor(id)) {
+      result->memory_access.insert(id);
+    }
+    // Guests authorized to use this shard have their I/O transiting it.
+    if (other->MayUseShard(compromised)) {
+      result->interceptable.insert(id);
+    }
+    // Guests whose parent toolstack this is can be managed (started,
+    // stopped, reconfigured).
+    if (other->parent_toolstack() == compromised) {
+      result->manageable.insert(id);
+    }
+  }
+}
+
+StatusOr<ContainmentResult> CompromiseAnalyzer::Analyze(
+    DomainId attacker, const Vulnerability& vuln) {
+  if (!vuln.guest_originated) {
+    return InvalidArgumentError(
+        "only guest-originated vulnerabilities are in the threat model");
+  }
+  ContainmentResult result;
+  result.vulnerability_id = vuln.id;
+  result.vector = vuln.vector;
+
+  switch (vuln.vector) {
+    case AttackVector::kHypervisor:
+      // §6.2.1: "We would currently not be able to protect against the
+      // hypervisor exploit" — on either platform.
+      result.platform_compromised = true;
+      return result;
+    case AttackVector::kDebugRegisters:
+      // §6.2.1: mitigated by deprivileging guests, on Xen or Xoar alike.
+      if (deprivilege_debug_) {
+        result.mitigated = true;
+      } else {
+        result.platform_compromised = true;
+      }
+      return result;
+    case AttackVector::kXenStore:
+      // §6.2.1: caused by bugs fixed in the deployed XenStore version; the
+      // quota defense additionally bounds the monopolization DoS.
+      result.mitigated = true;
+      return result;
+    default:
+      break;
+  }
+
+  const DomainId target = ResolveTargetDomain(attacker, vuln.vector);
+  if (!target.valid()) {
+    return FailedPreconditionError(
+        StrFormat("attacker dom%u has no %s surface on this platform",
+                  attacker.value(),
+                  std::string(AttackVectorName(vuln.vector)).c_str()));
+  }
+  result.compromised_domain = target;
+  if (vuln.effect == AttackEffect::kDenialOfService) {
+    // Availability impact is bounded by who shares the component.
+    result.dos_only = true;
+    Hypervisor& hv = platform_->hv();
+    const Domain* dom = hv.domain(target);
+    if (dom != nullptr && dom->is_control_domain()) {
+      result.platform_compromised = true;  // Dom0 wedged = host down
+    }
+    for (DomainId id : hv.AllDomains()) {
+      const Domain* other = hv.domain(id);
+      if (other != nullptr && (other->MayUseShard(target) ||
+                               (dom != nullptr && dom->is_control_domain() &&
+                                !other->is_control_domain()))) {
+        result.interceptable.insert(id);
+      }
+    }
+    return result;
+  }
+  ComputeReach(target, &result);
+  return result;
+}
+
+std::vector<ContainmentResult> CompromiseAnalyzer::AnalyzeAll(
+    DomainId attacker) {
+  std::vector<ContainmentResult> results;
+  for (const auto& vuln : GuestOriginatedVulnerabilities()) {
+    StatusOr<ContainmentResult> result = Analyze(attacker, vuln);
+    if (result.ok()) {
+      results.push_back(*std::move(result));
+    }
+  }
+  return results;
+}
+
+}  // namespace xoar

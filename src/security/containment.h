@@ -1,0 +1,79 @@
+// Compromise-propagation analysis (§2.1, §6.2.1).
+//
+// A compromise of a component yields (1) that component's privileges and
+// (2) reachability of the other interfaces it touches. The analyzer takes a
+// live platform, an attacking guest, and a vulnerability; it resolves which
+// domain the exploited component lives in, then computes mechanically —
+// from the hypervisor's actual privilege state, not from a hand-written
+// table — what the attacker can now reach: whose memory, whose traffic,
+// whose management interface, and whether the platform as a whole is lost.
+#ifndef XOAR_SRC_SECURITY_CONTAINMENT_H_
+#define XOAR_SRC_SECURITY_CONTAINMENT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+#include "src/ctl/platform.h"
+#include "src/security/vulnerabilities.h"
+
+namespace xoar {
+
+struct ContainmentResult {
+  std::string vulnerability_id;
+  AttackVector vector = AttackVector::kHypervisor;
+  // The domain hosting the exploited component (invalid for pure
+  // hypervisor-level attacks).
+  DomainId compromised_domain;
+  // The whole platform is lost (hypervisor exploit, or the compromised
+  // domain is the control domain).
+  bool platform_compromised = false;
+  // Denial of service only: no code execution in the TCB.
+  bool dos_only = false;
+  // Attack defeated by configuration (e.g. guest debug-register
+  // deprivileging).
+  bool mitigated = false;
+  // Guests whose memory the attacker can now read/write.
+  std::set<DomainId> memory_access;
+  // Guests whose I/O (network traffic or storage) transits the compromised
+  // component and can be intercepted.
+  std::set<DomainId> interceptable;
+  // Guests the attacker can now manage (pause/destroy) via toolstack
+  // privileges.
+  std::set<DomainId> manageable;
+
+  // Count of *other* guests affected in any way (the paper's containment
+  // metric).
+  std::size_t OtherGuestsAffected(DomainId attacker) const;
+  std::string Summary() const;
+};
+
+class CompromiseAnalyzer {
+ public:
+  // `deprivilege_guest_debug_registers` models the mitigation the paper
+  // notes is available on either platform for the 2 debug-register CVEs.
+  CompromiseAnalyzer(Platform* platform, bool deprivilege_guest_debug_registers)
+      : platform_(platform),
+        deprivilege_debug_(deprivilege_guest_debug_registers) {}
+
+  // Replays one vulnerability launched from `attacker`.
+  StatusOr<ContainmentResult> Analyze(DomainId attacker,
+                                      const Vulnerability& vuln);
+
+  // Replays the whole guest-originated registry.
+  std::vector<ContainmentResult> AnalyzeAll(DomainId attacker);
+
+ private:
+  // The domain hosting the component a given vector lands in.
+  DomainId ResolveTargetDomain(DomainId attacker, AttackVector vector);
+  void ComputeReach(DomainId compromised, ContainmentResult* result);
+
+  Platform* platform_;
+  bool deprivilege_debug_;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_SECURITY_CONTAINMENT_H_

@@ -1,0 +1,34 @@
+#include "src/security/tcb.h"
+
+namespace xoar {
+
+TcbReport StockXenTcb() {
+  TcbReport report;
+  report.platform = "Stock Xen (monolithic Dom0)";
+  report.components.push_back(
+      TcbComponent{"Xen hypervisor", HypervisorCodeSize(), true});
+  // Dom0: one Linux image hosting every control-plane service; all of it
+  // holds arbitrary guest-memory privilege.
+  report.components.push_back(
+      TcbComponent{"Dom0 Linux (drivers, XenStore, toolstack, QEMU)",
+                   CodeSizeOf(OsProfile::kLinux), true});
+  return report;
+}
+
+TcbReport XoarTcb() {
+  TcbReport report;
+  report.platform = "Xoar (disaggregated)";
+  report.components.push_back(
+      TcbComponent{"Xen hypervisor", HypervisorCodeSize(), true});
+  for (const auto& shard : ShardInventory()) {
+    // The Builder is the single remaining component with guest-memory
+    // privilege (§6.2); the Bootstrapper is privileged too but exists only
+    // during boot and is destroyed before guests run.
+    const bool privileged = shard.shard_class == ShardClass::kBuilder;
+    report.components.push_back(TcbComponent{
+        std::string(shard.name), CodeSizeOf(shard.os), privileged});
+  }
+  return report;
+}
+
+}  // namespace xoar

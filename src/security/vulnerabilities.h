@@ -1,0 +1,52 @@
+// Vulnerability registry (§2.2.1, §6.2.1).
+//
+// The paper analyzed the CERT registry and VMware advisories for Type-1
+// hypervisor vulnerabilities: 44 total, of which 23 originated from within
+// guest VMs (12 arbitrary-code-execution buffer overflows, 11 denial of
+// service). By attack vector: 14 in device emulation, 4 in the virtualized
+// device layer, 4 in management components, and 1 in the hypervisor itself.
+// The §6.2.1 evaluation replays the code-execution attacks against both
+// platforms. The identifiers below are synthetic (the thesis does not name
+// individual CVEs); counts and classification follow the paper exactly.
+#ifndef XOAR_SRC_SECURITY_VULNERABILITIES_H_
+#define XOAR_SRC_SECURITY_VULNERABILITIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xoar {
+
+enum class AttackVector : std::uint8_t {
+  kDeviceEmulation,    // QEMU device model
+  kVirtualizedDevice,  // paravirtual net/blk backends
+  kManagement,         // toolstack / management components
+  kXenStore,           // XenStore write-access bugs
+  kDebugRegisters,     // debug-register handling in the hypervisor interface
+  kHypervisor,         // a hypervisor exploit proper
+};
+
+std::string_view AttackVectorName(AttackVector vector);
+
+enum class AttackEffect : std::uint8_t {
+  kCodeExecution,  // arbitrary code execution with elevated privileges
+  kDenialOfService,
+};
+
+struct Vulnerability {
+  std::string id;  // synthetic identifier
+  AttackVector vector;
+  AttackEffect effect;
+  bool guest_originated;
+  std::string description;
+};
+
+// The full registry of 44 entries (23 guest-originated).
+const std::vector<Vulnerability>& VulnerabilityRegistry();
+
+// The guest-originated subset the evaluation replays.
+std::vector<Vulnerability> GuestOriginatedVulnerabilities();
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_SECURITY_VULNERABILITIES_H_

@@ -1,0 +1,106 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace xoar {
+
+EventId Simulator::ScheduleAt(SimTime when, Callback fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  const std::uint64_t raw = next_id_++;
+  queue_.push(Event{when, next_seq_++, EventId(raw)});
+  callbacks_.emplace(raw, std::move(fn));
+  return EventId(raw);
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = callbacks_.find(id.value());
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  cancelled_.insert(id.value());
+  return true;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(event.id.value());
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto cb_it = callbacks_.find(event.id.value());
+    if (cb_it == callbacks_.end()) {
+      continue;  // Defensive: cancelled without tombstone.
+    }
+    Callback fn = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = event.when;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!Step()) {
+      return;
+    }
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id.value()) != 0) {
+      cancelled_.erase(top.id.value());
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void PeriodicTimer::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  Arm();
+}
+
+void PeriodicTimer::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  if (pending_.valid()) {
+    sim_->Cancel(pending_);
+    pending_ = EventId::Invalid();
+  }
+}
+
+void PeriodicTimer::Arm() {
+  pending_ = sim_->ScheduleAfter(period_, [this] {
+    if (!running_) {
+      return;
+    }
+    // Re-arm first so on_fire_ may Stop() the timer.
+    Arm();
+    on_fire_();
+  });
+}
+
+}  // namespace xoar

@@ -1,0 +1,114 @@
+// Discrete-event simulation kernel.
+//
+// The whole platform — hypervisor, shards, devices, guests — executes as
+// callbacks scheduled on a single Simulator. Events at equal timestamps fire
+// in scheduling order (FIFO tie-break), which keeps every run deterministic.
+#ifndef XOAR_SRC_SIM_SIMULATOR_H_
+#define XOAR_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/base/units.h"
+
+namespace xoar {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when`. Scheduling in the past is
+  // clamped to Now(). Returns a handle usable with Cancel().
+  EventId ScheduleAt(SimTime when, Callback fn);
+
+  // Schedules `fn` to run `delay` from now.
+  EventId ScheduleAfter(SimDuration delay, Callback fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Returns false if it already fired or was
+  // already cancelled.
+  bool Cancel(EventId id);
+
+  // Runs a single event. Returns false if the queue is empty.
+  bool Step();
+
+  // Runs events until the queue drains or `max_events` is hit.
+  void Run(std::uint64_t max_events = UINT64_MAX);
+
+  // Runs all events with timestamp <= deadline, then advances the clock to
+  // `deadline` (even if idle), mirroring real elapsed time.
+  void RunUntil(SimTime deadline);
+
+  // Runs for `duration` of simulated time from now.
+  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+
+  std::size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+  std::uint64_t EventsExecuted() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    // Ordering for the min-heap (std::priority_queue is a max-heap, so the
+    // comparison is inverted).
+    bool operator<(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event> queue_;
+  // Callbacks are held out-of-line so cancelled events release them eagerly.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+// A restartable repeating timer built on the Simulator. Used for microreboot
+// restart policies and workload pacing.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator* sim, SimDuration period, Simulator::Callback on_fire)
+      : sim_(sim), period_(period), on_fire_(std::move(on_fire)) {}
+  ~PeriodicTimer() { Stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  SimDuration period() const { return period_; }
+  void set_period(SimDuration period) { period_ = period; }
+
+ private:
+  void Arm();
+
+  Simulator* sim_;
+  SimDuration period_;
+  Simulator::Callback on_fire_;
+  bool running_ = false;
+  EventId pending_ = EventId::Invalid();
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,166 @@
+#include "src/workloads/apache.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace xoar {
+
+namespace {
+
+struct ApacheRun {
+  Platform* platform;
+  DomainId guest;
+  ApacheBenchConfig config;
+
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  double latency_sum_ms = 0;
+  double max_latency_ms = 0;
+  SimTime server_busy_until = 0;
+  int active_slots = 0;
+
+  bool PathUp() const {
+    NetBack* netback = platform->netback_of(guest);
+    return netback != nullptr && netback->IsVifConnected(guest);
+  }
+
+  // Retransmission timers carry ±10% jitter (kernel timer granularity and
+  // RTT variance); without it, deterministic retries phase-lock onto a
+  // periodic outage schedule, which real systems do not do.
+  std::uint64_t jitter_state = 0x853c49e6748fea9bULL;
+  SimDuration Jittered(SimDuration base) {
+    jitter_state = jitter_state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double frac = static_cast<double>(jitter_state >> 40) /
+                        static_cast<double>(1ULL << 24);
+    return static_cast<SimDuration>(static_cast<double>(base) *
+                                    (0.90 + 0.20 * frac));
+  }
+
+  Simulator& sim() { return platform->sim(); }
+
+  void StartNext() {
+    if (issued >= config.total_requests) {
+      --active_slots;
+      return;
+    }
+    ++issued;
+    const SimTime start = sim().Now();
+    Connect(start, /*backoff=*/config.syn_retry, /*attempt=*/1);
+  }
+
+  // Connection establishment with SYN retries (3 s, 6 s, 12 s...). The
+  // handshake spans one RTT; if the backend goes down during it, the SYN or
+  // SYN-ACK is lost and only the 3 s retransmission timer recovers — the
+  // source of the multi-second worst-case latencies in Fig 6.5.
+  void Connect(SimTime start, SimDuration backoff, int attempt) {
+    if (attempt > 6) {
+      ++failed;
+      StartNext();
+      return;
+    }
+    if (PathUp()) {
+      sim().ScheduleAfter(config.rtt, [this, start, backoff, attempt] {
+        if (PathUp()) {
+          Serve(start);
+        } else {
+          // Outage hit mid-handshake: wait out the SYN retransmit timer.
+          sim().ScheduleAfter(Jittered(backoff), [this, start, backoff,
+                                                  attempt] {
+            Connect(start, backoff * 2, attempt + 1);
+          });
+        }
+      });
+      return;
+    }
+    sim().ScheduleAfter(Jittered(backoff), [this, start, backoff, attempt] {
+      Connect(start, backoff * 2, attempt + 1);
+    });
+  }
+
+  void Serve(SimTime start) {
+    // One shared server: requests serialize at the saturation rate.
+    const SimDuration service = static_cast<SimDuration>(
+        static_cast<double>(kSecond) / config.server_rate_rps);
+    const SimTime begin = std::max(sim().Now(), server_busy_until);
+    server_busy_until = begin + service;
+    sim().ScheduleAt(server_busy_until + config.rtt / 2,
+                     [this, start] { Respond(start, config.request_rto); });
+  }
+
+  // Response delivery. NetBack is a bridge: a microreboot drops frames but
+  // the TCP endpoints (external client, guest) keep their state, so a
+  // request caught by an outage recovers by retransmission with exponential
+  // backoff once the path returns ("dropped packets and network timeouts
+  // cause a small number of requests to experience very long completion
+  // times", §6.1.4).
+  void Respond(SimTime start, SimDuration rto) {
+    if (!PathUp()) {
+      sim().ScheduleAfter(Jittered(rto), [this, start, rto] {
+        Respond(start, std::min<SimDuration>(rto * 2, FromSeconds(60)));
+      });
+      return;
+    }
+    const double latency_ms = ToMilliseconds(sim().Now() - start);
+    latency_sum_ms += latency_ms;
+    max_latency_ms = std::max(max_latency_ms, latency_ms);
+    ++completed;
+    StartNext();
+  }
+};
+
+}  // namespace
+
+StatusOr<ApacheBenchResult> RunApacheBench(Platform* platform, DomainId guest,
+                                           const ApacheBenchConfig& config) {
+  if (platform->netback_of(guest) == nullptr) {
+    return FailedPreconditionError("guest has no network path");
+  }
+  Platform::IoStreamToken net_token =
+      platform->BeginIoStream(Platform::IoKind::kNet);
+
+  auto run = std::make_unique<ApacheRun>();
+  run->platform = platform;
+  run->guest = guest;
+  run->config = config;
+
+  const SimTime started_at = platform->sim().Now();
+  run->active_slots = config.concurrency;
+  for (int i = 0; i < config.concurrency; ++i) {
+    run->StartNext();
+  }
+  // active_slots was decremented by StartNext exhaustion only; fix up the
+  // accounting: StartNext decrements when no work remains.
+  const SimTime deadline = started_at + 24 * 3600 * kSecond;
+  while (run->completed + run->failed < config.total_requests &&
+         platform->sim().Now() < deadline) {
+    if (!platform->sim().Step()) {
+      break;
+    }
+  }
+  if (run->completed + run->failed < config.total_requests) {
+    return InternalError("apache bench did not complete");
+  }
+
+  ApacheBenchResult result;
+  result.completed = run->completed;
+  result.failed = run->failed;
+  result.total_seconds = ToSeconds(platform->sim().Now() - started_at);
+  result.throughput_rps =
+      result.total_seconds > 0
+          ? static_cast<double>(run->completed) / result.total_seconds
+          : 0;
+  result.mean_latency_ms =
+      run->completed > 0 ? run->latency_sum_ms /
+                               static_cast<double>(run->completed)
+                         : 0;
+  result.max_latency_ms = run->max_latency_ms;
+  result.transfer_rate_mbps =
+      result.total_seconds > 0
+          ? static_cast<double>(run->completed) * config.page_bytes / 1e6 /
+                result.total_seconds
+          : 0;
+  return result;
+}
+
+}  // namespace xoar

@@ -1,0 +1,139 @@
+#include "src/workloads/kernel_build.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace xoar {
+
+namespace {
+
+struct BuildRun {
+  Platform* platform;
+  DomainId guest;
+  KernelBuildConfig config;
+  int phase = 0;
+  bool finished = false;
+  double io_ns_accumulated = 0;
+
+  Simulator& sim() { return platform->sim(); }
+
+  bool NetPathUp() const {
+    NetBack* netback = platform->netback_of(guest);
+    return netback != nullptr && netback->IsVifConnected(guest);
+  }
+
+  void NextPhase() {
+    if (phase >= config.phases) {
+      finished = true;
+      return;
+    }
+    ++phase;
+    const SimDuration cpu_chunk = static_cast<SimDuration>(
+        config.cpu_seconds / config.phases * static_cast<double>(kSecond));
+    sim().ScheduleAfter(cpu_chunk, [this] { IoPhase(); });
+  }
+
+  void IoPhase() {
+    const std::uint64_t data_chunk =
+        (config.source_read_bytes + config.object_write_bytes) /
+        static_cast<std::uint64_t>(config.phases);
+    if (!config.over_nfs) {
+      // Local ext3: buffered streaming through the virtual disk.
+      const double rate = platform->EffectiveDiskRateBps(guest);  // bits/s
+      if (rate <= 0) {
+        sim().ScheduleAfter(FromMilliseconds(200), [this] { IoPhase(); });
+        return;
+      }
+      const SimDuration io_time = TransferTime(data_chunk, rate);
+      io_ns_accumulated += static_cast<double>(io_time);
+      sim().ScheduleAfter(io_time, [this] { NextPhase(); });
+      return;
+    }
+    // NFS: metadata RPCs first, then the data chunk as a TCP flow.
+    const int rpcs = config.source_files * config.rpcs_per_file /
+                     config.phases;
+    const SimDuration metadata_time =
+        static_cast<SimDuration>(rpcs) * config.nfs_rpc_latency;
+    MetadataWait(metadata_time, data_chunk);
+  }
+
+  // Consumes `remaining` of metadata time, pausing while the network path
+  // is down (NFS retries its RPCs until the server responds).
+  void MetadataWait(SimDuration remaining, std::uint64_t data_chunk) {
+    if (remaining == 0) {
+      DataTransfer(data_chunk);
+      return;
+    }
+    if (!NetPathUp()) {
+      sim().ScheduleAfter(FromMilliseconds(200), [this, remaining,
+                                                  data_chunk] {
+        MetadataWait(remaining, data_chunk);
+      });
+      return;
+    }
+    const SimDuration slice =
+        std::min<SimDuration>(remaining, FromMilliseconds(50));
+    io_ns_accumulated += static_cast<double>(slice);
+    sim().ScheduleAfter(slice, [this, remaining, slice, data_chunk] {
+      MetadataWait(remaining - slice, data_chunk);
+    });
+  }
+
+  void DataTransfer(std::uint64_t data_chunk) {
+    const SimTime start = sim().Now();
+    // The flow lives in the run object until the next phase replaces it —
+    // its scheduled rounds must not outlive it.
+    active_flow = std::make_unique<TcpFlow>(
+        &sim(), config.tcp, data_chunk,
+        [this] { return NetPathUp(); },
+        [this] {
+          return platform->EffectiveNetRateBps(guest) *
+                 config.nfs_data_efficiency;
+        },
+        [this, start](const TcpFlow::Result& r) {
+          io_ns_accumulated += static_cast<double>(r.completed_at - start);
+          NextPhase();
+        });
+    active_flow->Start();
+  }
+
+  std::unique_ptr<TcpFlow> active_flow;
+};
+
+}  // namespace
+
+StatusOr<KernelBuildResult> RunKernelBuild(Platform* platform, DomainId guest,
+                                           const KernelBuildConfig& config) {
+  if (config.over_nfs && platform->netback_of(guest) == nullptr) {
+    return FailedPreconditionError("NFS build needs a network path");
+  }
+  if (!config.over_nfs && platform->blkback_of(guest) == nullptr) {
+    return FailedPreconditionError("local build needs a virtual disk");
+  }
+  Platform::IoStreamToken token = platform->BeginIoStream(
+      config.over_nfs ? Platform::IoKind::kNet : Platform::IoKind::kDisk);
+
+  auto run = std::make_unique<BuildRun>();
+  run->platform = platform;
+  run->guest = guest;
+  run->config = config;
+
+  const SimTime started_at = platform->sim().Now();
+  run->NextPhase();
+  const SimTime deadline = started_at + 48 * 3600 * kSecond;
+  while (!run->finished && platform->sim().Now() < deadline) {
+    if (!platform->sim().Step()) {
+      break;
+    }
+  }
+  if (!run->finished) {
+    return InternalError("kernel build did not complete");
+  }
+  KernelBuildResult result;
+  result.seconds = ToSeconds(platform->sim().Now() - started_at);
+  result.cpu_seconds = config.cpu_seconds;
+  result.io_seconds = run->io_ns_accumulated / static_cast<double>(kSecond);
+  return result;
+}
+
+}  // namespace xoar

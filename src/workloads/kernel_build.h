@@ -1,0 +1,45 @@
+// The kernel-build workload (§6.1.4, Fig 6.4).
+//
+// A Linux kernel build is CPU-bound with a light, steady I/O tail: sources
+// are read once, objects written once, with heavy metadata traffic when the
+// tree lives on NFS. The model interleaves compute phases with I/O phases;
+// local builds push the I/O through the virtual-disk rate, NFS builds push
+// it through the network path (data plus per-file RPC round trips), which
+// is what makes them sensitive to NetBack microreboots.
+#ifndef XOAR_SRC_WORKLOADS_KERNEL_BUILD_H_
+#define XOAR_SRC_WORKLOADS_KERNEL_BUILD_H_
+
+#include <cstdint>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+#include "src/ctl/platform.h"
+#include "src/net/tcp.h"
+
+namespace xoar {
+
+struct KernelBuildConfig {
+  double cpu_seconds = 312.0;  // pure compile time on the testbed CPU
+  std::uint64_t source_read_bytes = 450 * kMiB;
+  std::uint64_t object_write_bytes = 750 * kMiB;
+  int source_files = 30'000;
+  int phases = 120;  // compute/I-O interleaving granularity
+  bool over_nfs = false;
+  double nfs_data_efficiency = 0.55;        // RPC framing on the data path
+  SimDuration nfs_rpc_latency = 1 * kMillisecond;  // per-metadata-RPC cost
+  int rpcs_per_file = 3;                    // lookup + getattr + close
+  TcpParams tcp;
+};
+
+struct KernelBuildResult {
+  double seconds = 0;
+  double cpu_seconds = 0;
+  double io_seconds = 0;
+};
+
+StatusOr<KernelBuildResult> RunKernelBuild(Platform* platform, DomainId guest,
+                                           const KernelBuildConfig& config);
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_WORKLOADS_KERNEL_BUILD_H_

@@ -1,0 +1,255 @@
+#include "src/workloads/postmark.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/drv/blk.h"
+
+namespace xoar {
+
+std::string PostmarkConfig::Label() const {
+  std::string label = StrFormat("%dKx%dK", files / 1000, transactions / 1000);
+  if (files < 1000) {
+    label = StrFormat("%dx%dK", files, transactions / 1000);
+  }
+  if (subdirectories > 1) {
+    label += StrFormat("x%d", subdirectories);
+  }
+  return label;
+}
+
+namespace {
+
+struct FileRecord {
+  std::uint64_t offset = 0;
+  std::uint32_t bytes = 0;
+  bool cached = false;
+  bool live = false;
+};
+
+struct PostmarkRun {
+  Platform* platform;
+  DomainId guest;
+  BlkFront* blk;
+  PostmarkConfig config;
+  Rng rng;
+
+  std::vector<FileRecord> file_table;
+  std::vector<int> live_files;
+  std::uint64_t next_offset = 0;
+  std::uint64_t cached_bytes = 0;
+  std::uint64_t dirty_bytes = 0;
+  bool flusher_active = false;
+  std::uint64_t flush_offset = 0;
+
+  PostmarkResult result;
+  int created_initial = 0;
+  int transactions_done = 0;
+  int deletes_remaining = 0;
+  bool finished = false;
+
+  explicit PostmarkRun(std::uint64_t seed) : rng(seed) {}
+
+  Simulator& sim() { return platform->sim(); }
+
+  std::uint32_t RandomFileSize() {
+    return static_cast<std::uint32_t>(rng.NextInRange(
+        config.min_file_bytes, config.max_file_bytes));
+  }
+
+  // Per-operation CPU: base syscall/fs cost plus a directory lookup whose
+  // cost grows with the per-directory entry count.
+  SimDuration OpCost() const {
+    const double per_dir = std::max(
+        2.0, static_cast<double>(live_files.size()) /
+                 static_cast<double>(std::max(1, config.subdirectories)));
+    return config.cpu_per_op +
+           static_cast<SimDuration>(
+               static_cast<double>(config.lookup_cost_per_bit) *
+               std::log2(per_dir));
+  }
+
+  // --- Write-back cache in front of the paravirtual block path ---
+
+  void PumpFlusher() {
+    if (flusher_active || dirty_bytes == 0) {
+      return;
+    }
+    flusher_active = true;
+    const std::uint32_t chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(dirty_bytes, config.flush_chunk_bytes));
+    flush_offset = (flush_offset + chunk) %
+                   (config.cache_bytes * 4);  // spread over the image
+    blk->WriteBytes(flush_offset, chunk, [this, chunk](Status status) {
+      (void)status;
+      flusher_active = false;
+      dirty_bytes -= std::min<std::uint64_t>(dirty_bytes, chunk);
+      PumpFlusher();
+    });
+  }
+
+  // Buffered write: absorbs into the cache unless the dirty limit is hit,
+  // in which case the writer throttles until the flusher makes room.
+  void BufferedWrite(std::uint32_t bytes, std::function<void()> done) {
+    if (dirty_bytes + bytes > config.dirty_limit_bytes) {
+      PumpFlusher();
+      sim().ScheduleAfter(500 * kMicrosecond,
+                          [this, bytes, done = std::move(done)]() mutable {
+                            BufferedWrite(bytes, std::move(done));
+                          });
+      return;
+    }
+    dirty_bytes += bytes;
+    PumpFlusher();
+    sim().ScheduleAfter(OpCost(), std::move(done));
+  }
+
+  void CachedRead(int file_index, std::function<void()> done) {
+    FileRecord& file = file_table[static_cast<std::size_t>(file_index)];
+    if (file.cached && cached_bytes <= config.cache_bytes) {
+      sim().ScheduleAfter(OpCost(), std::move(done));
+      return;
+    }
+    ++result.cache_misses;
+    blk->ReadBytes(file.offset, file.bytes,
+                   [this, file_index, done = std::move(done)](Status) mutable {
+                     FileRecord& f =
+                         file_table[static_cast<std::size_t>(file_index)];
+                     f.cached = true;
+                     cached_bytes += f.bytes;
+                     sim().ScheduleAfter(OpCost(), std::move(done));
+                   });
+  }
+
+  // --- File operations ---
+
+  void CreateFile(std::function<void()> done) {
+    FileRecord file;
+    file.bytes = RandomFileSize();
+    file.offset = next_offset;
+    next_offset += file.bytes + kSectorSize;
+    file.cached = true;
+    file.live = true;
+    cached_bytes += file.bytes;
+    file_table.push_back(file);
+    live_files.push_back(static_cast<int>(file_table.size()) - 1);
+    ++result.creates;
+    ++result.total_ops;
+    BufferedWrite(file.bytes, std::move(done));
+  }
+
+  void DeleteRandomFile(std::function<void()> done) {
+    if (live_files.empty()) {
+      sim().ScheduleAfter(OpCost(), std::move(done));
+      return;
+    }
+    const std::size_t pick = rng.NextBelow(live_files.size());
+    const int index = live_files[pick];
+    live_files[pick] = live_files.back();
+    live_files.pop_back();
+    FileRecord& file = file_table[static_cast<std::size_t>(index)];
+    file.live = false;
+    if (file.cached) {
+      cached_bytes -= std::min<std::uint64_t>(cached_bytes, file.bytes);
+    }
+    ++result.deletes;
+    ++result.total_ops;
+    // Metadata update is buffered like any small write.
+    BufferedWrite(kSectorSize, std::move(done));
+  }
+
+  void ReadOrAppend(std::function<void()> done) {
+    if (live_files.empty()) {
+      sim().ScheduleAfter(OpCost(), std::move(done));
+      return;
+    }
+    const int index =
+        live_files[rng.NextBelow(live_files.size())];
+    if (rng.NextBool(0.5)) {
+      ++result.reads;
+      ++result.total_ops;
+      CachedRead(index, std::move(done));
+    } else {
+      FileRecord& file = file_table[static_cast<std::size_t>(index)];
+      const std::uint32_t append = RandomFileSize() / 4 + 1;
+      file.bytes += append;
+      if (file.cached) {
+        cached_bytes += append;
+      }
+      ++result.appends;
+      ++result.total_ops;
+      BufferedWrite(append, std::move(done));
+    }
+  }
+
+  // --- Phases ---
+
+  void Step() {
+    if (created_initial < config.files) {
+      ++created_initial;
+      CreateFile([this] { Step(); });
+      return;
+    }
+    if (transactions_done < config.transactions) {
+      ++transactions_done;
+      // One transaction = a read-or-append plus a create-or-delete.
+      ReadOrAppend([this] {
+        if (rng.NextBool(0.5)) {
+          CreateFile([this] { Step(); });
+        } else {
+          DeleteRandomFile([this] { Step(); });
+        }
+      });
+      return;
+    }
+    if (!live_files.empty()) {
+      DeleteRandomFile([this] { Step(); });
+      return;
+    }
+    finished = true;
+  }
+};
+
+}  // namespace
+
+StatusOr<PostmarkResult> RunPostmark(Platform* platform, DomainId guest,
+                                     const PostmarkConfig& config) {
+  BlkFront* blk = platform->blkfront(guest);
+  if (blk == nullptr || !blk->connected()) {
+    return FailedPreconditionError("guest has no connected virtual disk");
+  }
+  Platform::IoStreamToken disk_token =
+      platform->BeginIoStream(Platform::IoKind::kDisk);
+
+  auto run = std::make_unique<PostmarkRun>(config.seed);
+  run->platform = platform;
+  run->guest = guest;
+  run->blk = blk;
+  run->config = config;
+  run->file_table.reserve(
+      static_cast<std::size_t>(config.files + config.transactions));
+
+  const SimTime started_at = platform->sim().Now();
+  run->Step();
+  const SimTime deadline = started_at + 24 * 3600 * kSecond;
+  while (!run->finished && platform->sim().Now() < deadline) {
+    if (!platform->sim().Step()) {
+      break;
+    }
+  }
+  if (!run->finished) {
+    return InternalError("postmark did not complete");
+  }
+  run->result.seconds = ToSeconds(platform->sim().Now() - started_at);
+  run->result.ops_per_second =
+      run->result.seconds > 0
+          ? static_cast<double>(run->result.total_ops) / run->result.seconds
+          : 0;
+  return run->result;
+}
+
+}  // namespace xoar

@@ -1,0 +1,64 @@
+// The Postmark workload (§6.1.2, Fig 6.1).
+//
+// Postmark models a mail/news server: it creates an initial pool of small
+// files, runs a transaction mix (read-or-append paired with
+// create-or-delete), then deletes the pool, reporting operations per
+// second. Small-file I/O on a real system is dominated by the page cache:
+// reads hit memory and writes are buffered and flushed asynchronously. The
+// model below reproduces that — a write-back cache with a dirty limit in
+// front of the guest's *actual* paravirtual block path (BlkFront ring →
+// BlkBack → disk model), so the split-driver stack is exercised by every
+// flush and cache miss.
+#ifndef XOAR_SRC_WORKLOADS_POSTMARK_H_
+#define XOAR_SRC_WORKLOADS_POSTMARK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+#include "src/ctl/platform.h"
+
+namespace xoar {
+
+struct PostmarkConfig {
+  int files = 1'000;
+  int transactions = 50'000;
+  int subdirectories = 1;
+  std::uint32_t min_file_bytes = 500;
+  std::uint32_t max_file_bytes = 9'770;  // postmark defaults
+  std::uint64_t seed = 42;
+
+  // Page-cache model (guest has 1 GB; the cache gets what the kernel and
+  // applications leave over).
+  std::uint64_t cache_bytes = 128 * kMiB;
+  std::uint64_t dirty_limit_bytes = 32 * kMiB;
+  std::uint64_t flush_chunk_bytes = 1 * kMiB;
+
+  // Guest CPU + syscall + fs base cost per operation; each operation also
+  // pays a directory-lookup cost that grows with the per-directory file
+  // count (log2(files/subdirectories)), which is what separates the four
+  // Fig 6.1 configurations.
+  SimDuration cpu_per_op = 40 * kMicrosecond;
+  SimDuration lookup_cost_per_bit = 3 * kMicrosecond;
+
+  std::string Label() const;
+};
+
+struct PostmarkResult {
+  std::uint64_t total_ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t appends = 0;
+  std::uint64_t creates = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t cache_misses = 0;
+  double seconds = 0;
+  double ops_per_second = 0;
+};
+
+StatusOr<PostmarkResult> RunPostmark(Platform* platform, DomainId guest,
+                                     const PostmarkConfig& config);
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_WORKLOADS_POSTMARK_H_

@@ -1,0 +1,75 @@
+#include "src/workloads/wget.h"
+
+#include <algorithm>
+
+namespace xoar {
+
+StatusOr<WgetResult> RunWget(Platform* platform, DomainId guest,
+                             std::uint64_t bytes, WgetSink sink,
+                             TcpParams params) {
+  NetBack* netback = platform->netback_of(guest);
+  if (netback == nullptr) {
+    return FailedPreconditionError("guest has no network path");
+  }
+  if (sink == WgetSink::kDisk && platform->blkback_of(guest) == nullptr) {
+    return FailedPreconditionError("guest has no disk for wget -O file");
+  }
+
+  // Register the active streams so the platform can model control-VM
+  // co-location interference (Fig 6.2).
+  Platform::IoStreamToken net_token =
+      platform->BeginIoStream(Platform::IoKind::kNet);
+  Platform::IoStreamToken disk_token;
+  if (sink == WgetSink::kDisk) {
+    disk_token = platform->BeginIoStream(Platform::IoKind::kDisk);
+  }
+
+  bool done = false;
+  TcpFlow::Result flow_result;
+  TcpFlow flow(
+      &platform->sim(), params, bytes,
+      /*path_up=*/
+      [platform, guest] {
+        NetBack* nb = platform->netback_of(guest);
+        return nb != nullptr && nb->IsVifConnected(guest);
+      },
+      /*rate=*/
+      [platform, guest, sink] {
+        double rate = platform->EffectiveNetRateBps(guest);
+        if (sink == WgetSink::kDisk) {
+          // Writing through the page cache to the virtual disk: the slower
+          // of the two paths bounds steady-state throughput.
+          rate = std::min(rate, platform->EffectiveDiskRateBps(guest));
+        }
+        return rate;
+      },
+      [&done, &flow_result](const TcpFlow::Result& r) {
+        done = true;
+        flow_result = r;
+      });
+  flow.Start();
+
+  // Drive the simulation until the transfer completes. The event queue is
+  // never empty while the flow is live, so cap the wait generously.
+  const SimTime deadline = platform->sim().Now() + 3600 * kSecond;
+  while (!done && platform->sim().Now() < deadline) {
+    if (!platform->sim().Step()) {
+      break;
+    }
+  }
+  if (!done) {
+    return InternalError("wget did not complete within the simulated hour");
+  }
+
+  WgetResult result;
+  result.bytes = flow_result.bytes_delivered;
+  result.seconds = ToSeconds(flow_result.completed_at - flow_result.started_at);
+  result.throughput_mbps =
+      result.seconds > 0
+          ? static_cast<double>(result.bytes) / 1e6 / result.seconds
+          : 0.0;
+  result.tcp_timeouts = flow_result.timeouts;
+  return result;
+}
+
+}  // namespace xoar

@@ -1,0 +1,41 @@
+// The wget workload (§6.1.2, Fig 6.2 / Fig 6.3).
+//
+// Fetches a file of a given size from a LAN peer over the guest's virtual
+// network path, writing it either to /dev/null or to the virtual disk. The
+// transfer is a single bulk TCP flow whose path availability tracks the
+// live platform state (vif connected, backend up), so NetBack microreboots
+// produce exactly the TCP timeout/backoff/slow-start behaviour the paper
+// measures.
+#ifndef XOAR_SRC_WORKLOADS_WGET_H_
+#define XOAR_SRC_WORKLOADS_WGET_H_
+
+#include <cstdint>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+#include "src/ctl/platform.h"
+#include "src/net/tcp.h"
+
+namespace xoar {
+
+enum class WgetSink {
+  kDevNull,  // discard: network-limited
+  kDisk,     // write through the virtual disk: min(network, disk)-limited
+};
+
+struct WgetResult {
+  std::uint64_t bytes = 0;
+  double seconds = 0;
+  double throughput_mbps = 0;  // decimal MB/s, as wget reports
+  std::uint32_t tcp_timeouts = 0;
+};
+
+// Runs to completion (drives the platform's simulator). The guest must have
+// a connected vif; for kDisk it must also have a connected vbd.
+StatusOr<WgetResult> RunWget(Platform* platform, DomainId guest,
+                             std::uint64_t bytes, WgetSink sink,
+                             TcpParams params = {});
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_WORKLOADS_WGET_H_

@@ -1,0 +1,244 @@
+#include "src/xs/service.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace xoar {
+
+XenStoreService::XenStoreService(Hypervisor* hv, Simulator* sim)
+    : hv_(hv), sim_(sim) {}
+
+void XenStoreService::DeploySplit(DomainId logic_domain,
+                                  DomainId state_domain) {
+  logic_domain_ = logic_domain;
+  state_domain_ = state_domain;
+  monolithic_ = false;
+  logic_available_ = true;
+  store_.AddManagerDomain(logic_domain);
+  store_.AddManagerDomain(state_domain);
+}
+
+void XenStoreService::DeployMonolithic(DomainId control_domain) {
+  logic_domain_ = control_domain;
+  state_domain_ = control_domain;
+  monolithic_ = true;
+  logic_available_ = true;
+  store_.AddManagerDomain(control_domain);
+}
+
+Status XenStoreService::Connect(DomainId client) {
+  if (!deployed()) {
+    return FailedPreconditionError("XenStore service not deployed");
+  }
+  if (connections_.count(client) > 0) {
+    return AlreadyExistsError(
+        StrFormat("dom%u already connected to XenStore", client.value()));
+  }
+  if (client == logic_domain_) {
+    // The service does not connect to itself; it owns the store.
+    connections_.emplace(client, Connection{});
+    return Status::Ok();
+  }
+  Connection conn;
+  // One page of the client's memory hosts the communication ring.
+  XOAR_ASSIGN_OR_RETURN(conn.ring_pfn,
+                        hv_->memory().AllocatePages(client, 1));
+  if (monolithic_) {
+    // Stock Xen: xenstored uses Dom0 privilege to directly map the ring
+    // (§4.4) — no grant entry exists.
+    XOAR_ASSIGN_OR_RETURN(MappedPage page,
+                          hv_->ForeignMap(logic_domain_, client, conn.ring_pfn));
+    (void)page;
+  } else {
+    // Xoar: the Builder pre-creates a grant entry so a *deprivileged*
+    // XenStore can map the ring (§5.6). The grant/map calls below run the
+    // hypervisor's shard-sharing checks.
+    XOAR_ASSIGN_OR_RETURN(
+        conn.ring_gref,
+        hv_->GrantAccess(client, logic_domain_, conn.ring_pfn,
+                         /*writable=*/true));
+    XOAR_ASSIGN_OR_RETURN(MappedPage page,
+                          hv_->MapGrant(logic_domain_, client, conn.ring_gref));
+    (void)page;
+  }
+  XOAR_ASSIGN_OR_RETURN(conn.client_port,
+                        hv_->EvtchnAllocUnbound(client, logic_domain_));
+  XOAR_ASSIGN_OR_RETURN(
+      conn.server_port,
+      hv_->EvtchnBindInterdomain(logic_domain_, client, conn.client_port));
+  connections_.emplace(client, conn);
+  XLOG(kDebug) << "[xs] dom" << client.value() << " connected";
+  return Status::Ok();
+}
+
+bool XenStoreService::IsConnected(DomainId client) const {
+  return connections_.count(client) > 0;
+}
+
+void XenStoreService::Disconnect(DomainId client) {
+  connections_.erase(client);
+}
+
+Status XenStoreService::CheckRequest(DomainId caller) {
+  if (!deployed()) {
+    return FailedPreconditionError("XenStore service not deployed");
+  }
+  if (!logic_available_) {
+    return UnavailableError("XenStore-Logic is restarting");
+  }
+  const Domain* logic = hv_->domain(logic_domain_);
+  if (logic == nullptr || logic->state() != DomainState::kRunning) {
+    return UnavailableError("XenStore domain is not running");
+  }
+  if (connections_.count(caller) == 0) {
+    return FailedPreconditionError(
+        StrFormat("dom%u has no XenStore connection", caller.value()));
+  }
+  return Status::Ok();
+}
+
+void XenStoreService::NoteRequestServed() {
+  ++requests_processed_;
+  if (restart_policy_ == RestartPolicy::kPerRequest) {
+    // Fig 5.1: XenStore-Logic rolls back to its post-boot snapshot after
+    // every request. The rollback itself is fast (copy-on-write reset);
+    // state lives in XenStore-State so nothing is renegotiated.
+    ++logic_restarts_;
+  }
+}
+
+StatusOr<std::string> XenStoreService::Read(DomainId caller,
+                                            std::string_view path) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  return store_.Read(caller, path);
+}
+
+Status XenStoreService::Write(DomainId caller, std::string_view path,
+                              std::string_view value) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  return store_.Write(caller, path, value);
+}
+
+Status XenStoreService::Mkdir(DomainId caller, std::string_view path) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  return store_.Mkdir(caller, path);
+}
+
+Status XenStoreService::Remove(DomainId caller, std::string_view path) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  return store_.Remove(caller, path);
+}
+
+StatusOr<std::vector<std::string>> XenStoreService::List(
+    DomainId caller, std::string_view path) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  return store_.List(caller, path);
+}
+
+Status XenStoreService::SetPerms(DomainId caller, std::string_view path,
+                                 const XsNodePerms& perms) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  return store_.SetPerms(caller, path, perms);
+}
+
+Status XenStoreService::Watch(DomainId caller, std::string_view path,
+                              std::string_view token,
+                              XsStore::WatchCallback cb) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  // Watch registrations live in the store itself (XenStore-State), so they
+  // survive Logic restarts. Deliveries are asynchronous.
+  Simulator* sim = sim_;
+  return store_.Watch(
+      caller, path, token,
+      [sim, cb = std::move(cb)](const XsWatchEvent& event) {
+        sim->ScheduleAfter(kXsWatchLatency, [cb, event] { cb(event); });
+      });
+}
+
+Status XenStoreService::Unwatch(DomainId caller, std::string_view path,
+                                std::string_view token) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  return store_.Unwatch(caller, path, token);
+}
+
+StatusOr<XsStore::TxId> XenStoreService::TransactionStart(DomainId caller) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  return store_.TransactionStart(caller);
+}
+
+Status XenStoreService::TransactionEnd(DomainId caller, XsStore::TxId tx,
+                                       bool commit) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  return store_.TransactionEnd(caller, tx, commit);
+}
+
+StatusOr<std::string> XenStoreService::ReadTx(DomainId caller,
+                                              std::string_view path,
+                                              XsStore::TxId tx) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  return store_.Read(caller, path, tx);
+}
+
+Status XenStoreService::WriteTx(DomainId caller, std::string_view path,
+                                std::string_view value, XsStore::TxId tx) {
+  XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  NoteRequestServed();
+  return store_.Write(caller, path, value, tx);
+}
+
+Status XenStoreService::BeginLogicRestart() {
+  if (!deployed() || monolithic_) {
+    return FailedPreconditionError("no restartable XenStore-Logic deployed");
+  }
+  if (!logic_available_) {
+    return FailedPreconditionError("XenStore-Logic already restarting");
+  }
+  logic_available_ = false;
+  ++logic_restarts_;
+  return Status::Ok();
+}
+
+Status XenStoreService::CompleteLogicRestart() {
+  if (logic_available_) {
+    return FailedPreconditionError("XenStore-Logic is not restarting");
+  }
+  logic_available_ = true;
+  return Status::Ok();
+}
+
+Status XenStoreService::RestartLogic(SimDuration downtime) {
+  if (!deployed()) {
+    return FailedPreconditionError("XenStore service not deployed");
+  }
+  if (monolithic_) {
+    return FailedPreconditionError(
+        "stock xenstored cannot be restarted independently of Dom0");
+  }
+  if (!logic_available_) {
+    return FailedPreconditionError("XenStore-Logic already restarting");
+  }
+  logic_available_ = false;
+  ++logic_restarts_;
+  sim_->ScheduleAfter(downtime, [this] {
+    // XenStore-Logic restores the contents from XenStore-State over the
+    // narrow key-value protocol (§5.1); connections persist in the state
+    // component, so clients resume without renegotiation.
+    logic_available_ = true;
+    XLOG(kDebug) << "[xs] XenStore-Logic back after restart #"
+                 << logic_restarts_;
+  });
+  return Status::Ok();
+}
+
+}  // namespace xoar

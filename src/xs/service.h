@@ -1,0 +1,136 @@
+// The XenStore service as deployed on a platform.
+//
+// Stock Xen: a single xenstored in Dom0, which directly foreign-maps every
+// client's communication ring (it starts before grant tables are usable,
+// §4.4). Xoar: the service is split into XenStore-Logic (stateless request
+// processing, restartable — even per request) and XenStore-State (the
+// long-lived in-memory contents), and the Builder pre-creates grant entries
+// so the service runs *without* Dom0-class privileges (§5.6).
+//
+// Clients connect once (ring + event channel via the hypervisor, which
+// applies the shard-sharing policy) and then issue requests. While the
+// Logic component microreboots, requests fail with UNAVAILABLE and clients
+// retry — the renegotiation behaviour the restart machinery depends on.
+#ifndef XOAR_SRC_XS_SERVICE_H_
+#define XOAR_SRC_XS_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+#include "src/base/units.h"
+#include "src/hv/hypervisor.h"
+#include "src/xs/store.h"
+
+namespace xoar {
+
+// Latency of one XenStore request/response round trip over the ring.
+constexpr SimDuration kXsOpLatency = 20 * kMicrosecond;
+// Latency of a watch event delivery.
+constexpr SimDuration kXsWatchLatency = 30 * kMicrosecond;
+
+class XenStoreService {
+ public:
+  enum class RestartPolicy {
+    kNever,       // stock xenstored
+    kPerRequest,  // XenStore-Logic in Xoar (Fig 5.1: "restarted on each
+                  // request"); rollback cost is charged per request
+  };
+
+  XenStoreService(Hypervisor* hv, Simulator* sim);
+
+  // Xoar deployment: logic and state in separate shard domains.
+  void DeploySplit(DomainId logic_domain, DomainId state_domain);
+  // Stock deployment: xenstored inside the control domain.
+  void DeployMonolithic(DomainId control_domain);
+
+  DomainId logic_domain() const { return logic_domain_; }
+  DomainId state_domain() const { return state_domain_; }
+  bool deployed() const { return logic_domain_.valid(); }
+
+  XsStore& store() { return store_; }
+
+  void set_restart_policy(RestartPolicy policy) { restart_policy_ = policy; }
+
+  // Establishes a client connection: one shared page granted (or foreign-
+  // mapped in stock mode) from the client to the logic domain plus an event
+  // channel pair. The hypervisor's IVC policy decides admissibility.
+  Status Connect(DomainId client);
+  bool IsConnected(DomainId client) const;
+  // Tears down a client's connection (domain destroyed).
+  void Disconnect(DomainId client);
+
+  // --- Request interface (checked against the connection + store ACLs) ---
+
+  StatusOr<std::string> Read(DomainId caller, std::string_view path);
+  Status Write(DomainId caller, std::string_view path, std::string_view value);
+  Status Mkdir(DomainId caller, std::string_view path);
+  Status Remove(DomainId caller, std::string_view path);
+  StatusOr<std::vector<std::string>> List(DomainId caller,
+                                          std::string_view path);
+  Status SetPerms(DomainId caller, std::string_view path,
+                  const XsNodePerms& perms);
+
+  // Watch events are delivered asynchronously through the simulator.
+  Status Watch(DomainId caller, std::string_view path, std::string_view token,
+               XsStore::WatchCallback cb);
+  Status Unwatch(DomainId caller, std::string_view path,
+                 std::string_view token);
+
+  StatusOr<XsStore::TxId> TransactionStart(DomainId caller);
+  Status TransactionEnd(DomainId caller, XsStore::TxId tx, bool commit);
+  StatusOr<std::string> ReadTx(DomainId caller, std::string_view path,
+                               XsStore::TxId tx);
+  Status WriteTx(DomainId caller, std::string_view path,
+                 std::string_view value, XsStore::TxId tx);
+
+  // --- Microreboot of XenStore-Logic ---
+
+  // Takes the logic component down for `downtime`; requests meanwhile fail
+  // with UNAVAILABLE. State (the store contents and watch registrations)
+  // lives in XenStore-State and survives.
+  Status RestartLogic(SimDuration downtime);
+  bool logic_available() const { return logic_available_; }
+
+  // Split-phase variant used by the RestartEngine, which owns the timing:
+  // Begin marks the logic shard down, Complete re-attaches it to the state
+  // shard.
+  Status BeginLogicRestart();
+  Status CompleteLogicRestart();
+
+  std::uint64_t requests_processed() const { return requests_processed_; }
+  std::uint64_t logic_restarts() const { return logic_restarts_; }
+
+ private:
+  struct Connection {
+    Pfn ring_pfn;
+    GrantRef ring_gref;  // invalid in stock (foreign-map) mode
+    EvtchnPort client_port;
+    EvtchnPort server_port;
+  };
+
+  // Gate every request: connection present, logic component up.
+  Status CheckRequest(DomainId caller);
+  void NoteRequestServed();
+
+  Hypervisor* hv_;
+  Simulator* sim_;
+  XsStore store_;
+  DomainId logic_domain_;
+  DomainId state_domain_;
+  bool monolithic_ = false;
+  bool logic_available_ = false;
+  RestartPolicy restart_policy_ = RestartPolicy::kNever;
+  std::map<DomainId, Connection> connections_;
+  std::uint64_t requests_processed_ = 0;
+  std::uint64_t logic_restarts_ = 0;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_XS_SERVICE_H_

@@ -1,0 +1,384 @@
+#include "src/xs/store.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace xoar {
+
+namespace {
+std::string Normalize(std::string_view path) {
+  return JoinPath(SplitPath(path));
+}
+}  // namespace
+
+XsStore::XsStore() : root_(std::make_unique<Node>()) {
+  root_->perms.owner = DomainId::Invalid();
+}
+
+std::unique_ptr<XsStore::Node> XsStore::CloneTree(const Node& node) {
+  auto copy = std::make_unique<Node>();
+  copy->value = node.value;
+  copy->perms = node.perms;
+  for (const auto& [name, child] : node.children) {
+    copy->children.emplace(name, CloneTree(*child));
+  }
+  return copy;
+}
+
+XsStore::Node* XsStore::Resolve(Node* root, std::string_view path) const {
+  Node* node = root;
+  for (const auto& segment : SplitPath(path)) {
+    auto it = node->children.find(segment);
+    if (it == node->children.end()) {
+      return nullptr;
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+StatusOr<XsStore::Node*> XsStore::ResolveOrCreate(Node* root,
+                                                  std::string_view path,
+                                                  DomainId owner) {
+  Node* node = root;
+  for (const auto& segment : SplitPath(path)) {
+    auto it = node->children.find(segment);
+    if (it == node->children.end()) {
+      if (node_quota_ != 0 && owner.valid() && !IsManager(owner) &&
+          NodesOwnedBy(owner) >= node_quota_) {
+        return ResourceExhaustedError(
+            StrFormat("dom%u exceeded XenStore node quota (%zu)",
+                      owner.value(), node_quota_));
+      }
+      auto child = std::make_unique<Node>();
+      child->perms.owner = owner;
+      it = node->children.emplace(segment, std::move(child)).first;
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+Status XsStore::CheckAccess(DomainId caller, const Node& node,
+                            XsPerm needed) const {
+  if (IsManager(caller)) {
+    return Status::Ok();
+  }
+  if (node.perms.owner == caller) {
+    return Status::Ok();
+  }
+  auto it = node.perms.acl.find(caller);
+  const auto have =
+      it == node.perms.acl.end() ? XsPerm::kNone : it->second;
+  const bool ok =
+      (static_cast<std::uint8_t>(have) & static_cast<std::uint8_t>(needed)) ==
+      static_cast<std::uint8_t>(needed);
+  if (!ok) {
+    return PermissionDeniedError(
+        StrFormat("dom%u lacks %s access", caller.value(),
+                  needed == XsPerm::kRead ? "read" : "write"));
+  }
+  return Status::Ok();
+}
+
+XsStore::Node* XsStore::RootFor(TxId tx) {
+  if (tx == kNoTransaction) {
+    return root_.get();
+  }
+  auto it = transactions_.find(tx);
+  return it == transactions_.end() ? nullptr : it->second.root.get();
+}
+
+Status XsStore::NoteMutation(TxId tx, std::string_view path) {
+  if (tx == kNoTransaction) {
+    ++generation_;
+    FireWatches(path);
+    return Status::Ok();
+  }
+  auto it = transactions_.find(tx);
+  if (it == transactions_.end()) {
+    return NotFoundError("no such transaction");
+  }
+  it->second.touched.emplace_back(path);
+  return Status::Ok();
+}
+
+StatusOr<std::string> XsStore::Read(DomainId caller, std::string_view path,
+                                    TxId tx) {
+  ++op_count_;
+  Node* root = RootFor(tx);
+  if (root == nullptr) {
+    return NotFoundError("no such transaction");
+  }
+  Node* node = Resolve(root, path);
+  if (node == nullptr) {
+    return NotFoundError(StrFormat("no node %s", Normalize(path).c_str()));
+  }
+  XOAR_RETURN_IF_ERROR(CheckAccess(caller, *node, XsPerm::kRead));
+  return node->value;
+}
+
+Status XsStore::Write(DomainId caller, std::string_view path,
+                      std::string_view value, TxId tx) {
+  ++op_count_;
+  Node* root = RootFor(tx);
+  if (root == nullptr) {
+    return NotFoundError("no such transaction");
+  }
+  const std::string norm = Normalize(path);
+  Node* existing = Resolve(root, norm);
+  if (existing != nullptr) {
+    XOAR_RETURN_IF_ERROR(CheckAccess(caller, *existing, XsPerm::kWrite));
+    existing->value = std::string(value);
+  } else {
+    // Creating below an existing node requires write access to the deepest
+    // existing ancestor.
+    std::vector<std::string> segments = SplitPath(norm);
+    Node* ancestor = root;
+    for (const auto& segment : segments) {
+      auto it = ancestor->children.find(segment);
+      if (it == ancestor->children.end()) {
+        break;
+      }
+      ancestor = it->second.get();
+    }
+    XOAR_RETURN_IF_ERROR(CheckAccess(caller, *ancestor, XsPerm::kWrite));
+    XOAR_ASSIGN_OR_RETURN(Node * node, ResolveOrCreate(root, norm, caller));
+    node->value = std::string(value);
+  }
+  return NoteMutation(tx, norm);
+}
+
+Status XsStore::Mkdir(DomainId caller, std::string_view path, TxId tx) {
+  ++op_count_;
+  Node* root = RootFor(tx);
+  if (root == nullptr) {
+    return NotFoundError("no such transaction");
+  }
+  const std::string norm = Normalize(path);
+  if (Resolve(root, norm) != nullptr) {
+    return Status::Ok();  // mkdir is idempotent, as in xenstored
+  }
+  std::vector<std::string> segments = SplitPath(norm);
+  Node* ancestor = root;
+  for (const auto& segment : segments) {
+    auto it = ancestor->children.find(segment);
+    if (it == ancestor->children.end()) {
+      break;
+    }
+    ancestor = it->second.get();
+  }
+  XOAR_RETURN_IF_ERROR(CheckAccess(caller, *ancestor, XsPerm::kWrite));
+  XOAR_ASSIGN_OR_RETURN(Node * node, ResolveOrCreate(root, norm, caller));
+  (void)node;
+  return NoteMutation(tx, norm);
+}
+
+Status XsStore::Remove(DomainId caller, std::string_view path, TxId tx) {
+  ++op_count_;
+  Node* root = RootFor(tx);
+  if (root == nullptr) {
+    return NotFoundError("no such transaction");
+  }
+  const std::string norm = Normalize(path);
+  std::vector<std::string> segments = SplitPath(norm);
+  if (segments.empty()) {
+    return InvalidArgumentError("cannot remove the root");
+  }
+  const std::string leaf = segments.back();
+  segments.pop_back();
+  Node* parent = Resolve(root, JoinPath(segments));
+  if (parent == nullptr) {
+    return NotFoundError(StrFormat("no node %s", norm.c_str()));
+  }
+  auto it = parent->children.find(leaf);
+  if (it == parent->children.end()) {
+    return NotFoundError(StrFormat("no node %s", norm.c_str()));
+  }
+  XOAR_RETURN_IF_ERROR(CheckAccess(caller, *it->second, XsPerm::kWrite));
+  parent->children.erase(it);
+  return NoteMutation(tx, norm);
+}
+
+StatusOr<std::vector<std::string>> XsStore::List(DomainId caller,
+                                                 std::string_view path,
+                                                 TxId tx) {
+  ++op_count_;
+  Node* root = RootFor(tx);
+  if (root == nullptr) {
+    return NotFoundError("no such transaction");
+  }
+  Node* node = Resolve(root, path);
+  if (node == nullptr) {
+    return NotFoundError(StrFormat("no node %s", Normalize(path).c_str()));
+  }
+  XOAR_RETURN_IF_ERROR(CheckAccess(caller, *node, XsPerm::kRead));
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool XsStore::Exists(DomainId caller, std::string_view path) const {
+  (void)caller;  // Existence probes are not ACL-gated, as in xenstored.
+  return Resolve(root_.get(), path) != nullptr;
+}
+
+StatusOr<XsNodePerms> XsStore::GetPerms(DomainId caller,
+                                        std::string_view path) {
+  Node* node = Resolve(root_.get(), path);
+  if (node == nullptr) {
+    return NotFoundError(StrFormat("no node %s", Normalize(path).c_str()));
+  }
+  XOAR_RETURN_IF_ERROR(CheckAccess(caller, *node, XsPerm::kRead));
+  return node->perms;
+}
+
+Status XsStore::SetPerms(DomainId caller, std::string_view path,
+                         const XsNodePerms& perms) {
+  Node* node = Resolve(root_.get(), path);
+  if (node == nullptr) {
+    return NotFoundError(StrFormat("no node %s", Normalize(path).c_str()));
+  }
+  // Only the owner (or a manager) may change permissions.
+  if (!IsManager(caller) && node->perms.owner != caller) {
+    return PermissionDeniedError(
+        StrFormat("dom%u does not own %s", caller.value(),
+                  Normalize(path).c_str()));
+  }
+  node->perms = perms;
+  ++generation_;
+  return Status::Ok();
+}
+
+Status XsStore::Watch(DomainId caller, std::string_view path,
+                      std::string_view token, WatchCallback cb) {
+  const std::string norm = Normalize(path);
+  for (const auto& watch : watches_) {
+    if (watch.caller == caller && watch.path == norm && watch.token == token) {
+      return AlreadyExistsError("watch already registered");
+    }
+  }
+  watches_.push_back(
+      WatchEntry{caller, norm, std::string(token), std::move(cb)});
+  // xenstored fires a watch immediately upon registration so the watcher can
+  // pick up pre-existing state — split-driver negotiation depends on this.
+  const WatchEntry& entry = watches_.back();
+  entry.cb(XsWatchEvent{entry.path, entry.token});
+  return Status::Ok();
+}
+
+Status XsStore::Unwatch(DomainId caller, std::string_view path,
+                        std::string_view token) {
+  const std::string norm = Normalize(path);
+  auto it = std::find_if(watches_.begin(), watches_.end(),
+                         [&](const WatchEntry& w) {
+                           return w.caller == caller && w.path == norm &&
+                                  w.token == token;
+                         });
+  if (it == watches_.end()) {
+    return NotFoundError("no such watch");
+  }
+  watches_.erase(it);
+  return Status::Ok();
+}
+
+void XsStore::FireWatches(std::string_view path) {
+  // Copy matching callbacks first: a callback may register/unregister
+  // watches reentrantly.
+  std::vector<std::pair<WatchCallback, XsWatchEvent>> to_fire;
+  for (const auto& watch : watches_) {
+    if (PathHasPrefix(path, watch.path) || PathHasPrefix(watch.path, path)) {
+      to_fire.emplace_back(watch.cb,
+                           XsWatchEvent{std::string(path), watch.token});
+    }
+  }
+  for (auto& [cb, event] : to_fire) {
+    cb(event);
+  }
+}
+
+StatusOr<XsStore::TxId> XsStore::TransactionStart(DomainId caller) {
+  Transaction tx;
+  tx.caller = caller;
+  tx.start_generation = generation_;
+  tx.root = CloneTree(*root_);
+  TxId id = next_tx_++;
+  transactions_.emplace(id, std::move(tx));
+  return id;
+}
+
+Status XsStore::TransactionEnd(DomainId caller, TxId tx, bool commit) {
+  auto it = transactions_.find(tx);
+  if (it == transactions_.end()) {
+    return NotFoundError("no such transaction");
+  }
+  if (it->second.caller != caller) {
+    return PermissionDeniedError("transaction belongs to another domain");
+  }
+  Transaction transaction = std::move(it->second);
+  transactions_.erase(it);
+  if (!commit) {
+    return Status::Ok();
+  }
+  if (transaction.start_generation != generation_) {
+    // Optimistic-concurrency conflict: the caller must retry, mirroring
+    // xenstored's EAGAIN.
+    return AbortedError("store changed during transaction");
+  }
+  root_ = std::move(transaction.root);
+  ++generation_;
+  for (const auto& touched : transaction.touched) {
+    FireWatches(touched);
+  }
+  return Status::Ok();
+}
+
+void XsStore::CountNodes(const Node& node, const std::string& path,
+                         std::vector<FlatNode>* out) const {
+  for (const auto& [name, child] : node.children) {
+    const std::string child_path = path + "/" + name;
+    out->push_back(FlatNode{child_path, child->value, child->perms});
+    CountNodes(*child, child_path, out);
+  }
+}
+
+std::vector<XsStore::FlatNode> XsStore::Serialize() const {
+  std::vector<FlatNode> out;
+  CountNodes(*root_, "", &out);
+  return out;
+}
+
+void XsStore::Restore(const std::vector<FlatNode>& nodes) {
+  root_ = std::make_unique<Node>();
+  root_->perms.owner = DomainId::Invalid();
+  for (const auto& flat : nodes) {
+    StatusOr<Node*> node =
+        ResolveOrCreate(root_.get(), flat.path, flat.perms.owner);
+    if (node.ok()) {
+      (*node)->value = flat.value;
+      (*node)->perms = flat.perms;
+    }
+  }
+  ++generation_;
+}
+
+std::size_t XsStore::NodeCount() const {
+  std::vector<FlatNode> all;
+  CountNodes(*root_, "", &all);
+  return all.size();
+}
+
+std::size_t XsStore::NodesOwnedBy(DomainId domain) const {
+  std::vector<FlatNode> all;
+  CountNodes(*root_, "", &all);
+  return static_cast<std::size_t>(
+      std::count_if(all.begin(), all.end(), [&](const FlatNode& n) {
+        return n.perms.owner == domain;
+      }));
+}
+
+}  // namespace xoar

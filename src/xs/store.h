@@ -1,0 +1,159 @@
+// XenStore (§4.4): hierarchical key-value store with per-node permissions,
+// watches, and optimistic transactions.
+//
+// This is the *data model*; the shard-level split into XenStore-Logic
+// (stateless request processing) and XenStore-State (the long-lived
+// contents) lives in src/xs/service.h. Access control: node owners and
+// explicitly listed domains get the granted rights; "manager" domains (the
+// XenStore service itself, or Dom0 in stock Xen) bypass ACLs.
+#ifndef XOAR_SRC_XS_STORE_H_
+#define XOAR_SRC_XS_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/ids.h"
+#include "src/base/status.h"
+
+namespace xoar {
+
+enum class XsPerm : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+struct XsNodePerms {
+  DomainId owner;
+  std::map<DomainId, XsPerm> acl;
+};
+
+// A fired watch: the modified path plus the token registered with the watch.
+struct XsWatchEvent {
+  std::string path;
+  std::string token;
+};
+
+class XsStore {
+ public:
+  using WatchCallback = std::function<void(const XsWatchEvent&)>;
+  using TxId = std::uint32_t;
+  static constexpr TxId kNoTransaction = 0;
+
+  XsStore();
+
+  // Domains that bypass ACL checks (the store service itself, stock Dom0).
+  void AddManagerDomain(DomainId domain) { managers_.insert(domain); }
+  bool IsManager(DomainId domain) const { return managers_.count(domain) > 0; }
+
+  // Per-owner node quota; guards against a guest monopolizing the store
+  // (the DoS vector the paper cites in §4.4). 0 disables the quota.
+  void set_node_quota(std::size_t quota) { node_quota_ = quota; }
+
+  // --- Core operations. `tx` of kNoTransaction applies immediately. ---
+
+  StatusOr<std::string> Read(DomainId caller, std::string_view path,
+                             TxId tx = kNoTransaction);
+  Status Write(DomainId caller, std::string_view path, std::string_view value,
+               TxId tx = kNoTransaction);
+  // Creates an empty directory node (Write also creates intermediate nodes).
+  Status Mkdir(DomainId caller, std::string_view path,
+               TxId tx = kNoTransaction);
+  // Removes the node and its subtree.
+  Status Remove(DomainId caller, std::string_view path,
+                TxId tx = kNoTransaction);
+  StatusOr<std::vector<std::string>> List(DomainId caller,
+                                          std::string_view path,
+                                          TxId tx = kNoTransaction);
+  bool Exists(DomainId caller, std::string_view path) const;
+
+  StatusOr<XsNodePerms> GetPerms(DomainId caller, std::string_view path);
+  Status SetPerms(DomainId caller, std::string_view path,
+                  const XsNodePerms& perms);
+
+  // --- Watches (§4.4) ---
+
+  // Fires `cb` whenever `path` or anything below it changes. Watches are
+  // keyed by (caller, path, token) for unwatch.
+  Status Watch(DomainId caller, std::string_view path, std::string_view token,
+               WatchCallback cb);
+  Status Unwatch(DomainId caller, std::string_view path,
+                 std::string_view token);
+  std::size_t WatchCount() const { return watches_.size(); }
+
+  // --- Transactions: snapshot-isolation with commit-time conflict check ---
+
+  StatusOr<TxId> TransactionStart(DomainId caller);
+  // Commits; returns ABORTED if another commit touched the store since the
+  // transaction began (caller should retry, as with real xenstored EAGAIN).
+  Status TransactionEnd(DomainId caller, TxId tx, bool commit);
+
+  // --- State shipping (XenStore-State protocol, §5.1) ---
+
+  // Flat dump of every node: (path, value, perms). Deterministic order.
+  struct FlatNode {
+    std::string path;
+    std::string value;
+    XsNodePerms perms;
+  };
+  std::vector<FlatNode> Serialize() const;
+  void Restore(const std::vector<FlatNode>& nodes);
+
+  std::uint64_t generation() const { return generation_; }
+  std::uint64_t op_count() const { return op_count_; }
+  std::size_t NodeCount() const;
+  std::size_t NodesOwnedBy(DomainId domain) const;
+
+ private:
+  struct Node {
+    std::string value;
+    XsNodePerms perms;
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  struct WatchEntry {
+    DomainId caller;
+    std::string path;
+    std::string token;
+    WatchCallback cb;
+  };
+
+  struct Transaction {
+    DomainId caller;
+    std::uint64_t start_generation;
+    std::unique_ptr<Node> root;       // private copy
+    std::vector<std::string> touched;  // paths written, for watch firing
+  };
+
+  static std::unique_ptr<Node> CloneTree(const Node& node);
+  Node* Resolve(Node* root, std::string_view path) const;
+  // Walks to `path`, creating missing intermediate nodes owned by `owner`.
+  StatusOr<Node*> ResolveOrCreate(Node* root, std::string_view path,
+                                  DomainId owner);
+  Status CheckAccess(DomainId caller, const Node& node, XsPerm needed) const;
+  void FireWatches(std::string_view path);
+  void CountNodes(const Node& node, const std::string& path,
+                  std::vector<FlatNode>* out) const;
+  Node* RootFor(TxId tx);
+  Status NoteMutation(TxId tx, std::string_view path);
+
+  std::unique_ptr<Node> root_;
+  std::set<DomainId> managers_;
+  std::vector<WatchEntry> watches_;
+  std::map<TxId, Transaction> transactions_;
+  TxId next_tx_ = 1;
+  std::uint64_t generation_ = 0;
+  std::uint64_t op_count_ = 0;
+  std::size_t node_quota_ = 0;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_XS_STORE_H_

@@ -1,0 +1,64 @@
+// XenStore wire protocol structures for ring transport.
+//
+// The control path in the simulator calls XenStoreService directly for
+// ergonomics, but the wire format below is real: the micro-benchmarks and
+// integration tests push these PODs through an IoRing in a granted page to
+// measure and validate the actual shared-memory round trip.
+#ifndef XOAR_SRC_XS_WIRE_H_
+#define XOAR_SRC_XS_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "src/hv/io_ring.h"
+
+namespace xoar {
+
+enum class XsWireOp : std::uint32_t {
+  kRead = 0,
+  kWrite,
+  kMkdir,
+  kRemove,
+  kList,
+  kWatch,
+  kUnwatch,
+};
+
+struct XsWireRequest {
+  std::uint32_t op;
+  std::uint32_t tx_id;
+  char path[64];
+  char value[48];
+
+  void SetPath(std::string_view p) {
+    std::size_t n = std::min(p.size(), sizeof(path) - 1);
+    std::memcpy(path, p.data(), n);
+    path[n] = '\0';
+  }
+  void SetValue(std::string_view v) {
+    std::size_t n = std::min(v.size(), sizeof(value) - 1);
+    std::memcpy(value, v.data(), n);
+    value[n] = '\0';
+  }
+};
+
+struct XsWireResponse {
+  std::uint32_t status;  // 0 = OK, otherwise a StatusCode
+  char value[48];
+
+  void SetValue(std::string_view v) {
+    std::size_t n = std::min(v.size(), sizeof(value) - 1);
+    std::memcpy(value, v.data(), n);
+    value[n] = '\0';
+  }
+  std::string Value() const { return std::string(value); }
+};
+
+// 16 entries of (120 + 52) bytes plus the header fit comfortably in a page.
+using XsRing = IoRing<XsWireRequest, XsWireResponse, 16>;
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_XS_WIRE_H_

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "src/core/audit_log.h"
+#include "src/core/xoar_platform.h"
+
+namespace xoar {
+namespace {
+
+AuditEvent MakeEvent(SimTime time, AuditEventKind kind, DomainId subject,
+                     DomainId object, const std::string& detail = "") {
+  AuditEvent event;
+  event.time = time;
+  event.kind = kind;
+  event.subject = subject;
+  event.object = object;
+  event.detail = detail;
+  return event;
+}
+
+TEST(AuditLogTest, RecordsAndVerifies) {
+  AuditLog log;
+  log.Record(MakeEvent(1, AuditEventKind::kVmCreated, DomainId(5),
+                       DomainId::Invalid(), "web"));
+  log.Record(MakeEvent(2, AuditEventKind::kShardLinked, DomainId(5),
+                       DomainId(3), "NetBack"));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.FirstCorruptedRecord(), -1);
+}
+
+TEST(AuditLogTest, TamperingIsDetected) {
+  AuditLog log;
+  log.Record(MakeEvent(1, AuditEventKind::kVmCreated, DomainId(5),
+                       DomainId::Invalid()));
+  log.Record(MakeEvent(2, AuditEventKind::kVmDestroyed, DomainId(5),
+                       DomainId::Invalid()));
+  log.TamperForTest(0, "history rewritten");
+  EXPECT_EQ(log.FirstCorruptedRecord(), 0);
+}
+
+TEST(AuditLogTest, ExposureQueryFindsLinkedGuests) {
+  AuditLog log;
+  const DomainId shard(3);
+  log.Record(MakeEvent(100, AuditEventKind::kShardLinked, DomainId(10), shard));
+  log.Record(MakeEvent(200, AuditEventKind::kShardLinked, DomainId(11), shard));
+  log.Record(
+      MakeEvent(300, AuditEventKind::kVmDestroyed, DomainId(10), DomainId()));
+  log.Record(MakeEvent(400, AuditEventKind::kShardLinked, DomainId(12), shard));
+
+  // Compromise window [350, 500]: dom10 was destroyed at 300 — not exposed.
+  auto exposed = log.GuestsExposedToShard(shard, 350, 500);
+  EXPECT_EQ(exposed, (std::vector<DomainId>{DomainId(11), DomainId(12)}));
+
+  // Window [50, 250]: dom10 and dom11 were linked; dom12 not yet.
+  exposed = log.GuestsExposedToShard(shard, 50, 250);
+  EXPECT_EQ(exposed, (std::vector<DomainId>{DomainId(10), DomainId(11)}));
+}
+
+TEST(AuditLogTest, ExposureIgnoresOtherShards) {
+  AuditLog log;
+  log.Record(
+      MakeEvent(100, AuditEventKind::kShardLinked, DomainId(10), DomainId(3)));
+  log.Record(
+      MakeEvent(100, AuditEventKind::kShardLinked, DomainId(11), DomainId(4)));
+  auto exposed = log.GuestsExposedToShard(DomainId(3), 0, 1000);
+  EXPECT_EQ(exposed, (std::vector<DomainId>{DomainId(10)}));
+}
+
+TEST(AuditLogTest, ReleaseQueryScopesByUpgradeWindows) {
+  AuditLog log;
+  const DomainId shard(3);
+  // v1 deployed at t=0; guest 10 linked during v1.
+  log.Record(MakeEvent(0, AuditEventKind::kShardUpgraded, DomainId(), shard,
+                       "netback-v1"));
+  log.Record(MakeEvent(100, AuditEventKind::kShardLinked, DomainId(10), shard));
+  // Upgrade to v2 at t=500; guest 10 destroyed; guest 11 linked under v2.
+  log.Record(MakeEvent(500, AuditEventKind::kShardUpgraded, DomainId(), shard,
+                       "netback-v2"));
+  log.Record(
+      MakeEvent(600, AuditEventKind::kVmDestroyed, DomainId(10), DomainId()));
+  log.Record(MakeEvent(700, AuditEventKind::kShardLinked, DomainId(11), shard));
+
+  // "v1 turned out vulnerable": who ran on it? (§3.2.2)
+  auto serviced = log.GuestsServicedByRelease(shard, "netback-v1");
+  EXPECT_EQ(serviced, (std::vector<DomainId>{DomainId(10)}));
+  serviced = log.GuestsServicedByRelease(shard, "netback-v2");
+  EXPECT_EQ(serviced, (std::vector<DomainId>{DomainId(10), DomainId(11)}));
+}
+
+TEST(AuditLogTest, PlatformIntegrationRecordsGuestLifecycle) {
+  XoarPlatform platform;
+  ASSERT_TRUE(platform.Boot().ok());
+  DomainId guest = *platform.CreateGuest(GuestSpec{.name = "audited"});
+  ASSERT_TRUE(platform.DestroyGuest(guest).ok());
+
+  const AuditLog& log = platform.audit();
+  bool created = false, linked_netback = false, destroyed = false;
+  for (const auto& event : log.events()) {
+    if (event.kind == AuditEventKind::kVmCreated && event.subject == guest) {
+      created = true;
+    }
+    if (event.kind == AuditEventKind::kShardLinked && event.subject == guest &&
+        event.object == platform.shard_domain(ShardClass::kNetBack)) {
+      linked_netback = true;
+    }
+    if (event.kind == AuditEventKind::kVmDestroyed && event.subject == guest) {
+      destroyed = true;
+    }
+  }
+  EXPECT_TRUE(created);
+  EXPECT_TRUE(linked_netback);
+  EXPECT_TRUE(destroyed);
+  EXPECT_EQ(log.FirstCorruptedRecord(), -1);
+}
+
+TEST(AuditLogTest, PlatformExposureQueryEndToEnd) {
+  XoarPlatform platform;
+  ASSERT_TRUE(platform.Boot().ok());
+  DomainId g1 = *platform.CreateGuest(GuestSpec{.name = "g1"});
+  const SimTime mid = platform.sim().Now();
+  ASSERT_TRUE(platform.DestroyGuest(g1).ok());
+  platform.Settle();
+  DomainId g2 = *platform.CreateGuest(GuestSpec{.name = "g2"});
+
+  const DomainId netback = platform.shard_domain(ShardClass::kNetBack);
+  // Compromise window after g1's destruction: only g2 is exposed.
+  auto exposed = platform.audit().GuestsExposedToShard(
+      netback, platform.sim().Now() - kMillisecond, platform.sim().Now());
+  EXPECT_EQ(exposed, (std::vector<DomainId>{g2}));
+  // Window covering g1's lifetime includes g1.
+  exposed = platform.audit().GuestsExposedToShard(netback, 0, mid);
+  EXPECT_EQ(exposed, (std::vector<DomainId>{g1}));
+}
+
+TEST(AuditLogTest, HypervisorEventsAreCaptured) {
+  XoarPlatform platform;
+  ASSERT_TRUE(platform.Boot().ok());
+  std::size_t hv_events = 0;
+  for (const auto& event : platform.audit().events()) {
+    if (event.kind == AuditEventKind::kHypervisor) {
+      ++hv_events;
+    }
+  }
+  // Boot alone generates dozens of privilege-relevant hypervisor actions.
+  EXPECT_GT(hv_events, 20u);
+}
+
+}  // namespace
+}  // namespace xoar

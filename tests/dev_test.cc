@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "src/dev/disk.h"
+#include "src/dev/nic.h"
+#include "src/dev/pci.h"
+#include "src/dev/serial.h"
+#include "src/sim/simulator.h"
+
+namespace xoar {
+namespace {
+
+// --- PCI bus ---
+
+TEST(PciBusTest, AddAndEnumerate) {
+  PciBus bus;
+  ASSERT_TRUE(bus.AddDevice({{0, 2, 0}, 0x14e4, 0x1659, PciClass::kNetwork,
+                             "nic"}).ok());
+  ASSERT_TRUE(bus.AddDevice({{0, 3, 0}, 0x8086, 0x3a22, PciClass::kStorage,
+                             "sata"}).ok());
+  EXPECT_EQ(bus.Enumerate().size(), 2u);
+  EXPECT_EQ(bus.FindByClass(PciClass::kNetwork).size(), 1u);
+  EXPECT_TRUE(bus.Find(PciSlot{0, 2, 0}).ok());
+  EXPECT_FALSE(bus.Find(PciSlot{0, 9, 0}).ok());
+}
+
+TEST(PciBusTest, DuplicateSlotRejected) {
+  PciBus bus;
+  ASSERT_TRUE(bus.AddDevice({{0, 2, 0}, 1, 1, PciClass::kOther, "a"}).ok());
+  EXPECT_EQ(bus.AddDevice({{0, 2, 0}, 2, 2, PciClass::kOther, "b"}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(PciBusTest, ConfigSpaceHoldsVendorDeviceId) {
+  PciBus bus;
+  ASSERT_TRUE(bus.AddDevice({{0, 2, 0}, 0x14e4, 0x1659, PciClass::kNetwork,
+                             "nic"}).ok());
+  auto id = bus.ReadConfig(PciSlot{0, 2, 0}, 0);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id & 0xffff, 0x14e4u);
+  EXPECT_EQ(*id >> 16, 0x1659u);
+}
+
+TEST(PciBusTest, ConfigWritesReadBackAndAreCounted) {
+  PciBus bus;
+  ASSERT_TRUE(bus.AddDevice({{0, 2, 0}, 1, 1, PciClass::kOther, "d"}).ok());
+  ASSERT_TRUE(bus.WriteConfig(PciSlot{0, 2, 0}, 0x10, 0xdeadbeef).ok());
+  EXPECT_EQ(*bus.ReadConfig(PciSlot{0, 2, 0}, 0x10), 0xdeadbeefu);
+  EXPECT_EQ(bus.config_accesses(), 2u);
+}
+
+// --- NIC ---
+
+TEST(NicTest, TransmitTakesWireTime) {
+  Simulator sim;
+  NicDevice nic(&sim, PciSlot{0, 2, 0}, 1e9);  // GbE
+  SimTime done_at = 0;
+  nic.Transmit(125'000, [&] { done_at = sim.Now(); });  // 1 ms of wire time
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(done_at), static_cast<double>(kMillisecond),
+              static_cast<double>(kMicrosecond));
+}
+
+TEST(NicTest, BackToBackFramesSerialize) {
+  Simulator sim;
+  NicDevice nic(&sim, PciSlot{0, 2, 0}, 1e9);
+  SimTime first = 0, second = 0;
+  nic.Transmit(125'000, [&] { first = sim.Now(); });
+  nic.Transmit(125'000, [&] { second = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(second - first),
+              static_cast<double>(kMillisecond),
+              static_cast<double>(kMicrosecond));
+  EXPECT_EQ(nic.tx_frames(), 2u);
+  EXPECT_EQ(nic.tx_bytes(), 250'000u);
+}
+
+TEST(NicTest, LinkDownDropsTraffic) {
+  Simulator sim;
+  NicDevice nic(&sim, PciSlot{0, 2, 0}, 1e9);
+  nic.set_link_up(false);
+  bool sent = false;
+  nic.Transmit(1000, [&] { sent = true; });
+  sim.Run();
+  EXPECT_FALSE(sent);
+  EXPECT_EQ(nic.dropped_frames(), 1u);
+}
+
+TEST(NicTest, RxWithoutHandlerIsDropped) {
+  Simulator sim;
+  NicDevice nic(&sim, PciSlot{0, 2, 0}, 1e9);
+  nic.DeliverFrame(1000);
+  EXPECT_EQ(nic.dropped_frames(), 1u);
+  std::uint32_t received = 0;
+  nic.set_rx_handler([&](std::uint32_t bytes) { received = bytes; });
+  nic.DeliverFrame(1500);
+  EXPECT_EQ(received, 1500u);
+  EXPECT_EQ(nic.rx_bytes(), 1500u);
+}
+
+// --- Disk ---
+
+TEST(DiskTest, SequentialStreamsAtPlatterRate) {
+  Simulator sim;
+  DiskGeometry geometry;
+  geometry.sequential_rate = 100e6;  // 100 MB/s
+  DiskDevice disk(&sim, PciSlot{0, 3, 0}, geometry);
+  SimTime done_at = 0;
+  // Two contiguous 50 MB requests: ~1 s total, at most one seek.
+  disk.SubmitIo(0, 50'000'000, false, nullptr);
+  disk.SubmitIo(50'000'000, 50'000'000, false, [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(ToSeconds(done_at), 1.0, 0.05);
+  EXPECT_LE(disk.seek_count(), 1u);
+}
+
+TEST(DiskTest, RandomAccessPaysSeeks) {
+  Simulator sim;
+  DiskGeometry geometry;
+  DiskDevice disk(&sim, PciSlot{0, 3, 0}, geometry);
+  // Three far-apart 4 KB requests: dominated by seek + rotation.
+  SimTime done_at = 0;
+  disk.SubmitIo(0, 4096, false, nullptr);
+  disk.SubmitIo(100ull * 1000 * 1000 * 1000, 4096, false, nullptr);
+  disk.SubmitIo(5ull * 1000 * 1000 * 1000, 4096, false,
+                [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_GE(disk.seek_count(), 2u);
+  EXPECT_GT(done_at, FromMilliseconds(10));
+}
+
+TEST(DiskTest, ReadWriteAccounting) {
+  Simulator sim;
+  DiskDevice disk(&sim, PciSlot{0, 3, 0});
+  disk.SubmitIo(0, 4096, /*is_write=*/true, nullptr);
+  disk.SubmitIo(4096, 8192, /*is_write=*/false, nullptr);
+  sim.Run();
+  EXPECT_EQ(disk.bytes_written(), 4096u);
+  EXPECT_EQ(disk.bytes_read(), 8192u);
+  EXPECT_EQ(disk.io_count(), 2u);
+}
+
+// --- Serial ---
+
+TEST(SerialTest, TranscriptAccumulates) {
+  Simulator sim;
+  SerialDevice serial(&sim);
+  serial.Write("hello ");
+  serial.Write("world");
+  EXPECT_EQ(serial.transcript(), "hello world");
+  EXPECT_EQ(serial.bytes_written(), 11u);
+}
+
+TEST(SerialTest, OutputDrainsAtBaudRate) {
+  Simulator sim;
+  SerialDevice serial(&sim, /*bytes_per_second=*/100.0);
+  serial.Write(std::string(50, 'x'));
+  EXPECT_NEAR(ToSeconds(serial.output_drained_at()), 0.5, 0.01);
+}
+
+TEST(SerialTest, InputNotifiesAndDrains) {
+  Simulator sim;
+  SerialDevice serial(&sim);
+  int notified = 0;
+  serial.set_input_notifier([&] { ++notified; });
+  serial.InjectInput("ls\n");
+  EXPECT_EQ(notified, 1);
+  EXPECT_TRUE(serial.HasInput());
+  EXPECT_EQ(serial.DrainInput(), "ls\n");
+  EXPECT_FALSE(serial.HasInput());
+}
+
+}  // namespace
+}  // namespace xoar

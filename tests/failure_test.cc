@@ -1,0 +1,185 @@
+// Failure injection: components crash, restart, or disappear at awkward
+// moments; the platform must degrade by exactly the blast radius the
+// design promises — no more.
+#include <gtest/gtest.h>
+
+#include "src/core/xoar_platform.h"
+#include "src/ctl/monolithic_platform.h"
+#include "src/workloads/wget.h"
+
+namespace xoar {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(platform_.Boot().ok());
+    auto guest = platform_.CreateGuest(GuestSpec{});
+    ASSERT_TRUE(guest.ok());
+    guest_ = *guest;
+  }
+  XoarPlatform platform_;
+  DomainId guest_;
+};
+
+TEST_F(FailureTest, NetBackCrashKillsOnlyTheNetworkPath) {
+  platform_.hv().ReportCrash(platform_.shard_domain(ShardClass::kNetBack));
+  EXPECT_FALSE(platform_.hv().host_failed());
+  // Network is gone...
+  EXPECT_EQ(platform_.EffectiveNetRateBps(guest_), 0.0);
+  // ...but the disk path still works.
+  int done = 0;
+  platform_.blkfront(guest_)->WriteBytes(0, 64 * kKiB, [&](Status s) {
+    if (s.ok()) {
+      ++done;
+    }
+  });
+  platform_.Settle();
+  EXPECT_EQ(done, 1);
+  // And XenStore still answers.
+  EXPECT_TRUE(platform_.xenstore().logic_available());
+}
+
+TEST_F(FailureTest, GuestCrashLeavesEverythingElseRunning) {
+  DomainId other = *platform_.CreateGuest(GuestSpec{.name = "other"});
+  platform_.hv().ReportCrash(guest_);
+  EXPECT_FALSE(platform_.hv().host_failed());
+  EXPECT_EQ(platform_.hv().domain(guest_)->state(), DomainState::kDead);
+  EXPECT_EQ(platform_.hv().domain(other)->state(), DomainState::kRunning);
+  EXPECT_TRUE(platform_.netback().IsVifConnected(other));
+}
+
+TEST_F(FailureTest, XenStoreLogicRestartViaEngine) {
+  ASSERT_TRUE(platform_.restarts().RestartNow("XenStore-Logic", true).ok());
+  EXPECT_FALSE(platform_.xenstore().logic_available());
+  // Control-plane requests fail during the window...
+  EXPECT_EQ(platform_.xenstore().Read(guest_, "/local").status().code(),
+            StatusCode::kUnavailable);
+  platform_.Settle(kSecond);
+  EXPECT_TRUE(platform_.xenstore().logic_available());
+  // ...and state survived: the guest's registration is still there.
+  auto name = platform_.xenstore().store().Read(
+      platform_.shard_domain(ShardClass::kBuilder),
+      StrFormat("/local/domain/%u/name", guest_.value()));
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "guest");
+}
+
+TEST_F(FailureTest, ToolstackRestartDoesNotOrphanGuests) {
+  ASSERT_TRUE(platform_.restarts().RestartNow("Toolstack", true).ok());
+  platform_.Settle(kSecond);
+  // The parent-toolstack relationship is hypervisor state; it survives.
+  EXPECT_TRUE(platform_.toolstack().PauseGuest(guest_).ok());
+  EXPECT_TRUE(platform_.toolstack().UnpauseGuest(guest_).ok());
+}
+
+TEST_F(FailureTest, DestroyGuestWithIoInFlight) {
+  BlkFront* blk = platform_.blkfront(guest_);
+  int callbacks = 0;
+  for (int i = 0; i < 16; ++i) {
+    blk->WriteBytes(static_cast<std::uint64_t>(i) * kMiB, 512 * kKiB,
+                    [&](Status) { ++callbacks; });
+  }
+  // Destroy immediately: outstanding I/O must not crash the platform.
+  ASSERT_TRUE(platform_.DestroyGuest(guest_).ok());
+  platform_.Settle(2 * kSecond);
+  EXPECT_FALSE(platform_.hv().host_failed());
+  EXPECT_TRUE(platform_.blkback().available());
+}
+
+TEST_F(FailureTest, SimultaneousNetAndBlkRestartsRecoverIndependently) {
+  ASSERT_TRUE(platform_.restarts().RestartNow("NetBack", false).ok());
+  ASSERT_TRUE(platform_.restarts().RestartNow("BlkBack", true).ok());
+  EXPECT_TRUE(platform_.restarts().IsRestarting("NetBack"));
+  EXPECT_TRUE(platform_.restarts().IsRestarting("BlkBack"));
+  // BlkBack (fast, 140 ms) comes back before NetBack (slow, 260 ms).
+  platform_.Settle(FromMilliseconds(200));
+  EXPECT_TRUE(platform_.blkback().available());
+  EXPECT_FALSE(platform_.netback().available());
+  platform_.Settle(kSecond);
+  EXPECT_TRUE(platform_.netback().IsVifConnected(guest_));
+  EXPECT_TRUE(platform_.blkback().IsVbdConnected(guest_));
+}
+
+TEST_F(FailureTest, TransferAcrossSimultaneousRestartStorm) {
+  ASSERT_TRUE(platform_.EnableNetBackRestarts(FromSeconds(1), false).ok());
+  ASSERT_TRUE(platform_.restarts()
+                  .EnablePeriodicRestarts("BlkBack", FromSeconds(2), true)
+                  .ok());
+  ASSERT_TRUE(platform_.restarts()
+                  .EnablePeriodicRestarts("XenStore-Logic",
+                                          FromMilliseconds(1500), true)
+                  .ok());
+  auto result = RunWget(&platform_, guest_, 256ull * 1000 * 1000,
+                        WgetSink::kDevNull);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->bytes, 256u * 1000 * 1000);
+  (void)platform_.restarts().DisableRestarts("NetBack");
+  (void)platform_.restarts().DisableRestarts("BlkBack");
+  (void)platform_.restarts().DisableRestarts("XenStore-Logic");
+}
+
+TEST_F(FailureTest, RestartWhileRebootingIsRefusedNotFatal) {
+  ASSERT_TRUE(platform_.restarts().RestartNow("NetBack", false).ok());
+  EXPECT_FALSE(platform_.restarts().RestartNow("NetBack", false).ok());
+  platform_.Settle(kSecond);
+  EXPECT_EQ(platform_.restarts().RestartCount("NetBack"), 1);
+}
+
+// --- Ballooning under pressure ---
+
+TEST_F(FailureTest, BalloonDownFreesRealMemory) {
+  const std::uint64_t free_before = platform_.hv().memory().free_pages();
+  ASSERT_TRUE(platform_.hv().BalloonDown(guest_, 512).ok());
+  EXPECT_EQ(platform_.hv().memory().free_pages(),
+            free_before + 512 * kMiB / kPageSize);
+  EXPECT_EQ(platform_.hv().domain(guest_)->memory_bytes(),
+            512 * kMiB);  // 1024 - 512
+}
+
+TEST_F(FailureTest, BalloonedMemoryHostsAnotherGuest) {
+  // Fill the machine, then make room by ballooning.
+  std::vector<DomainId> guests{guest_};
+  while (true) {
+    auto extra = platform_.CreateGuest(
+        GuestSpec{.name = "filler", .memory_mb = 1024});
+    if (!extra.ok()) {
+      break;
+    }
+    guests.push_back(*extra);
+  }
+  auto denied = platform_.CreateGuest(GuestSpec{.memory_mb = 768});
+  ASSERT_FALSE(denied.ok());
+  for (DomainId g : guests) {
+    (void)platform_.hv().BalloonDown(g, 512);
+  }
+  EXPECT_TRUE(platform_.CreateGuest(GuestSpec{.memory_mb = 768}).ok());
+}
+
+TEST_F(FailureTest, BalloonUpOnlyReclaimsWhatWasGiven) {
+  EXPECT_FALSE(platform_.hv().BalloonUp(guest_, 128).ok());  // nothing out
+  ASSERT_TRUE(platform_.hv().BalloonDown(guest_, 256).ok());
+  EXPECT_FALSE(platform_.hv().BalloonUp(guest_, 512).ok());  // too much
+  EXPECT_TRUE(platform_.hv().BalloonUp(guest_, 256).ok());
+  EXPECT_EQ(platform_.hv().domain(guest_)->memory_bytes(), 1024 * kMiB);
+}
+
+TEST_F(FailureTest, BalloonRespectsFloor) {
+  EXPECT_FALSE(platform_.hv().BalloonDown(guest_, 1020).ok());
+  EXPECT_FALSE(platform_.hv().BalloonDown(guest_, 0).ok());
+}
+
+// --- Stock-platform contrast ---
+
+TEST(FailureContrastTest, StockXenstoredFailureIsADom0Failure) {
+  MonolithicPlatform platform;
+  ASSERT_TRUE(platform.Boot().ok());
+  (void)*platform.CreateGuest(GuestSpec{});
+  // In stock Xen, xenstored crashing means its host (Dom0) is in trouble —
+  // and Dom0 failure reboots the machine (§5.8).
+  platform.hv().ReportCrash(platform.dom0());
+  EXPECT_TRUE(platform.hv().host_failed());
+}
+
+}  // namespace
+}  // namespace xoar

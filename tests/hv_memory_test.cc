@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "src/hv/grant_table.h"
+#include "src/hv/memory.h"
+
+namespace xoar {
+namespace {
+
+TEST(MemoryManagerTest, AllocatesContiguousRange) {
+  MemoryManager mm(16 * kMiB);
+  auto first = mm.AllocatePages(DomainId(1), 4);
+  ASSERT_TRUE(first.ok());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(mm.IsOwnedBy(Pfn(first->value() + i), DomainId(1)));
+  }
+  EXPECT_EQ(mm.PagesOwnedBy(DomainId(1)), 4u);
+}
+
+TEST(MemoryManagerTest, RejectsZeroPagesAndInvalidOwner) {
+  MemoryManager mm(16 * kMiB);
+  EXPECT_EQ(mm.AllocatePages(DomainId(1), 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mm.AllocatePages(DomainId::Invalid(), 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MemoryManagerTest, ExhaustionFails) {
+  MemoryManager mm(8 * kPageSize);
+  EXPECT_TRUE(mm.AllocatePages(DomainId(1), 8).ok());
+  EXPECT_EQ(mm.AllocatePages(DomainId(2), 1).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(mm.free_pages(), 0u);
+}
+
+TEST(MemoryManagerTest, FreeReturnsPagesToPool) {
+  MemoryManager mm(8 * kPageSize);
+  ASSERT_TRUE(mm.AllocatePages(DomainId(1), 8).ok());
+  EXPECT_EQ(mm.FreeDomainPages(DomainId(1)), 8u);
+  EXPECT_EQ(mm.free_pages(), 8u);
+  EXPECT_TRUE(mm.AllocatePages(DomainId(2), 8).ok());
+}
+
+TEST(MemoryManagerTest, OwnerOfUnallocatedFails) {
+  MemoryManager mm(16 * kMiB);
+  EXPECT_EQ(mm.OwnerOf(Pfn(12345)).status().code(), StatusCode::kNotFound);
+}
+
+TEST(MemoryManagerTest, PageDataLazilyAllocatedAndZeroed) {
+  MemoryManager mm(16 * kMiB);
+  auto pfn = mm.AllocatePages(DomainId(1), 1);
+  ASSERT_TRUE(pfn.ok());
+  std::byte* data = mm.PageData(*pfn);
+  ASSERT_NE(data, nullptr);
+  for (std::size_t i = 0; i < kPageSize; ++i) {
+    EXPECT_EQ(data[i], std::byte{0});
+  }
+  data[17] = std::byte{0xAB};
+  EXPECT_EQ(mm.PageData(*pfn)[17], std::byte{0xAB});  // stable storage
+  EXPECT_EQ(mm.PageData(Pfn(999999)), nullptr);
+}
+
+TEST(MemoryManagerTest, DistinctDomainsGetDistinctFrames) {
+  MemoryManager mm(16 * kMiB);
+  auto a = mm.AllocatePages(DomainId(1), 2);
+  auto b = mm.AllocatePages(DomainId(2), 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->value(), b->value());
+  EXPECT_FALSE(mm.IsOwnedBy(*b, DomainId(1)));
+}
+
+// --- GrantTable ---
+
+TEST(GrantTableTest, CreateAndLookup) {
+  GrantTable table;
+  auto ref = table.CreateGrant(DomainId(2), Pfn(100), /*writable=*/true);
+  ASSERT_TRUE(ref.ok());
+  auto entry = table.Lookup(*ref);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->grantee, DomainId(2));
+  EXPECT_EQ(entry->pfn, Pfn(100));
+  EXPECT_TRUE(entry->writable);
+  EXPECT_EQ(table.ActiveEntries(), 1u);
+}
+
+TEST(GrantTableTest, RejectsInvalidArguments) {
+  GrantTable table;
+  EXPECT_FALSE(table.CreateGrant(DomainId::Invalid(), Pfn(1), false).ok());
+  EXPECT_FALSE(table.CreateGrant(DomainId(1), Pfn::Invalid(), false).ok());
+}
+
+TEST(GrantTableTest, LookupOfInactiveFails) {
+  GrantTable table;
+  EXPECT_EQ(table.Lookup(GrantRef(0)).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(table.Lookup(GrantRef::Invalid()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(GrantTableTest, EndAccessWhileMappedFails) {
+  GrantTable table;
+  auto ref = table.CreateGrant(DomainId(2), Pfn(100), true);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(table.NoteMapped(*ref).ok());
+  EXPECT_EQ(table.EndAccess(*ref).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(table.NoteUnmapped(*ref).ok());
+  EXPECT_TRUE(table.EndAccess(*ref).ok());
+  EXPECT_EQ(table.ActiveEntries(), 0u);
+}
+
+TEST(GrantTableTest, UnmapWithoutMapFails) {
+  GrantTable table;
+  auto ref = table.CreateGrant(DomainId(2), Pfn(100), true);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(table.NoteUnmapped(*ref).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GrantTableTest, SlotsAreReusedAfterEndAccess) {
+  GrantTable table;
+  auto ref1 = table.CreateGrant(DomainId(2), Pfn(1), false);
+  ASSERT_TRUE(ref1.ok());
+  ASSERT_TRUE(table.EndAccess(*ref1).ok());
+  auto ref2 = table.CreateGrant(DomainId(3), Pfn(2), false);
+  ASSERT_TRUE(ref2.ok());
+  EXPECT_EQ(ref2->value(), ref1->value());
+}
+
+TEST(GrantTableTest, RevokeAllReportsDanglingMappings) {
+  GrantTable table;
+  auto a = table.CreateGrant(DomainId(2), Pfn(1), false);
+  auto b = table.CreateGrant(DomainId(2), Pfn(2), false);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(table.NoteMapped(*a).ok());
+  EXPECT_EQ(table.RevokeAll(), 1);
+  EXPECT_EQ(table.ActiveEntries(), 0u);
+}
+
+TEST(GrantTableTest, MultipleMapsTracked) {
+  GrantTable table;
+  auto ref = table.CreateGrant(DomainId(2), Pfn(1), false);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(table.NoteMapped(*ref).ok());
+  ASSERT_TRUE(table.NoteMapped(*ref).ok());
+  ASSERT_TRUE(table.NoteUnmapped(*ref).ok());
+  EXPECT_EQ(table.EndAccess(*ref).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(table.NoteUnmapped(*ref).ok());
+  EXPECT_TRUE(table.EndAccess(*ref).ok());
+}
+
+// Property: a random sequence of create/map/unmap/end operations never
+// leaves the table in an inconsistent state (map counts never negative,
+// end-access never succeeds on a mapped entry).
+class GrantFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GrantFuzzTest, InvariantsHoldUnderRandomOps) {
+  GrantTable table;
+  std::vector<GrantRef> live;
+  std::uint64_t state = GetParam() * 0x9E3779B97F4A7C15ULL + 1;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 32;
+  };
+  for (int i = 0; i < 3000; ++i) {
+    switch (next() % 4) {
+      case 0: {
+        auto ref = table.CreateGrant(DomainId(2), Pfn(next() % 1000 + 1),
+                                     next() % 2 == 0);
+        if (ref.ok()) {
+          live.push_back(*ref);
+        }
+        break;
+      }
+      case 1: {
+        if (!live.empty()) {
+          (void)table.NoteMapped(live[next() % live.size()]);
+        }
+        break;
+      }
+      case 2: {
+        if (!live.empty()) {
+          (void)table.NoteUnmapped(live[next() % live.size()]);
+        }
+        break;
+      }
+      case 3: {
+        if (!live.empty()) {
+          const std::size_t pick = next() % live.size();
+          auto entry = table.Lookup(live[pick]);
+          Status end = table.EndAccess(live[pick]);
+          if (entry.ok() && entry->map_count > 0) {
+            EXPECT_FALSE(end.ok());
+          }
+          if (end.ok()) {
+            live.erase(live.begin() + static_cast<long>(pick));
+          }
+        }
+        break;
+      }
+    }
+    // Global invariant: every active entry has a non-negative map count.
+    for (GrantRef ref : live) {
+      auto entry = table.Lookup(ref);
+      if (entry.ok()) {
+        EXPECT_GE(entry->map_count, 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrantFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace xoar

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "src/core/microreboot.h"
+#include "src/core/snapshot.h"
+#include "src/core/xoar_platform.h"
+
+namespace xoar {
+namespace {
+
+// --- SnapshotManager / RecoveryBox ---
+
+class CounterComponent : public Snapshottable {
+ public:
+  std::string SaveState() const override { return std::to_string(counter); }
+  void RestoreState(const std::string& state) override {
+    counter = std::stoi(state);
+  }
+  int counter = 0;
+};
+
+TEST(SnapshotTest, RollbackRestoresPostInitImage) {
+  SnapshotManager manager;
+  CounterComponent component;
+  component.counter = 7;  // state at the ready-to-serve point
+  ASSERT_TRUE(manager.TakeSnapshot(DomainId(3), &component).ok());
+  component.counter = 99;  // "tainted" by serving requests
+  auto cost = manager.Rollback(DomainId(3));
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(component.counter, 7);
+  EXPECT_GT(*cost, 0u);
+  EXPECT_EQ(manager.rollbacks(), 1u);
+}
+
+TEST(SnapshotTest, SecondSnapshotRejected) {
+  SnapshotManager manager;
+  CounterComponent component;
+  ASSERT_TRUE(manager.TakeSnapshot(DomainId(3), &component).ok());
+  EXPECT_EQ(manager.TakeSnapshot(DomainId(3), &component).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SnapshotTest, RollbackWithoutSnapshotFails) {
+  SnapshotManager manager;
+  EXPECT_EQ(manager.Rollback(DomainId(3)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, RecoveryBoxSurvivesRollback) {
+  SnapshotManager manager;
+  CounterComponent component;
+  ASSERT_TRUE(manager.TakeSnapshot(DomainId(3), &component).ok());
+  manager.recovery_box(DomainId(3)).Put("open-connection", "guest-5:ring-2");
+  ASSERT_TRUE(manager.Rollback(DomainId(3)).ok());
+  auto value = manager.recovery_box(DomainId(3)).Get("open-connection");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "guest-5:ring-2");
+}
+
+TEST(SnapshotTest, RollbackCostGrowsWithStateSize) {
+  SnapshotManager manager;
+  class BigComponent : public Snapshottable {
+   public:
+    explicit BigComponent(std::size_t n) : state(n, 'x') {}
+    std::string SaveState() const override { return state; }
+    void RestoreState(const std::string& s) override { state = s; }
+    std::string state;
+  };
+  BigComponent small(1'000), big(10'000'000);
+  ASSERT_TRUE(manager.TakeSnapshot(DomainId(1), &small).ok());
+  ASSERT_TRUE(manager.TakeSnapshot(DomainId(2), &big).ok());
+  EXPECT_LT(*manager.Rollback(DomainId(1)), *manager.Rollback(DomainId(2)));
+}
+
+TEST(RecoveryBoxTest, BasicOperations) {
+  RecoveryBox box;
+  box.Put("k", "v");
+  EXPECT_TRUE(box.Contains("k"));
+  EXPECT_EQ(*box.Get("k"), "v");
+  EXPECT_EQ(box.Get("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_GT(box.bytes(), 0u);
+  box.Erase("k");
+  EXPECT_FALSE(box.Contains("k"));
+}
+
+// --- RestartEngine on a live platform ---
+
+class RestartEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(platform_.Boot().ok());
+    auto guest = platform_.CreateGuest(GuestSpec{});
+    ASSERT_TRUE(guest.ok());
+    guest_ = *guest;
+  }
+
+  XoarPlatform platform_;
+  DomainId guest_;
+};
+
+TEST_F(RestartEngineTest, SingleRestartCycle) {
+  ASSERT_TRUE(platform_.restarts().RestartNow("NetBack", /*fast=*/false).ok());
+  EXPECT_TRUE(platform_.restarts().IsRestarting("NetBack"));
+  EXPECT_FALSE(platform_.netback().IsVifConnected(guest_));
+  const Domain* netback =
+      platform_.hv().domain(platform_.shard_domain(ShardClass::kNetBack));
+  EXPECT_EQ(netback->state(), DomainState::kRebooting);
+  platform_.Settle(kSlowRestartDowntime + 100 * kMillisecond);
+  EXPECT_FALSE(platform_.restarts().IsRestarting("NetBack"));
+  EXPECT_EQ(netback->state(), DomainState::kRunning);
+  EXPECT_TRUE(platform_.netback().IsVifConnected(guest_));
+  EXPECT_EQ(platform_.restarts().RestartCount("NetBack"), 1);
+}
+
+TEST_F(RestartEngineTest, FastRestartHasShorterDowntime) {
+  ASSERT_TRUE(platform_.restarts().RestartNow("NetBack", /*fast=*/true).ok());
+  EXPECT_EQ(platform_.restarts().LastDowntime("NetBack"),
+            kFastRestartDowntime);
+  platform_.Settle(kSecond);
+  ASSERT_TRUE(platform_.restarts().RestartNow("NetBack", /*fast=*/false).ok());
+  EXPECT_EQ(platform_.restarts().LastDowntime("NetBack"),
+            kSlowRestartDowntime);
+}
+
+TEST_F(RestartEngineTest, DowntimeMatchesPaperMeasurements) {
+  EXPECT_EQ(kSlowRestartDowntime, FromMilliseconds(260));
+  EXPECT_EQ(kFastRestartDowntime, FromMilliseconds(140));
+}
+
+TEST_F(RestartEngineTest, RestartDuringRestartRejected) {
+  ASSERT_TRUE(platform_.restarts().RestartNow("NetBack", false).ok());
+  EXPECT_EQ(platform_.restarts().RestartNow("NetBack", false).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RestartEngineTest, UnknownComponentRejected) {
+  EXPECT_EQ(platform_.restarts().RestartNow("NoSuch", false).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RestartEngineTest, PeriodicRestartsAccumulate) {
+  ASSERT_TRUE(platform_.EnableNetBackRestarts(FromSeconds(1), false).ok());
+  platform_.Settle(FromSeconds(10) + 500 * kMillisecond);
+  const int count = platform_.restarts().RestartCount("NetBack");
+  EXPECT_GE(count, 8);
+  EXPECT_LE(count, 10);
+  ASSERT_TRUE(platform_.DisableNetBackRestarts().ok());
+  platform_.Settle(FromSeconds(5));
+  EXPECT_EQ(platform_.restarts().RestartCount("NetBack"), count);
+}
+
+TEST_F(RestartEngineTest, GuestIoSurvivesPeriodicRestarts) {
+  ASSERT_TRUE(platform_.EnableNetBackRestarts(FromSeconds(1), false).ok());
+  BlkFront* blk = platform_.blkfront(guest_);
+  int completions = 0;
+  for (int i = 0; i < 32; ++i) {
+    blk->WriteBytes(static_cast<std::uint64_t>(i) * kMiB, 64 * kKiB,
+                    [&](Status s) {
+                      if (s.ok()) {
+                        ++completions;
+                      }
+                    });
+  }
+  platform_.Settle(FromSeconds(5));
+  EXPECT_EQ(completions, 32);  // BlkBack unaffected by NetBack restarts
+}
+
+TEST_F(RestartEngineTest, RestartsAppearInAuditLog) {
+  ASSERT_TRUE(platform_.restarts().RestartNow("NetBack", false).ok());
+  platform_.Settle(kSecond);
+  bool found = false;
+  for (const auto& event : platform_.audit().events()) {
+    if (event.kind == AuditEventKind::kShardRestarted &&
+        event.detail == "NetBack") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RestartEngineTest, BlkBackRestartsIndependently) {
+  ASSERT_TRUE(platform_.restarts().RestartNow("BlkBack", false).ok());
+  // NetBack stays connected throughout.
+  EXPECT_TRUE(platform_.netback().IsVifConnected(guest_));
+  platform_.Settle(kSecond);
+  EXPECT_TRUE(platform_.blkback().IsVbdConnected(guest_));
+  EXPECT_EQ(platform_.restarts().RestartCount("BlkBack"), 1);
+}
+
+TEST_F(RestartEngineTest, RecoveryBoxCarriesDriverConfig) {
+  RecoveryBox& box = platform_.snapshots().recovery_box(
+      platform_.shard_domain(ShardClass::kNetBack));
+  EXPECT_TRUE(box.Contains("nic-config"));
+  ASSERT_TRUE(platform_.restarts().RestartNow("NetBack", /*fast=*/true).ok());
+  platform_.Settle(kSecond);
+  EXPECT_TRUE(box.Contains("nic-config"));  // survived the reboot
+}
+
+}  // namespace
+}  // namespace xoar

@@ -1,0 +1,173 @@
+// Remaining odds and ends: logger plumbing, wire-struct truncation,
+// BlkBack's image-management daemon, toolstack backend selection with
+// several delegated driver domains, and shard-inventory sanity.
+#include <gtest/gtest.h>
+
+#include "src/base/log.h"
+#include "src/core/xoar_platform.h"
+#include "src/xs/wire.h"
+
+namespace xoar {
+namespace {
+
+// --- Logger ---
+
+TEST(LoggerTest, SinkReceivesMessagesAtOrAboveLevel) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  Logger::Get().set_sink([&](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+  Logger::Get().set_level(LogLevel::kInfo);
+  XLOG(kDebug) << "hidden";
+  XLOG(kInfo) << "shown " << 42;
+  XLOG(kError) << "also shown";
+  Logger::Get().set_sink(nullptr);  // restore default
+  Logger::Get().set_level(LogLevel::kWarning);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].second, "shown 42");
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+}
+
+// --- Wire structs ---
+
+TEST(XsWireTest, PathAndValueAreTruncatedSafely) {
+  XsWireRequest request{};
+  const std::string long_path(200, 'p');
+  const std::string long_value(200, 'v');
+  request.SetPath(long_path);
+  request.SetValue(long_value);
+  EXPECT_EQ(std::string(request.path).size(), sizeof(request.path) - 1);
+  EXPECT_EQ(std::string(request.value).size(), sizeof(request.value) - 1);
+  // Always NUL-terminated.
+  EXPECT_EQ(request.path[sizeof(request.path) - 1], '\0');
+}
+
+TEST(XsWireTest, RingEntrySizesFitThePage) {
+  // Compile-time guaranteed by IoRing's static_assert; restated here as an
+  // executable fact about the wire format.
+  EXPECT_LE(16 + XsRing::kEntries * (sizeof(XsWireRequest) +
+                                     sizeof(XsWireResponse)),
+            kPageSize);
+}
+
+// --- BlkBack image daemon (§5.4) ---
+
+class BlkImageTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(platform_.Boot().ok()); }
+  XoarPlatform platform_;
+};
+
+TEST_F(BlkImageTest, DuplicateImageNameRejected) {
+  ASSERT_TRUE(platform_.blkback().CreateImage("img", 64 * kMiB).ok());
+  EXPECT_EQ(platform_.blkback().CreateImage("img", 64 * kMiB).code(),
+            StatusCode::kAlreadyExists);
+  auto size = platform_.blkback().ImageSize("img");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 64 * kMiB);
+}
+
+TEST_F(BlkImageTest, DiskCapacityBoundsImages) {
+  // The disk is 320 GB; a 400 GB image cannot fit.
+  EXPECT_EQ(platform_.blkback()
+                .CreateImage("huge", 400ull * 1000 * 1000 * 1000)
+                .code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_FALSE(platform_.blkback().ImageSize("huge").ok());
+}
+
+TEST_F(BlkImageTest, BindRequiresExistingImage) {
+  DomainId guest = *platform_.CreateGuest(GuestSpec{.with_disk = false});
+  EXPECT_EQ(platform_.blkback().BindImage(guest, "missing").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BlkImageTest, OneVbdPerGuestPerBackend) {
+  DomainId guest = *platform_.CreateGuest(GuestSpec{});
+  ASSERT_TRUE(platform_.blkback().CreateImage("second", 64 * kMiB).ok());
+  EXPECT_EQ(platform_.blkback().BindImage(guest, "second").code(),
+            StatusCode::kAlreadyExists);
+}
+
+// --- Toolstack backend selection across several driver domains ---
+
+TEST(ToolstackSelectionTest, FillsBackendsInDelegationOrder) {
+  XoarPlatform::Config config;
+  config.num_nics = 2;
+  config.num_disk_controllers = 2;
+  XoarPlatform platform(config);
+  ASSERT_TRUE(platform.Boot().ok());
+  // Unconstrained guests all land on the first compatible backend.
+  DomainId g1 = *platform.CreateGuest(GuestSpec{.name = "g1", .memory_mb = 256});
+  DomainId g2 = *platform.CreateGuest(GuestSpec{.name = "g2", .memory_mb = 256});
+  EXPECT_EQ(platform.netback_of(g1), platform.netback_of(g2));
+  // A tagged guest is pushed to the second (empty) backend.
+  DomainId g3 = *platform.CreateGuest(
+      GuestSpec{.name = "g3", .memory_mb = 256, .constraint_tag = "t"});
+  EXPECT_NE(platform.netback_of(g3), platform.netback_of(g1));
+}
+
+// --- Shard inventory sanity (Table 5.1 cross-checks) ---
+
+TEST(ShardInventoryTest, MatchesTable51) {
+  const auto& inventory = ShardInventory();
+  EXPECT_EQ(inventory.size(),
+            static_cast<std::size_t>(ShardClass::kCount));
+  // Privileged: Bootstrapper, Builder, PCIBack — and nothing else.
+  for (const auto& shard : inventory) {
+    const bool should_be_privileged =
+        shard.shard_class == ShardClass::kBootstrapper ||
+        shard.shard_class == ShardClass::kBuilder ||
+        shard.shard_class == ShardClass::kPciBack;
+    EXPECT_EQ(shard.privileged, should_be_privileged) << shard.name;
+  }
+  // Restartable "(R)": XenStore-Logic, Builder, NetBack, BlkBack, Toolstack.
+  int restartable = 0;
+  for (const auto& shard : inventory) {
+    restartable += shard.restartable ? 1 : 0;
+  }
+  EXPECT_EQ(restartable, 5);
+  // nanOS hosts exactly the two build-critical components (§5.7).
+  for (const auto& shard : inventory) {
+    if (shard.os == OsProfile::kNanOs) {
+      EXPECT_TRUE(shard.shard_class == ShardClass::kBootstrapper ||
+                  shard.shard_class == ShardClass::kBuilder);
+    }
+  }
+}
+
+TEST(ShardInventoryTest, LifetimesMatchTable51) {
+  EXPECT_EQ(DescriptorFor(ShardClass::kBootstrapper).lifetime,
+            ShardLifetime::kBootUp);
+  EXPECT_EQ(DescriptorFor(ShardClass::kPciBack).lifetime,
+            ShardLifetime::kBootUp);
+  EXPECT_EQ(DescriptorFor(ShardClass::kQemuVm).lifetime,
+            ShardLifetime::kGuestVm);
+  EXPECT_EQ(DescriptorFor(ShardClass::kNetBack).lifetime,
+            ShardLifetime::kForever);
+}
+
+// --- Hypercall metadata ---
+
+TEST(HypercallMetaTest, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kHypercallCount; ++i) {
+    const auto name = HypercallName(static_cast<Hypercall>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+}
+
+TEST(HypercallMetaTest, PrivilegedAndUnprivilegedPartition) {
+  int unprivileged = 0;
+  for (std::size_t i = 0; i < kHypercallCount; ++i) {
+    unprivileged +=
+        IsUnprivilegedHypercall(static_cast<Hypercall>(i)) ? 1 : 0;
+  }
+  // 6 base guest hypercalls + virq_bind (capability-gated instead).
+  EXPECT_EQ(unprivileged, 7);
+}
+
+}  // namespace
+}  // namespace xoar

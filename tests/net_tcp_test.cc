@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "src/net/tcp.h"
+
+namespace xoar {
+namespace {
+
+class TcpFlowTest : public ::testing::Test {
+ protected:
+  // Runs a flow of `bytes` over a path that is down during
+  // [outage_start, outage_start + outage_len) each `period` (0 = always up).
+  TcpFlow::Result RunFlow(std::uint64_t bytes, SimDuration period = 0,
+                          SimDuration outage_len = 0,
+                          double rate_bps = 1e9) {
+    TcpFlow::Result result;
+    bool done = false;
+    TcpFlow flow(
+        &sim_, TcpParams{}, bytes,
+        [this, period, outage_len] {
+          if (period == 0) {
+            return true;
+          }
+          return (sim_.Now() % period) >= outage_len;
+        },
+        [rate_bps] { return rate_bps; },
+        [&](const TcpFlow::Result& r) {
+          result = r;
+          done = true;
+        });
+    flow.Start();
+    while (!done && sim_.Step()) {
+    }
+    EXPECT_TRUE(done);
+    return result;
+  }
+
+  Simulator sim_;
+};
+
+TEST_F(TcpFlowTest, CleanPathReachesNearLinkRate) {
+  const TcpFlow::Result result = RunFlow(512 * 1000 * 1000);
+  EXPECT_EQ(result.bytes_delivered, 512u * 1000 * 1000);
+  const double mbps = result.MeanThroughputBytesPerSec() / 1e6;
+  // GbE goodput ≈ 117 MB/s; slow start makes large transfers approach it.
+  EXPECT_GT(mbps, 110.0);
+  EXPECT_LE(mbps, 125.0);
+  EXPECT_EQ(result.timeouts, 0u);
+}
+
+TEST_F(TcpFlowTest, ThroughputScalesWithLinkRate) {
+  const TcpFlow::Result slow_link = RunFlow(20 * 1000 * 1000, 0, 0, 1e8);
+  const double mbps = slow_link.MeanThroughputBytesPerSec() / 1e6;
+  // 100 Mb/s link: goodput around 11.8 MB/s.
+  EXPECT_GT(mbps, 10.0);
+  EXPECT_LT(mbps, 12.5);
+}
+
+TEST_F(TcpFlowTest, OutageCausesTimeoutsAndRecovery) {
+  // 1 s period with 260 ms down (the paper's slow NetBack restart).
+  const TcpFlow::Result result =
+      RunFlow(200 * 1000 * 1000, FromSeconds(1), FromMilliseconds(260));
+  EXPECT_GT(result.timeouts, 0u);
+  EXPECT_EQ(result.bytes_delivered, 200u * 1000 * 1000);
+  const double mbps = result.MeanThroughputBytesPerSec() / 1e6;
+  // Each cycle loses ~600 ms (260 ms down + RTO discretization): expect
+  // roughly 40% of the clean rate.
+  EXPECT_LT(mbps, 70.0);
+  EXPECT_GT(mbps, 25.0);
+}
+
+TEST_F(TcpFlowTest, FasterRecoveryBeatsSlowerRecovery) {
+  const TcpFlow::Result slow =
+      RunFlow(100 * 1000 * 1000, FromSeconds(1), FromMilliseconds(260));
+  const TcpFlow::Result fast =
+      RunFlow(100 * 1000 * 1000, FromSeconds(1), FromMilliseconds(140));
+  EXPECT_GT(fast.MeanThroughputBytesPerSec(),
+            slow.MeanThroughputBytesPerSec());
+}
+
+TEST_F(TcpFlowTest, RareOutagesCostLittle) {
+  const TcpFlow::Result result =
+      RunFlow(500 * 1000 * 1000, FromSeconds(10), FromMilliseconds(260));
+  const double mbps = result.MeanThroughputBytesPerSec() / 1e6;
+  EXPECT_GT(mbps, 100.0);  // <~10% drop at 10 s intervals
+}
+
+TEST_F(TcpFlowTest, ZeroRatePathBehavesLikeOutage) {
+  bool done = false;
+  TcpFlow flow(
+      &sim_, TcpParams{}, 1000, [] { return true; }, [] { return 0.0; },
+      [&](const TcpFlow::Result&) { done = true; });
+  flow.Start();
+  for (int i = 0; i < 100 && sim_.Step(); ++i) {
+  }
+  EXPECT_FALSE(done);  // never completes on a dead path
+}
+
+// Property sweep: throughput is monotonically non-increasing in outage
+// duration (same period).
+class TcpMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpMonotonicityTest, MoreDowntimeNeverHelps) {
+  const SimDuration period = FromSeconds(1 + GetParam() % 3);
+  double previous = 1e18;
+  for (int outage_ms : {0, 100, 200, 300, 400}) {
+    Simulator sim;
+    bool done = false;
+    TcpFlow::Result result;
+    TcpFlow flow(
+        &sim, TcpParams{}, 50 * 1000 * 1000,
+        [&sim, period, outage_ms] {
+          return (sim.Now() % period) >=
+                 FromMilliseconds(static_cast<double>(outage_ms));
+        },
+        [] { return 1e9; },
+        [&](const TcpFlow::Result& r) {
+          result = r;
+          done = true;
+        });
+    flow.Start();
+    while (!done && sim.Step()) {
+    }
+    ASSERT_TRUE(done);
+    const double throughput = result.MeanThroughputBytesPerSec();
+    EXPECT_LE(throughput, previous * 1.02);  // small tolerance for phase
+    previous = throughput;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, TcpMonotonicityTest, ::testing::Range(0, 3));
+
+// --- TcpConnect ---
+
+TEST(TcpConnectTest, ImmediateWhenPathUp) {
+  Simulator sim;
+  SimDuration elapsed = kSecond;
+  int attempts = 0;
+  TcpConnect connect(
+      &sim, [] { return true; },
+      [&](SimDuration e, int a) {
+        elapsed = e;
+        attempts = a;
+      });
+  connect.Start();
+  sim.Run();
+  EXPECT_EQ(elapsed, 0u);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(TcpConnectTest, SynRetriesOnThreeSecondSchedule) {
+  Simulator sim;
+  bool path_up = false;
+  SimDuration elapsed = 0;
+  int attempts = 0;
+  TcpConnect connect(
+      &sim, [&] { return path_up; },
+      [&](SimDuration e, int a) {
+        elapsed = e;
+        attempts = a;
+      });
+  connect.Start();
+  // Path recovers 1 s in; the SYN retry only fires at t=3 s.
+  sim.ScheduleAt(FromSeconds(1), [&] { path_up = true; });
+  sim.Run();
+  EXPECT_EQ(elapsed, FromSeconds(3));
+  EXPECT_EQ(attempts, 2);
+}
+
+TEST(TcpConnectTest, SecondRetryAtNineSeconds) {
+  Simulator sim;
+  bool path_up = false;
+  SimDuration elapsed = 0;
+  TcpConnect connect(
+      &sim, [&] { return path_up; },
+      [&](SimDuration e, int) { elapsed = e; });
+  connect.Start();
+  sim.ScheduleAt(FromSeconds(4), [&] { path_up = true; });
+  sim.Run();
+  EXPECT_EQ(elapsed, FromSeconds(9));  // 3 s + 6 s backoff
+}
+
+TEST(TcpConnectTest, GivesUpEventually) {
+  Simulator sim;
+  int attempts = -1;
+  TcpConnect connect(
+      &sim, [] { return false; },
+      [&](SimDuration, int a) { attempts = a; });
+  connect.Start();
+  sim.Run();
+  EXPECT_EQ(attempts, 0);  // failure signalled with attempts=0
+}
+
+}  // namespace
+}  // namespace xoar

@@ -1,0 +1,261 @@
+// Cross-module property tests: randomized (fixed-seed) sweeps asserting
+// system-wide invariants rather than example behaviours.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/base/rng.h"
+#include "src/core/xoar_platform.h"
+#include "src/net/tcp.h"
+#include "src/workloads/wget.h"
+
+namespace xoar {
+namespace {
+
+// --- TCP: bytes are conserved and throughput is bounded, whatever the
+// outage pattern. ---
+
+class TcpOutagePatternTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TcpOutagePatternTest, BytesConservedUnderRandomOutages) {
+  Simulator sim;
+  Rng rng(GetParam());
+  // Random outage schedule: up/down intervals in [50 ms, 2 s].
+  struct Window {
+    SimTime start;
+    SimTime end;
+  };
+  std::vector<Window> outages;
+  SimTime cursor = FromMilliseconds(200);
+  for (int i = 0; i < 40; ++i) {
+    cursor += FromMilliseconds(static_cast<double>(rng.NextInRange(50, 2000)));
+    const SimTime down_until =
+        cursor + FromMilliseconds(static_cast<double>(rng.NextInRange(50, 400)));
+    outages.push_back(Window{cursor, down_until});
+    cursor = down_until;
+  }
+  auto path_up = [&sim, &outages] {
+    for (const Window& w : outages) {
+      if (sim.Now() >= w.start && sim.Now() < w.end) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  const std::uint64_t total = 64 * 1000 * 1000;
+  bool done = false;
+  TcpFlow::Result result;
+  TcpFlow flow(
+      &sim, TcpParams{}, total, path_up, [] { return 1e9; },
+      [&](const TcpFlow::Result& r) {
+        result = r;
+        done = true;
+      });
+  flow.Start();
+  while (!done && sim.Step()) {
+  }
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.bytes_delivered, total);  // nothing lost, only delayed
+  const double mbps = result.MeanThroughputBytesPerSec() / 1e6;
+  EXPECT_GT(mbps, 5.0);
+  EXPECT_LE(mbps, 118.0);  // never beats the clean-path goodput
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcpOutagePatternTest,
+                         ::testing::Values(7, 21, 99, 123, 1234));
+
+// --- Constraint groups: whatever the create/destroy interleaving, no shard
+// ever serves two different tags at once. ---
+
+class ConstraintGroupPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConstraintGroupPropertyTest, ShardsNeverMixTags) {
+  XoarPlatform platform;
+  ASSERT_TRUE(platform.Boot().ok());
+  Rng rng(GetParam());
+  const std::vector<std::string> tags = {"", "red", "blue"};
+  std::vector<std::pair<DomainId, std::string>> live;
+
+  auto check_invariant = [&] {
+    // Collect the tags of guests attached to each driver shard.
+    std::map<std::uint32_t, std::set<std::string>> shard_tags;
+    for (const auto& [guest, tag] : live) {
+      const Domain* dom = platform.hv().domain(guest);
+      for (ShardClass cls : {ShardClass::kNetBack, ShardClass::kBlkBack}) {
+        const DomainId shard = platform.shard_domain(cls);
+        if (dom->MayUseShard(shard)) {
+          shard_tags[shard.value()].insert(tag);
+        }
+      }
+    }
+    for (const auto& [shard, tag_set] : shard_tags) {
+      EXPECT_LE(tag_set.size(), 1u) << "shard dom" << shard << " mixes tags";
+    }
+  };
+
+  for (int step = 0; step < 30; ++step) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      const std::string& tag = tags[rng.NextBelow(tags.size())];
+      auto guest = platform.CreateGuest(GuestSpec{
+          .name = StrFormat("g%d", step), .memory_mb = 256, .constraint_tag = tag});
+      if (guest.ok()) {
+        live.emplace_back(*guest, tag);
+      }
+      // Creation may legitimately fail (incompatible tag / no memory), but
+      // must never succeed while violating the invariant:
+      check_invariant();
+    } else {
+      const std::size_t pick = rng.NextBelow(live.size());
+      ASSERT_TRUE(platform.DestroyGuest(live[pick].first).ok());
+      live.erase(live.begin() + static_cast<long>(pick));
+      check_invariant();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstraintGroupPropertyTest,
+                         ::testing::Values(3, 14, 159));
+
+// --- Ballooning: machine pages are conserved across any balloon sequence. ---
+
+class BalloonPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BalloonPropertyTest, PagesConserved) {
+  XoarPlatform platform;
+  ASSERT_TRUE(platform.Boot().ok());
+  DomainId guest = *platform.CreateGuest(GuestSpec{.memory_mb = 1024});
+  Rng rng(GetParam());
+  MemoryManager& mm = platform.hv().memory();
+  const std::uint64_t invariant = mm.free_pages() + mm.PagesOwnedBy(guest);
+
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t mb = rng.NextInRange(16, 256);
+    if (rng.NextBool(0.5)) {
+      (void)platform.hv().BalloonDown(guest, mb);
+    } else {
+      (void)platform.hv().BalloonUp(guest, mb);
+    }
+    EXPECT_EQ(mm.free_pages() + mm.PagesOwnedBy(guest), invariant);
+    // The domain's reservation accounting matches physical ownership.
+    const Domain* dom = platform.hv().domain(guest);
+    EXPECT_GE(mm.PagesOwnedBy(guest), dom->page_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalloonPropertyTest,
+                         ::testing::Values(5, 50, 500));
+
+// --- Restart interval monotonicity on the REAL platform data path. ---
+
+class RestartIntervalSweepTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RestartIntervalSweepTest, ThroughputMonotoneInInterval) {
+  const bool fast = GetParam();
+  double previous = 0;
+  for (double interval : {1.0, 3.0, 6.0}) {
+    XoarPlatform platform;
+    ASSERT_TRUE(platform.Boot().ok());
+    DomainId guest = *platform.CreateGuest(GuestSpec{});
+    ASSERT_TRUE(
+        platform.EnableNetBackRestarts(FromSeconds(interval), fast).ok());
+    auto result = RunWget(&platform, guest, 256ull * 1000 * 1000,
+                          WgetSink::kDevNull);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->throughput_mbps, previous * 0.98);
+    previous = result->throughput_mbps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grades, RestartIntervalSweepTest, ::testing::Bool());
+
+// --- Audit exposure query agrees with a brute-force reference model. ---
+
+class AuditPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AuditPropertyTest, ExposureMatchesReference) {
+  Rng rng(GetParam());
+  AuditLog log;
+  const DomainId shard(99);
+  struct Ref {
+    SimTime linked;
+    SimTime destroyed = UINT64_MAX;
+  };
+  std::map<std::uint32_t, Ref> reference;
+  SimTime clock = 0;
+  for (std::uint32_t g = 1; g <= 25; ++g) {
+    clock += rng.NextInRange(1, 100);
+    if (rng.NextBool(0.7)) {
+      AuditEvent link;
+      link.time = clock;
+      link.kind = AuditEventKind::kShardLinked;
+      link.subject = DomainId(g);
+      link.object = shard;
+      log.Record(std::move(link));
+      reference[g].linked = clock;
+      if (rng.NextBool(0.4)) {
+        clock += rng.NextInRange(1, 100);
+        AuditEvent destroy;
+        destroy.time = clock;
+        destroy.kind = AuditEventKind::kVmDestroyed;
+        destroy.subject = DomainId(g);
+        log.Record(std::move(destroy));
+        reference[g].destroyed = clock;
+      }
+    }
+  }
+  // Probe random windows.
+  for (int probe = 0; probe < 20; ++probe) {
+    const SimTime a = rng.NextInRange(0, clock);
+    const SimTime b = a + rng.NextInRange(0, clock);
+    std::set<DomainId> expected;
+    for (const auto& [g, ref] : reference) {
+      if (ref.linked <= b && ref.destroyed >= a) {
+        expected.insert(DomainId(g));
+      }
+    }
+    const auto actual_vec = log.GuestsExposedToShard(shard, a, b);
+    const std::set<DomainId> actual(actual_vec.begin(), actual_vec.end());
+    EXPECT_EQ(actual, expected) << "window [" << a << "," << b << "]";
+  }
+  EXPECT_EQ(log.FirstCorruptedRecord(), -1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuditPropertyTest,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+// --- Conservation through the block path: bytes submitted == bytes that
+// reach the disk (plus metadata), under ring backpressure. ---
+
+class BlkConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlkConservationTest, BytesSubmittedReachTheDisk) {
+  XoarPlatform platform;
+  ASSERT_TRUE(platform.Boot().ok());
+  DomainId guest = *platform.CreateGuest(GuestSpec{});
+  BlkFront* blk = platform.blkfront(guest);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::uint64_t disk_before = platform.disk().bytes_written();
+  std::uint64_t submitted = 0;
+  int completions = 0;
+  const int io_count = 20 + GetParam() * 10;
+  for (int i = 0; i < io_count; ++i) {
+    const std::uint64_t bytes = rng.NextInRange(1, 64) * kSectorSize;
+    submitted += bytes;
+    blk->WriteBytes(rng.NextInRange(0, 1000) * kMiB, bytes,
+                    [&](Status s) {
+                      ASSERT_TRUE(s.ok());
+                      ++completions;
+                    });
+  }
+  platform.Settle(10 * kSecond);
+  EXPECT_EQ(completions, io_count);
+  EXPECT_EQ(platform.disk().bytes_written() - disk_before, submitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlkConservationTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace xoar

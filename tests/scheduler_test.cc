@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "src/hv/scheduler.h"
+
+namespace xoar {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  CreditScheduler sched_{/*physical_cpus=*/4};
+};
+
+TEST_F(SchedulerTest, RegistrationAndParams) {
+  ASSERT_TRUE(sched_.AddDomain(DomainId(1), 2).ok());
+  EXPECT_EQ(sched_.AddDomain(DomainId(1), 2).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(sched_.AddDomain(DomainId(2), 0).ok());
+  EXPECT_FALSE(sched_.AddDomain(DomainId(2), 1, {.weight = 0}).ok());
+  auto params = sched_.GetParams(DomainId(1));
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params->weight, 256u);  // Xen's default
+  ASSERT_TRUE(sched_.RemoveDomain(DomainId(1)).ok());
+  EXPECT_EQ(sched_.RemoveDomain(DomainId(1)).code(), StatusCode::kNotFound);
+}
+
+TEST_F(SchedulerTest, EqualWeightsShareEqually) {
+  for (std::uint32_t d = 1; d <= 4; ++d) {
+    ASSERT_TRUE(sched_.AddDomain(DomainId(d), 4).ok());
+    ASSERT_TRUE(sched_.SetDemand(DomainId(d), 4.0).ok());
+  }
+  auto allocation = sched_.ComputeAllocation();
+  for (std::uint32_t d = 1; d <= 4; ++d) {
+    EXPECT_NEAR(allocation[DomainId(d)], 1.0, 1e-9);
+  }
+}
+
+TEST_F(SchedulerTest, WeightsAreProportional) {
+  ASSERT_TRUE(sched_.AddDomain(DomainId(1), 4, {.weight = 256}).ok());
+  ASSERT_TRUE(sched_.AddDomain(DomainId(2), 4, {.weight = 768}).ok());
+  ASSERT_TRUE(sched_.SetDemand(DomainId(1), 4.0).ok());
+  ASSERT_TRUE(sched_.SetDemand(DomainId(2), 4.0).ok());
+  auto allocation = sched_.ComputeAllocation();
+  EXPECT_NEAR(allocation[DomainId(1)], 1.0, 1e-9);  // 256/1024 of 4 CPUs
+  EXPECT_NEAR(allocation[DomainId(2)], 3.0, 1e-9);
+}
+
+TEST_F(SchedulerTest, WorkConservingRedistribution) {
+  // A single-VCPU shard cannot use more than 1 CPU; the leftover flows to
+  // the hungry guest rather than idling.
+  ASSERT_TRUE(sched_.AddDomain(DomainId(1), 1).ok());  // shard
+  ASSERT_TRUE(sched_.AddDomain(DomainId(2), 4).ok());  // guest
+  ASSERT_TRUE(sched_.SetDemand(DomainId(1), 1.0).ok());
+  ASSERT_TRUE(sched_.SetDemand(DomainId(2), 4.0).ok());
+  auto allocation = sched_.ComputeAllocation();
+  EXPECT_NEAR(allocation[DomainId(1)], 1.0, 1e-9);
+  EXPECT_NEAR(allocation[DomainId(2)], 3.0, 1e-9);
+}
+
+TEST_F(SchedulerTest, CapBoundsAllocationEvenWhenIdleCapacityExists) {
+  ASSERT_TRUE(sched_.AddDomain(DomainId(1), 4, {.weight = 256,
+                                                .cap_percent = 50}).ok());
+  ASSERT_TRUE(sched_.SetDemand(DomainId(1), 4.0).ok());
+  auto allocation = sched_.ComputeAllocation();
+  EXPECT_NEAR(allocation[DomainId(1)], 0.5, 1e-9);
+}
+
+TEST_F(SchedulerTest, IdleDomainsGetNothing) {
+  ASSERT_TRUE(sched_.AddDomain(DomainId(1), 2).ok());
+  ASSERT_TRUE(sched_.AddDomain(DomainId(2), 2).ok());
+  ASSERT_TRUE(sched_.SetDemand(DomainId(1), 0.0).ok());
+  ASSERT_TRUE(sched_.SetDemand(DomainId(2), 2.0).ok());
+  auto allocation = sched_.ComputeAllocation();
+  EXPECT_NEAR(allocation[DomainId(1)], 0.0, 1e-9);
+  EXPECT_NEAR(allocation[DomainId(2)], 2.0, 1e-9);
+}
+
+TEST_F(SchedulerTest, DemandBelowShareIsNotForced) {
+  ASSERT_TRUE(sched_.AddDomain(DomainId(1), 4).ok());
+  ASSERT_TRUE(sched_.SetDemand(DomainId(1), 0.25).ok());
+  auto allocation = sched_.ComputeAllocation();
+  EXPECT_NEAR(allocation[DomainId(1)], 0.25, 1e-9);
+}
+
+TEST_F(SchedulerTest, OversubscriptionDegradesProportionally) {
+  // The paper's density scenario: 10 single-VCPU VMs per core.
+  CreditScheduler dense(1);
+  for (std::uint32_t d = 1; d <= 10; ++d) {
+    ASSERT_TRUE(dense.AddDomain(DomainId(d), 1).ok());
+    ASSERT_TRUE(dense.SetDemand(DomainId(d), 1.0).ok());
+  }
+  auto allocation = dense.ComputeAllocation();
+  double total = 0;
+  for (const auto& [id, share] : allocation) {
+    EXPECT_NEAR(share, 0.1, 1e-9);
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(SchedulerTest, CreditAccountingTracksOveruse) {
+  ASSERT_TRUE(sched_.AddDomain(DomainId(1), 1).ok());
+  ASSERT_TRUE(sched_.AddDomain(DomainId(2), 1).ok());
+  ASSERT_TRUE(sched_.SetDemand(DomainId(1), 1.0).ok());
+  ASSERT_TRUE(sched_.SetDemand(DomainId(2), 1.0).ok());
+  // dom1 burns a full epoch of CPU while its fair share is 2 CPUs worth of
+  // weight across 4 PCPUs — it earned more than it used.
+  ASSERT_TRUE(sched_.Account(DomainId(1), kSecond, kSecond).ok());
+  EXPECT_FALSE(sched_.IsOver(DomainId(1)));
+  // Now burn far more than the share on a contended 1-CPU box.
+  CreditScheduler tight(1);
+  ASSERT_TRUE(tight.AddDomain(DomainId(1), 1).ok());
+  ASSERT_TRUE(tight.AddDomain(DomainId(2), 1).ok());
+  ASSERT_TRUE(tight.SetDemand(DomainId(1), 1.0).ok());
+  ASSERT_TRUE(tight.SetDemand(DomainId(2), 1.0).ok());
+  ASSERT_TRUE(tight.Account(DomainId(1), kSecond, kSecond).ok());
+  EXPECT_TRUE(tight.IsOver(DomainId(1)));  // used 1s, earned 0.5s
+  auto credit = tight.CreditOf(DomainId(1));
+  ASSERT_TRUE(credit.ok());
+  EXPECT_LT(*credit, 0);
+}
+
+TEST_F(SchedulerTest, CreditIsBounded) {
+  ASSERT_TRUE(sched_.AddDomain(DomainId(1), 1).ok());
+  ASSERT_TRUE(sched_.SetDemand(DomainId(1), 1.0).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(sched_.Account(DomainId(1), kSecond, 0).ok());
+  }
+  auto credit = sched_.CreditOf(DomainId(1));
+  ASSERT_TRUE(credit.ok());
+  // Idle domains cannot hoard unbounded credit.
+  EXPECT_LE(*credit, static_cast<double>(kSecond) * 4);
+}
+
+// Property: allocations never exceed capacity, demand, or cap, for any
+// random mix of weights/demands/caps.
+class SchedulerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SchedulerPropertyTest, AllocationRespectsAllBounds) {
+  std::uint64_t state = GetParam() * 0x9E3779B97F4A7C15ULL + 17;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  CreditScheduler sched(static_cast<int>(next() % 8 + 1));
+  const int domains = static_cast<int>(next() % 12 + 1);
+  for (int d = 1; d <= domains; ++d) {
+    SchedParams params;
+    params.weight = static_cast<std::uint32_t>(next() % 1000 + 1);
+    params.cap_percent = static_cast<std::uint32_t>(next() % 3 == 0
+                                                        ? next() % 200
+                                                        : 0);
+    const int vcpus = static_cast<int>(next() % 4 + 1);
+    ASSERT_TRUE(sched.AddDomain(DomainId(static_cast<std::uint32_t>(d)),
+                                vcpus, params)
+                    .ok());
+    ASSERT_TRUE(sched.SetDemand(DomainId(static_cast<std::uint32_t>(d)),
+                                static_cast<double>(next() % 500) / 100.0)
+                    .ok());
+  }
+  auto allocation = sched.ComputeAllocation();
+  double total = 0;
+  for (const auto& [id, share] : allocation) {
+    EXPECT_GE(share, -1e-9);
+    auto params = sched.GetParams(id);
+    if (params->cap_percent > 0) {
+      EXPECT_LE(share, params->cap_percent / 100.0 + 1e-9);
+    }
+    total += share;
+  }
+  EXPECT_LE(total, sched.physical_cpus() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace xoar

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace xoar {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0u);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, ExecutesInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(SimulatorTest, EqualTimestampsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime observed = 0;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { observed = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(observed, 150u);
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.ScheduleAt(100, [] {});
+  sim.Run();
+  SimTime fired_at = 0;
+  sim.ScheduleAt(10, [&] { fired_at = sim.Now(); });  // in the past
+  sim.Run();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // double-cancel fails
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  bool late_fired = false;
+  sim.ScheduleAt(100, [] {});
+  sim.ScheduleAt(600, [&] { late_fired = true; });
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500u);
+  EXPECT_FALSE(late_fired);
+  sim.Run();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(SimulatorTest, StepReturnsFalseOnEmptyQueue) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventsExecutedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(static_cast<SimTime>(i), [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.EventsExecuted(), 5u);
+}
+
+TEST(SimulatorTest, NestedSchedulingFromCallbacks) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) {
+      sim.ScheduleAfter(10, recurse);
+    }
+  };
+  sim.ScheduleAfter(10, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(PeriodicTimerTest, FiresRepeatedly) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(&sim, 100, [&] { ++fires; });
+  timer.Start();
+  sim.RunUntil(1000);
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(PeriodicTimerTest, StopHaltsFiring) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(&sim, 100, [&] { ++fires; });
+  timer.Start();
+  sim.RunUntil(350);
+  timer.Stop();
+  sim.RunUntil(1000);
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimerTest, CallbackMayStopTimer) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(&sim, 100, [&] {
+    if (++fires == 2) {
+      // Stop from within the callback; declared after, captured by ref.
+    }
+  });
+  timer.Start();
+  sim.RunUntil(250);
+  timer.Stop();
+  sim.RunUntil(1000);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimerTest, DoubleStartIsIdempotent) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(&sim, 100, [&] { ++fires; });
+  timer.Start();
+  timer.Start();
+  sim.RunUntil(100);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(PeriodicTimerTest, DestructionCancelsPending) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTimer timer(&sim, 100, [&] { ++fires; });
+    timer.Start();
+  }
+  sim.RunUntil(1000);
+  EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace xoar

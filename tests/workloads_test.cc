@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "src/core/xoar_platform.h"
+#include "src/ctl/monolithic_platform.h"
+#include "src/workloads/apache.h"
+#include "src/workloads/kernel_build.h"
+#include "src/workloads/postmark.h"
+#include "src/workloads/wget.h"
+
+namespace xoar {
+namespace {
+
+template <typename PlatformT>
+DomainId BootWithGuest(PlatformT& platform) {
+  EXPECT_TRUE(platform.Boot().ok());
+  auto guest = platform.CreateGuest(GuestSpec{});
+  EXPECT_TRUE(guest.ok());
+  return *guest;
+}
+
+// --- wget (Fig 6.2) ---
+
+TEST(WgetTest, DevNullRunsAtGigabitGoodput) {
+  XoarPlatform platform;
+  DomainId guest = BootWithGuest(platform);
+  auto result = RunWget(&platform, guest, 512 * 1000 * 1000,
+                        WgetSink::kDevNull);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->throughput_mbps, 110.0);
+  EXPECT_LE(result->throughput_mbps, 125.0);
+  EXPECT_EQ(result->tcp_timeouts, 0u);
+}
+
+TEST(WgetTest, DiskSinkIsDiskLimited) {
+  XoarPlatform platform;
+  DomainId guest = BootWithGuest(platform);
+  auto to_null =
+      RunWget(&platform, guest, 256 * 1000 * 1000, WgetSink::kDevNull);
+  auto to_disk = RunWget(&platform, guest, 256 * 1000 * 1000, WgetSink::kDisk);
+  ASSERT_TRUE(to_null.ok());
+  ASSERT_TRUE(to_disk.ok());
+  EXPECT_LT(to_disk->throughput_mbps, to_null->throughput_mbps);
+  // Bound by the 90 MB/s platter rate.
+  EXPECT_NEAR(to_disk->throughput_mbps, 90.0, 8.0);
+}
+
+TEST(WgetTest, XoarWinsOnCombinedDiskNetworkWorkload) {
+  // Fig 6.2: "the combined throughput of data coming from the network onto
+  // the disk is up by 6.5%" on Xoar — performance isolation of separated
+  // driver domains.
+  MonolithicPlatform dom0;
+  DomainId dom0_guest = BootWithGuest(dom0);
+  auto dom0_result =
+      RunWget(&dom0, dom0_guest, 256 * 1000 * 1000, WgetSink::kDisk);
+  ASSERT_TRUE(dom0_result.ok());
+
+  XoarPlatform xoar;
+  DomainId xoar_guest = BootWithGuest(xoar);
+  auto xoar_result =
+      RunWget(&xoar, xoar_guest, 256 * 1000 * 1000, WgetSink::kDisk);
+  ASSERT_TRUE(xoar_result.ok());
+
+  const double gain =
+      xoar_result->throughput_mbps / dom0_result->throughput_mbps;
+  EXPECT_GT(gain, 1.03);
+  EXPECT_LT(gain, 1.11);
+}
+
+TEST(WgetTest, NetBackRestartsReduceThroughput) {
+  XoarPlatform platform;
+  DomainId guest = BootWithGuest(platform);
+  auto baseline =
+      RunWget(&platform, guest, 256 * 1000 * 1000, WgetSink::kDevNull);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(platform.EnableNetBackRestarts(FromSeconds(1), false).ok());
+  auto degraded =
+      RunWget(&platform, guest, 256 * 1000 * 1000, WgetSink::kDevNull);
+  ASSERT_TRUE(degraded.ok());
+  ASSERT_TRUE(platform.DisableNetBackRestarts().ok());
+  EXPECT_GT(degraded->tcp_timeouts, 0u);
+  // Fig 6.3: ~58% drop at 1 s restart intervals.
+  const double ratio = degraded->throughput_mbps / baseline->throughput_mbps;
+  EXPECT_LT(ratio, 0.60);
+  EXPECT_GT(ratio, 0.25);
+}
+
+TEST(WgetTest, GuestWithoutNetworkRejected) {
+  XoarPlatform platform;
+  ASSERT_TRUE(platform.Boot().ok());
+  auto guest = platform.CreateGuest(GuestSpec{.with_net = false});
+  ASSERT_TRUE(guest.ok());
+  EXPECT_FALSE(RunWget(&platform, *guest, 1000, WgetSink::kDevNull).ok());
+}
+
+// --- Postmark (Fig 6.1) ---
+
+TEST(PostmarkTest, SmallRunCompletesWithExpectedMix) {
+  XoarPlatform platform;
+  DomainId guest = BootWithGuest(platform);
+  PostmarkConfig config;
+  config.files = 100;
+  config.transactions = 2'000;
+  auto result = RunPostmark(&platform, guest, config);
+  ASSERT_TRUE(result.ok());
+  // Total ops: initial creates + 2 per transaction + final deletes.
+  EXPECT_GE(result->total_ops,
+            static_cast<std::uint64_t>(config.files + 2 * config.transactions));
+  EXPECT_GT(result->ops_per_second, 1000.0);
+  EXPECT_GT(result->reads, 0u);
+  EXPECT_GT(result->appends, 0u);
+  EXPECT_GT(result->deletes, 0u);
+}
+
+TEST(PostmarkTest, Dom0AndXoarAreComparable) {
+  // Fig 6.1: "disk throughput is more or less unchanged."
+  PostmarkConfig config;
+  config.files = 200;
+  config.transactions = 5'000;
+
+  MonolithicPlatform dom0;
+  DomainId dom0_guest = BootWithGuest(dom0);
+  auto dom0_result = RunPostmark(&dom0, dom0_guest, config);
+  ASSERT_TRUE(dom0_result.ok());
+
+  XoarPlatform xoar;
+  DomainId xoar_guest = BootWithGuest(xoar);
+  auto xoar_result = RunPostmark(&xoar, xoar_guest, config);
+  ASSERT_TRUE(xoar_result.ok());
+
+  const double ratio =
+      xoar_result->ops_per_second / dom0_result->ops_per_second;
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LT(ratio, 1.05);
+}
+
+TEST(PostmarkTest, DeterministicForFixedSeed) {
+  PostmarkConfig config;
+  config.files = 100;
+  config.transactions = 1'000;
+  XoarPlatform p1, p2;
+  DomainId g1 = BootWithGuest(p1);
+  DomainId g2 = BootWithGuest(p2);
+  auto r1 = RunPostmark(&p1, g1, config);
+  auto r2 = RunPostmark(&p2, g2, config);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->total_ops, r2->total_ops);
+  EXPECT_DOUBLE_EQ(r1->ops_per_second, r2->ops_per_second);
+}
+
+TEST(PostmarkTest, LabelFormatsLikeThePaper) {
+  PostmarkConfig config;
+  config.files = 20'000;
+  config.transactions = 100'000;
+  EXPECT_EQ(config.Label(), "20Kx100K");
+  config.subdirectories = 100;
+  EXPECT_EQ(config.Label(), "20Kx100Kx100");
+  config.files = 1'000;
+  config.transactions = 50'000;
+  config.subdirectories = 1;
+  EXPECT_EQ(config.Label(), "1Kx50K");
+}
+
+// --- Kernel build (Fig 6.4) ---
+
+TEST(KernelBuildTest, LocalBuildDominatedByCpu) {
+  XoarPlatform platform;
+  DomainId guest = BootWithGuest(platform);
+  KernelBuildConfig config;
+  config.cpu_seconds = 20.0;  // scaled down for the test
+  config.source_read_bytes = 64 * kMiB;
+  config.object_write_bytes = 96 * kMiB;
+  config.phases = 20;
+  auto result = RunKernelBuild(&platform, guest, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->seconds, config.cpu_seconds);
+  EXPECT_LT(result->seconds, config.cpu_seconds * 1.2);
+}
+
+TEST(KernelBuildTest, NfsBuildIsSlowerThanLocal) {
+  XoarPlatform platform;
+  DomainId guest = BootWithGuest(platform);
+  KernelBuildConfig config;
+  config.cpu_seconds = 20.0;
+  config.source_read_bytes = 64 * kMiB;
+  config.object_write_bytes = 96 * kMiB;
+  config.source_files = 3'000;
+  config.phases = 20;
+  auto local = RunKernelBuild(&platform, guest, config);
+  config.over_nfs = true;
+  auto nfs = RunKernelBuild(&platform, guest, config);
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(nfs.ok());
+  EXPECT_GT(nfs->seconds, local->seconds);
+}
+
+TEST(KernelBuildTest, RestartsAddModestOverheadToNfs) {
+  XoarPlatform platform;
+  DomainId guest = BootWithGuest(platform);
+  KernelBuildConfig config;
+  config.cpu_seconds = 20.0;
+  config.source_read_bytes = 64 * kMiB;
+  config.object_write_bytes = 96 * kMiB;
+  config.source_files = 3'000;
+  config.phases = 20;
+  config.over_nfs = true;
+  auto baseline = RunKernelBuild(&platform, guest, config);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(platform.EnableNetBackRestarts(FromSeconds(5), false).ok());
+  auto with_restarts = RunKernelBuild(&platform, guest, config);
+  ASSERT_TRUE(with_restarts.ok());
+  ASSERT_TRUE(platform.DisableNetBackRestarts().ok());
+  EXPECT_GT(with_restarts->seconds, baseline->seconds);
+  EXPECT_LT(with_restarts->seconds, baseline->seconds * 1.25);
+}
+
+// --- Apache bench (Fig 6.5) ---
+
+TEST(ApacheBenchTest, BaselineSaturatesServerRate) {
+  XoarPlatform platform;
+  DomainId guest = BootWithGuest(platform);
+  ApacheBenchConfig config;
+  config.total_requests = 20'000;
+  auto result = RunApacheBench(&platform, guest, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->completed, 20'000u);
+  EXPECT_EQ(result->failed, 0u);
+  EXPECT_NEAR(result->throughput_rps, config.server_rate_rps, 150.0);
+  // Per ab: transfer rate = completed pages over the wall clock.
+  EXPECT_GT(result->transfer_rate_mbps, 30.0);
+}
+
+TEST(ApacheBenchTest, RestartsCauseLongTailAndThroughputLoss) {
+  XoarPlatform platform;
+  DomainId guest = BootWithGuest(platform);
+  ApacheBenchConfig config;
+  config.total_requests = 20'000;
+  auto baseline = RunApacheBench(&platform, guest, config);
+  ASSERT_TRUE(baseline.ok());
+
+  ASSERT_TRUE(platform.EnableNetBackRestarts(FromSeconds(1), false).ok());
+  auto degraded = RunApacheBench(&platform, guest, config);
+  ASSERT_TRUE(platform.DisableNetBackRestarts().ok());
+  ASSERT_TRUE(degraded.ok());
+
+  EXPECT_LT(degraded->throughput_rps, baseline->throughput_rps * 0.7);
+  // Fig 6.5 discussion: longest requests jump from ~10 ms to seconds
+  // (SYN retries at 3 s).
+  EXPECT_LT(baseline->max_latency_ms, 100.0);
+  EXPECT_GT(degraded->max_latency_ms, 2'500.0);
+}
+
+TEST(ApacheBenchTest, DegradationIsNonUniformInRestartInterval) {
+  // §6.1.4: "performance decreases non-uniformly with the frequency of the
+  // restarts": 5 s -> 10 s barely matters; 1 s hurts a lot.
+  XoarPlatform platform;
+  DomainId guest = BootWithGuest(platform);
+  ApacheBenchConfig config;
+  config.total_requests = 30'000;
+
+  auto run_at = [&](double interval_seconds) {
+    EXPECT_TRUE(
+        platform.EnableNetBackRestarts(FromSeconds(interval_seconds), false)
+            .ok());
+    auto result = RunApacheBench(&platform, guest, config);
+    EXPECT_TRUE(platform.DisableNetBackRestarts().ok());
+    return result->throughput_rps;
+  };
+  const double at_10s = run_at(10);
+  const double at_5s = run_at(5);
+  const double at_1s = run_at(1);
+  EXPECT_GT(at_10s, at_5s * 0.95);          // 5 -> 10 s: little change
+  EXPECT_LT(at_1s, at_5s * 0.65);           // 1 s: a cliff
+}
+
+}  // namespace
+}  // namespace xoar

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "src/hv/hypervisor.h"
+#include "src/sim/simulator.h"
+#include "src/xs/service.h"
+#include "src/xs/wire.h"
+
+namespace xoar {
+namespace {
+
+class XsServiceTest : public ::testing::Test {
+ protected:
+  // Builds a Xoar-mode hypervisor with XenStore split into two shards and
+  // one guest authorized to use the logic shard.
+  void SetUpSplit() {
+    Hypervisor::Options options;
+    options.enforce_shard_sharing_policy = true;
+    options.total_memory_bytes = 1 * kGiB;
+    hv_ = std::make_unique<Hypervisor>(&sim_, options);
+    xs_ = std::make_unique<XenStoreService>(hv_.get(), &sim_);
+    DomainConfig boot;
+    boot.name = "boot";
+    boot.memory_mb = 32;
+    boot.is_shard = true;
+    boot_ = *hv_->CreateInitialDomain(boot, false);
+    hv_->domain(boot_)->hypercall_policy().PermitAll();
+    logic_ = NewDomain("xs-logic", true);
+    state_ = NewDomain("xs-state", true);
+    guest_ = NewDomain("guest", false);
+    xs_->DeploySplit(logic_, state_);
+    EXPECT_TRUE(hv_->AllowDelegation(boot_, logic_, boot_).ok());
+    EXPECT_TRUE(hv_->AuthorizeShardUse(boot_, guest_, logic_).ok());
+  }
+
+  void SetUpMonolithic() {
+    Hypervisor::Options options;
+    options.enforce_shard_sharing_policy = false;
+    options.total_memory_bytes = 1 * kGiB;
+    hv_ = std::make_unique<Hypervisor>(&sim_, options);
+    xs_ = std::make_unique<XenStoreService>(hv_.get(), &sim_);
+    DomainConfig dom0;
+    dom0.name = "dom0";
+    dom0.memory_mb = 128;
+    boot_ = *hv_->CreateInitialDomain(dom0, true);
+    logic_ = boot_;
+    guest_ = NewDomain("guest", false);
+    xs_->DeployMonolithic(boot_);
+  }
+
+  DomainId NewDomain(const std::string& name, bool shard) {
+    DomainConfig config;
+    config.name = name;
+    config.memory_mb = 32;
+    config.is_shard = shard;
+    DomainId id = *hv_->CreateDomain(boot_, config);
+    EXPECT_TRUE(hv_->FinishBuild(boot_, id).ok());
+    EXPECT_TRUE(hv_->UnpauseDomain(boot_, id).ok());
+    return id;
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Hypervisor> hv_;
+  std::unique_ptr<XenStoreService> xs_;
+  DomainId boot_, logic_, state_, guest_;
+};
+
+TEST_F(XsServiceTest, SplitConnectUsesGrantTables) {
+  SetUpSplit();
+  ASSERT_TRUE(xs_->Connect(guest_).ok());
+  EXPECT_TRUE(xs_->IsConnected(guest_));
+  // The guest exported a grant; the deprivileged logic shard mapped it.
+  EXPECT_EQ(hv_->domain(guest_)->grant_table().ActiveEntries(), 1u);
+}
+
+TEST_F(XsServiceTest, MonolithicConnectUsesForeignMap) {
+  SetUpMonolithic();
+  ASSERT_TRUE(xs_->Connect(guest_).ok());
+  EXPECT_TRUE(xs_->IsConnected(guest_));
+  // No grant entry: xenstored relied on Dom0 privilege (§4.4).
+  EXPECT_EQ(hv_->domain(guest_)->grant_table().ActiveEntries(), 0u);
+}
+
+TEST_F(XsServiceTest, UnauthorizedGuestCannotConnectInSplitMode) {
+  SetUpSplit();
+  DomainId stranger = NewDomain("stranger", false);
+  EXPECT_EQ(xs_->Connect(stranger).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(XsServiceTest, RequestsRequireConnection) {
+  SetUpSplit();
+  EXPECT_EQ(xs_->Write(guest_, "/x", "1").code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(xs_->Connect(guest_).ok());
+  // Access control still applies: the guest does not own /x's parent.
+  EXPECT_EQ(xs_->Write(guest_, "/x", "1").code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(XsServiceTest, DoubleConnectRejected) {
+  SetUpSplit();
+  ASSERT_TRUE(xs_->Connect(guest_).ok());
+  EXPECT_EQ(xs_->Connect(guest_).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(XsServiceTest, LogicRestartMakesServiceUnavailableThenRecovers) {
+  SetUpSplit();
+  ASSERT_TRUE(xs_->Connect(guest_).ok());
+  xs_->store().Mkdir(logic_, "/g");
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(xs_->store().SetPerms(logic_, "/g", perms).ok());
+  ASSERT_TRUE(xs_->Write(guest_, "/g/k", "before").ok());
+
+  ASSERT_TRUE(xs_->RestartLogic(FromMilliseconds(20)).ok());
+  EXPECT_FALSE(xs_->logic_available());
+  EXPECT_EQ(xs_->Read(guest_, "/g/k").status().code(),
+            StatusCode::kUnavailable);
+  sim_.RunFor(FromMilliseconds(30));
+  EXPECT_TRUE(xs_->logic_available());
+  // State lives in XenStore-State: contents survived the Logic restart.
+  EXPECT_EQ(*xs_->Read(guest_, "/g/k"), "before");
+}
+
+TEST_F(XsServiceTest, WatchesSurviveLogicRestart) {
+  SetUpSplit();
+  ASSERT_TRUE(xs_->Connect(guest_).ok());
+  xs_->store().Mkdir(logic_, "/g");
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(xs_->store().SetPerms(logic_, "/g", perms).ok());
+  int fires = 0;
+  ASSERT_TRUE(
+      xs_->Watch(guest_, "/g", "tok", [&](const XsWatchEvent&) { ++fires; })
+          .ok());
+  sim_.RunFor(kMillisecond);
+  const int after_registration = fires;
+  ASSERT_TRUE(xs_->RestartLogic(FromMilliseconds(20)).ok());
+  sim_.RunFor(FromMilliseconds(30));
+  ASSERT_TRUE(xs_->Write(guest_, "/g/k", "v").ok());
+  sim_.RunFor(kMillisecond);
+  EXPECT_EQ(fires, after_registration + 1);
+}
+
+TEST_F(XsServiceTest, MonolithicXenstoredCannotRestartIndependently) {
+  SetUpMonolithic();
+  EXPECT_EQ(xs_->RestartLogic(FromMilliseconds(20)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(XsServiceTest, PerRequestRestartPolicyCountsRollbacks) {
+  SetUpSplit();
+  ASSERT_TRUE(xs_->Connect(guest_).ok());
+  xs_->set_restart_policy(XenStoreService::RestartPolicy::kPerRequest);
+  xs_->store().Mkdir(logic_, "/g");
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(xs_->store().SetPerms(logic_, "/g", perms).ok());
+  const std::uint64_t before = xs_->logic_restarts();
+  ASSERT_TRUE(xs_->Write(guest_, "/g/a", "1").ok());
+  (void)xs_->Read(guest_, "/g/a");
+  EXPECT_EQ(xs_->logic_restarts(), before + 2);
+}
+
+TEST_F(XsServiceTest, WatchDeliveryIsAsynchronous) {
+  SetUpSplit();
+  ASSERT_TRUE(xs_->Connect(guest_).ok());
+  xs_->store().Mkdir(logic_, "/g");
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(xs_->store().SetPerms(logic_, "/g", perms).ok());
+  int fires = 0;
+  ASSERT_TRUE(
+      xs_->Watch(guest_, "/g", "tok", [&](const XsWatchEvent&) { ++fires; })
+          .ok());
+  EXPECT_EQ(fires, 0);  // not delivered synchronously
+  sim_.RunFor(kMillisecond);
+  EXPECT_EQ(fires, 1);  // registration event arrives via the simulator
+}
+
+TEST_F(XsServiceTest, TransactionsThroughService) {
+  SetUpSplit();
+  ASSERT_TRUE(xs_->Connect(guest_).ok());
+  xs_->store().Mkdir(logic_, "/g");
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(xs_->store().SetPerms(logic_, "/g", perms).ok());
+  auto tx = xs_->TransactionStart(guest_);
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE(xs_->WriteTx(guest_, "/g/a", "1", *tx).ok());
+  ASSERT_TRUE(xs_->TransactionEnd(guest_, *tx, true).ok());
+  EXPECT_EQ(*xs_->Read(guest_, "/g/a"), "1");
+}
+
+// The wire protocol: push a request through an actual grant-mapped ring
+// page between guest and logic domain.
+TEST_F(XsServiceTest, WireProtocolOverGrantedRing) {
+  SetUpSplit();
+  Pfn pfn = *hv_->memory().AllocatePages(guest_, 1);
+  GrantRef ref = *hv_->GrantAccess(guest_, logic_, pfn, true);
+  auto mapped = hv_->MapGrant(logic_, guest_, ref);
+  ASSERT_TRUE(mapped.ok());
+
+  XsRing guest_ring = XsRing::Create(hv_->memory().PageData(pfn));
+  XsRing server_ring = XsRing::Attach(mapped->data);
+
+  XsWireRequest request{};
+  request.op = static_cast<std::uint32_t>(XsWireOp::kWrite);
+  request.SetPath("/local/domain/5/name");
+  request.SetValue("web");
+  ASSERT_TRUE(guest_ring.PushRequest(request));
+
+  auto received = server_ring.PopRequest();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_STREQ(received->path, "/local/domain/5/name");
+  EXPECT_STREQ(received->value, "web");
+
+  XsWireResponse response{};
+  response.status = 0;
+  response.SetValue("ok");
+  ASSERT_TRUE(server_ring.PushResponse(response));
+  auto reply = guest_ring.PopResponse();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->Value(), "ok");
+}
+
+}  // namespace
+}  // namespace xoar

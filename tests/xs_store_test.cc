@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/strings.h"
+#include "src/xs/store.h"
+
+namespace xoar {
+namespace {
+
+class XsStoreTest : public ::testing::Test {
+ protected:
+  XsStoreTest() {
+    store_.AddManagerDomain(manager_);
+  }
+
+  XsStore store_;
+  DomainId manager_{0};
+  DomainId guest_{5};
+  DomainId other_{6};
+};
+
+TEST_F(XsStoreTest, WriteAndReadBack) {
+  ASSERT_TRUE(store_.Write(manager_, "/local/domain/5/name", "web").ok());
+  auto value = store_.Read(manager_, "/local/domain/5/name");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "web");
+}
+
+TEST_F(XsStoreTest, ReadMissingFails) {
+  EXPECT_EQ(store_.Read(manager_, "/nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(XsStoreTest, WriteCreatesIntermediateNodes) {
+  ASSERT_TRUE(store_.Write(manager_, "/a/b/c", "v").ok());
+  EXPECT_TRUE(store_.Exists(manager_, "/a"));
+  EXPECT_TRUE(store_.Exists(manager_, "/a/b"));
+}
+
+TEST_F(XsStoreTest, PathsAreNormalized) {
+  ASSERT_TRUE(store_.Write(manager_, "a//b/", "v").ok());
+  EXPECT_EQ(*store_.Read(manager_, "/a/b"), "v");
+}
+
+TEST_F(XsStoreTest, ListReturnsChildren) {
+  ASSERT_TRUE(store_.Write(manager_, "/dir/x", "1").ok());
+  ASSERT_TRUE(store_.Write(manager_, "/dir/y", "2").ok());
+  auto names = store_.List(manager_, "/dir");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST_F(XsStoreTest, RemoveDeletesSubtree) {
+  ASSERT_TRUE(store_.Write(manager_, "/dir/x/deep", "1").ok());
+  ASSERT_TRUE(store_.Remove(manager_, "/dir/x").ok());
+  EXPECT_FALSE(store_.Exists(manager_, "/dir/x"));
+  EXPECT_FALSE(store_.Exists(manager_, "/dir/x/deep"));
+  EXPECT_TRUE(store_.Exists(manager_, "/dir"));
+}
+
+TEST_F(XsStoreTest, RemoveRootRejected) {
+  EXPECT_EQ(store_.Remove(manager_, "/").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(XsStoreTest, MkdirIsIdempotent) {
+  ASSERT_TRUE(store_.Mkdir(manager_, "/dir").ok());
+  EXPECT_TRUE(store_.Mkdir(manager_, "/dir").ok());
+}
+
+// --- Permissions ---
+
+TEST_F(XsStoreTest, OwnerHasFullAccessOthersNone) {
+  ASSERT_TRUE(store_.Mkdir(manager_, "/guest").ok());
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(store_.SetPerms(manager_, "/guest", perms).ok());
+  ASSERT_TRUE(store_.Write(guest_, "/guest/key", "v").ok());
+  EXPECT_EQ(*store_.Read(guest_, "/guest/key"), "v");
+  EXPECT_EQ(store_.Read(other_, "/guest/key").status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(store_.Write(other_, "/guest/key", "x").code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(XsStoreTest, AclGrantsSpecificRights) {
+  ASSERT_TRUE(store_.Mkdir(manager_, "/guest").ok());
+  XsNodePerms perms;
+  perms.owner = guest_;
+  perms.acl[other_] = XsPerm::kRead;
+  ASSERT_TRUE(store_.SetPerms(manager_, "/guest", perms).ok());
+  ASSERT_TRUE(store_.Write(guest_, "/guest", "v").ok());
+  EXPECT_EQ(*store_.Read(other_, "/guest"), "v");
+  EXPECT_EQ(store_.Write(other_, "/guest", "x").code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(XsStoreTest, CreationRequiresWriteOnDeepestAncestor) {
+  ASSERT_TRUE(store_.Mkdir(manager_, "/guarded").ok());
+  // /guarded is owned by the manager; a guest cannot create below it.
+  EXPECT_EQ(store_.Write(guest_, "/guarded/sub", "v").code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(XsStoreTest, OnlyOwnerOrManagerSetsPerms) {
+  ASSERT_TRUE(store_.Mkdir(manager_, "/node").ok());
+  XsNodePerms perms;
+  perms.owner = guest_;
+  EXPECT_EQ(store_.SetPerms(other_, "/node", perms).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_TRUE(store_.SetPerms(manager_, "/node", perms).ok());
+  // The new owner can give the node away again (chown pattern used by the
+  // toolstack when setting up device directories).
+  XsNodePerms back;
+  back.owner = other_;
+  EXPECT_TRUE(store_.SetPerms(guest_, "/node", back).ok());
+}
+
+TEST_F(XsStoreTest, NewNodesOwnedByCreator) {
+  ASSERT_TRUE(store_.Mkdir(manager_, "/g").ok());
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(store_.SetPerms(manager_, "/g", perms).ok());
+  ASSERT_TRUE(store_.Write(guest_, "/g/mine", "v").ok());
+  auto node_perms = store_.GetPerms(guest_, "/g/mine");
+  ASSERT_TRUE(node_perms.ok());
+  EXPECT_EQ(node_perms->owner, guest_);
+}
+
+// --- Quota (DoS defense, §4.4) ---
+
+TEST_F(XsStoreTest, QuotaBoundsGuestNodes) {
+  store_.set_node_quota(10);
+  ASSERT_TRUE(store_.Mkdir(manager_, "/g").ok());
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(store_.SetPerms(manager_, "/g", perms).ok());
+  Status last = Status::Ok();
+  int created = 0;
+  for (int i = 0; i < 20; ++i) {
+    last = store_.Write(guest_, StrFormat("/g/n%d", i), "v");
+    if (last.ok()) {
+      ++created;
+    }
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  EXPECT_LE(created, 10);
+  // Managers are exempt.
+  EXPECT_TRUE(store_.Write(manager_, "/g/manager-node", "v").ok());
+}
+
+// --- Watches ---
+
+TEST_F(XsStoreTest, WatchFiresImmediatelyOnRegistration) {
+  int fires = 0;
+  ASSERT_TRUE(store_
+                  .Watch(manager_, "/a", "tok",
+                         [&](const XsWatchEvent&) { ++fires; })
+                  .ok());
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(XsStoreTest, WatchFiresOnWriteAtOrBelowPath) {
+  std::vector<std::string> paths;
+  ASSERT_TRUE(store_
+                  .Watch(manager_, "/dev", "tok",
+                         [&](const XsWatchEvent& e) { paths.push_back(e.path); })
+                  .ok());
+  ASSERT_TRUE(store_.Write(manager_, "/dev/vif/0/state", "4").ok());
+  ASSERT_TRUE(store_.Write(manager_, "/unrelated", "x").ok());
+  ASSERT_EQ(paths.size(), 2u);  // registration + /dev/vif/0/state
+  EXPECT_EQ(paths[1], "/dev/vif/0/state");
+}
+
+TEST_F(XsStoreTest, WatchTokenDeliveredWithEvent) {
+  std::string token;
+  ASSERT_TRUE(store_
+                  .Watch(manager_, "/a", "my-token",
+                         [&](const XsWatchEvent& e) { token = e.token; })
+                  .ok());
+  EXPECT_EQ(token, "my-token");
+}
+
+TEST_F(XsStoreTest, UnwatchStopsEvents) {
+  int fires = 0;
+  ASSERT_TRUE(store_
+                  .Watch(manager_, "/a", "tok",
+                         [&](const XsWatchEvent&) { ++fires; })
+                  .ok());
+  ASSERT_TRUE(store_.Unwatch(manager_, "/a", "tok").ok());
+  ASSERT_TRUE(store_.Write(manager_, "/a/b", "v").ok());
+  EXPECT_EQ(fires, 1);  // only the registration fire
+}
+
+TEST_F(XsStoreTest, DuplicateWatchRejected) {
+  auto cb = [](const XsWatchEvent&) {};
+  ASSERT_TRUE(store_.Watch(manager_, "/a", "tok", cb).ok());
+  EXPECT_EQ(store_.Watch(manager_, "/a", "tok", cb).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(XsStoreTest, RemoveFiresWatchesBelowRemovedPath) {
+  ASSERT_TRUE(store_.Write(manager_, "/dir/sub/leaf", "v").ok());
+  int fires = 0;
+  ASSERT_TRUE(store_
+                  .Watch(manager_, "/dir/sub/leaf", "tok",
+                         [&](const XsWatchEvent&) { ++fires; })
+                  .ok());
+  ASSERT_TRUE(store_.Remove(manager_, "/dir").ok());
+  EXPECT_EQ(fires, 2);  // registration + removal of an ancestor
+}
+
+// --- Transactions ---
+
+TEST_F(XsStoreTest, TransactionCommitsAtomically) {
+  auto tx = store_.TransactionStart(manager_);
+  ASSERT_TRUE(tx.ok());
+  ASSERT_TRUE(store_.Write(manager_, "/t/a", "1", *tx).ok());
+  ASSERT_TRUE(store_.Write(manager_, "/t/b", "2", *tx).ok());
+  EXPECT_FALSE(store_.Exists(manager_, "/t/a"));  // not visible yet
+  ASSERT_TRUE(store_.TransactionEnd(manager_, *tx, /*commit=*/true).ok());
+  EXPECT_EQ(*store_.Read(manager_, "/t/a"), "1");
+  EXPECT_EQ(*store_.Read(manager_, "/t/b"), "2");
+}
+
+TEST_F(XsStoreTest, TransactionAbortDiscards) {
+  auto tx = store_.TransactionStart(manager_);
+  ASSERT_TRUE(store_.Write(manager_, "/t/a", "1", *tx).ok());
+  ASSERT_TRUE(store_.TransactionEnd(manager_, *tx, /*commit=*/false).ok());
+  EXPECT_FALSE(store_.Exists(manager_, "/t/a"));
+}
+
+TEST_F(XsStoreTest, ConflictingCommitAborts) {
+  auto tx = store_.TransactionStart(manager_);
+  ASSERT_TRUE(store_.Write(manager_, "/t/a", "1", *tx).ok());
+  // A direct write lands in between — xenstored would return EAGAIN.
+  ASSERT_TRUE(store_.Write(manager_, "/other", "x").ok());
+  EXPECT_EQ(store_.TransactionEnd(manager_, *tx, true).code(),
+            StatusCode::kAborted);
+  EXPECT_FALSE(store_.Exists(manager_, "/t/a"));
+}
+
+TEST_F(XsStoreTest, TransactionReadsSeeSnapshot) {
+  ASSERT_TRUE(store_.Write(manager_, "/k", "old").ok());
+  auto tx = store_.TransactionStart(manager_);
+  ASSERT_TRUE(store_.Write(manager_, "/k", "new").ok());
+  EXPECT_EQ(*store_.Read(manager_, "/k", *tx), "old");
+}
+
+TEST_F(XsStoreTest, ForeignTransactionEndDenied) {
+  auto tx = store_.TransactionStart(guest_);
+  EXPECT_EQ(store_.TransactionEnd(other_, *tx, true).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(XsStoreTest, CommittedTransactionFiresWatches) {
+  int fires = 0;
+  ASSERT_TRUE(store_
+                  .Watch(manager_, "/t", "tok",
+                         [&](const XsWatchEvent&) { ++fires; })
+                  .ok());
+  auto tx = store_.TransactionStart(manager_);
+  ASSERT_TRUE(store_.Write(manager_, "/t/a", "1", *tx).ok());
+  EXPECT_EQ(fires, 1);  // nothing fired inside the transaction
+  ASSERT_TRUE(store_.TransactionEnd(manager_, *tx, true).ok());
+  EXPECT_EQ(fires, 2);
+}
+
+// --- Serialization (XenStore-State protocol) ---
+
+TEST_F(XsStoreTest, SerializeRestoreRoundTrip) {
+  ASSERT_TRUE(store_.Write(manager_, "/a/b", "1").ok());
+  ASSERT_TRUE(store_.Write(manager_, "/a/c", "2").ok());
+  XsNodePerms perms;
+  perms.owner = guest_;
+  perms.acl[other_] = XsPerm::kRead;
+  ASSERT_TRUE(store_.SetPerms(manager_, "/a/b", perms).ok());
+
+  auto dump = store_.Serialize();
+  XsStore fresh;
+  fresh.AddManagerDomain(manager_);
+  fresh.Restore(dump);
+  EXPECT_EQ(*fresh.Read(manager_, "/a/b"), "1");
+  EXPECT_EQ(*fresh.Read(manager_, "/a/c"), "2");
+  auto restored_perms = fresh.GetPerms(manager_, "/a/b");
+  ASSERT_TRUE(restored_perms.ok());
+  EXPECT_EQ(restored_perms->owner, guest_);
+  EXPECT_EQ(restored_perms->acl.at(other_), XsPerm::kRead);
+  EXPECT_EQ(fresh.NodeCount(), store_.NodeCount());
+}
+
+// Property: a random operation sequence applied to both XsStore and a flat
+// reference map must agree on every readable value.
+class XsStoreModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XsStoreModelTest, AgreesWithReferenceModel) {
+  XsStore store;
+  const DomainId mgr(0);
+  store.AddManagerDomain(mgr);
+  std::map<std::string, std::string> model;
+  std::uint64_t state = GetParam() * 0x9E3779B97F4A7C15ULL + 3;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 32;
+  };
+  const std::vector<std::string> paths = {"/a", "/a/b", "/a/b/c", "/d",
+                                          "/d/e", "/f/g/h"};
+  for (int i = 0; i < 2000; ++i) {
+    const std::string& path = paths[next() % paths.size()];
+    switch (next() % 3) {
+      case 0: {
+        const std::string value = StrFormat("v%u", next() % 100);
+        if (store.Write(mgr, path, value).ok()) {
+          model[path] = value;
+          // Intermediate nodes materialize with empty values.
+          std::vector<std::string> segments = SplitPath(path);
+          std::string prefix;
+          for (std::size_t s = 0; s + 1 < segments.size(); ++s) {
+            prefix += "/" + segments[s];
+            if (model.count(prefix) == 0) {
+              model[prefix] = "";
+            }
+          }
+        }
+        break;
+      }
+      case 1: {
+        auto value = store.Read(mgr, path);
+        if (model.count(path) > 0) {
+          ASSERT_TRUE(value.ok()) << path;
+          EXPECT_EQ(*value, model[path]) << path;
+        } else {
+          EXPECT_FALSE(value.ok()) << path;
+        }
+        break;
+      }
+      case 2: {
+        if (store.Remove(mgr, path).ok()) {
+          for (auto it = model.begin(); it != model.end();) {
+            if (PathHasPrefix(it->first, path)) {
+              it = model.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XsStoreModelTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace xoar
