@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_boot_parallelism.dir/ablation_boot_parallelism.cpp.o"
+  "CMakeFiles/ablation_boot_parallelism.dir/ablation_boot_parallelism.cpp.o.d"
+  "ablation_boot_parallelism"
+  "ablation_boot_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_boot_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

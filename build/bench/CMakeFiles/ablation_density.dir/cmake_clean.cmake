@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_density.dir/ablation_density.cpp.o"
+  "CMakeFiles/ablation_density.dir/ablation_density.cpp.o.d"
+  "ablation_density"
+  "ablation_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

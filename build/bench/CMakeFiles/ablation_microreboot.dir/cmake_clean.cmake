@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_microreboot.dir/ablation_microreboot.cpp.o"
+  "CMakeFiles/ablation_microreboot.dir/ablation_microreboot.cpp.o.d"
+  "ablation_microreboot"
+  "ablation_microreboot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_microreboot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_migration.dir/ablation_migration.cpp.o"
+  "CMakeFiles/ablation_migration.dir/ablation_migration.cpp.o.d"
+  "ablation_migration"
+  "ablation_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

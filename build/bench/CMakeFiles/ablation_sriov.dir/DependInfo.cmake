@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sriov.cpp" "bench/CMakeFiles/ablation_sriov.dir/ablation_sriov.cpp.o" "gcc" "bench/CMakeFiles/ablation_sriov.dir/ablation_sriov.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xoar_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xoar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/xoar_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/xs/CMakeFiles/xoar_xs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/xoar_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xoar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/drv/CMakeFiles/xoar_drv.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctl/CMakeFiles/xoar_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xoar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xoar_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/xoar_security.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sriov.dir/ablation_sriov.cpp.o"
+  "CMakeFiles/ablation_sriov.dir/ablation_sriov.cpp.o.d"
+  "ablation_sriov"
+  "ablation_sriov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sriov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

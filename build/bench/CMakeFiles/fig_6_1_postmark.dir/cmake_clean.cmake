@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_6_1_postmark.dir/fig_6_1_postmark.cpp.o"
+  "CMakeFiles/fig_6_1_postmark.dir/fig_6_1_postmark.cpp.o.d"
+  "fig_6_1_postmark"
+  "fig_6_1_postmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_1_postmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

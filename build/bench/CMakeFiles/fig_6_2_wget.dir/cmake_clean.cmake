@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_6_2_wget.dir/fig_6_2_wget.cpp.o"
+  "CMakeFiles/fig_6_2_wget.dir/fig_6_2_wget.cpp.o.d"
+  "fig_6_2_wget"
+  "fig_6_2_wget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_2_wget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_6_2_wget.
+# This may be replaced when dependencies are built.

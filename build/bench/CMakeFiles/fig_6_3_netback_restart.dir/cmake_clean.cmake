@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_6_3_netback_restart.dir/fig_6_3_netback_restart.cpp.o"
+  "CMakeFiles/fig_6_3_netback_restart.dir/fig_6_3_netback_restart.cpp.o.d"
+  "fig_6_3_netback_restart"
+  "fig_6_3_netback_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_3_netback_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_6_4_kernel_build.dir/fig_6_4_kernel_build.cpp.o"
+  "CMakeFiles/fig_6_4_kernel_build.dir/fig_6_4_kernel_build.cpp.o.d"
+  "fig_6_4_kernel_build"
+  "fig_6_4_kernel_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_4_kernel_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_6_4_kernel_build.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_6_5_apache.dir/fig_6_5_apache.cpp.o"
+  "CMakeFiles/fig_6_5_apache.dir/fig_6_5_apache.cpp.o.d"
+  "fig_6_5_apache"
+  "fig_6_5_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_6_5_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

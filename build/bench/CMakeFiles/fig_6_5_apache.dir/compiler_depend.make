@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_6_5_apache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_6_5_apache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_containment.dir/security_containment.cpp.o"
+  "CMakeFiles/security_containment.dir/security_containment.cpp.o.d"
+  "security_containment"
+  "security_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

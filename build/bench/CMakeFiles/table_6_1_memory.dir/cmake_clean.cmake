@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_1_memory.dir/table_6_1_memory.cpp.o"
+  "CMakeFiles/table_6_1_memory.dir/table_6_1_memory.cpp.o.d"
+  "table_6_1_memory"
+  "table_6_1_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_1_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

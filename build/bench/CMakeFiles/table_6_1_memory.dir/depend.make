@@ -1,0 +1,2 @@
+# Empty dependencies file for table_6_1_memory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_6_2_boot.dir/table_6_2_boot.cpp.o"
+  "CMakeFiles/table_6_2_boot.dir/table_6_2_boot.cpp.o.d"
+  "table_6_2_boot"
+  "table_6_2_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_6_2_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

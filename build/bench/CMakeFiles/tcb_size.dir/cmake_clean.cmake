@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_size.dir/tcb_size.cpp.o"
+  "CMakeFiles/tcb_size.dir/tcb_size.cpp.o.d"
+  "tcb_size"
+  "tcb_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

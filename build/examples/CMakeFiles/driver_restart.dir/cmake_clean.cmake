@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_restart.dir/driver_restart.cpp.o"
+  "CMakeFiles/driver_restart.dir/driver_restart.cpp.o.d"
+  "driver_restart"
+  "driver_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for driver_restart.
+# This may be replaced when dependencies are built.

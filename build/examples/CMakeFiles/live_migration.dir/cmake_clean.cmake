@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_migration.dir/live_migration.cpp.o"
+  "CMakeFiles/live_migration.dir/live_migration.cpp.o.d"
+  "live_migration"
+  "live_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for live_migration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_cloud.dir/private_cloud.cpp.o"
+  "CMakeFiles/private_cloud.dir/private_cloud.cpp.o.d"
+  "private_cloud"
+  "private_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/public_cloud.dir/public_cloud.cpp.o"
+  "CMakeFiles/public_cloud.dir/public_cloud.cpp.o.d"
+  "public_cloud"
+  "public_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/public_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

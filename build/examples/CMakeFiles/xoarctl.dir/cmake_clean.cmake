@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoarctl.dir/xoarctl.cpp.o"
+  "CMakeFiles/xoarctl.dir/xoarctl.cpp.o.d"
+  "xoarctl"
+  "xoarctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoarctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("hv")
+subdirs("xs")
+subdirs("dev")
+subdirs("net")
+subdirs("drv")
+subdirs("ctl")
+subdirs("core")
+subdirs("workloads")
+subdirs("security")

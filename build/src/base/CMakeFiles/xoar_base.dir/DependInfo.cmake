@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/hash_chain.cc" "src/base/CMakeFiles/xoar_base.dir/hash_chain.cc.o" "gcc" "src/base/CMakeFiles/xoar_base.dir/hash_chain.cc.o.d"
+  "/root/repo/src/base/log.cc" "src/base/CMakeFiles/xoar_base.dir/log.cc.o" "gcc" "src/base/CMakeFiles/xoar_base.dir/log.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/base/CMakeFiles/xoar_base.dir/status.cc.o" "gcc" "src/base/CMakeFiles/xoar_base.dir/status.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/base/CMakeFiles/xoar_base.dir/strings.cc.o" "gcc" "src/base/CMakeFiles/xoar_base.dir/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoar_base.dir/hash_chain.cc.o"
+  "CMakeFiles/xoar_base.dir/hash_chain.cc.o.d"
+  "CMakeFiles/xoar_base.dir/log.cc.o"
+  "CMakeFiles/xoar_base.dir/log.cc.o.d"
+  "CMakeFiles/xoar_base.dir/status.cc.o"
+  "CMakeFiles/xoar_base.dir/status.cc.o.d"
+  "CMakeFiles/xoar_base.dir/strings.cc.o"
+  "CMakeFiles/xoar_base.dir/strings.cc.o.d"
+  "libxoar_base.a"
+  "libxoar_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoar_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

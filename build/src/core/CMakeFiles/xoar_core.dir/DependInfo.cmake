@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit_log.cc" "src/core/CMakeFiles/xoar_core.dir/audit_log.cc.o" "gcc" "src/core/CMakeFiles/xoar_core.dir/audit_log.cc.o.d"
+  "/root/repo/src/core/microreboot.cc" "src/core/CMakeFiles/xoar_core.dir/microreboot.cc.o" "gcc" "src/core/CMakeFiles/xoar_core.dir/microreboot.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/xoar_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/xoar_core.dir/snapshot.cc.o.d"
+  "/root/repo/src/core/xoar_platform.cc" "src/core/CMakeFiles/xoar_core.dir/xoar_platform.cc.o" "gcc" "src/core/CMakeFiles/xoar_core.dir/xoar_platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xoar_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xoar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/xoar_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/xs/CMakeFiles/xoar_xs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/xoar_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/drv/CMakeFiles/xoar_drv.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctl/CMakeFiles/xoar_ctl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoar_core.dir/audit_log.cc.o"
+  "CMakeFiles/xoar_core.dir/audit_log.cc.o.d"
+  "CMakeFiles/xoar_core.dir/microreboot.cc.o"
+  "CMakeFiles/xoar_core.dir/microreboot.cc.o.d"
+  "CMakeFiles/xoar_core.dir/snapshot.cc.o"
+  "CMakeFiles/xoar_core.dir/snapshot.cc.o.d"
+  "CMakeFiles/xoar_core.dir/xoar_platform.cc.o"
+  "CMakeFiles/xoar_core.dir/xoar_platform.cc.o.d"
+  "libxoar_core.a"
+  "libxoar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

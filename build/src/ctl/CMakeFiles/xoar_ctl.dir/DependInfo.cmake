@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctl/builder.cc" "src/ctl/CMakeFiles/xoar_ctl.dir/builder.cc.o" "gcc" "src/ctl/CMakeFiles/xoar_ctl.dir/builder.cc.o.d"
+  "/root/repo/src/ctl/device_emulator.cc" "src/ctl/CMakeFiles/xoar_ctl.dir/device_emulator.cc.o" "gcc" "src/ctl/CMakeFiles/xoar_ctl.dir/device_emulator.cc.o.d"
+  "/root/repo/src/ctl/migration.cc" "src/ctl/CMakeFiles/xoar_ctl.dir/migration.cc.o" "gcc" "src/ctl/CMakeFiles/xoar_ctl.dir/migration.cc.o.d"
+  "/root/repo/src/ctl/monolithic_platform.cc" "src/ctl/CMakeFiles/xoar_ctl.dir/monolithic_platform.cc.o" "gcc" "src/ctl/CMakeFiles/xoar_ctl.dir/monolithic_platform.cc.o.d"
+  "/root/repo/src/ctl/pciback.cc" "src/ctl/CMakeFiles/xoar_ctl.dir/pciback.cc.o" "gcc" "src/ctl/CMakeFiles/xoar_ctl.dir/pciback.cc.o.d"
+  "/root/repo/src/ctl/toolstack.cc" "src/ctl/CMakeFiles/xoar_ctl.dir/toolstack.cc.o" "gcc" "src/ctl/CMakeFiles/xoar_ctl.dir/toolstack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xoar_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xoar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/xoar_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/xs/CMakeFiles/xoar_xs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/xoar_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/drv/CMakeFiles/xoar_drv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

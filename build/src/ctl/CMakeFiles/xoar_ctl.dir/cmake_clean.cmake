@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoar_ctl.dir/builder.cc.o"
+  "CMakeFiles/xoar_ctl.dir/builder.cc.o.d"
+  "CMakeFiles/xoar_ctl.dir/device_emulator.cc.o"
+  "CMakeFiles/xoar_ctl.dir/device_emulator.cc.o.d"
+  "CMakeFiles/xoar_ctl.dir/migration.cc.o"
+  "CMakeFiles/xoar_ctl.dir/migration.cc.o.d"
+  "CMakeFiles/xoar_ctl.dir/monolithic_platform.cc.o"
+  "CMakeFiles/xoar_ctl.dir/monolithic_platform.cc.o.d"
+  "CMakeFiles/xoar_ctl.dir/pciback.cc.o"
+  "CMakeFiles/xoar_ctl.dir/pciback.cc.o.d"
+  "CMakeFiles/xoar_ctl.dir/toolstack.cc.o"
+  "CMakeFiles/xoar_ctl.dir/toolstack.cc.o.d"
+  "libxoar_ctl.a"
+  "libxoar_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoar_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

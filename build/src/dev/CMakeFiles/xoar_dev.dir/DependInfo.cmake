@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dev/disk.cc" "src/dev/CMakeFiles/xoar_dev.dir/disk.cc.o" "gcc" "src/dev/CMakeFiles/xoar_dev.dir/disk.cc.o.d"
+  "/root/repo/src/dev/nic.cc" "src/dev/CMakeFiles/xoar_dev.dir/nic.cc.o" "gcc" "src/dev/CMakeFiles/xoar_dev.dir/nic.cc.o.d"
+  "/root/repo/src/dev/pci.cc" "src/dev/CMakeFiles/xoar_dev.dir/pci.cc.o" "gcc" "src/dev/CMakeFiles/xoar_dev.dir/pci.cc.o.d"
+  "/root/repo/src/dev/serial.cc" "src/dev/CMakeFiles/xoar_dev.dir/serial.cc.o" "gcc" "src/dev/CMakeFiles/xoar_dev.dir/serial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xoar_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xoar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/xoar_hv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

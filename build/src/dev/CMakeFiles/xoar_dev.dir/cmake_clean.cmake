@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoar_dev.dir/disk.cc.o"
+  "CMakeFiles/xoar_dev.dir/disk.cc.o.d"
+  "CMakeFiles/xoar_dev.dir/nic.cc.o"
+  "CMakeFiles/xoar_dev.dir/nic.cc.o.d"
+  "CMakeFiles/xoar_dev.dir/pci.cc.o"
+  "CMakeFiles/xoar_dev.dir/pci.cc.o.d"
+  "CMakeFiles/xoar_dev.dir/serial.cc.o"
+  "CMakeFiles/xoar_dev.dir/serial.cc.o.d"
+  "libxoar_dev.a"
+  "libxoar_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoar_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xoar_dev.
+# This may be replaced when dependencies are built.

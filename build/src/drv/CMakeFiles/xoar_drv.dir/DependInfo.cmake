@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drv/blk.cc" "src/drv/CMakeFiles/xoar_drv.dir/blk.cc.o" "gcc" "src/drv/CMakeFiles/xoar_drv.dir/blk.cc.o.d"
+  "/root/repo/src/drv/console.cc" "src/drv/CMakeFiles/xoar_drv.dir/console.cc.o" "gcc" "src/drv/CMakeFiles/xoar_drv.dir/console.cc.o.d"
+  "/root/repo/src/drv/net.cc" "src/drv/CMakeFiles/xoar_drv.dir/net.cc.o" "gcc" "src/drv/CMakeFiles/xoar_drv.dir/net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xoar_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xoar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/xoar_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/xs/CMakeFiles/xoar_xs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/xoar_dev.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

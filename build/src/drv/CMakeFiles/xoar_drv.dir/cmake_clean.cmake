@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoar_drv.dir/blk.cc.o"
+  "CMakeFiles/xoar_drv.dir/blk.cc.o.d"
+  "CMakeFiles/xoar_drv.dir/console.cc.o"
+  "CMakeFiles/xoar_drv.dir/console.cc.o.d"
+  "CMakeFiles/xoar_drv.dir/net.cc.o"
+  "CMakeFiles/xoar_drv.dir/net.cc.o.d"
+  "libxoar_drv.a"
+  "libxoar_drv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoar_drv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/domain.cc" "src/hv/CMakeFiles/xoar_hv.dir/domain.cc.o" "gcc" "src/hv/CMakeFiles/xoar_hv.dir/domain.cc.o.d"
+  "/root/repo/src/hv/event_channel.cc" "src/hv/CMakeFiles/xoar_hv.dir/event_channel.cc.o" "gcc" "src/hv/CMakeFiles/xoar_hv.dir/event_channel.cc.o.d"
+  "/root/repo/src/hv/grant_table.cc" "src/hv/CMakeFiles/xoar_hv.dir/grant_table.cc.o" "gcc" "src/hv/CMakeFiles/xoar_hv.dir/grant_table.cc.o.d"
+  "/root/repo/src/hv/hypercall.cc" "src/hv/CMakeFiles/xoar_hv.dir/hypercall.cc.o" "gcc" "src/hv/CMakeFiles/xoar_hv.dir/hypercall.cc.o.d"
+  "/root/repo/src/hv/hypervisor.cc" "src/hv/CMakeFiles/xoar_hv.dir/hypervisor.cc.o" "gcc" "src/hv/CMakeFiles/xoar_hv.dir/hypervisor.cc.o.d"
+  "/root/repo/src/hv/memory.cc" "src/hv/CMakeFiles/xoar_hv.dir/memory.cc.o" "gcc" "src/hv/CMakeFiles/xoar_hv.dir/memory.cc.o.d"
+  "/root/repo/src/hv/scheduler.cc" "src/hv/CMakeFiles/xoar_hv.dir/scheduler.cc.o" "gcc" "src/hv/CMakeFiles/xoar_hv.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xoar_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xoar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoar_hv.dir/domain.cc.o"
+  "CMakeFiles/xoar_hv.dir/domain.cc.o.d"
+  "CMakeFiles/xoar_hv.dir/event_channel.cc.o"
+  "CMakeFiles/xoar_hv.dir/event_channel.cc.o.d"
+  "CMakeFiles/xoar_hv.dir/grant_table.cc.o"
+  "CMakeFiles/xoar_hv.dir/grant_table.cc.o.d"
+  "CMakeFiles/xoar_hv.dir/hypercall.cc.o"
+  "CMakeFiles/xoar_hv.dir/hypercall.cc.o.d"
+  "CMakeFiles/xoar_hv.dir/hypervisor.cc.o"
+  "CMakeFiles/xoar_hv.dir/hypervisor.cc.o.d"
+  "CMakeFiles/xoar_hv.dir/memory.cc.o"
+  "CMakeFiles/xoar_hv.dir/memory.cc.o.d"
+  "CMakeFiles/xoar_hv.dir/scheduler.cc.o"
+  "CMakeFiles/xoar_hv.dir/scheduler.cc.o.d"
+  "libxoar_hv.a"
+  "libxoar_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoar_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoar_net.dir/tcp.cc.o"
+  "CMakeFiles/xoar_net.dir/tcp.cc.o.d"
+  "libxoar_net.a"
+  "libxoar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

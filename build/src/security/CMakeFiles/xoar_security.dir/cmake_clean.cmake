@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoar_security.dir/containment.cc.o"
+  "CMakeFiles/xoar_security.dir/containment.cc.o.d"
+  "CMakeFiles/xoar_security.dir/tcb.cc.o"
+  "CMakeFiles/xoar_security.dir/tcb.cc.o.d"
+  "CMakeFiles/xoar_security.dir/vulnerabilities.cc.o"
+  "CMakeFiles/xoar_security.dir/vulnerabilities.cc.o.d"
+  "libxoar_security.a"
+  "libxoar_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoar_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

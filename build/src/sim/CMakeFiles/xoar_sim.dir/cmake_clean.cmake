@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoar_sim.dir/simulator.cc.o"
+  "CMakeFiles/xoar_sim.dir/simulator.cc.o.d"
+  "libxoar_sim.a"
+  "libxoar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apache.cc" "src/workloads/CMakeFiles/xoar_workloads.dir/apache.cc.o" "gcc" "src/workloads/CMakeFiles/xoar_workloads.dir/apache.cc.o.d"
+  "/root/repo/src/workloads/kernel_build.cc" "src/workloads/CMakeFiles/xoar_workloads.dir/kernel_build.cc.o" "gcc" "src/workloads/CMakeFiles/xoar_workloads.dir/kernel_build.cc.o.d"
+  "/root/repo/src/workloads/postmark.cc" "src/workloads/CMakeFiles/xoar_workloads.dir/postmark.cc.o" "gcc" "src/workloads/CMakeFiles/xoar_workloads.dir/postmark.cc.o.d"
+  "/root/repo/src/workloads/wget.cc" "src/workloads/CMakeFiles/xoar_workloads.dir/wget.cc.o" "gcc" "src/workloads/CMakeFiles/xoar_workloads.dir/wget.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xoar_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xoar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xoar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctl/CMakeFiles/xoar_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/drv/CMakeFiles/xoar_drv.dir/DependInfo.cmake"
+  "/root/repo/build/src/xs/CMakeFiles/xoar_xs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/xoar_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/xoar_hv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoar_workloads.dir/apache.cc.o"
+  "CMakeFiles/xoar_workloads.dir/apache.cc.o.d"
+  "CMakeFiles/xoar_workloads.dir/kernel_build.cc.o"
+  "CMakeFiles/xoar_workloads.dir/kernel_build.cc.o.d"
+  "CMakeFiles/xoar_workloads.dir/postmark.cc.o"
+  "CMakeFiles/xoar_workloads.dir/postmark.cc.o.d"
+  "CMakeFiles/xoar_workloads.dir/wget.cc.o"
+  "CMakeFiles/xoar_workloads.dir/wget.cc.o.d"
+  "libxoar_workloads.a"
+  "libxoar_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoar_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoar_xs.dir/service.cc.o"
+  "CMakeFiles/xoar_xs.dir/service.cc.o.d"
+  "CMakeFiles/xoar_xs.dir/store.cc.o"
+  "CMakeFiles/xoar_xs.dir/store.cc.o.d"
+  "libxoar_xs.a"
+  "libxoar_xs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoar_xs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

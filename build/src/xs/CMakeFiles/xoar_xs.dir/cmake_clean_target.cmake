@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxoar_xs.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xoar_xs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_test.dir/audit_test.cc.o"
+  "CMakeFiles/audit_test.dir/audit_test.cc.o.d"
+  "audit_test"
+  "audit_test.pdb"
+  "audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

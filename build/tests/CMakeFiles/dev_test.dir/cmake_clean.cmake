@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dev_test.dir/dev_test.cc.o"
+  "CMakeFiles/dev_test.dir/dev_test.cc.o.d"
+  "dev_test"
+  "dev_test.pdb"
+  "dev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

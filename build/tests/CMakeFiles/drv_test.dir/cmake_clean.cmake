@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drv_test.dir/drv_test.cc.o"
+  "CMakeFiles/drv_test.dir/drv_test.cc.o.d"
+  "drv_test"
+  "drv_test.pdb"
+  "drv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_evtchn_test.dir/hv_evtchn_test.cc.o"
+  "CMakeFiles/hv_evtchn_test.dir/hv_evtchn_test.cc.o.d"
+  "hv_evtchn_test"
+  "hv_evtchn_test.pdb"
+  "hv_evtchn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_evtchn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

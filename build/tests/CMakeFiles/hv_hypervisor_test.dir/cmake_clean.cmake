@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_hypervisor_test.dir/hv_hypervisor_test.cc.o"
+  "CMakeFiles/hv_hypervisor_test.dir/hv_hypervisor_test.cc.o.d"
+  "hv_hypervisor_test"
+  "hv_hypervisor_test.pdb"
+  "hv_hypervisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_hypervisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_memory_test.dir/hv_memory_test.cc.o"
+  "CMakeFiles/hv_memory_test.dir/hv_memory_test.cc.o.d"
+  "hv_memory_test"
+  "hv_memory_test.pdb"
+  "hv_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

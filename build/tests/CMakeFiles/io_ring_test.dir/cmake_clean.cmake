@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_ring_test.dir/io_ring_test.cc.o"
+  "CMakeFiles/io_ring_test.dir/io_ring_test.cc.o.d"
+  "io_ring_test"
+  "io_ring_test.pdb"
+  "io_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

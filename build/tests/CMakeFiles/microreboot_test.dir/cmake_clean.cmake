@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microreboot_test.dir/microreboot_test.cc.o"
+  "CMakeFiles/microreboot_test.dir/microreboot_test.cc.o.d"
+  "microreboot_test"
+  "microreboot_test.pdb"
+  "microreboot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microreboot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

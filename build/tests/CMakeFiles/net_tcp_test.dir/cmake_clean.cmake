@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tcp_test.dir/net_tcp_test.cc.o"
+  "CMakeFiles/net_tcp_test.dir/net_tcp_test.cc.o.d"
+  "net_tcp_test"
+  "net_tcp_test.pdb"
+  "net_tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_service_test.dir/xs_service_test.cc.o"
+  "CMakeFiles/xs_service_test.dir/xs_service_test.cc.o.d"
+  "xs_service_test"
+  "xs_service_test.pdb"
+  "xs_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

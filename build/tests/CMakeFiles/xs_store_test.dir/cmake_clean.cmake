@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xs_store_test.dir/xs_store_test.cc.o"
+  "CMakeFiles/xs_store_test.dir/xs_store_test.cc.o.d"
+  "xs_store_test"
+  "xs_store_test.pdb"
+  "xs_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xs_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/io_ring_test[1]_include.cmake")
+include("/root/repo/build/tests/hv_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/hv_evtchn_test[1]_include.cmake")
+include("/root/repo/build/tests/hv_hypervisor_test[1]_include.cmake")
+include("/root/repo/build/tests/xs_store_test[1]_include.cmake")
+include("/root/repo/build/tests/xs_service_test[1]_include.cmake")
+include("/root/repo/build/tests/dev_test[1]_include.cmake")
+include("/root/repo/build/tests/drv_test[1]_include.cmake")
+include("/root/repo/build/tests/net_tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/microreboot_test[1]_include.cmake")
+include("/root/repo/build/tests/audit_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/ctl_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
