@@ -1,0 +1,174 @@
+// Scaling microbenchmarks for the XenStore hot paths (google-benchmark),
+// sweeping store size (10^2..10^5 nodes) and watch count. §5.1 argues
+// disaggregation is only viable if these primitive costs stay small; the
+// paths measured here are the ones every domain build, split-driver
+// negotiation, and microreboot recovery funnels through:
+//
+//  - TransactionStart: O(1) copy-on-write tree share (was a full deep copy)
+//  - quota-enabled node creation: O(depth) with incremental per-owner
+//    counters (was an O(N) full-tree flatten per created node)
+//  - watch dispatch: path-segment trie, cost follows matching watches
+//    (was a linear scan over every registered watch per mutation)
+//  - disjoint-path transaction commit: per-path read/write-set validation
+//    (was a whole-store generation check that aborted on any activity)
+//
+// Results are written to BENCH_xenstore.json (override with
+// --benchmark_out=...) so future PRs can track the trajectory.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/xs/store.h"
+
+namespace xoar {
+namespace {
+
+constexpr DomainId kManager{0};
+constexpr DomainId kGuest{5};
+
+// Populates `store` with `nodes` nodes shaped like a real toolstack store:
+// 64-way fan-out directories with leaf entries below them.
+void Populate(XsStore& store, int nodes, DomainId owner) {
+  for (int i = 0; i < nodes; ++i) {
+    const std::string path =
+        StrFormat("/local/domain/%d/n%d", i % 64, i);
+    (void)store.Write(owner, path, "v");
+  }
+}
+
+void BM_TransactionStartAbort(benchmark::State& state) {
+  XsStore store;
+  store.AddManagerDomain(kManager);
+  Populate(store, static_cast<int>(state.range(0)), kManager);
+  for (auto _ : state) {
+    auto tx = store.TransactionStart(kManager);
+    benchmark::DoNotOptimize(tx);
+    (void)store.TransactionEnd(kManager, *tx, /*commit=*/false);
+  }
+  state.counters["store_nodes"] = static_cast<double>(store.NodeCount());
+}
+BENCHMARK(BM_TransactionStartAbort)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TransactionWriteCommit(benchmark::State& state) {
+  XsStore store;
+  store.AddManagerDomain(kManager);
+  Populate(store, static_cast<int>(state.range(0)), kManager);
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    auto tx = store.TransactionStart(kManager);
+    (void)store.Write(kManager, "/local/domain/0/txkey",
+                      std::to_string(counter++), *tx);
+    (void)store.TransactionEnd(kManager, *tx, /*commit=*/true);
+  }
+  state.counters["store_nodes"] = static_cast<double>(store.NodeCount());
+}
+BENCHMARK(BM_TransactionWriteCommit)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Two transactions writing disjoint paths, both committing — the case the
+// whole-store generation check used to turn into spurious EAGAIN retries.
+void BM_DisjointTransactionsCommit(benchmark::State& state) {
+  XsStore store;
+  store.AddManagerDomain(kManager);
+  Populate(store, static_cast<int>(state.range(0)), kManager);
+  std::uint64_t aborted = 0;
+  for (auto _ : state) {
+    auto a = store.TransactionStart(kManager);
+    auto b = store.TransactionStart(kManager);
+    (void)store.Write(kManager, "/local/domain/1/a", "1", *a);
+    (void)store.Write(kManager, "/local/domain/2/b", "2", *b);
+    if (!store.TransactionEnd(kManager, *a, true).ok()) ++aborted;
+    if (!store.TransactionEnd(kManager, *b, true).ok()) ++aborted;
+  }
+  state.counters["aborted"] = static_cast<double>(aborted);
+}
+BENCHMARK(BM_DisjointTransactionsCommit)->Arg(1000)->Arg(10000);
+
+// Node creation with a quota configured: the quota check used to flatten
+// the whole tree (copying every path and value) on *every* creation.
+void BM_QuotaNodeCreate(benchmark::State& state) {
+  XsStore store;
+  store.AddManagerDomain(kManager);
+  (void)store.Mkdir(kManager, "/g");
+  XsNodePerms perms;
+  perms.owner = kGuest;
+  (void)store.SetPerms(kManager, "/g", perms);
+  const int nodes = static_cast<int>(state.range(0));
+  // Headroom covers /g, the 64 fan-out directories, and the bench node, so
+  // the loop below measures guarded creation rather than quota rejection.
+  store.set_node_quota(static_cast<std::size_t>(nodes) + 128);
+  for (int i = 0; i < nodes; ++i) {
+    (void)store.Write(kGuest, StrFormat("/g/d%d/n%d", i % 64, i), "v");
+  }
+  for (auto _ : state) {
+    (void)store.Write(kGuest, "/g/bench-node", "v");
+    (void)store.Remove(kGuest, "/g/bench-node");
+  }
+  state.counters["guest_nodes"] =
+      static_cast<double>(store.NodesOwnedBy(kGuest));
+}
+BENCHMARK(BM_QuotaNodeCreate)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Dispatching one mutation with W registered watches on disjoint paths:
+// with the path-segment trie only the matching watch is visited.
+void BM_WatchDispatch(benchmark::State& state) {
+  XsStore store;
+  store.AddManagerDomain(kManager);
+  const int watches = static_cast<int>(state.range(0));
+  std::uint64_t fires = 0;
+  for (int i = 0; i < watches; ++i) {
+    (void)store.Watch(kManager, StrFormat("/w/%d", i), "tok",
+                      [&](const XsWatchEvent&) { ++fires; });
+  }
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    (void)store.Write(kManager, "/w/0/key", std::to_string(counter++));
+  }
+  state.counters["fires"] = static_cast<double>(fires);
+}
+BENCHMARK(BM_WatchDispatch)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SnapshotTakeRestore(benchmark::State& state) {
+  XsStore store;
+  store.AddManagerDomain(kManager);
+  Populate(store, static_cast<int>(state.range(0)), kManager);
+  for (auto _ : state) {
+    XsStore::Snapshot snapshot = store.TakeSnapshot();
+    (void)store.Write(kManager, "/local/domain/0/scratch", "x");
+    store.RestoreSnapshot(snapshot);
+  }
+}
+BENCHMARK(BM_SnapshotTakeRestore)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace xoar
+
+int main(int argc, char** argv) {
+  // Default to emitting the JSON trajectory next to the working directory
+  // unless the caller picked an explicit output.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_xenstore.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -102,9 +102,21 @@ void XenStoreService::NoteRequestServed() {
   if (restart_policy_ == RestartPolicy::kPerRequest) {
     // Fig 5.1: XenStore-Logic rolls back to its post-boot snapshot after
     // every request. The rollback itself is fast (copy-on-write reset);
-    // state lives in XenStore-State so nothing is renegotiated.
+    // state lives in XenStore-State so nothing is renegotiated. Taking and
+    // dropping the checkpoint is O(1) with the COW store.
+    (void)store_.TakeSnapshot();
     ++logic_restarts_;
   }
+}
+
+void XenStoreService::FinishLogicRestart() {
+  // XenStore-Logic re-attaches to the contents held by XenStore-State
+  // (§5.1). Requests were gated while Logic was down, so the checkpoint is
+  // the current state and re-attaching is an O(1) no-op — the COW snapshot
+  // replaces the old full Serialize/Restore round trip.
+  store_.RestoreSnapshot(pre_restart_state_);
+  pre_restart_state_ = XsStore::Snapshot();
+  logic_available_ = true;
 }
 
 StatusOr<std::string> XenStoreService::Read(DomainId caller,
@@ -204,6 +216,7 @@ Status XenStoreService::BeginLogicRestart() {
   if (!logic_available_) {
     return FailedPreconditionError("XenStore-Logic already restarting");
   }
+  pre_restart_state_ = store_.TakeSnapshot();
   logic_available_ = false;
   ++logic_restarts_;
   return Status::Ok();
@@ -213,7 +226,7 @@ Status XenStoreService::CompleteLogicRestart() {
   if (logic_available_) {
     return FailedPreconditionError("XenStore-Logic is not restarting");
   }
-  logic_available_ = true;
+  FinishLogicRestart();
   return Status::Ok();
 }
 
@@ -228,13 +241,13 @@ Status XenStoreService::RestartLogic(SimDuration downtime) {
   if (!logic_available_) {
     return FailedPreconditionError("XenStore-Logic already restarting");
   }
+  pre_restart_state_ = store_.TakeSnapshot();
   logic_available_ = false;
   ++logic_restarts_;
   sim_->ScheduleAfter(downtime, [this] {
-    // XenStore-Logic restores the contents from XenStore-State over the
-    // narrow key-value protocol (§5.1); connections persist in the state
-    // component, so clients resume without renegotiation.
-    logic_available_ = true;
+    // Connections persist in the state component, so clients resume
+    // without renegotiation.
+    FinishLogicRestart();
     XLOG(kDebug) << "[xs] XenStore-Logic back after restart #"
                  << logic_restarts_;
   });

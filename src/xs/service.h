@@ -117,6 +117,7 @@ class XenStoreService {
   // Gate every request: connection present, logic component up.
   Status CheckRequest(DomainId caller);
   void NoteRequestServed();
+  void FinishLogicRestart();
 
   Hypervisor* hv_;
   Simulator* sim_;
@@ -127,6 +128,9 @@ class XenStoreService {
   bool logic_available_ = false;
   RestartPolicy restart_policy_ = RestartPolicy::kNever;
   std::map<DomainId, Connection> connections_;
+  // State-component checkpoint taken when Logic goes down; Logic re-attaches
+  // to it on the way back up. O(1) both ways (copy-on-write tree share).
+  XsStore::Snapshot pre_restart_state_;
   std::uint64_t requests_processed_ = 0;
   std::uint64_t logic_restarts_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "src/xs/store.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/base/strings.h"
 
@@ -10,24 +11,30 @@ namespace {
 std::string Normalize(std::string_view path) {
   return JoinPath(SplitPath(path));
 }
+
+// True if a mutation at `mutated` is visible to an access at `accessed`:
+// either path is an ancestor of (or equal to) the other.
+bool PathsOverlap(std::string_view mutated, std::string_view accessed) {
+  return PathHasPrefix(mutated, accessed) || PathHasPrefix(accessed, mutated);
+}
 }  // namespace
 
-XsStore::XsStore() : root_(std::make_unique<Node>()) {
+XsStore::XsStore() : root_(std::make_shared<Node>()) {
   root_->perms.owner = DomainId::Invalid();
 }
 
-std::unique_ptr<XsStore::Node> XsStore::CloneTree(const Node& node) {
-  auto copy = std::make_unique<Node>();
-  copy->value = node.value;
-  copy->perms = node.perms;
-  for (const auto& [name, child] : node.children) {
-    copy->children.emplace(name, CloneTree(*child));
+XsStore::Node* XsStore::Detach(NodePtr& slot) {
+  if (slot.use_count() > 1) {
+    // Shared with a snapshot or transaction: shallow-clone. The children
+    // map copies shared_ptrs only, so the subtree stays shared until a
+    // deeper mutation detaches it too.
+    slot = std::make_shared<Node>(*slot);
   }
-  return copy;
+  return slot.get();
 }
 
-XsStore::Node* XsStore::Resolve(Node* root, std::string_view path) const {
-  Node* node = root;
+const XsStore::Node* XsStore::Find(const Node* root, std::string_view path) {
+  const Node* node = root;
   for (const auto& segment : SplitPath(path)) {
     auto it = node->children.find(segment);
     if (it == node->children.end()) {
@@ -38,26 +45,72 @@ XsStore::Node* XsStore::Resolve(Node* root, std::string_view path) const {
   return node;
 }
 
-StatusOr<XsStore::Node*> XsStore::ResolveOrCreate(Node* root,
+XsStore::Node* XsStore::ResolveMutable(NodePtr& root, std::string_view path) {
+  Node* node = Detach(root);
+  for (const auto& segment : SplitPath(path)) {
+    auto it = node->children.find(segment);
+    if (it == node->children.end()) {
+      return nullptr;
+    }
+    node = Detach(it->second);
+  }
+  return node;
+}
+
+std::size_t XsStore::OwnedCount(DomainId owner, const Transaction* tx) const {
+  std::int64_t count = 0;
+  auto it = owner_counts_.find(owner);
+  if (it != owner_counts_.end()) {
+    count = static_cast<std::int64_t>(it->second);
+  }
+  if (tx != nullptr) {
+    auto delta = tx->owner_delta.find(owner);
+    if (delta != tx->owner_delta.end()) {
+      count += delta->second;
+    }
+  }
+  return count > 0 ? static_cast<std::size_t>(count) : 0;
+}
+
+StatusOr<XsStore::Node*> XsStore::ResolveOrCreate(NodePtr& root,
                                                   std::string_view path,
-                                                  DomainId owner) {
-  Node* node = root;
+                                                  DomainId owner,
+                                                  Transaction* tx) {
+  Node* node = Detach(root);
   for (const auto& segment : SplitPath(path)) {
     auto it = node->children.find(segment);
     if (it == node->children.end()) {
       if (node_quota_ != 0 && owner.valid() && !IsManager(owner) &&
-          NodesOwnedBy(owner) >= node_quota_) {
+          OwnedCount(owner, tx) >= node_quota_) {
         return ResourceExhaustedError(
             StrFormat("dom%u exceeded XenStore node quota (%zu)",
                       owner.value(), node_quota_));
       }
-      auto child = std::make_unique<Node>();
+      auto child = std::make_shared<Node>();
       child->perms.owner = owner;
+      if (tx != nullptr) {
+        ++tx->owner_delta[owner];
+      } else {
+        ++owner_counts_[owner];
+        ++node_count_;
+      }
       it = node->children.emplace(segment, std::move(child)).first;
+      node = it->second.get();
+    } else {
+      node = Detach(it->second);
     }
-    node = it->second.get();
   }
   return node;
+}
+
+void XsStore::TallySubtree(const Node& node,
+                           std::map<DomainId, std::int64_t>* owners,
+                           std::size_t* nodes) {
+  ++(*owners)[node.perms.owner];
+  ++(*nodes);
+  for (const auto& [name, child] : node.children) {
+    TallySubtree(*child, owners, nodes);
+  }
 }
 
 Status XsStore::CheckAccess(DomainId caller, const Node& node,
@@ -82,136 +135,199 @@ Status XsStore::CheckAccess(DomainId caller, const Node& node,
   return Status::Ok();
 }
 
-XsStore::Node* XsStore::RootFor(TxId tx) {
-  if (tx == kNoTransaction) {
-    return root_.get();
-  }
-  auto it = transactions_.find(tx);
-  return it == transactions_.end() ? nullptr : it->second.root.get();
-}
-
-Status XsStore::NoteMutation(TxId tx, std::string_view path) {
-  if (tx == kNoTransaction) {
-    ++generation_;
-    FireWatches(path);
-    return Status::Ok();
-  }
-  auto it = transactions_.find(tx);
-  if (it == transactions_.end()) {
-    return NotFoundError("no such transaction");
-  }
-  it->second.touched.emplace_back(path);
-  return Status::Ok();
-}
-
-StatusOr<std::string> XsStore::Read(DomainId caller, std::string_view path,
-                                    TxId tx) {
-  ++op_count_;
-  Node* root = RootFor(tx);
-  if (root == nullptr) {
-    return NotFoundError("no such transaction");
-  }
-  Node* node = Resolve(root, path);
-  if (node == nullptr) {
-    return NotFoundError(StrFormat("no node %s", Normalize(path).c_str()));
-  }
-  XOAR_RETURN_IF_ERROR(CheckAccess(caller, *node, XsPerm::kRead));
-  return node->value;
-}
-
-Status XsStore::Write(DomainId caller, std::string_view path,
-                      std::string_view value, TxId tx) {
-  ++op_count_;
-  Node* root = RootFor(tx);
-  if (root == nullptr) {
-    return NotFoundError("no such transaction");
-  }
-  const std::string norm = Normalize(path);
-  Node* existing = Resolve(root, norm);
-  if (existing != nullptr) {
-    XOAR_RETURN_IF_ERROR(CheckAccess(caller, *existing, XsPerm::kWrite));
-    existing->value = std::string(value);
-  } else {
-    // Creating below an existing node requires write access to the deepest
-    // existing ancestor.
-    std::vector<std::string> segments = SplitPath(norm);
-    Node* ancestor = root;
-    for (const auto& segment : segments) {
-      auto it = ancestor->children.find(segment);
-      if (it == ancestor->children.end()) {
-        break;
-      }
-      ancestor = it->second.get();
-    }
-    XOAR_RETURN_IF_ERROR(CheckAccess(caller, *ancestor, XsPerm::kWrite));
-    XOAR_ASSIGN_OR_RETURN(Node * node, ResolveOrCreate(root, norm, caller));
-    node->value = std::string(value);
-  }
-  return NoteMutation(tx, norm);
-}
-
-Status XsStore::Mkdir(DomainId caller, std::string_view path, TxId tx) {
-  ++op_count_;
-  Node* root = RootFor(tx);
-  if (root == nullptr) {
-    return NotFoundError("no such transaction");
-  }
-  const std::string norm = Normalize(path);
-  if (Resolve(root, norm) != nullptr) {
-    return Status::Ok();  // mkdir is idempotent, as in xenstored
-  }
-  std::vector<std::string> segments = SplitPath(norm);
-  Node* ancestor = root;
-  for (const auto& segment : segments) {
+Status XsStore::CheckCreateAccess(DomainId caller, const Node* root,
+                                  std::string_view path) const {
+  const Node* ancestor = root;
+  for (const auto& segment : SplitPath(path)) {
     auto it = ancestor->children.find(segment);
     if (it == ancestor->children.end()) {
       break;
     }
     ancestor = it->second.get();
   }
-  XOAR_RETURN_IF_ERROR(CheckAccess(caller, *ancestor, XsPerm::kWrite));
-  XOAR_ASSIGN_OR_RETURN(Node * node, ResolveOrCreate(root, norm, caller));
-  (void)node;
-  return NoteMutation(tx, norm);
+  return CheckAccess(caller, *ancestor, XsPerm::kWrite);
 }
 
-Status XsStore::Remove(DomainId caller, std::string_view path, TxId tx) {
-  ++op_count_;
-  Node* root = RootFor(tx);
-  if (root == nullptr) {
-    return NotFoundError("no such transaction");
+XsStore::Transaction* XsStore::FindTransaction(TxId tx) {
+  auto it = transactions_.find(tx);
+  return it == transactions_.end() ? nullptr : &it->second;
+}
+
+void XsStore::CommitMutation(const std::string& norm) {
+  ++generation_;
+  if (!transactions_.empty()) {
+    mutation_log_.emplace_back(generation_, norm);
   }
-  const std::string norm = Normalize(path);
+  FireWatches(norm);
+}
+
+Status XsStore::ApplyWrite(NodePtr& root, DomainId caller,
+                           const std::string& norm, std::string_view value,
+                           Transaction* tx) {
+  const Node* existing = Find(root.get(), norm);
+  if (existing != nullptr) {
+    XOAR_RETURN_IF_ERROR(CheckAccess(caller, *existing, XsPerm::kWrite));
+    ResolveMutable(root, norm)->value = std::string(value);
+    return Status::Ok();
+  }
+  // Creating below an existing node requires write access to the deepest
+  // existing ancestor.
+  XOAR_RETURN_IF_ERROR(CheckCreateAccess(caller, root.get(), norm));
+  XOAR_ASSIGN_OR_RETURN(Node * node, ResolveOrCreate(root, norm, caller, tx));
+  node->value = std::string(value);
+  return Status::Ok();
+}
+
+Status XsStore::ApplyMkdir(NodePtr& root, DomainId caller,
+                           const std::string& norm, Transaction* tx) {
+  if (Find(root.get(), norm) != nullptr) {
+    return Status::Ok();  // mkdir is idempotent, as in xenstored
+  }
+  XOAR_RETURN_IF_ERROR(CheckCreateAccess(caller, root.get(), norm));
+  XOAR_ASSIGN_OR_RETURN(Node * node, ResolveOrCreate(root, norm, caller, tx));
+  (void)node;
+  return Status::Ok();
+}
+
+Status XsStore::ApplyRemove(NodePtr& root, DomainId caller,
+                            const std::string& norm, Transaction* tx) {
   std::vector<std::string> segments = SplitPath(norm);
   if (segments.empty()) {
     return InvalidArgumentError("cannot remove the root");
   }
   const std::string leaf = segments.back();
   segments.pop_back();
-  Node* parent = Resolve(root, JoinPath(segments));
-  if (parent == nullptr) {
+  const std::string parent_path = JoinPath(segments);
+  const Node* parent_view = Find(root.get(), parent_path);
+  if (parent_view == nullptr) {
     return NotFoundError(StrFormat("no node %s", norm.c_str()));
   }
+  auto view_it = parent_view->children.find(leaf);
+  if (view_it == parent_view->children.end()) {
+    return NotFoundError(StrFormat("no node %s", norm.c_str()));
+  }
+  XOAR_RETURN_IF_ERROR(CheckAccess(caller, *view_it->second, XsPerm::kWrite));
+  Node* parent = ResolveMutable(root, parent_path);
   auto it = parent->children.find(leaf);
-  if (it == parent->children.end()) {
+  std::map<DomainId, std::int64_t> removed;
+  std::size_t removed_nodes = 0;
+  TallySubtree(*it->second, &removed, &removed_nodes);
+  if (tx != nullptr) {
+    for (const auto& [owner, n] : removed) {
+      tx->owner_delta[owner] -= n;
+    }
+  } else {
+    for (const auto& [owner, n] : removed) {
+      auto count = owner_counts_.find(owner);
+      if (count != owner_counts_.end()) {
+        if (count->second <= static_cast<std::size_t>(n)) {
+          owner_counts_.erase(count);
+        } else {
+          count->second -= static_cast<std::size_t>(n);
+        }
+      }
+    }
+    node_count_ -= std::min(node_count_, removed_nodes);
+  }
+  parent->children.erase(it);
+  return Status::Ok();
+}
+
+StatusOr<std::string> XsStore::Read(DomainId caller, std::string_view path,
+                                    TxId tx_id) {
+  ++op_count_;
+  const std::string norm = Normalize(path);
+  const Node* root = root_.get();
+  if (tx_id != kNoTransaction) {
+    Transaction* tx = FindTransaction(tx_id);
+    if (tx == nullptr) {
+      return NotFoundError("no such transaction");
+    }
+    tx->read_set.insert(norm);
+    root = tx->root.get();
+  }
+  const Node* node = Find(root, norm);
+  if (node == nullptr) {
     return NotFoundError(StrFormat("no node %s", norm.c_str()));
   }
-  XOAR_RETURN_IF_ERROR(CheckAccess(caller, *it->second, XsPerm::kWrite));
-  parent->children.erase(it);
-  return NoteMutation(tx, norm);
+  XOAR_RETURN_IF_ERROR(CheckAccess(caller, *node, XsPerm::kRead));
+  return node->value;
+}
+
+Status XsStore::Write(DomainId caller, std::string_view path,
+                      std::string_view value, TxId tx_id) {
+  ++op_count_;
+  const std::string norm = Normalize(path);
+  if (tx_id == kNoTransaction) {
+    XOAR_RETURN_IF_ERROR(ApplyWrite(root_, caller, norm, value, nullptr));
+    CommitMutation(norm);
+    return Status::Ok();
+  }
+  Transaction* tx = FindTransaction(tx_id);
+  if (tx == nullptr) {
+    return NotFoundError("no such transaction");
+  }
+  XOAR_RETURN_IF_ERROR(ApplyWrite(tx->root, caller, norm, value, tx));
+  tx->write_set.insert(norm);
+  tx->ops.push_back(TxOp{TxOp::Kind::kWrite, norm, std::string(value)});
+  return Status::Ok();
+}
+
+Status XsStore::Mkdir(DomainId caller, std::string_view path, TxId tx_id) {
+  ++op_count_;
+  const std::string norm = Normalize(path);
+  if (tx_id == kNoTransaction) {
+    XOAR_RETURN_IF_ERROR(ApplyMkdir(root_, caller, norm, nullptr));
+    CommitMutation(norm);
+    return Status::Ok();
+  }
+  Transaction* tx = FindTransaction(tx_id);
+  if (tx == nullptr) {
+    return NotFoundError("no such transaction");
+  }
+  XOAR_RETURN_IF_ERROR(ApplyMkdir(tx->root, caller, norm, tx));
+  tx->write_set.insert(norm);
+  tx->ops.push_back(TxOp{TxOp::Kind::kMkdir, norm, std::string()});
+  return Status::Ok();
+}
+
+Status XsStore::Remove(DomainId caller, std::string_view path, TxId tx_id) {
+  ++op_count_;
+  const std::string norm = Normalize(path);
+  if (tx_id == kNoTransaction) {
+    XOAR_RETURN_IF_ERROR(ApplyRemove(root_, caller, norm, nullptr));
+    CommitMutation(norm);
+    return Status::Ok();
+  }
+  Transaction* tx = FindTransaction(tx_id);
+  if (tx == nullptr) {
+    return NotFoundError("no such transaction");
+  }
+  XOAR_RETURN_IF_ERROR(ApplyRemove(tx->root, caller, norm, tx));
+  tx->write_set.insert(norm);
+  tx->ops.push_back(TxOp{TxOp::Kind::kRemove, norm, std::string()});
+  return Status::Ok();
 }
 
 StatusOr<std::vector<std::string>> XsStore::List(DomainId caller,
                                                  std::string_view path,
-                                                 TxId tx) {
+                                                 TxId tx_id) {
   ++op_count_;
-  Node* root = RootFor(tx);
-  if (root == nullptr) {
-    return NotFoundError("no such transaction");
+  const std::string norm = Normalize(path);
+  const Node* root = root_.get();
+  if (tx_id != kNoTransaction) {
+    Transaction* tx = FindTransaction(tx_id);
+    if (tx == nullptr) {
+      return NotFoundError("no such transaction");
+    }
+    // Listing observes the children set, which any mutation below `norm`
+    // changes — the prefix-overlap conflict check covers exactly that.
+    tx->read_set.insert(norm);
+    root = tx->root.get();
   }
-  Node* node = Resolve(root, path);
+  const Node* node = Find(root, norm);
   if (node == nullptr) {
-    return NotFoundError(StrFormat("no node %s", Normalize(path).c_str()));
+    return NotFoundError(StrFormat("no node %s", norm.c_str()));
   }
   XOAR_RETURN_IF_ERROR(CheckAccess(caller, *node, XsPerm::kRead));
   std::vector<std::string> names;
@@ -222,14 +338,24 @@ StatusOr<std::vector<std::string>> XsStore::List(DomainId caller,
   return names;
 }
 
-bool XsStore::Exists(DomainId caller, std::string_view path) const {
+bool XsStore::Exists(DomainId caller, std::string_view path, TxId tx_id) {
   (void)caller;  // Existence probes are not ACL-gated, as in xenstored.
-  return Resolve(root_.get(), path) != nullptr;
+  const std::string norm = Normalize(path);
+  const Node* root = root_.get();
+  if (tx_id != kNoTransaction) {
+    Transaction* tx = FindTransaction(tx_id);
+    if (tx == nullptr) {
+      return false;
+    }
+    tx->read_set.insert(norm);
+    root = tx->root.get();
+  }
+  return Find(root, norm) != nullptr;
 }
 
 StatusOr<XsNodePerms> XsStore::GetPerms(DomainId caller,
                                         std::string_view path) {
-  Node* node = Resolve(root_.get(), path);
+  const Node* node = Find(root_.get(), path);
   if (node == nullptr) {
     return NotFoundError(StrFormat("no node %s", Normalize(path).c_str()));
   }
@@ -239,62 +365,139 @@ StatusOr<XsNodePerms> XsStore::GetPerms(DomainId caller,
 
 Status XsStore::SetPerms(DomainId caller, std::string_view path,
                          const XsNodePerms& perms) {
-  Node* node = Resolve(root_.get(), path);
-  if (node == nullptr) {
-    return NotFoundError(StrFormat("no node %s", Normalize(path).c_str()));
+  const std::string norm = Normalize(path);
+  const Node* view = Find(root_.get(), norm);
+  if (view == nullptr) {
+    return NotFoundError(StrFormat("no node %s", norm.c_str()));
   }
   // Only the owner (or a manager) may change permissions.
-  if (!IsManager(caller) && node->perms.owner != caller) {
+  if (!IsManager(caller) && view->perms.owner != caller) {
     return PermissionDeniedError(
-        StrFormat("dom%u does not own %s", caller.value(),
-                  Normalize(path).c_str()));
+        StrFormat("dom%u does not own %s", caller.value(), norm.c_str()));
   }
+  Node* node = ResolveMutable(root_, norm);
+  const DomainId old_owner = node->perms.owner;
   node->perms = perms;
+  if (old_owner != perms.owner) {
+    auto it = owner_counts_.find(old_owner);
+    if (it != owner_counts_.end()) {
+      if (it->second <= 1) {
+        owner_counts_.erase(it);
+      } else {
+        --it->second;
+      }
+    }
+    ++owner_counts_[perms.owner];
+  }
   ++generation_;
+  if (!transactions_.empty()) {
+    mutation_log_.emplace_back(generation_, norm);
+  }
   return Status::Ok();
 }
 
 Status XsStore::Watch(DomainId caller, std::string_view path,
                       std::string_view token, WatchCallback cb) {
   const std::string norm = Normalize(path);
-  for (const auto& watch : watches_) {
-    if (watch.caller == caller && watch.path == norm && watch.token == token) {
+  WatchNode* node = &watch_root_;
+  for (const auto& segment : SplitPath(norm)) {
+    auto it = node->children.find(segment);
+    if (it == node->children.end()) {
+      it = node->children.emplace(segment, std::make_unique<WatchNode>())
+               .first;
+    }
+    node = it->second.get();
+  }
+  for (const auto& watch : node->watches) {
+    if (watch.caller == caller && watch.token == token) {
       return AlreadyExistsError("watch already registered");
     }
   }
-  watches_.push_back(
+  node->watches.push_back(
       WatchEntry{caller, norm, std::string(token), std::move(cb)});
+  ++watch_count_;
   // xenstored fires a watch immediately upon registration so the watcher can
   // pick up pre-existing state — split-driver negotiation depends on this.
-  const WatchEntry& entry = watches_.back();
-  entry.cb(XsWatchEvent{entry.path, entry.token});
+  // Fire through local copies: the callback may register or remove watches
+  // reentrantly, invalidating any reference into the trie.
+  const WatchCallback fire = node->watches.back().cb;
+  const XsWatchEvent event{norm, std::string(token)};
+  fire(event);
   return Status::Ok();
 }
 
 Status XsStore::Unwatch(DomainId caller, std::string_view path,
                         std::string_view token) {
   const std::string norm = Normalize(path);
-  auto it = std::find_if(watches_.begin(), watches_.end(),
+  // Remember the descent so empty trie nodes can be pruned afterwards.
+  std::vector<std::pair<WatchNode*, std::string>> trail;
+  WatchNode* node = &watch_root_;
+  for (const auto& segment : SplitPath(norm)) {
+    auto it = node->children.find(segment);
+    if (it == node->children.end()) {
+      return NotFoundError("no such watch");
+    }
+    trail.emplace_back(node, segment);
+    node = it->second.get();
+  }
+  auto it = std::find_if(node->watches.begin(), node->watches.end(),
                          [&](const WatchEntry& w) {
-                           return w.caller == caller && w.path == norm &&
-                                  w.token == token;
+                           return w.caller == caller && w.token == token;
                          });
-  if (it == watches_.end()) {
+  if (it == node->watches.end()) {
     return NotFoundError("no such watch");
   }
-  watches_.erase(it);
+  node->watches.erase(it);
+  --watch_count_;
+  for (auto rit = trail.rbegin(); rit != trail.rend(); ++rit) {
+    WatchNode* child = rit->first->children.at(rit->second).get();
+    if (!child->watches.empty() || !child->children.empty()) {
+      break;
+    }
+    rit->first->children.erase(rit->second);
+  }
   return Status::Ok();
 }
 
+void XsStore::CollectSubtreeWatches(
+    const WatchNode& node,
+    std::vector<std::pair<WatchCallback, XsWatchEvent>>* out,
+    std::string_view fired_path) {
+  for (const auto& [name, child] : node.children) {
+    for (const auto& watch : child->watches) {
+      out->emplace_back(watch.cb,
+                        XsWatchEvent{std::string(fired_path), watch.token});
+    }
+    CollectSubtreeWatches(*child, out, fired_path);
+  }
+}
+
 void XsStore::FireWatches(std::string_view path) {
-  // Copy matching callbacks first: a callback may register/unregister
-  // watches reentrantly.
+  // Collect matching callbacks first: a callback may register/unregister
+  // watches reentrantly. Matches are the watches on the path's ancestors
+  // (including the root and the path itself) plus every watch strictly
+  // below the path.
   std::vector<std::pair<WatchCallback, XsWatchEvent>> to_fire;
-  for (const auto& watch : watches_) {
-    if (PathHasPrefix(path, watch.path) || PathHasPrefix(watch.path, path)) {
+  const WatchNode* node = &watch_root_;
+  for (const auto& watch : node->watches) {
+    to_fire.emplace_back(watch.cb,
+                         XsWatchEvent{std::string(path), watch.token});
+  }
+  bool full_path = true;
+  for (const auto& segment : SplitPath(path)) {
+    auto it = node->children.find(segment);
+    if (it == node->children.end()) {
+      full_path = false;
+      break;
+    }
+    node = it->second.get();
+    for (const auto& watch : node->watches) {
       to_fire.emplace_back(watch.cb,
                            XsWatchEvent{std::string(path), watch.token});
     }
+  }
+  if (full_path) {
+    CollectSubtreeWatches(*node, &to_fire, path);
   }
   for (auto& [cb, event] : to_fire) {
     cb(event);
@@ -305,7 +508,7 @@ StatusOr<XsStore::TxId> XsStore::TransactionStart(DomainId caller) {
   Transaction tx;
   tx.caller = caller;
   tx.start_generation = generation_;
-  tx.root = CloneTree(*root_);
+  tx.root = root_;  // O(1): shared copy-on-write with the live tree
   TxId id = next_tx_++;
   transactions_.emplace(id, std::move(tx));
   return id;
@@ -319,66 +522,157 @@ Status XsStore::TransactionEnd(DomainId caller, TxId tx, bool commit) {
   if (it->second.caller != caller) {
     return PermissionDeniedError("transaction belongs to another domain");
   }
+  // Per-path validation (run before the transaction — and with it possibly
+  // the mutation log — is retired): a committed mutation since this
+  // transaction began conflicts only if its path overlaps something this
+  // transaction read or wrote. Disjoint concurrent activity commits cleanly
+  // (no spurious EAGAIN, unlike a whole-store generation check).
+  Status conflict = Status::Ok();
+  if (commit) {
+    const Transaction& pending = it->second;
+    for (const auto& [gen, mutated] : mutation_log_) {
+      if (gen <= pending.start_generation) {
+        continue;
+      }
+      const auto overlaps = [&mutated](const std::string& accessed) {
+        return PathsOverlap(mutated, accessed);
+      };
+      if (std::any_of(pending.read_set.begin(), pending.read_set.end(),
+                      overlaps) ||
+          std::any_of(pending.write_set.begin(), pending.write_set.end(),
+                      overlaps)) {
+        conflict = AbortedError(
+            StrFormat("store path %s changed during transaction",
+                      mutated.c_str()));
+        break;
+      }
+    }
+  }
   Transaction transaction = std::move(it->second);
   transactions_.erase(it);
+  if (transactions_.empty()) {
+    mutation_log_.clear();
+  }
   if (!commit) {
     return Status::Ok();
   }
-  if (transaction.start_generation != generation_) {
-    // Optimistic-concurrency conflict: the caller must retry, mirroring
-    // xenstored's EAGAIN.
-    return AbortedError("store changed during transaction");
+  if (!conflict.ok()) {
+    return conflict;
   }
-  root_ = std::move(transaction.root);
+  // Replay the transaction's mutations against the live tree. The saved
+  // root makes the replay atomic: COW keeps it intact, so any failure
+  // (quota, permissions changed under us) rolls back in O(1).
+  NodePtr saved_root = root_;
+  std::map<DomainId, std::size_t> saved_counts = owner_counts_;
+  const std::size_t saved_node_count = node_count_;
+  Status status = Status::Ok();
+  for (const auto& op : transaction.ops) {
+    switch (op.kind) {
+      case TxOp::Kind::kWrite:
+        status = ApplyWrite(root_, transaction.caller, op.path, op.value,
+                            nullptr);
+        break;
+      case TxOp::Kind::kMkdir:
+        status = ApplyMkdir(root_, transaction.caller, op.path, nullptr);
+        break;
+      case TxOp::Kind::kRemove:
+        status = ApplyRemove(root_, transaction.caller, op.path, nullptr);
+        break;
+    }
+    if (!status.ok()) {
+      break;
+    }
+  }
+  if (!status.ok()) {
+    root_ = std::move(saved_root);
+    owner_counts_ = std::move(saved_counts);
+    node_count_ = saved_node_count;
+    return AbortedError(StrFormat("transaction replay failed: %s",
+                                  status.message().c_str()));
+  }
   ++generation_;
-  for (const auto& touched : transaction.touched) {
-    FireWatches(touched);
+  for (const auto& op : transaction.ops) {
+    if (!transactions_.empty()) {
+      mutation_log_.emplace_back(generation_, op.path);
+    }
+    FireWatches(op.path);
   }
   return Status::Ok();
 }
 
-void XsStore::CountNodes(const Node& node, const std::string& path,
-                         std::vector<FlatNode>* out) const {
+void XsStore::FlattenTree(const Node& node, const std::string& path,
+                          std::vector<FlatNode>* out) const {
   for (const auto& [name, child] : node.children) {
     const std::string child_path = path + "/" + name;
     out->push_back(FlatNode{child_path, child->value, child->perms});
-    CountNodes(*child, child_path, out);
+    FlattenTree(*child, child_path, out);
   }
 }
 
 std::vector<XsStore::FlatNode> XsStore::Serialize() const {
   std::vector<FlatNode> out;
-  CountNodes(*root_, "", &out);
+  out.reserve(node_count_);
+  FlattenTree(*root_, "", &out);
   return out;
 }
 
 void XsStore::Restore(const std::vector<FlatNode>& nodes) {
-  root_ = std::make_unique<Node>();
+  root_ = std::make_shared<Node>();
   root_->perms.owner = DomainId::Invalid();
+  owner_counts_.clear();
+  node_count_ = 0;
   for (const auto& flat : nodes) {
     StatusOr<Node*> node =
-        ResolveOrCreate(root_.get(), flat.path, flat.perms.owner);
+        ResolveOrCreate(root_, flat.path, flat.perms.owner, nullptr);
     if (node.ok()) {
+      const DomainId created_owner = (*node)->perms.owner;
       (*node)->value = flat.value;
       (*node)->perms = flat.perms;
+      if (created_owner != flat.perms.owner) {
+        auto it = owner_counts_.find(created_owner);
+        if (it != owner_counts_.end()) {
+          if (it->second <= 1) {
+            owner_counts_.erase(it);
+          } else {
+            --it->second;
+          }
+        }
+        ++owner_counts_[flat.perms.owner];
+      }
     }
   }
   ++generation_;
+  if (!transactions_.empty()) {
+    // A wholesale replacement invalidates every active transaction.
+    mutation_log_.emplace_back(generation_, "/");
+  }
 }
 
-std::size_t XsStore::NodeCount() const {
-  std::vector<FlatNode> all;
-  CountNodes(*root_, "", &all);
-  return all.size();
+XsStore::Snapshot XsStore::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.root_ = root_;  // O(1): shares the tree copy-on-write
+  snapshot.owner_counts_ = owner_counts_;
+  snapshot.node_count_ = node_count_;
+  return snapshot;
+}
+
+void XsStore::RestoreSnapshot(const Snapshot& snapshot) {
+  if (!snapshot.valid() || snapshot.root_ == root_) {
+    return;  // restoring the current state is a no-op
+  }
+  root_ = snapshot.root_;
+  owner_counts_ = snapshot.owner_counts_;
+  node_count_ = snapshot.node_count_;
+  ++generation_;
+  if (!transactions_.empty()) {
+    // A rollback invalidates every active transaction.
+    mutation_log_.emplace_back(generation_, "/");
+  }
 }
 
 std::size_t XsStore::NodesOwnedBy(DomainId domain) const {
-  std::vector<FlatNode> all;
-  CountNodes(*root_, "", &all);
-  return static_cast<std::size_t>(
-      std::count_if(all.begin(), all.end(), [&](const FlatNode& n) {
-        return n.perms.owner == domain;
-      }));
+  auto it = owner_counts_.find(domain);
+  return it == owner_counts_.end() ? 0 : it->second;
 }
 
 }  // namespace xoar

@@ -6,6 +6,22 @@
 // contents) lives in src/xs/service.h. Access control: node owners and
 // explicitly listed domains get the granted rights; "manager" domains (the
 // XenStore service itself, or Dom0 in stock Xen) bypass ACLs.
+//
+// Hot-path design (§5.1 argues primitive costs must stay small for
+// disaggregation to be viable):
+//  - Nodes are held by shared_ptr and treated as copy-on-write: starting a
+//    transaction (or taking a Snapshot) is an O(1) pointer copy, and a
+//    mutation shallow-clones only the nodes on its path when they are
+//    shared with a snapshot.
+//  - Per-owner node counts are maintained incrementally on create/remove/
+//    chown/restore, so quota checks and NodesOwnedBy are O(log #owners)
+//    instead of a full-tree flatten.
+//  - Watches live in a path-segment trie; dispatching a mutation visits the
+//    ancestors of the mutated path plus the watch subtree below it, so cost
+//    scales with *matching* watches, not total watches.
+//  - Commit uses per-path read/write-set validation against a log of
+//    mutations since the transaction began; disjoint concurrent commits
+//    both succeed (no whole-store generation conflict).
 #ifndef XOAR_SRC_XS_STORE_H_
 #define XOAR_SRC_XS_STORE_H_
 
@@ -42,6 +58,9 @@ struct XsWatchEvent {
 };
 
 class XsStore {
+ private:
+  struct Node;  // declared early so Snapshot can reference it
+
  public:
   using WatchCallback = std::function<void(const XsWatchEvent&)>;
   using TxId = std::uint32_t;
@@ -72,7 +91,10 @@ class XsStore {
   StatusOr<std::vector<std::string>> List(DomainId caller,
                                           std::string_view path,
                                           TxId tx = kNoTransaction);
-  bool Exists(DomainId caller, std::string_view path) const;
+  // Existence probes are not ACL-gated, as in xenstored, but inside a
+  // transaction they see (and are validated against) the transaction's view.
+  bool Exists(DomainId caller, std::string_view path,
+              TxId tx = kNoTransaction);
 
   StatusOr<XsNodePerms> GetPerms(DomainId caller, std::string_view path);
   Status SetPerms(DomainId caller, std::string_view path,
@@ -86,13 +108,16 @@ class XsStore {
                WatchCallback cb);
   Status Unwatch(DomainId caller, std::string_view path,
                  std::string_view token);
-  std::size_t WatchCount() const { return watches_.size(); }
+  std::size_t WatchCount() const { return watch_count_; }
 
   // --- Transactions: snapshot-isolation with commit-time conflict check ---
 
+  // O(1): the transaction shares the current tree copy-on-write.
   StatusOr<TxId> TransactionStart(DomainId caller);
-  // Commits; returns ABORTED if another commit touched the store since the
-  // transaction began (caller should retry, as with real xenstored EAGAIN).
+  // Commits; returns ABORTED if a committed mutation since the transaction
+  // began overlaps (by path prefix) anything this transaction read or wrote
+  // (caller should retry, as with real xenstored EAGAIN). Mutations on
+  // disjoint paths do not conflict.
   Status TransactionEnd(DomainId caller, TxId tx, bool commit);
 
   // --- State shipping (XenStore-State protocol, §5.1) ---
@@ -106,16 +131,37 @@ class XsStore {
   std::vector<FlatNode> Serialize() const;
   void Restore(const std::vector<FlatNode>& nodes);
 
+  // O(1) checkpoint of the whole store: shares the tree copy-on-write.
+  // XenStore-Logic's microreboot rollback (§5.6) uses this instead of a
+  // full Serialize/Restore round trip.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    bool valid() const { return root_ != nullptr; }
+
+   private:
+    friend class XsStore;
+    std::shared_ptr<Node> root_;
+    std::map<DomainId, std::size_t> owner_counts_;
+    std::size_t node_count_ = 0;
+  };
+  Snapshot TakeSnapshot() const;
+  // Restoring the snapshot the store is already at is a no-op; otherwise the
+  // store's contents revert and the generation advances.
+  void RestoreSnapshot(const Snapshot& snapshot);
+
   std::uint64_t generation() const { return generation_; }
   std::uint64_t op_count() const { return op_count_; }
-  std::size_t NodeCount() const;
+  std::size_t NodeCount() const { return node_count_; }
   std::size_t NodesOwnedBy(DomainId domain) const;
 
  private:
+  using NodePtr = std::shared_ptr<Node>;
+
   struct Node {
     std::string value;
     XsNodePerms perms;
-    std::map<std::string, std::unique_ptr<Node>> children;
+    std::map<std::string, NodePtr> children;
   };
 
   struct WatchEntry {
@@ -125,33 +171,93 @@ class XsStore {
     WatchCallback cb;
   };
 
+  // Path-segment trie of registered watches. A mutation at /a/b/c matches
+  // the watches stored at the trie nodes for /, /a, /a/b, /a/b/c, plus every
+  // watch in the trie subtree below /a/b/c.
+  struct WatchNode {
+    std::vector<WatchEntry> watches;
+    std::map<std::string, std::unique_ptr<WatchNode>> children;
+  };
+
+  // A transactional mutation, replayed against the live tree at commit.
+  struct TxOp {
+    enum class Kind { kWrite, kMkdir, kRemove };
+    Kind kind;
+    std::string path;   // normalized
+    std::string value;  // kWrite only
+  };
+
   struct Transaction {
     DomainId caller;
     std::uint64_t start_generation;
-    std::unique_ptr<Node> root;       // private copy
-    std::vector<std::string> touched;  // paths written, for watch firing
+    NodePtr root;  // copy-on-write snapshot of the tree at start
+    std::set<std::string> read_set;
+    std::set<std::string> write_set;
+    std::vector<TxOp> ops;
+    // Nodes created minus removed per owner inside this transaction, so
+    // quota checks see the transaction's own view.
+    std::map<DomainId, std::int64_t> owner_delta;
   };
 
-  static std::unique_ptr<Node> CloneTree(const Node& node);
-  Node* Resolve(Node* root, std::string_view path) const;
-  // Walks to `path`, creating missing intermediate nodes owned by `owner`.
-  StatusOr<Node*> ResolveOrCreate(Node* root, std::string_view path,
-                                  DomainId owner);
-  Status CheckAccess(DomainId caller, const Node& node, XsPerm needed) const;
-  void FireWatches(std::string_view path);
-  void CountNodes(const Node& node, const std::string& path,
-                  std::vector<FlatNode>* out) const;
-  Node* RootFor(TxId tx);
-  Status NoteMutation(TxId tx, std::string_view path);
+  // Makes `slot` exclusively owned (shallow-cloning if shared with a
+  // snapshot or transaction) and returns the now-mutable node.
+  static Node* Detach(NodePtr& slot);
+  static const Node* Find(const Node* root, std::string_view path);
+  // COW walk to an existing node; nullptr if the path does not exist.
+  static Node* ResolveMutable(NodePtr& root, std::string_view path);
+  // COW walk that creates missing intermediate nodes owned by `owner`,
+  // charging them to the live counters (tx == nullptr) or the transaction's
+  // delta.
+  StatusOr<Node*> ResolveOrCreate(NodePtr& root, std::string_view path,
+                                  DomainId owner, Transaction* tx);
+  static void TallySubtree(const Node& node,
+                           std::map<DomainId, std::int64_t>* owners,
+                           std::size_t* nodes);
+  std::size_t OwnedCount(DomainId owner, const Transaction* tx) const;
 
-  std::unique_ptr<Node> root_;
+  Status CheckAccess(DomainId caller, const Node& node, XsPerm needed) const;
+  // Access check used when creating below existing nodes: write permission
+  // on the deepest existing ancestor of `path`.
+  Status CheckCreateAccess(DomainId caller, const Node* root,
+                           std::string_view path) const;
+
+  // Mutation bodies shared by the direct path and commit replay. They do
+  // not bump the generation or fire watches; callers do.
+  Status ApplyWrite(NodePtr& root, DomainId caller, const std::string& norm,
+                    std::string_view value, Transaction* tx);
+  Status ApplyMkdir(NodePtr& root, DomainId caller, const std::string& norm,
+                    Transaction* tx);
+  Status ApplyRemove(NodePtr& root, DomainId caller, const std::string& norm,
+                     Transaction* tx);
+
+  Transaction* FindTransaction(TxId tx);
+  // Post-mutation bookkeeping for the live tree: generation bump, mutation
+  // log (only kept while transactions are active), watch dispatch.
+  void CommitMutation(const std::string& norm);
+  void FireWatches(std::string_view path);
+  static void CollectSubtreeWatches(
+      const WatchNode& node,
+      std::vector<std::pair<WatchCallback, XsWatchEvent>>* out,
+      std::string_view fired_path);
+  void FlattenTree(const Node& node, const std::string& path,
+                   std::vector<FlatNode>* out) const;
+
+  NodePtr root_;
   std::set<DomainId> managers_;
-  std::vector<WatchEntry> watches_;
+  WatchNode watch_root_;
+  std::size_t watch_count_ = 0;
   std::map<TxId, Transaction> transactions_;
   TxId next_tx_ = 1;
   std::uint64_t generation_ = 0;
   std::uint64_t op_count_ = 0;
   std::size_t node_quota_ = 0;
+  // Incrementally maintained: #nodes per owning domain and total (root
+  // excluded), kept in sync by create/remove/chown/restore/commit.
+  std::map<DomainId, std::size_t> owner_counts_;
+  std::size_t node_count_ = 0;
+  // (generation, path) of committed mutations, recorded only while
+  // transactions are active; cleared when the last transaction ends.
+  std::vector<std::pair<std::uint64_t, std::string>> mutation_log_;
 };
 
 }  // namespace xoar

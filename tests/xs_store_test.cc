@@ -150,6 +150,48 @@ TEST_F(XsStoreTest, QuotaBoundsGuestNodes) {
   EXPECT_TRUE(store_.Write(manager_, "/g/manager-node", "v").ok());
 }
 
+TEST_F(XsStoreTest, QuotaEnforcedAtTenThousandNodes) {
+  // Population at this scale exercises the incremental owner counters; the
+  // quota check must not degrade node creation to a full-tree walk.
+  const std::size_t quota = 10000;
+  store_.set_node_quota(quota + 1);  // +1 for /g itself
+  ASSERT_TRUE(store_.Mkdir(manager_, "/g").ok());
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(store_.SetPerms(manager_, "/g", perms).ok());
+  for (std::size_t i = 0; i < quota; ++i) {
+    ASSERT_TRUE(store_.Write(guest_, StrFormat("/g/n%zu", i), "v").ok()) << i;
+  }
+  EXPECT_EQ(store_.NodesOwnedBy(guest_), quota + 1);
+  EXPECT_EQ(store_.Write(guest_, "/g/overflow", "v").code(),
+            StatusCode::kResourceExhausted);
+  // Freeing nodes must free quota (counters shrink on removal).
+  ASSERT_TRUE(store_.Remove(guest_, "/g/n0").ok());
+  EXPECT_EQ(store_.NodesOwnedBy(guest_), quota);
+  EXPECT_TRUE(store_.Write(guest_, "/g/again", "v").ok());
+}
+
+TEST_F(XsStoreTest, SubtreeRemovalReleasesOwnerCounts) {
+  ASSERT_TRUE(store_.Mkdir(manager_, "/g").ok());
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(store_.SetPerms(manager_, "/g", perms).ok());
+  ASSERT_TRUE(store_.Write(guest_, "/g/a/b/c", "v").ok());
+  EXPECT_EQ(store_.NodesOwnedBy(guest_), 4u);  // /g + a + b + c
+  ASSERT_TRUE(store_.Remove(guest_, "/g/a").ok());
+  EXPECT_EQ(store_.NodesOwnedBy(guest_), 1u);
+}
+
+TEST_F(XsStoreTest, ChownMovesOwnerCount) {
+  ASSERT_TRUE(store_.Mkdir(manager_, "/node").ok());
+  const std::size_t manager_before = store_.NodesOwnedBy(manager_);
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(store_.SetPerms(manager_, "/node", perms).ok());
+  EXPECT_EQ(store_.NodesOwnedBy(guest_), 1u);
+  EXPECT_EQ(store_.NodesOwnedBy(manager_), manager_before - 1);
+}
+
 // --- Watches ---
 
 TEST_F(XsStoreTest, WatchFiresImmediatelyOnRegistration) {
@@ -211,6 +253,99 @@ TEST_F(XsStoreTest, RemoveFiresWatchesBelowRemovedPath) {
   EXPECT_EQ(fires, 2);  // registration + removal of an ancestor
 }
 
+TEST_F(XsStoreTest, ReentrantWatchRegistrationDuringInitialFire) {
+  // The registration fire runs a callback that registers another watch on
+  // the *same* path — under the old vector storage this reallocated the
+  // entry the store was firing through.
+  int inner_fires = 0;
+  int outer_fires = 0;
+  ASSERT_TRUE(store_
+                  .Watch(manager_, "/a", "outer",
+                         [&](const XsWatchEvent&) {
+                           ++outer_fires;
+                           if (outer_fires == 1) {
+                             (void)store_.Watch(
+                                 manager_, "/a", "inner",
+                                 [&](const XsWatchEvent&) { ++inner_fires; });
+                           }
+                         })
+                  .ok());
+  EXPECT_EQ(outer_fires, 1);
+  EXPECT_EQ(inner_fires, 1);  // inner's own registration fire
+  ASSERT_TRUE(store_.Write(manager_, "/a/k", "v").ok());
+  EXPECT_EQ(outer_fires, 2);
+  EXPECT_EQ(inner_fires, 2);
+}
+
+TEST_F(XsStoreTest, WatchUnregisteringItselfDuringInitialFire) {
+  int fires = 0;
+  ASSERT_TRUE(store_
+                  .Watch(manager_, "/a", "tok",
+                         [&](const XsWatchEvent&) {
+                           ++fires;
+                           (void)store_.Unwatch(manager_, "/a", "tok");
+                         })
+                  .ok());
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(store_.WatchCount(), 0u);
+  ASSERT_TRUE(store_.Write(manager_, "/a/k", "v").ok());
+  EXPECT_EQ(fires, 1);  // gone after self-unwatch
+}
+
+TEST_F(XsStoreTest, ReentrantUnwatchDuringDispatch) {
+  // A firing callback removes a *different* watch on the same path;
+  // dispatch must not read through freed storage.
+  int a_fires = 0;
+  int b_fires = 0;
+  ASSERT_TRUE(store_
+                  .Watch(manager_, "/p", "a",
+                         [&](const XsWatchEvent&) {
+                           ++a_fires;
+                           (void)store_.Unwatch(manager_, "/p", "b");
+                         })
+                  .ok());
+  ASSERT_TRUE(store_
+                  .Watch(manager_, "/p", "b",
+                         [&](const XsWatchEvent&) { ++b_fires; })
+                  .ok());
+  ASSERT_TRUE(store_.Write(manager_, "/p/k", "v").ok());
+  // Both were collected for this dispatch before "a" removed "b".
+  EXPECT_EQ(a_fires, 2);
+  EXPECT_GE(b_fires, 1);
+  ASSERT_TRUE(store_.Write(manager_, "/p/k", "w").ok());
+  EXPECT_EQ(a_fires, 3);
+  EXPECT_LE(b_fires, 2);  // no further fires once removed
+}
+
+TEST_F(XsStoreTest, WatchDispatchOnlyVisitsMatchingPaths) {
+  std::vector<std::string> fired_tokens;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store_
+                    .Watch(manager_, StrFormat("/w/%d", i), "tok",
+                           [&, i](const XsWatchEvent&) {
+                             fired_tokens.push_back(StrFormat("w%d", i));
+                           })
+                    .ok());
+  }
+  fired_tokens.clear();  // drop the registration fires
+  ASSERT_TRUE(store_.Write(manager_, "/w/7/state", "4").ok());
+  EXPECT_EQ(fired_tokens, (std::vector<std::string>{"w7"}));
+  // A write above all of them reaches every watch in the subtree.
+  fired_tokens.clear();
+  ASSERT_TRUE(store_.Remove(manager_, "/w").ok());
+  EXPECT_EQ(fired_tokens.size(), 50u);
+}
+
+TEST_F(XsStoreTest, RootWatchSeesEverything) {
+  int fires = 0;
+  ASSERT_TRUE(store_
+                  .Watch(manager_, "/", "root",
+                         [&](const XsWatchEvent&) { ++fires; })
+                  .ok());
+  ASSERT_TRUE(store_.Write(manager_, "/deep/down/key", "v").ok());
+  EXPECT_EQ(fires, 2);  // registration + mutation
+}
+
 // --- Transactions ---
 
 TEST_F(XsStoreTest, TransactionCommitsAtomically) {
@@ -234,11 +369,97 @@ TEST_F(XsStoreTest, TransactionAbortDiscards) {
 TEST_F(XsStoreTest, ConflictingCommitAborts) {
   auto tx = store_.TransactionStart(manager_);
   ASSERT_TRUE(store_.Write(manager_, "/t/a", "1", *tx).ok());
-  // A direct write lands in between — xenstored would return EAGAIN.
-  ASSERT_TRUE(store_.Write(manager_, "/other", "x").ok());
+  // A direct write to the same path lands in between — xenstored would
+  // return EAGAIN.
+  ASSERT_TRUE(store_.Write(manager_, "/t/a", "x").ok());
   EXPECT_EQ(store_.TransactionEnd(manager_, *tx, true).code(),
             StatusCode::kAborted);
-  EXPECT_FALSE(store_.Exists(manager_, "/t/a"));
+  EXPECT_EQ(*store_.Read(manager_, "/t/a"), "x");
+}
+
+TEST_F(XsStoreTest, DisjointDirectWriteDoesNotAbortTransaction) {
+  auto tx = store_.TransactionStart(manager_);
+  ASSERT_TRUE(store_.Write(manager_, "/t/a", "1", *tx).ok());
+  // Unrelated store activity must not invalidate the transaction.
+  ASSERT_TRUE(store_.Write(manager_, "/other", "x").ok());
+  EXPECT_TRUE(store_.TransactionEnd(manager_, *tx, true).ok());
+  EXPECT_EQ(*store_.Read(manager_, "/t/a"), "1");
+  EXPECT_EQ(*store_.Read(manager_, "/other"), "x");
+}
+
+TEST_F(XsStoreTest, DisjointTransactionsBothCommit) {
+  auto a = store_.TransactionStart(manager_);
+  auto b = store_.TransactionStart(manager_);
+  ASSERT_TRUE(store_.Write(manager_, "/left/key", "A", *a).ok());
+  ASSERT_TRUE(store_.Write(manager_, "/right/key", "B", *b).ok());
+  EXPECT_TRUE(store_.TransactionEnd(manager_, *a, true).ok());
+  EXPECT_TRUE(store_.TransactionEnd(manager_, *b, true).ok());
+  // Neither commit clobbered the other.
+  EXPECT_EQ(*store_.Read(manager_, "/left/key"), "A");
+  EXPECT_EQ(*store_.Read(manager_, "/right/key"), "B");
+}
+
+TEST_F(XsStoreTest, OverlappingTransactionsConflict) {
+  auto a = store_.TransactionStart(manager_);
+  auto b = store_.TransactionStart(manager_);
+  ASSERT_TRUE(store_.Write(manager_, "/shared/key", "A", *a).ok());
+  ASSERT_TRUE(store_.Write(manager_, "/shared/key", "B", *b).ok());
+  EXPECT_TRUE(store_.TransactionEnd(manager_, *a, true).ok());
+  EXPECT_EQ(store_.TransactionEnd(manager_, *b, true).code(),
+            StatusCode::kAborted);
+  EXPECT_EQ(*store_.Read(manager_, "/shared/key"), "A");
+}
+
+TEST_F(XsStoreTest, ReadSetConflictAborts) {
+  ASSERT_TRUE(store_.Write(manager_, "/k", "old").ok());
+  auto tx = store_.TransactionStart(manager_);
+  EXPECT_EQ(*store_.Read(manager_, "/k", *tx), "old");
+  ASSERT_TRUE(store_.Write(manager_, "/d", "1", *tx).ok());
+  // What the transaction read changed before commit: abort, even though the
+  // write sets are disjoint.
+  ASSERT_TRUE(store_.Write(manager_, "/k", "new").ok());
+  EXPECT_EQ(store_.TransactionEnd(manager_, *tx, true).code(),
+            StatusCode::kAborted);
+  EXPECT_FALSE(store_.Exists(manager_, "/d"));
+}
+
+TEST_F(XsStoreTest, AncestorRemovalConflictsWithTransaction) {
+  ASSERT_TRUE(store_.Write(manager_, "/a/b", "v").ok());
+  auto tx = store_.TransactionStart(manager_);
+  ASSERT_TRUE(store_.Write(manager_, "/a/b/c", "1", *tx).ok());
+  // Removing an ancestor overlaps the transaction's write path.
+  ASSERT_TRUE(store_.Remove(manager_, "/a").ok());
+  EXPECT_EQ(store_.TransactionEnd(manager_, *tx, true).code(),
+            StatusCode::kAborted);
+}
+
+TEST_F(XsStoreTest, ExistsSeesTransactionView) {
+  ASSERT_TRUE(store_.Write(manager_, "/pre", "v").ok());
+  auto tx = store_.TransactionStart(manager_);
+  ASSERT_TRUE(store_.Write(manager_, "/t/a", "1", *tx).ok());
+  ASSERT_TRUE(store_.Remove(manager_, "/pre", *tx).ok());
+  EXPECT_TRUE(store_.Exists(manager_, "/t/a", *tx));
+  EXPECT_FALSE(store_.Exists(manager_, "/t/a"));  // not committed yet
+  EXPECT_FALSE(store_.Exists(manager_, "/pre", *tx));
+  EXPECT_TRUE(store_.Exists(manager_, "/pre"));
+}
+
+TEST_F(XsStoreTest, TransactionQuotaEnforcedAndRolledBackOnAbort) {
+  store_.set_node_quota(5);
+  ASSERT_TRUE(store_.Mkdir(manager_, "/g").ok());
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(store_.SetPerms(manager_, "/g", perms).ok());
+  const std::size_t owned_before = store_.NodesOwnedBy(guest_);
+  auto tx = store_.TransactionStart(guest_);
+  Status last = Status::Ok();
+  for (int i = 0; i < 10 && last.ok(); ++i) {
+    last = store_.Write(guest_, StrFormat("/g/n%d", i), "v", *tx);
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(store_.TransactionEnd(guest_, *tx, /*commit=*/false).ok());
+  // Nothing leaked into the live counters.
+  EXPECT_EQ(store_.NodesOwnedBy(guest_), owned_before);
 }
 
 TEST_F(XsStoreTest, TransactionReadsSeeSnapshot) {
@@ -288,6 +509,69 @@ TEST_F(XsStoreTest, SerializeRestoreRoundTrip) {
   EXPECT_EQ(restored_perms->owner, guest_);
   EXPECT_EQ(restored_perms->acl.at(other_), XsPerm::kRead);
   EXPECT_EQ(fresh.NodeCount(), store_.NodeCount());
+}
+
+TEST_F(XsStoreTest, SerializeRestoreRoundTripUnderCowSharing) {
+  ASSERT_TRUE(store_.Write(manager_, "/a/b", "1").ok());
+  ASSERT_TRUE(store_.Write(manager_, "/a/c", "2").ok());
+  // Open transactions + a snapshot share the tree; Serialize must dump the
+  // live view and Restore must not disturb the sharers.
+  auto tx = store_.TransactionStart(manager_);
+  XsStore::Snapshot snapshot = store_.TakeSnapshot();
+  ASSERT_TRUE(store_.Write(manager_, "/a/b", "tx-only", *tx).ok());
+  ASSERT_TRUE(store_.Write(manager_, "/live", "yes").ok());
+
+  auto dump = store_.Serialize();
+  XsStore fresh;
+  fresh.AddManagerDomain(manager_);
+  fresh.Restore(dump);
+  EXPECT_EQ(*fresh.Read(manager_, "/a/b"), "1");
+  EXPECT_EQ(*fresh.Read(manager_, "/live"), "yes");
+  EXPECT_EQ(fresh.NodeCount(), store_.NodeCount());
+  // The flat dumps agree entry by entry.
+  auto fresh_dump = fresh.Serialize();
+  ASSERT_EQ(fresh_dump.size(), dump.size());
+  for (std::size_t i = 0; i < dump.size(); ++i) {
+    EXPECT_EQ(fresh_dump[i].path, dump[i].path);
+    EXPECT_EQ(fresh_dump[i].value, dump[i].value);
+    EXPECT_EQ(fresh_dump[i].perms.owner, dump[i].perms.owner);
+  }
+  // The transaction still sees its own view, and mutating the restored
+  // store cannot reach back into the original's shared nodes.
+  EXPECT_EQ(*store_.Read(manager_, "/a/b", *tx), "tx-only");
+  ASSERT_TRUE(fresh.Write(manager_, "/a/b", "mutated-copy").ok());
+  EXPECT_EQ(*store_.Read(manager_, "/a/b"), "1");
+  (void)store_.TransactionEnd(manager_, *tx, false);
+  (void)snapshot;
+}
+
+TEST_F(XsStoreTest, SnapshotRollbackRestoresContentsAndCounters) {
+  ASSERT_TRUE(store_.Mkdir(manager_, "/g").ok());
+  XsNodePerms perms;
+  perms.owner = guest_;
+  ASSERT_TRUE(store_.SetPerms(manager_, "/g", perms).ok());
+  ASSERT_TRUE(store_.Write(guest_, "/g/keep", "v").ok());
+  const std::size_t owned = store_.NodesOwnedBy(guest_);
+  const std::size_t nodes = store_.NodeCount();
+
+  XsStore::Snapshot snapshot = store_.TakeSnapshot();
+  ASSERT_TRUE(store_.Write(guest_, "/g/scratch/a", "x").ok());
+  ASSERT_TRUE(store_.Remove(guest_, "/g/keep").ok());
+  store_.RestoreSnapshot(snapshot);
+
+  EXPECT_EQ(*store_.Read(guest_, "/g/keep"), "v");
+  EXPECT_FALSE(store_.Exists(guest_, "/g/scratch"));
+  EXPECT_EQ(store_.NodesOwnedBy(guest_), owned);
+  EXPECT_EQ(store_.NodeCount(), nodes);
+}
+
+TEST_F(XsStoreTest, RestoringCurrentSnapshotIsNoOp) {
+  ASSERT_TRUE(store_.Write(manager_, "/k", "v").ok());
+  XsStore::Snapshot snapshot = store_.TakeSnapshot();
+  const std::uint64_t gen = store_.generation();
+  store_.RestoreSnapshot(snapshot);  // nothing changed since the checkpoint
+  EXPECT_EQ(store_.generation(), gen);
+  EXPECT_EQ(*store_.Read(manager_, "/k"), "v");
 }
 
 // Property: a random operation sequence applied to both XsStore and a flat
