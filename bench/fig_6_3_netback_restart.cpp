@@ -12,6 +12,7 @@
 #include "src/base/log.h"
 #include "src/base/strings.h"
 #include "src/core/xoar_platform.h"
+#include "src/obs/obs.h"
 #include "src/workloads/wget.h"
 
 namespace xoar {
@@ -36,20 +37,49 @@ void Run() {
   PrintHeading(
       "Fig 6.3: Throughput with a restarting NetBack (2GB wget, MB/s)");
 
-  const double baseline = MeasureThroughput(0, false);
+  // Record every measured point into the process-global registry; the table
+  // below and BENCH_netback_restart.json both render from the same
+  // snapshot (see OBSERVABILITY.md for the export shape).
+  MetricRegistry& metrics = Obs::Global().metrics();
+  metrics.GetGauge("bench.fig63.baseline_mbps")
+      ->Set(MeasureThroughput(0, false));
+  for (int interval = 1; interval <= 10; ++interval) {
+    metrics.GetGauge(StrFormat("bench.fig63.slow_%02ds_mbps", interval))
+        ->Set(MeasureThroughput(interval, false));
+    metrics.GetGauge(StrFormat("bench.fig63.fast_%02ds_mbps", interval))
+        ->Set(MeasureThroughput(interval, true));
+  }
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  const double baseline = snapshot.FindGauge("bench.fig63.baseline_mbps")->value;
   std::printf("baseline (no restarts): %.1f MB/s\n\n", baseline);
 
   Table table({"Restart interval", "slow (260ms)", "fast (140ms)",
                "slow drop", "fast drop"});
   for (int interval = 1; interval <= 10; ++interval) {
-    const double slow = MeasureThroughput(interval, false);
-    const double fast = MeasureThroughput(interval, true);
+    const double slow =
+        snapshot
+            .FindGauge(StrFormat("bench.fig63.slow_%02ds_mbps", interval))
+            ->value;
+    const double fast =
+        snapshot
+            .FindGauge(StrFormat("bench.fig63.fast_%02ds_mbps", interval))
+            ->value;
     table.AddRow({StrFormat("%ds", interval), StrFormat("%.1f", slow),
                   StrFormat("%.1f", fast),
                   StrFormat("%.0f%%", (1.0 - slow / baseline) * 100.0),
                   StrFormat("%.0f%%", (1.0 - fast / baseline) * 100.0)});
   }
   table.Print();
+
+  Status status = metrics.WriteJsonFile("BENCH_netback_restart.json",
+                                        "fig_6_3_netback_restart");
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write BENCH_netback_restart.json: %s\n",
+                 status.ToString().c_str());
+  } else {
+    std::printf("\nmeasured points -> BENCH_netback_restart.json\n");
+  }
   std::printf(
       "\nPaper shape: 58%% drop at 1s, 8%% at 10s (slow); the fast path's "
       "benefit is\nnoticeable for very frequent reboots and fades as the "

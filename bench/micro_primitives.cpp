@@ -3,17 +3,51 @@
 // signalling, I/O-ring round trips, and XenStore operations. These are the
 // building blocks whose costs §5.1 argues must stay small for
 // disaggregation to be viable.
+//
+// Besides the google-benchmark console output, every primitive records its
+// per-op wall latency into the process-global metrics registry
+// (`bench.micro.<primitive>_ns` histograms), and main() exports the
+// registry as BENCH_micro_primitives.json — the same JSON family the
+// platform itself emits (see OBSERVABILITY.md). The in-loop sampling costs
+// two steady_clock reads per iteration, so the reported numbers carry a
+// small constant inflation; the histogram shape is what matters here.
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <chrono>
+#include <cstdio>
 
 #include "src/base/log.h"
 #include "src/hv/hypervisor.h"
 #include "src/hv/io_ring.h"
+#include "src/obs/obs.h"
 #include "src/xs/store.h"
 
 namespace xoar {
 namespace {
+
+// Per-op latency histogram in the process-global registry, 100ns..~100ms
+// buckets. Stable pointer: resolve once per benchmark, observe per op.
+Histogram* LatencyHist(const char* primitive) {
+  return Obs::Global().metrics().GetHistogram(
+      MetricName("bench", "micro", primitive),
+      Histogram::DefaultLatencyBoundsNs());
+}
+
+class OpTimer {
+ public:
+  explicit OpTimer(Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~OpTimer() {
+    hist_->Observe(std::chrono::duration<double, std::nano>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 struct HvFixture {
   HvFixture() {
@@ -56,7 +90,9 @@ struct HvFixture {
 
 void BM_HypercallPolicyCheck(benchmark::State& state) {
   HvFixture fixture;
+  Histogram* hist = LatencyHist("hypercall_check_ns");
   for (auto _ : state) {
+    OpTimer timer(hist);
     benchmark::DoNotOptimize(
         fixture.hv->CheckHypercall(fixture.guest, Hypercall::kGrantTableOp));
   }
@@ -65,7 +101,9 @@ BENCHMARK(BM_HypercallPolicyCheck);
 
 void BM_IvcPolicyCheck(benchmark::State& state) {
   HvFixture fixture;
+  Histogram* hist = LatencyHist("ivc_check_ns");
   for (auto _ : state) {
+    OpTimer timer(hist);
     benchmark::DoNotOptimize(
         fixture.hv->CheckIvcAllowed(fixture.guest, fixture.shard));
   }
@@ -75,7 +113,9 @@ BENCHMARK(BM_IvcPolicyCheck);
 void BM_GrantCreateMapUnmapEnd(benchmark::State& state) {
   HvFixture fixture;
   Pfn pfn = *fixture.hv->memory().AllocatePages(fixture.guest, 1);
+  Histogram* hist = LatencyHist("grant_cycle_ns");
   for (auto _ : state) {
+    OpTimer timer(hist);
     GrantRef ref =
         *fixture.hv->GrantAccess(fixture.guest, fixture.shard, pfn, true);
     benchmark::DoNotOptimize(
@@ -96,7 +136,9 @@ void BM_EventChannelSendDeliver(benchmark::State& state) {
   int delivered = 0;
   (void)fixture.hv->EvtchnSetHandler(fixture.guest, unbound,
                                      [&] { ++delivered; });
+  Histogram* hist = LatencyHist("evtchn_send_deliver_ns");
   for (auto _ : state) {
+    OpTimer timer(hist);
     (void)fixture.hv->EvtchnSend(fixture.shard, bound);
     fixture.sim.Run();
   }
@@ -118,7 +160,9 @@ void BM_IoRingRoundTrip(benchmark::State& state) {
   auto front = IoRing<RingReq, RingRsp>::Create(page.data());
   auto back = IoRing<RingReq, RingRsp>::Attach(page.data());
   std::uint64_t id = 0;
+  Histogram* hist = LatencyHist("io_ring_round_trip_ns");
   for (auto _ : state) {
+    OpTimer timer(hist);
     front.PushRequest({id, 42});
     auto req = back.PopRequest();
     back.PushResponse({req->id, 0});
@@ -132,7 +176,9 @@ void BM_XenStoreWrite(benchmark::State& state) {
   XsStore store;
   store.AddManagerDomain(DomainId(0));
   std::uint64_t counter = 0;
+  Histogram* hist = LatencyHist("xs_write_ns");
   for (auto _ : state) {
+    OpTimer timer(hist);
     (void)store.Write(DomainId(0), "/bench/key",
                       std::to_string(counter++));
   }
@@ -143,7 +189,9 @@ void BM_XenStoreReadDeepPath(benchmark::State& state) {
   XsStore store;
   store.AddManagerDomain(DomainId(0));
   (void)store.Write(DomainId(0), "/local/domain/7/device/vif/0/state", "4");
+  Histogram* hist = LatencyHist("xs_read_deep_ns");
   for (auto _ : state) {
+    OpTimer timer(hist);
     benchmark::DoNotOptimize(
         store.Read(DomainId(0), "/local/domain/7/device/vif/0/state"));
   }
@@ -157,7 +205,9 @@ void BM_XenStoreWatchFire(benchmark::State& state) {
   (void)store.Watch(DomainId(0), "/w", "tok",
                     [&](const XsWatchEvent&) { ++fires; });
   std::uint64_t counter = 0;
+  Histogram* hist = LatencyHist("xs_watch_fire_ns");
   for (auto _ : state) {
+    OpTimer timer(hist);
     (void)store.Write(DomainId(0), "/w/key", std::to_string(counter++));
   }
   benchmark::DoNotOptimize(fires);
@@ -167,7 +217,9 @@ BENCHMARK(BM_XenStoreWatchFire);
 void BM_XenStoreTransaction(benchmark::State& state) {
   XsStore store;
   store.AddManagerDomain(DomainId(0));
+  Histogram* hist = LatencyHist("xs_transaction_ns");
   for (auto _ : state) {
+    OpTimer timer(hist);
     auto tx = store.TransactionStart(DomainId(0));
     (void)store.Write(DomainId(0), "/tx/a", "1", *tx);
     (void)store.TransactionEnd(DomainId(0), *tx, true);
@@ -177,7 +229,9 @@ BENCHMARK(BM_XenStoreTransaction);
 
 void BM_SimulatorScheduleRun(benchmark::State& state) {
   Simulator sim;
+  Histogram* hist = LatencyHist("sim_schedule_run_ns");
   for (auto _ : state) {
+    OpTimer timer(hist);
     sim.ScheduleAfter(1, [] {});
     sim.Run();
   }
@@ -187,4 +241,20 @@ BENCHMARK(BM_SimulatorScheduleRun);
 }  // namespace
 }  // namespace xoar
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  xoar::Status status = xoar::Obs::Global().metrics().WriteJsonFile(
+      "BENCH_micro_primitives.json", "micro_primitives");
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write BENCH_micro_primitives.json: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nper-op latency histograms -> BENCH_micro_primitives.json\n");
+  return 0;
+}

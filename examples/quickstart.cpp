@@ -6,7 +6,9 @@
 // This walks the public API end to end: platform boot (§5.2), guest
 // creation through the Toolstack/Builder pair (§5.6), paravirtual disk and
 // network I/O over grant-mapped rings, a live NetBack microreboot (§3.3),
-// and the secure audit log (§3.2.2).
+// the secure audit log (§3.2.2), and the observability exports
+// (OBSERVABILITY.md): metrics as quickstart_metrics.json and a
+// chrome://tracing-loadable event trace as quickstart_trace.json.
 #include <cstdio>
 
 #include "src/base/log.h"
@@ -21,7 +23,10 @@ int main() {
   // 1. Power on. Xen starts the Bootstrapper, which brings up XenStore,
   //    the Console Manager, the Builder, PCIBack, the driver domains, and
   //    a Toolstack — in dependency order, in parallel where possible.
+  //    Tracing is opt-in and must be armed before Boot() to capture the
+  //    §5.2 boot phases.
   XoarPlatform platform;
+  platform.obs().tracer().set_enabled(true);
   Status status = platform.Boot();
   if (!status.ok()) {
     std::fprintf(stderr, "boot failed: %s\n", status.ToString().c_str());
@@ -104,7 +109,29 @@ int main() {
     }
   }
 
-  // 6. Clean up.
+  // 6. Export the observability artifacts: every platform metric in the
+  //    BENCH_*.json shape, and the event trace — load the latter in
+  //    chrome://tracing (or https://ui.perfetto.dev) to see the boot
+  //    phases, hypercalls, and microreboot windows on per-domain tracks.
+  status = platform.obs().metrics().WriteJsonFile(
+      "quickstart_metrics.json", "quickstart", platform.sim().Now());
+  if (!status.ok()) {
+    std::fprintf(stderr, "metrics export failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  status = platform.obs().tracer().WriteJsonFile("quickstart_trace.json");
+  if (!status.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nobservability: %zu metrics -> quickstart_metrics.json, "
+              "%zu trace events -> quickstart_trace.json\n",
+              platform.obs().metrics().MetricCount(),
+              platform.obs().tracer().size());
+
+  // 7. Clean up.
   (void)platform.DestroyGuest(*guest);
   std::printf("\ndone.\n");
   return 0;

@@ -26,6 +26,7 @@
 #include "src/core/audit_log.h"
 #include "src/core/snapshot.h"
 #include "src/hv/hypervisor.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulator.h"
 
 namespace xoar {
@@ -43,9 +44,12 @@ class RestartEngine {
   };
 
   // `controller` is the privileged domain issuing the kSnapshotOp
-  // hypercalls (the Builder in Xoar).
+  // hypercalls (the Builder in Xoar). `obs` receives per-component
+  // `<name>.microreboot.*` metrics and kMicroreboot trace spans covering
+  // each suspend->resume window; nullptr falls back to Obs::Global().
   RestartEngine(Hypervisor* hv, Simulator* sim, SnapshotManager* snapshots,
-                DomainId controller, AuditLog* audit = nullptr);
+                DomainId controller, AuditLog* audit = nullptr,
+                Obs* obs = nullptr);
 
   // Registers a restartable component. Takes the §3.3 snapshot immediately
   // if `hooks.state` is provided — callers register at the ready-to-serve
@@ -75,6 +79,9 @@ class RestartEngine {
     bool in_progress = false;
     int restarts = 0;
     SimDuration last_downtime = 0;
+    Counter* m_restarts = nullptr;       // <name>.microreboot.restarts
+    Histogram* m_downtime_ms = nullptr;  // <name>.microreboot.downtime_ms
+    Tracer::SpanId span = Tracer::kInvalidSpan;  // open restart window
   };
 
   Status DoRestart(Entry& entry, const std::string& name, bool fast);
@@ -84,6 +91,7 @@ class RestartEngine {
   SnapshotManager* snapshots_;
   DomainId controller_;
   AuditLog* audit_;
+  Obs* obs_;
   std::map<std::string, Entry> components_;
 };
 

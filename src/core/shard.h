@@ -3,6 +3,10 @@
 // Each descriptor records the shard's OS profile, its Table 6.1 memory
 // footprint, whether it holds heightened privilege, its lifetime class, and
 // the code-size contribution used for the §6.2 TCB accounting.
+//
+// Thread-safety: everything in this header is immutable static data plus
+// pure functions; concurrent reads are safe. (The simulation itself is
+// single-threaded — see DESIGN.md §2.)
 #ifndef XOAR_SRC_CORE_SHARD_H_
 #define XOAR_SRC_CORE_SHARD_H_
 
@@ -14,6 +18,8 @@
 
 namespace xoar {
 
+// The nine single-purpose control-plane VM classes of Table 5.1 (plus the
+// per-guest QemuVM). Used as the canonical index into ShardInventory().
 enum class ShardClass : std::uint8_t {
   kBootstrapper = 0,
   kXenStoreState,
@@ -28,12 +34,15 @@ enum class ShardClass : std::uint8_t {
   kCount,
 };
 
+// Table 5.1 "Lifetime": when a shard may be torn down.
 enum class ShardLifetime : std::uint8_t {
   kBootUp,    // destroyed once the system reaches steady state
   kForever,   // lives as long as the host
   kGuestVm,   // lives as long as its guest
 };
 
+// One row of the Table 5.1 / Table 6.1 inventory: the static properties of
+// a shard class, independent of any running instance.
 struct ShardDescriptor {
   ShardClass shard_class;
   std::string_view name;
@@ -81,6 +90,7 @@ inline const std::vector<ShardDescriptor>& ShardInventory() {
   return kInventory;
 }
 
+// Looks up the descriptor for a class; `cls` must be < ShardClass::kCount.
 inline const ShardDescriptor& DescriptorFor(ShardClass cls) {
   return ShardInventory()[static_cast<std::size_t>(cls)];
 }
@@ -92,6 +102,7 @@ struct CodeSize {
   std::uint64_t compiled_loc;
 };
 
+// Code-size contribution of one shard's OS profile (§6.2).
 inline CodeSize CodeSizeOf(OsProfile os) {
   switch (os) {
     case OsProfile::kNanOs:
@@ -109,6 +120,7 @@ inline CodeSize CodeSizeOf(OsProfile os) {
   return {0, 0};
 }
 
+// The hypervisor's own contribution to every configuration's TCB (§6.2).
 inline CodeSize HypervisorCodeSize() {
   // Xen: 280 k source / 70 k compiled.
   return {280'000, 70'000};

@@ -15,8 +15,8 @@ XoarPlatform::XoarPlatform(Config config) : config_(config) {
   // Bootstrapper can complete execution and quit.
   options.control_domain_crash_reboots_host = false;
   options.total_memory_bytes = config_.machine_memory_gb * kGiB;
-  hv_ = std::make_unique<Hypervisor>(&sim_, options);
-  xs_ = std::make_unique<XenStoreService>(hv_.get(), &sim_);
+  hv_ = std::make_unique<Hypervisor>(&sim_, options, &obs_);
+  xs_ = std::make_unique<XenStoreService>(hv_.get(), &sim_, &obs_);
 
   serial_ = std::make_unique<SerialDevice>(&sim_);
   for (int i = 0; i < std::max(1, config_.num_nics); ++i) {
@@ -220,7 +220,7 @@ Status XoarPlatform::Boot() {
       }
       netback_doms_.push_back(*dom);
       netbacks_.push_back(std::make_unique<NetBack>(hv_.get(), xs_.get(),
-                                                    &sim_, *dom, nic));
+                                                    &sim_, *dom, nic, &obs_));
       udev_status = netbacks_.back()->Initialize();
     } else {
       DiskDevice* disk = nullptr;
@@ -231,7 +231,7 @@ Status XoarPlatform::Boot() {
       }
       blkback_doms_.push_back(*dom);
       blkbacks_.push_back(std::make_unique<BlkBack>(hv_.get(), xs_.get(),
-                                                    &sim_, *dom, disk));
+                                                    &sim_, *dom, disk, &obs_));
       udev_status = blkbacks_.back()->Initialize();
     }
   });
@@ -259,7 +259,7 @@ Status XoarPlatform::Boot() {
 
   // --- Steady state: restart engine + self-destructing boot shards ---
   restart_engine_ = std::make_unique<RestartEngine>(
-      hv_.get(), &sim_, &snapshots_, builder_dom_, &audit_);
+      hv_.get(), &sim_, &snapshots_, builder_dom_, &audit_, &obs_);
   for (std::size_t i = 0; i < netbacks_.size(); ++i) {
     NetBack* netback = netbacks_[i].get();
     const std::string name =
@@ -309,6 +309,47 @@ Status XoarPlatform::Boot() {
     // §5.2/§5.8: the Bootstrapper completes execution and quits.
     XOAR_RETURN_IF_ERROR(hv_->DestroyDomain(bootstrapper_, bootstrapper_));
   }
+
+  // --- Observability: the §5.2 schedule as kBoot spans, one per phase, on
+  // the track of the shard that came up (Table 6.2's bars, as a trace) ---
+  Tracer& tracer = obs_.tracer();
+  tracer.Span(TraceCategory::kBoot, "phase:hypervisor", 0, t_hv);
+  tracer.Span(TraceCategory::kBoot, "phase:bootstrapper", t_hv, t_bootstrapper,
+              bootstrapper_.value());
+  tracer.Span(TraceCategory::kBoot, "phase:xenstore", t_bootstrapper,
+              t_xenstore, xenstore_logic_dom_.value());
+  if (console_ != nullptr) {
+    tracer.Span(TraceCategory::kBoot, "phase:console-manager", t_xenstore,
+                t_console, console_dom_.value());
+    tracer.Span(TraceCategory::kBoot, "phase:console-login", t_console,
+                t_console_ready, console_dom_.value());
+  }
+  tracer.Span(TraceCategory::kBoot, "phase:builder",
+              c.serialize_boot ? t_console : t_xenstore, t_builder,
+              builder_dom_.value());
+  tracer.Span(TraceCategory::kBoot, "phase:pciback+hw-init", t_builder,
+              t_pciback, pciback_dom_.value());
+  for (DomainId dom : netback_doms_) {
+    tracer.Span(TraceCategory::kBoot, "phase:netback", t_pciback, t_drivers,
+                dom.value());
+  }
+  for (DomainId dom : blkback_doms_) {
+    tracer.Span(TraceCategory::kBoot, "phase:blkback", t_pciback, t_drivers,
+                dom.value());
+  }
+  tracer.Span(TraceCategory::kBoot, "phase:network-negotiation", t_drivers,
+              t_network, netback_doms_.front().value());
+  for (DomainId dom : toolstack_doms_) {
+    tracer.Span(TraceCategory::kBoot, "phase:toolstack",
+                c.serialize_boot ? t_network : t_drivers, t_toolstacks,
+                dom.value());
+  }
+  obs_.metrics()
+      .GetGauge("platform.boot.console_ready_s")
+      ->Set(ToSeconds(console_ready_at_));
+  obs_.metrics()
+      .GetGauge("platform.boot.network_ready_s")
+      ->Set(ToSeconds(network_ready_at_));
 
   boot_complete_at_ = sim_.Now();
   booted_ = true;

@@ -8,6 +8,10 @@
 // Toolstacks come up. Independent shards boot in parallel, which is where
 // the Table 6.2 boot-time win comes from. The Bootstrapper self-destructs
 // when boot completes; PCIBack may optionally be destroyed too (§5.3).
+//
+// Thread-safety: not thread-safe. A platform and its Simulator form one
+// single-threaded discrete-event world; all calls must come from the
+// thread driving sim().Run*() (see DESIGN.md §2 and §5b).
 #ifndef XOAR_SRC_CORE_XOAR_PLATFORM_H_
 #define XOAR_SRC_CORE_XOAR_PLATFORM_H_
 
@@ -34,6 +38,9 @@ namespace xoar {
 
 class XoarPlatform : public Platform {
  public:
+  // Deployment knobs. The defaults reproduce the paper's evaluated
+  // configuration: one NIC, one disk controller, one toolstack, console
+  // enabled, parallel boot, Table 6.2 phase durations.
   struct Config {
     std::uint64_t machine_memory_gb = 4;
     double nic_rate_bps = 1e9;
@@ -78,15 +85,27 @@ class XoarPlatform : public Platform {
 
   std::string_view name() const override { return "Xoar"; }
 
+  // Runs the §5.2 dependency-parallel shard boot to completion on the
+  // owned simulator. Must be called exactly once, before any guest is
+  // created. Emits TraceCategory::kBoot spans per phase and records
+  // platform.boot.*_s gauges (see OBSERVABILITY.md).
   Status Boot() override;
+
+  // Builds a guest through the least-loaded toolstack and the Builder,
+  // wiring split-driver frontends to this platform's NetBack/BlkBack
+  // shards subject to the §5.6 sharing policy and §3.2.1 constraint
+  // groups. Fails (rather than shares) on a constraint-tag conflict.
   StatusOr<DomainId> CreateGuest(const GuestSpec& spec) override;
   Status DestroyGuest(DomainId guest) override;
 
+  // Per-guest device endpoints; null if the guest has no such device.
   NetFront* netfront(DomainId guest) override;
   BlkFront* blkfront(DomainId guest) override;
   NetBack* netback_of(DomainId guest) override;
   BlkBack* blkback_of(DomainId guest) override;
 
+  // Steady-state throughput the guest currently sees, after driver-domain
+  // sharing and any in-flight microreboot outage.
   double EffectiveNetRateBps(DomainId guest) override;
   double EffectiveDiskRateBps(DomainId guest) override;
 
@@ -94,6 +113,12 @@ class XoarPlatform : public Platform {
   const GuestSpec* guest_spec(DomainId guest) override;
 
   // --- Shard access ---
+  // Accessors return references into platform-owned shards; they stay
+  // valid across microreboots (the RestartEngine restores state in place)
+  // but not across platform destruction.
+
+  // Domain id of a singleton shard, or an invalid id if that shard is not
+  // resident (e.g. the Bootstrapper after self-destruction).
   DomainId shard_domain(ShardClass cls) const;
   Builder& builder() { return *builder_; }
   Toolstack& toolstack(int index = 0) { return *toolstacks_.at(index); }

@@ -9,8 +9,8 @@ MonolithicPlatform::MonolithicPlatform(Config config) : config_(config) {
   options.enforce_shard_sharing_policy = false;  // stock Xen: policy-free IVC
   options.control_domain_crash_reboots_host = true;
   options.total_memory_bytes = config_.machine_memory_gb * kGiB;
-  hv_ = std::make_unique<Hypervisor>(&sim_, options);
-  xs_ = std::make_unique<XenStoreService>(hv_.get(), &sim_);
+  hv_ = std::make_unique<Hypervisor>(&sim_, options, &obs_);
+  xs_ = std::make_unique<XenStoreService>(hv_.get(), &sim_, &obs_);
 
   nic_ = std::make_unique<NicDevice>(&sim_, kNicSlot, config_.nic_rate_bps);
   disk_ = std::make_unique<DiskDevice>(&sim_, kDiskControllerSlot,
@@ -65,10 +65,10 @@ Status MonolithicPlatform::Boot() {
   builder_->set_console(console_.get(), /*console_uses_foreign_map=*/true);
   xs_->store().AddManagerDomain(dom0_);
   netback_ = std::make_unique<NetBack>(hv_.get(), xs_.get(), &sim_, dom0_,
-                                       nic_.get());
+                                       nic_.get(), &obs_);
   XOAR_RETURN_IF_ERROR(netback_->Initialize());
   blkback_ = std::make_unique<BlkBack>(hv_.get(), xs_.get(), &sim_, dom0_,
-                                       disk_.get());
+                                       disk_.get(), &obs_);
   XOAR_RETURN_IF_ERROR(blkback_->Initialize());
   toolstack_ = std::make_unique<Toolstack>(hv_.get(), xs_.get(), &sim_, dom0_,
                                            builder_.get());

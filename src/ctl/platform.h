@@ -20,6 +20,7 @@
 #include "src/drv/net.h"
 #include "src/hv/hypervisor.h"
 #include "src/hv/scheduler.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulator.h"
 #include "src/xs/service.h"
 
@@ -86,6 +87,12 @@ class Platform {
   virtual double EffectiveDiskRateBps(DomainId guest) = 0;
 
   Simulator& sim() { return sim_; }
+  // Per-platform observability: metrics registry + event tracer stamped by
+  // this platform's simulated clock. Enable tracing with
+  // `obs().tracer().set_enabled(true)` before Boot() to capture the §5.2
+  // boot phases (see OBSERVABILITY.md).
+  Obs& obs() { return obs_; }
+  const Obs& obs() const { return obs_; }
   Hypervisor& hv() { return *hv_; }
   XenStoreService& xenstore() { return *xs_; }
   // Credit CPU scheduler (Chapter 4); domains register at creation with
@@ -145,7 +152,10 @@ class Platform {
   int disk_streams() const { return disk_streams_; }
 
  protected:
-  Platform() = default;
+  Platform() {
+    obs_.tracer().set_sim(&sim_);
+    scheduler_.set_obs(&obs_);
+  }
 
   void EndIoStream(IoKind kind) {
     (kind == IoKind::kNet ? net_streams_ : disk_streams_) -= 1;
@@ -156,6 +166,7 @@ class Platform {
   virtual void OnIoStreamsChanged() {}
 
   Simulator sim_;
+  Obs obs_;
   CreditScheduler scheduler_{4};
   std::unique_ptr<Hypervisor> hv_;
   std::unique_ptr<XenStoreService> xs_;

@@ -17,12 +17,21 @@ constexpr std::uint32_t kMaxSectorsPerRequest = 64;
 // --- BlkBack -----------------------------------------------------------------
 
 BlkBack::BlkBack(Hypervisor* hv, XenStoreService* xs, Simulator* sim,
-                 DomainId self, DiskDevice* disk)
-    : hv_(hv), xs_(xs), sim_(sim), self_(self), disk_(disk) {}
+                 DomainId self, DiskDevice* disk, Obs* obs)
+    : hv_(hv),
+      xs_(xs),
+      sim_(sim),
+      self_(self),
+      disk_(disk),
+      obs_(Obs::OrGlobal(obs)),
+      m_requests_(obs_->metrics().GetCounter("BlkBack.ring.requests")),
+      m_bytes_(obs_->metrics().GetCounter("BlkBack.ring.bytes")),
+      m_vbd_connects_(obs_->metrics().GetCounter("BlkBack.vbd.connects")) {}
 
 Status BlkBack::Initialize() {
   XOAR_RETURN_IF_ERROR(xs_->Mkdir(self_, BackendRoot(self_, kVbdType)));
   available_ = true;
+  obs_->tracer().Op(TraceCategory::kDriver, "blkback_init", self_.value());
   return Status::Ok();
 }
 
@@ -134,6 +143,9 @@ void BlkBack::ConnectVbd(Vbd& vbd) {
                               [this, guest] { ServiceRing(guest); });
   (void)xs_->Write(self_, BackendDir(self_, guest, kVbdType) + "/state",
                    XenbusStateString(XenbusState::kConnected));
+  m_vbd_connects_->Increment();
+  obs_->tracer().Op(TraceCategory::kDriver, "blkback_vbd_connect",
+                    self_.value());
   XLOG(kDebug) << "[blkback] VBD connected for dom" << guest.value();
   // Drain anything the frontend pushed before we connected.
   ServiceRing(guest);
@@ -167,6 +179,7 @@ void BlkBack::ServiceRing(DomainId guest) {
       status = -1;  // out of range for this VBD
     }
     ++requests_served_;
+    m_requests_->Increment();
     const SimDuration overhead = static_cast<SimDuration>(
         static_cast<double>(kBlkBackPerOpOverhead) * overhead_multiplier_);
     if (status != 0) {
@@ -183,6 +196,7 @@ void BlkBack::ServiceRing(DomainId guest) {
       continue;
     }
     bytes_moved_ += byte_len;
+    m_bytes_->Increment(byte_len);
     // Demux overhead, then the physical I/O, then the response.
     sim_->ScheduleAfter(overhead, [this, guest, request, byte_offset,
                                    byte_len] {
@@ -203,6 +217,7 @@ void BlkBack::ServiceRing(DomainId guest) {
 }
 
 void BlkBack::Suspend() {
+  obs_->tracer().Op(TraceCategory::kDriver, "blkback_suspend", self_.value());
   available_ = false;
   for (auto& [guest, vbd] : vbds_) {
     DisconnectVbd(vbd);
@@ -212,6 +227,7 @@ void BlkBack::Suspend() {
 }
 
 void BlkBack::Resume() {
+  obs_->tracer().Op(TraceCategory::kDriver, "blkback_resume", self_.value());
   available_ = true;
   // Re-advertise; frontends watching our state renegotiate from scratch.
   for (auto& [guest, vbd] : vbds_) {

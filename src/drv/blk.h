@@ -29,6 +29,7 @@
 #include "src/dev/disk.h"
 #include "src/hv/hypervisor.h"
 #include "src/hv/io_ring.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulator.h"
 #include "src/xs/service.h"
 
@@ -56,8 +57,10 @@ constexpr SimDuration kBlkBackPerOpOverhead = 15 * kMicrosecond;
 
 class BlkBack {
  public:
+  // `obs` receives `BlkBack.ring.*` / `BlkBack.vbd.*` counters and kDriver
+  // trace events; nullptr falls back to Obs::Global().
   BlkBack(Hypervisor* hv, XenStoreService* xs, Simulator* sim, DomainId self,
-          DiskDevice* disk);
+          DiskDevice* disk, Obs* obs = nullptr);
 
   // Registers the backend root and its XenStore watch.
   Status Initialize();
@@ -120,6 +123,10 @@ class BlkBack {
   std::uint64_t next_image_offset_ = 64 * kMiB;  // leave room for metadata
   std::uint64_t requests_served_ = 0;
   std::uint64_t bytes_moved_ = 0;
+  Obs* obs_;
+  Counter* m_requests_;      // BlkBack.ring.requests
+  Counter* m_bytes_;         // BlkBack.ring.bytes
+  Counter* m_vbd_connects_;  // BlkBack.vbd.connects
 };
 
 class BlkFront {

@@ -11,12 +11,22 @@ namespace xoar {
 // --- NetBack -----------------------------------------------------------------
 
 NetBack::NetBack(Hypervisor* hv, XenStoreService* xs, Simulator* sim,
-                 DomainId self, NicDevice* nic)
-    : hv_(hv), xs_(xs), sim_(sim), self_(self), nic_(nic) {}
+                 DomainId self, NicDevice* nic, Obs* obs)
+    : hv_(hv),
+      xs_(xs),
+      sim_(sim),
+      self_(self),
+      nic_(nic),
+      obs_(Obs::OrGlobal(obs)),
+      m_tx_frames_(obs_->metrics().GetCounter("NetBack.ring.tx_frames")),
+      m_rx_frames_(obs_->metrics().GetCounter("NetBack.ring.rx_frames")),
+      m_dropped_(obs_->metrics().GetCounter("NetBack.ring.dropped")),
+      m_vif_connects_(obs_->metrics().GetCounter("NetBack.vif.connects")) {}
 
 Status NetBack::Initialize() {
   XOAR_RETURN_IF_ERROR(xs_->Mkdir(self_, BackendRoot(self_, kVifType)));
   available_ = true;
+  obs_->tracer().Op(TraceCategory::kDriver, "netback_init", self_.value());
   return Status::Ok();
 }
 
@@ -102,6 +112,9 @@ void NetBack::ConnectVif(Vif& vif) {
                               [this, guest] { ServiceTxRing(guest); });
   (void)xs_->Write(self_, BackendDir(self_, guest, kVifType) + "/state",
                    XenbusStateString(XenbusState::kConnected));
+  m_vif_connects_->Increment();
+  obs_->tracer().Op(TraceCategory::kDriver, "netback_vif_connect",
+                    self_.value());
   XLOG(kDebug) << "[netback] vif connected for dom" << guest.value();
   ServiceTxRing(guest);
 }
@@ -128,6 +141,7 @@ void NetBack::ServiceTxRing(DomainId guest) {
   while (auto req = ring.PopRequest()) {
     const NetRingRequest request = *req;
     ++frames_forwarded_;
+    m_tx_frames_->Increment();
     const SimDuration overhead = static_cast<SimDuration>(
         static_cast<double>(kNetBackPerFrameOverhead) /
         std::max(0.05, rate_multiplier_));
@@ -155,6 +169,7 @@ bool NetBack::InjectRx(DomainId guest, std::uint32_t bytes) {
   if (it == vifs_.end() || !it->second.connected || !available_ ||
       !nic_->link_up()) {
     ++frames_dropped_;
+    m_dropped_->Increment();
     return false;
   }
   Vif& vif = it->second;
@@ -163,14 +178,17 @@ bool NetBack::InjectRx(DomainId guest, std::uint32_t bytes) {
   NetRing ring = NetRing::Attach(vif.rx_ring);
   if (!ring.PushRequest(NetRingRequest{0, bytes})) {
     ++frames_dropped_;  // frontend rx ring overrun
+    m_dropped_->Increment();
     return false;
   }
   ++frames_forwarded_;
+  m_rx_frames_->Increment();
   (void)hv_->EvtchnSend(self_, vif.port);
   return true;
 }
 
 void NetBack::Suspend() {
+  obs_->tracer().Op(TraceCategory::kDriver, "netback_suspend", self_.value());
   available_ = false;
   nic_->clear_rx_handler();
   for (auto& [guest, vif] : vifs_) {
@@ -181,6 +199,7 @@ void NetBack::Suspend() {
 }
 
 void NetBack::Resume() {
+  obs_->tracer().Op(TraceCategory::kDriver, "netback_resume", self_.value());
   available_ = true;
   for (auto& [guest, vif] : vifs_) {
     (void)xs_->Write(self_, BackendDir(self_, guest, kVifType) + "/state",

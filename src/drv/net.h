@@ -24,6 +24,7 @@
 #include "src/dev/nic.h"
 #include "src/hv/hypervisor.h"
 #include "src/hv/io_ring.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulator.h"
 #include "src/xs/service.h"
 
@@ -46,8 +47,10 @@ constexpr SimDuration kNetBackPerFrameOverhead = 4 * kMicrosecond;
 
 class NetBack {
  public:
+  // `obs` receives `NetBack.ring.*` / `NetBack.vif.*` counters and kDriver
+  // trace events; nullptr falls back to Obs::Global().
   NetBack(Hypervisor* hv, XenStoreService* xs, Simulator* sim, DomainId self,
-          NicDevice* nic);
+          NicDevice* nic, Obs* obs = nullptr);
 
   // Registers the backend root in XenStore and attaches the NIC rx path.
   Status Initialize();
@@ -108,6 +111,11 @@ class NetBack {
   std::map<DomainId, Vif> vifs_;
   std::uint64_t frames_forwarded_ = 0;
   std::uint64_t frames_dropped_ = 0;
+  Obs* obs_;
+  Counter* m_tx_frames_;      // NetBack.ring.tx_frames
+  Counter* m_rx_frames_;      // NetBack.ring.rx_frames
+  Counter* m_dropped_;        // NetBack.ring.dropped
+  Counter* m_vif_connects_;   // NetBack.vif.connects
 };
 
 class NetFront {

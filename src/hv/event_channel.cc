@@ -122,6 +122,8 @@ Status EventChannelManager::Send(DomainId caller, EvtchnPort port) {
     return FailedPreconditionError("event channel not connected");
   }
   ++sends_;
+  m_sends_->Increment();
+  obs_->tracer().Op(TraceCategory::kEvtchn, "evtchn_send", caller.value());
   const DomainId remote = channel->remote;
   const EvtchnPort remote_port = channel->remote_port;
   sim_->ScheduleAfter(kEventDeliveryLatency, [this, remote, remote_port] {
@@ -129,6 +131,9 @@ Status EventChannelManager::Send(DomainId caller, EvtchnPort port) {
     if (peer != nullptr && peer->handler &&
         peer->state == ChannelState::kConnected) {
       ++deliveries_;
+      m_deliveries_->Increment();
+      obs_->tracer().Op(TraceCategory::kEvtchn, "evtchn_deliver",
+                        remote.value());
       peer->handler();
     }
   });
@@ -145,6 +150,7 @@ Status EventChannelManager::RaiseVirq(DomainId domain, Virq virq) {
         sim_->ScheduleAfter(kEventDeliveryLatency,
                             [handler = std::move(handler)] { handler(); });
         ++deliveries_;
+        m_deliveries_->Increment();
       }
       return Status::Ok();
     }

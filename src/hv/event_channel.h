@@ -16,6 +16,7 @@
 #include "src/base/ids.h"
 #include "src/base/status.h"
 #include "src/base/units.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulator.h"
 
 namespace xoar {
@@ -37,7 +38,13 @@ class EventChannelManager {
  public:
   using Handler = std::function<void()>;
 
-  explicit EventChannelManager(Simulator* sim) : sim_(sim) {}
+  // `obs` receives `hv.evtchn.*` counters and kEvtchn trace instants;
+  // nullptr falls back to Obs::Global().
+  explicit EventChannelManager(Simulator* sim, Obs* obs = nullptr)
+      : sim_(sim),
+        obs_(Obs::OrGlobal(obs)),
+        m_sends_(obs_->metrics().GetCounter("hv.evtchn.sends")),
+        m_deliveries_(obs_->metrics().GetCounter("hv.evtchn.deliveries")) {}
 
   // Allocates an unbound port on `owner` that only `remote` may bind.
   StatusOr<EvtchnPort> AllocUnbound(DomainId owner, DomainId remote);
@@ -91,6 +98,9 @@ class EventChannelManager {
   EvtchnPort NextPort(DomainId domain);
 
   Simulator* sim_;
+  Obs* obs_;
+  Counter* m_sends_;       // hv.evtchn.sends
+  Counter* m_deliveries_;  // hv.evtchn.deliveries
   std::map<Key, Channel> channels_;
   std::map<std::uint32_t, std::uint32_t> next_port_;
   std::uint64_t sends_ = 0;

@@ -23,11 +23,20 @@ std::string_view HwCapabilityName(HwCapability cap) {
   return "unknown";
 }
 
-Hypervisor::Hypervisor(Simulator* sim, Options options)
+Hypervisor::Hypervisor(Simulator* sim, Options options, Obs* obs)
     : sim_(sim),
       options_(options),
+      obs_(Obs::OrGlobal(obs)),
+      m_hypercalls_(obs_->metrics().GetCounter("hv.hypercall.total")),
+      m_denied_(obs_->metrics().GetCounter("hv.hypercall.denied")),
+      m_grant_creates_(obs_->metrics().GetCounter("hv.grant.creates")),
+      m_grant_maps_(obs_->metrics().GetCounter("hv.grant.maps")),
+      m_grant_unmaps_(obs_->metrics().GetCounter("hv.grant.unmaps")),
+      m_domain_creates_(obs_->metrics().GetCounter("hv.domain.creates")),
+      m_domain_destroys_(obs_->metrics().GetCounter("hv.domain.destroys")),
+      m_domains_live_(obs_->metrics().GetGauge("hv.domain.live")),
       memory_(options.total_memory_bytes),
-      evtchn_(sim) {
+      evtchn_(sim, obs_) {
   hw_capability_holder_.fill(DomainId::Invalid());
 }
 
@@ -82,9 +91,13 @@ Status Hypervisor::CheckCallerAlive(DomainId caller) const {
 
 Status Hypervisor::CheckHypercall(DomainId caller, Hypercall hc) {
   ++hypercall_counts_[static_cast<std::size_t>(hc)];
+  m_hypercalls_->Increment();
+  obs_->tracer().Op(TraceCategory::kHypercall, HypercallName(hc),
+                    caller.value());
   Status alive = CheckCallerAlive(caller);
   if (!alive.ok()) {
     ++denied_;
+    m_denied_->Increment();
     return alive;
   }
   if (IsUnprivilegedHypercall(hc)) {
@@ -98,6 +111,7 @@ Status Hypervisor::CheckHypercall(DomainId caller, Hypercall hc) {
     return Status::Ok();
   }
   ++denied_;
+  m_denied_->Increment();
   Audit(StrFormat("DENY hypercall %s from dom%u (%s)",
                   std::string(HypercallName(hc)).c_str(), caller.value(),
                   dom->name().c_str()));
@@ -194,6 +208,11 @@ StatusOr<DomainId> Hypervisor::CreateInitialDomain(const DomainConfig& config,
   Audit(StrFormat("create-initial dom%u name=%s control=%d", id.value(),
                   config.name.c_str(), as_control_domain ? 1 : 0));
   domains_.emplace(id.value(), std::move(dom));
+  m_domain_creates_->Increment();
+  m_domains_live_->Set(static_cast<double>(LiveDomainCount()));
+  obs_->tracer().SetTrackName(id.value(),
+                              StrFormat("dom%u %s", id.value(),
+                                        config.name.c_str()));
   return id;
 }
 
@@ -220,6 +239,11 @@ StatusOr<DomainId> Hypervisor::CreateDomain(DomainId caller,
                   id.value(), config.name.c_str(), caller.value(),
                   dom->parent_toolstack().value(), config.is_shard ? 1 : 0));
   domains_.emplace(id.value(), std::move(dom));
+  m_domain_creates_->Increment();
+  m_domains_live_->Set(static_cast<double>(LiveDomainCount()));
+  obs_->tracer().SetTrackName(id.value(),
+                              StrFormat("dom%u %s", id.value(),
+                                        config.name.c_str()));
   return id;
 }
 
@@ -281,6 +305,8 @@ Status Hypervisor::DestroyDomain(DomainId caller, DomainId target) {
     }
   }
   Audit(StrFormat("destroy dom%u by dom%u", target.value(), caller.value()));
+  m_domain_destroys_->Increment();
+  m_domains_live_->Set(static_cast<double>(LiveDomainCount()));
   return Status::Ok();
 }
 
@@ -330,6 +356,7 @@ void Hypervisor::ReportCrash(DomainId id) {
   dom->set_state(DomainState::kDead);
   dom->grant_table().RevokeAll();
   evtchn_.CloseAll(id);
+  m_domains_live_->Set(static_cast<double>(LiveDomainCount()));
 }
 
 // --- Fig 3.1 privilege-assignment API ---------------------------------------
@@ -513,8 +540,10 @@ StatusOr<MappedPage> Hypervisor::ForeignMap(DomainId caller, DomainId target,
        caller_dom->hypercall_policy().Permits(Hypercall::kForeignMemoryMap)) ||
       caller_dom->IsPrivilegedFor(target);
   ++hypercall_counts_[static_cast<std::size_t>(Hypercall::kForeignMemoryMap)];
+  m_hypercalls_->Increment();
   if (!allowed) {
     ++denied_;
+    m_denied_->Increment();
     Audit(StrFormat("DENY foreign-map dom%u -> dom%u pfn=%llu", caller.value(),
                     target.value(),
                     static_cast<unsigned long long>(pfn.value())));
@@ -584,6 +613,8 @@ StatusOr<GrantRef> Hypervisor::GrantAccess(DomainId caller, DomainId grantee,
         StrFormat("dom%u cannot grant pfn %llu it does not own",
                   caller.value(), static_cast<unsigned long long>(pfn.value())));
   }
+  m_grant_creates_->Increment();
+  obs_->tracer().Op(TraceCategory::kGrant, "grant_access", caller.value());
   return caller_dom->grant_table().CreateGrant(grantee, pfn, writable);
 }
 
@@ -607,6 +638,8 @@ StatusOr<MappedPage> Hypervisor::MapGrant(DomainId caller, DomainId owner,
                   owner.value(), entry.grantee.value(), caller.value()));
   }
   XOAR_RETURN_IF_ERROR(owner_dom->grant_table().NoteMapped(ref));
+  m_grant_maps_->Increment();
+  obs_->tracer().Op(TraceCategory::kGrant, "grant_map", caller.value());
   std::byte* data = memory_.PageData(entry.pfn);
   return MappedPage{entry.pfn, data, entry.writable};
 }
@@ -617,6 +650,8 @@ Status Hypervisor::UnmapGrant(DomainId caller, DomainId owner, GrantRef ref) {
   if (owner_dom == nullptr) {
     return NotFoundError("grant owner does not exist");
   }
+  m_grant_unmaps_->Increment();
+  obs_->tracer().Op(TraceCategory::kGrant, "grant_unmap", caller.value());
   return owner_dom->grant_table().NoteUnmapped(ref);
 }
 

@@ -33,6 +33,7 @@
 #include "src/hv/hypercall.h"
 #include "src/hv/memory.h"
 #include "src/hv/pci_slot.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulator.h"
 
 namespace xoar {
@@ -72,12 +73,15 @@ class Hypervisor {
   // subscribes here (§3.2.2).
   using AuditHook = std::function<void(const std::string& event)>;
 
-  Hypervisor(Simulator* sim, Options options);
+  // `obs` receives hypercall/grant/domain-lifecycle metrics and trace
+  // events; nullptr falls back to the process-wide Obs::Global().
+  Hypervisor(Simulator* sim, Options options, Obs* obs = nullptr);
 
   Simulator* sim() { return sim_; }
   MemoryManager& memory() { return memory_; }
   EventChannelManager& evtchn() { return evtchn_; }
   const Options& options() const { return options_; }
+  Obs* obs() { return obs_; }
 
   void set_audit_hook(AuditHook hook) { audit_hook_ = std::move(hook); }
 
@@ -203,6 +207,17 @@ class Hypervisor {
 
   Simulator* sim_;
   Options options_;
+  Obs* obs_;
+  // Metric handles cached at construction so hot paths never re-resolve
+  // names (see src/obs/metrics.h on the cost model).
+  Counter* m_hypercalls_;       // hv.hypercall.total
+  Counter* m_denied_;           // hv.hypercall.denied
+  Counter* m_grant_creates_;    // hv.grant.creates
+  Counter* m_grant_maps_;       // hv.grant.maps
+  Counter* m_grant_unmaps_;     // hv.grant.unmaps
+  Counter* m_domain_creates_;   // hv.domain.creates
+  Counter* m_domain_destroys_;  // hv.domain.destroys
+  Gauge* m_domains_live_;       // hv.domain.live
   MemoryManager memory_;
   EventChannelManager evtchn_;
   std::map<std::uint32_t, std::unique_ptr<Domain>> domains_;

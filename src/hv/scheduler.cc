@@ -22,6 +22,8 @@ Status CreditScheduler::AddDomain(DomainId domain, int vcpus,
   entry.vcpus = vcpus;
   entry.params = params;
   domains_.emplace(domain, entry);
+  obs_->tracer().Op(TraceCategory::kSched, "sched_add_domain",
+                    domain.value());
   return Status::Ok();
 }
 
@@ -75,6 +77,8 @@ double CreditScheduler::TotalRunnableWeight() const {
 }
 
 std::map<DomainId, double> CreditScheduler::ComputeAllocation() const {
+  m_allocations_->Increment();
+  obs_->tracer().Op(TraceCategory::kSched, "sched_allocate");
   std::map<DomainId, double> allocation;
   // The effective demand ceiling per domain: min(demand, vcpus, cap).
   auto ceiling = [](const Entry& entry) {
@@ -132,6 +136,7 @@ Status CreditScheduler::Account(DomainId domain, SimDuration epoch,
   if (it == domains_.end()) {
     return NotFoundError(StrFormat("dom%u not scheduled", domain.value()));
   }
+  m_accounts_->Increment();
   const double total_weight = TotalRunnableWeight();
   // Credit earned this epoch: the domain's weight share of total capacity.
   const double earned =

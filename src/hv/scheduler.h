@@ -23,6 +23,7 @@
 #include "src/base/ids.h"
 #include "src/base/status.h"
 #include "src/base/units.h"
+#include "src/obs/obs.h"
 
 namespace xoar {
 
@@ -33,7 +34,19 @@ struct SchedParams {
 
 class CreditScheduler {
  public:
-  explicit CreditScheduler(int physical_cpus) : pcpus_(physical_cpus) {}
+  // `obs` receives `hv.sched.*` counters; nullptr falls back to
+  // Obs::Global(). Platforms rebind via set_obs() after constructing their
+  // own Obs (the scheduler is a by-value Platform member built first).
+  explicit CreditScheduler(int physical_cpus, Obs* obs = nullptr)
+      : pcpus_(physical_cpus) {
+    set_obs(obs);
+  }
+
+  void set_obs(Obs* obs) {
+    obs_ = Obs::OrGlobal(obs);
+    m_allocations_ = obs_->metrics().GetCounter("hv.sched.allocations");
+    m_accounts_ = obs_->metrics().GetCounter("hv.sched.accounts");
+  }
 
   // Registers a domain's VCPUs for scheduling.
   Status AddDomain(DomainId domain, int vcpus, SchedParams params = {});
@@ -74,6 +87,9 @@ class CreditScheduler {
   double TotalRunnableWeight() const;
 
   int pcpus_;
+  Obs* obs_ = nullptr;
+  Counter* m_allocations_ = nullptr;  // hv.sched.allocations
+  Counter* m_accounts_ = nullptr;     // hv.sched.accounts
   std::map<DomainId, Entry> domains_;
 };
 

@@ -1,0 +1,70 @@
+// Minimal recursive-descent JSON parser used by the observability tests and
+// the `validate_obs` CTest tool to round-trip and schema-check the files
+// the exporters write (BENCH_*.json metrics, Chrome trace_event traces).
+//
+// Scope is deliberately small: parse a complete document into a JsonValue
+// tree and offer typed accessors. No streaming, no writer (the exporters
+// hand-build their output so the byte layout stays deterministic), no
+// \uXXXX surrogate decoding beyond Latin-1. Not a general-purpose library.
+//
+// Thread-safety: values are plain immutable-after-parse data; parsing is
+// reentrant (no global state).
+#ifndef XOAR_SRC_OBS_JSON_H_
+#define XOAR_SRC_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace xoar {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Parses one complete JSON document; trailing non-whitespace is an error.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+// Convenience: read `path` and parse its contents.
+StatusOr<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_OBS_JSON_H_

@@ -1,0 +1,190 @@
+// Metrics registry: monotonic counters, gauges, and fixed-bucket histograms
+// with per-shard labeling and JSON export.
+//
+// Why it exists (paper §6): every claim in Xoar's evaluation — boot latency
+// per shard, microreboot downtime windows, I/O ring throughput — is a
+// *measurement*, and measurements need a single code path shared by the
+// paper-figure benchmarks and live platform introspection. Bench binaries
+// and the platform both record into a MetricRegistry and export the same
+// JSON family as the committed BENCH_*.json trajectories (top-level
+// "context" object + "benchmarks" array keyed by "name"), so downstream
+// tooling can consume either interchangeably.
+//
+// Naming convention: `shard.subsystem.metric` (e.g. `NetBack.ring.tx_bytes`,
+// `hv.evtchn.sends`, `XenStore-Logic.microreboot.downtime_ms`). Compose
+// names with MetricName(); platform-wide metrics use the pseudo-shard
+// labels `hv` and `xenstore`. See OBSERVABILITY.md for the full inventory.
+//
+// Cost model / thread-safety: the whole platform is a single-threaded
+// discrete-event simulation (see src/sim/simulator.h), so there are no
+// locks anywhere — "lock-cheap" here means an increment is one add through
+// a cached pointer. Handles returned by the registry are stable for the
+// registry's lifetime (metrics are heap-held and never erased), so hot
+// paths look up a Counter* once at construction and never touch the name
+// map again. None of these classes may be shared across threads without
+// external synchronization.
+#ifndef XOAR_SRC_OBS_METRICS_H_
+#define XOAR_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/units.h"
+
+namespace xoar {
+
+// Composes the canonical `shard.subsystem.metric` name.
+std::string MetricName(std::string_view shard, std::string_view subsystem,
+                       std::string_view metric);
+
+// A monotonically increasing event count. Never reset, never decremented;
+// consumers derive rates from snapshot deltas.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::uint64_t value_ = 0;
+};
+
+// A point-in-time value that can move both ways (live domain count, last
+// measured throughput).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  double value_ = 0;
+};
+
+// A fixed-bucket histogram. Bucket i counts observations with
+// value <= bounds[i] (and > bounds[i-1]); one implicit overflow bucket
+// catches everything above the last bound. Bounds are fixed at creation so
+// two histograms of the same metric always merge exactly.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // size() == bounds().size() + 1; the last entry is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  const std::string& name() const { return name_; }
+
+  // Estimated p-quantile (p in [0,1]) by linear interpolation inside the
+  // containing bucket. Overflow-bucket quantiles clamp to the last bound.
+  double Percentile(double p) const;
+
+  // Adds `other`'s observations into this histogram. Fails unless the
+  // bucket bounds are identical.
+  Status Merge(const Histogram& other);
+
+  // `count` bounds at start, start*factor, start*factor^2, ... — the usual
+  // latency-bucket shape.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int count);
+  // Default latency buckets: 100ns .. ~100ms in x2 steps.
+  static std::vector<double> DefaultLatencyBoundsNs();
+
+ private:
+  friend class MetricRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+  std::string name_;
+  std::vector<double> bounds_;         // ascending upper bounds
+  std::vector<std::uint64_t> buckets_; // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+// A consistent copy of every metric at one instant, detached from the
+// registry (safe to keep across further mutation, cheap to serialize).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count;
+    double sum;
+    double p50;
+    double p99;
+  };
+  SimTime taken_at = 0;
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  const CounterValue* FindCounter(std::string_view name) const;
+  const GaugeValue* FindGauge(std::string_view name) const;
+  const HistogramValue* FindHistogram(std::string_view name) const;
+};
+
+// Owner of all metrics for one platform instance (or one bench process).
+// Get-or-create by full name; returned pointers stay valid as long as the
+// registry lives. Names are kept in a sorted map so snapshots and JSON
+// exports are deterministic. Single-threaded, like everything else here.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Get-or-create. A histogram's bounds are fixed by the first call; later
+  // calls ignore `bounds` and return the existing instance.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds = {});
+
+  std::size_t MetricCount() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // `taken_at` stamps the snapshot with the current simulated time (pass
+  // sim->Now(); defaults to 0 for registries with no simulator attached).
+  MetricsSnapshot Snapshot(SimTime taken_at = 0) const;
+
+  // Exports the BENCH_*.json-family shape:
+  //   {"context": {"executable": <binary_name>, "sim_time_ns": ...},
+  //    "benchmarks": [{"name": ..., "run_type": "counter"|"gauge"|
+  //                    "histogram", ...}, ...]}
+  // Deterministic: no wall-clock or host fields, so identical runs produce
+  // identical files (the simulator's replay guarantee extends to exports).
+  static std::string ToJson(const MetricsSnapshot& snapshot,
+                            std::string_view binary_name);
+  Status WriteJsonFile(const std::string& path, std::string_view binary_name,
+                       SimTime taken_at = 0) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_OBS_METRICS_H_

@@ -1,0 +1,10 @@
+#include "src/obs/obs.h"
+
+namespace xoar {
+
+Obs& Obs::Global() {
+  static Obs* global = new Obs();  // leaked intentionally: process lifetime
+  return *global;
+}
+
+}  // namespace xoar

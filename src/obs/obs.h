@@ -1,0 +1,47 @@
+// Obs bundles the two observability facilities — the metrics registry and
+// the event tracer — into the single handle platform components take.
+//
+// Ownership: each Platform instance owns one Obs, so metrics from two
+// platforms in one process (e.g. the baseline-vs-Xoar comparison benches)
+// never mix. Components accept an optional `Obs*`; passing nullptr routes
+// them to the process-wide `Obs::Global()` fallback, which keeps bare
+// component construction in unit tests and micro-benches working without
+// plumbing.
+//
+// Thread-safety: none needed or provided — the simulation is
+// single-threaded (see src/obs/metrics.h for the cost model).
+#ifndef XOAR_SRC_OBS_OBS_H_
+#define XOAR_SRC_OBS_OBS_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace xoar {
+
+class Obs {
+ public:
+  Obs() = default;
+  Obs(const Obs&) = delete;
+  Obs& operator=(const Obs&) = delete;
+
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  // Process-wide fallback instance for components constructed without an
+  // explicit Obs (bare unit-test fixtures, micro-bench loops).
+  static Obs& Global();
+
+  // Null-coalescing helper: the idiom for optional `Obs*` constructor
+  // parameters is `obs_(Obs::OrGlobal(obs))`.
+  static Obs* OrGlobal(Obs* obs) { return obs != nullptr ? obs : &Global(); }
+
+ private:
+  MetricRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_OBS_OBS_H_

@@ -5,8 +5,15 @@
 
 namespace xoar {
 
-XenStoreService::XenStoreService(Hypervisor* hv, Simulator* sim)
-    : hv_(hv), sim_(sim) {}
+XenStoreService::XenStoreService(Hypervisor* hv, Simulator* sim, Obs* obs)
+    : hv_(hv),
+      sim_(sim),
+      obs_(Obs::OrGlobal(obs)),
+      m_requests_(obs_->metrics().GetCounter("xenstore.service.requests")),
+      m_logic_restarts_(
+          obs_->metrics().GetCounter("xenstore.service.logic_restarts")) {
+  store_.set_obs(obs_);
+}
 
 void XenStoreService::DeploySplit(DomainId logic_domain,
                                   DomainId state_domain) {
@@ -99,6 +106,7 @@ Status XenStoreService::CheckRequest(DomainId caller) {
 
 void XenStoreService::NoteRequestServed() {
   ++requests_processed_;
+  m_requests_->Increment();
   if (restart_policy_ == RestartPolicy::kPerRequest) {
     // Fig 5.1: XenStore-Logic rolls back to its post-boot snapshot after
     // every request. The rollback itself is fast (copy-on-write reset);
@@ -106,6 +114,7 @@ void XenStoreService::NoteRequestServed() {
     // dropping the checkpoint is O(1) with the COW store.
     (void)store_.TakeSnapshot();
     ++logic_restarts_;
+    m_logic_restarts_->Increment();
   }
 }
 
@@ -219,6 +228,7 @@ Status XenStoreService::BeginLogicRestart() {
   pre_restart_state_ = store_.TakeSnapshot();
   logic_available_ = false;
   ++logic_restarts_;
+  m_logic_restarts_->Increment();
   return Status::Ok();
 }
 
@@ -244,6 +254,7 @@ Status XenStoreService::RestartLogic(SimDuration downtime) {
   pre_restart_state_ = store_.TakeSnapshot();
   logic_available_ = false;
   ++logic_restarts_;
+  m_logic_restarts_->Increment();
   sim_->ScheduleAfter(downtime, [this] {
     // Connections persist in the state component, so clients resume
     // without renegotiation.

@@ -42,7 +42,9 @@ class XenStoreService {
                   // request"); rollback cost is charged per request
   };
 
-  XenStoreService(Hypervisor* hv, Simulator* sim);
+  // `obs` is forwarded to the backing XsStore and receives
+  // `xenstore.service.*` counters; nullptr falls back to Obs::Global().
+  XenStoreService(Hypervisor* hv, Simulator* sim, Obs* obs = nullptr);
 
   // Xoar deployment: logic and state in separate shard domains.
   void DeploySplit(DomainId logic_domain, DomainId state_domain);
@@ -121,6 +123,9 @@ class XenStoreService {
 
   Hypervisor* hv_;
   Simulator* sim_;
+  Obs* obs_;
+  Counter* m_requests_;        // xenstore.service.requests
+  Counter* m_logic_restarts_;  // xenstore.service.logic_restarts
   XsStore store_;
   DomainId logic_domain_;
   DomainId state_domain_;

@@ -21,6 +21,19 @@ bool PathsOverlap(std::string_view mutated, std::string_view accessed) {
 
 XsStore::XsStore() : root_(std::make_shared<Node>()) {
   root_->perms.owner = DomainId::Invalid();
+  set_obs(nullptr);
+}
+
+void XsStore::set_obs(Obs* obs) {
+  obs_ = Obs::OrGlobal(obs);
+  MetricRegistry& metrics = obs_->metrics();
+  m_reads_ = metrics.GetCounter("xenstore.store.reads");
+  m_writes_ = metrics.GetCounter("xenstore.store.writes");
+  m_lists_ = metrics.GetCounter("xenstore.store.lists");
+  m_tx_started_ = metrics.GetCounter("xenstore.store.tx_started");
+  m_tx_committed_ = metrics.GetCounter("xenstore.store.tx_committed");
+  m_tx_aborted_ = metrics.GetCounter("xenstore.store.tx_aborted");
+  m_watch_fires_ = metrics.GetCounter("xenstore.store.watch_fires");
 }
 
 XsStore::Node* XsStore::Detach(NodePtr& slot) {
@@ -236,6 +249,8 @@ Status XsStore::ApplyRemove(NodePtr& root, DomainId caller,
 StatusOr<std::string> XsStore::Read(DomainId caller, std::string_view path,
                                     TxId tx_id) {
   ++op_count_;
+  m_reads_->Increment();
+  obs_->tracer().Op(TraceCategory::kXenStore, "xs_read", caller.value());
   const std::string norm = Normalize(path);
   const Node* root = root_.get();
   if (tx_id != kNoTransaction) {
@@ -257,6 +272,8 @@ StatusOr<std::string> XsStore::Read(DomainId caller, std::string_view path,
 Status XsStore::Write(DomainId caller, std::string_view path,
                       std::string_view value, TxId tx_id) {
   ++op_count_;
+  m_writes_->Increment();
+  obs_->tracer().Op(TraceCategory::kXenStore, "xs_write", caller.value());
   const std::string norm = Normalize(path);
   if (tx_id == kNoTransaction) {
     XOAR_RETURN_IF_ERROR(ApplyWrite(root_, caller, norm, value, nullptr));
@@ -275,6 +292,8 @@ Status XsStore::Write(DomainId caller, std::string_view path,
 
 Status XsStore::Mkdir(DomainId caller, std::string_view path, TxId tx_id) {
   ++op_count_;
+  m_writes_->Increment();
+  obs_->tracer().Op(TraceCategory::kXenStore, "xs_mkdir", caller.value());
   const std::string norm = Normalize(path);
   if (tx_id == kNoTransaction) {
     XOAR_RETURN_IF_ERROR(ApplyMkdir(root_, caller, norm, nullptr));
@@ -293,6 +312,8 @@ Status XsStore::Mkdir(DomainId caller, std::string_view path, TxId tx_id) {
 
 Status XsStore::Remove(DomainId caller, std::string_view path, TxId tx_id) {
   ++op_count_;
+  m_writes_->Increment();
+  obs_->tracer().Op(TraceCategory::kXenStore, "xs_remove", caller.value());
   const std::string norm = Normalize(path);
   if (tx_id == kNoTransaction) {
     XOAR_RETURN_IF_ERROR(ApplyRemove(root_, caller, norm, nullptr));
@@ -313,6 +334,8 @@ StatusOr<std::vector<std::string>> XsStore::List(DomainId caller,
                                                  std::string_view path,
                                                  TxId tx_id) {
   ++op_count_;
+  m_lists_->Increment();
+  obs_->tracer().Op(TraceCategory::kXenStore, "xs_list", caller.value());
   const std::string norm = Normalize(path);
   const Node* root = root_.get();
   if (tx_id != kNoTransaction) {
@@ -499,6 +522,9 @@ void XsStore::FireWatches(std::string_view path) {
   if (full_path) {
     CollectSubtreeWatches(*node, &to_fire, path);
   }
+  if (!to_fire.empty()) {
+    m_watch_fires_->Increment(to_fire.size());
+  }
   for (auto& [cb, event] : to_fire) {
     cb(event);
   }
@@ -511,6 +537,8 @@ StatusOr<XsStore::TxId> XsStore::TransactionStart(DomainId caller) {
   tx.root = root_;  // O(1): shared copy-on-write with the live tree
   TxId id = next_tx_++;
   transactions_.emplace(id, std::move(tx));
+  m_tx_started_->Increment();
+  obs_->tracer().Op(TraceCategory::kXenStore, "xs_tx_start", caller.value());
   return id;
 }
 
@@ -554,9 +582,13 @@ Status XsStore::TransactionEnd(DomainId caller, TxId tx, bool commit) {
     mutation_log_.clear();
   }
   if (!commit) {
+    m_tx_aborted_->Increment();
     return Status::Ok();
   }
   if (!conflict.ok()) {
+    m_tx_aborted_->Increment();
+    obs_->tracer().Instant(TraceCategory::kXenStore, "xs_tx_conflict",
+                           caller.value());
     return conflict;
   }
   // Replay the transaction's mutations against the live tree. The saved
@@ -587,9 +619,12 @@ Status XsStore::TransactionEnd(DomainId caller, TxId tx, bool commit) {
     root_ = std::move(saved_root);
     owner_counts_ = std::move(saved_counts);
     node_count_ = saved_node_count;
+    m_tx_aborted_->Increment();
     return AbortedError(StrFormat("transaction replay failed: %s",
                                   status.message().c_str()));
   }
+  m_tx_committed_->Increment();
+  obs_->tracer().Op(TraceCategory::kXenStore, "xs_tx_commit", caller.value());
   ++generation_;
   for (const auto& op : transaction.ops) {
     if (!transactions_.empty()) {

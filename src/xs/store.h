@@ -36,6 +36,7 @@
 
 #include "src/base/ids.h"
 #include "src/base/status.h"
+#include "src/obs/obs.h"
 
 namespace xoar {
 
@@ -75,6 +76,10 @@ class XsStore {
   // Per-owner node quota; guards against a guest monopolizing the store
   // (the DoS vector the paper cites in §4.4). 0 disables the quota.
   void set_node_quota(std::size_t quota) { node_quota_ = quota; }
+
+  // Rebinds `xenstore.store.*` metrics and kXenStore trace events to a
+  // platform's Obs (the constructor starts on Obs::Global()).
+  void set_obs(Obs* obs);
 
   // --- Core operations. `tx` of kNoTransaction applies immediately. ---
 
@@ -241,6 +246,15 @@ class XsStore {
       std::string_view fired_path);
   void FlattenTree(const Node& node, const std::string& path,
                    std::vector<FlatNode>* out) const;
+
+  Obs* obs_ = nullptr;
+  Counter* m_reads_ = nullptr;        // xenstore.store.reads
+  Counter* m_writes_ = nullptr;       // xenstore.store.writes (+mkdir/remove)
+  Counter* m_lists_ = nullptr;        // xenstore.store.lists
+  Counter* m_tx_started_ = nullptr;   // xenstore.store.tx_started
+  Counter* m_tx_committed_ = nullptr; // xenstore.store.tx_committed
+  Counter* m_tx_aborted_ = nullptr;   // xenstore.store.tx_aborted
+  Counter* m_watch_fires_ = nullptr;  // xenstore.store.watch_fires
 
   NodePtr root_;
   std::set<DomainId> managers_;

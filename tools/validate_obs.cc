@@ -1,0 +1,153 @@
+// Schema checker for the observability exports, run by CTest after the
+// quickstart example (see examples/CMakeLists.txt):
+//
+//   validate_obs <metrics.json> <trace.json>
+//
+// Checks the metrics file against the BENCH_*.json family shape (top-level
+// "context" + "benchmarks" array) and the trace file against the Chrome
+// trace_event format chrome://tracing actually accepts: a "traceEvents"
+// array of {"name","cat","ph","ts","pid","tid"} records with ph one of
+// "X" (complete span, requires "dur"), "i" (instant), or "M" (metadata).
+// Also enforces the measurement-story acceptance bar: a boot trace must
+// carry at least 5 distinct span categories. Exits non-zero with a message
+// on the first violation.
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "src/obs/json.h"
+
+namespace xoar {
+namespace {
+
+#define CHECK_OR_FAIL(cond, ...)          \
+  do {                                    \
+    if (!(cond)) {                        \
+      std::fprintf(stderr, __VA_ARGS__);  \
+      std::fprintf(stderr, "\n");         \
+      return false;                       \
+    }                                     \
+  } while (0)
+
+bool ValidateMetrics(const std::string& path) {
+  StatusOr<JsonValue> doc = ParseJsonFile(path);
+  CHECK_OR_FAIL(doc.ok(), "%s: parse failed: %s", path.c_str(),
+                doc.status().ToString().c_str());
+  CHECK_OR_FAIL(doc->is_object(), "%s: top level is not an object",
+                path.c_str());
+
+  const JsonValue* context = doc->Find("context");
+  CHECK_OR_FAIL(context != nullptr && context->is_object(),
+                "%s: missing \"context\" object", path.c_str());
+  const JsonValue* executable = context->Find("executable");
+  CHECK_OR_FAIL(executable != nullptr && executable->is_string(),
+                "%s: context.executable missing or not a string",
+                path.c_str());
+  const JsonValue* sim_time = context->Find("sim_time_ns");
+  CHECK_OR_FAIL(sim_time != nullptr && sim_time->is_number(),
+                "%s: context.sim_time_ns missing or not a number",
+                path.c_str());
+
+  const JsonValue* benchmarks = doc->Find("benchmarks");
+  CHECK_OR_FAIL(benchmarks != nullptr && benchmarks->is_array(),
+                "%s: missing \"benchmarks\" array", path.c_str());
+  CHECK_OR_FAIL(!benchmarks->array().empty(),
+                "%s: \"benchmarks\" array is empty — nothing was recorded",
+                path.c_str());
+  for (const JsonValue& entry : benchmarks->array()) {
+    CHECK_OR_FAIL(entry.is_object(), "%s: benchmark entry is not an object",
+                  path.c_str());
+    const JsonValue* name = entry.Find("name");
+    CHECK_OR_FAIL(name != nullptr && name->is_string() &&
+                      !name->string().empty(),
+                  "%s: benchmark entry without a \"name\"", path.c_str());
+    const JsonValue* run_type = entry.Find("run_type");
+    CHECK_OR_FAIL(run_type != nullptr && run_type->is_string(),
+                  "%s: %s: missing \"run_type\"", path.c_str(),
+                  name->string().c_str());
+    const std::string& rt = run_type->string();
+    CHECK_OR_FAIL(rt == "counter" || rt == "gauge" || rt == "histogram",
+                  "%s: %s: unknown run_type \"%s\"", path.c_str(),
+                  name->string().c_str(), rt.c_str());
+  }
+  std::printf("%s: OK (%zu metrics)\n", path.c_str(),
+              benchmarks->array().size());
+  return true;
+}
+
+bool ValidateTrace(const std::string& path) {
+  StatusOr<JsonValue> doc = ParseJsonFile(path);
+  CHECK_OR_FAIL(doc.ok(), "%s: parse failed: %s", path.c_str(),
+                doc.status().ToString().c_str());
+  CHECK_OR_FAIL(doc->is_object(), "%s: top level is not an object",
+                path.c_str());
+  const JsonValue* events = doc->Find("traceEvents");
+  CHECK_OR_FAIL(events != nullptr && events->is_array(),
+                "%s: missing \"traceEvents\" array", path.c_str());
+
+  std::set<std::string> span_categories;
+  std::size_t spans = 0;
+  for (const JsonValue& event : events->array()) {
+    CHECK_OR_FAIL(event.is_object(), "%s: trace event is not an object",
+                  path.c_str());
+    const JsonValue* name = event.Find("name");
+    CHECK_OR_FAIL(name != nullptr && name->is_string(),
+                  "%s: trace event without a \"name\"", path.c_str());
+    const JsonValue* ph = event.Find("ph");
+    CHECK_OR_FAIL(ph != nullptr && ph->is_string(),
+                  "%s: event \"%s\": missing \"ph\"", path.c_str(),
+                  name->string().c_str());
+    const std::string& phase = ph->string();
+    CHECK_OR_FAIL(phase == "X" || phase == "i" || phase == "M",
+                  "%s: event \"%s\": unsupported phase \"%s\"", path.c_str(),
+                  name->string().c_str(), phase.c_str());
+    const JsonValue* pid = event.Find("pid");
+    CHECK_OR_FAIL(pid != nullptr && pid->is_number(),
+                  "%s: event \"%s\": missing \"pid\"", path.c_str(),
+                  name->string().c_str());
+    if (phase == "M") {
+      continue;  // metadata records carry "args", not timestamps
+    }
+    const JsonValue* ts = event.Find("ts");
+    CHECK_OR_FAIL(ts != nullptr && ts->is_number() && ts->number() >= 0,
+                  "%s: event \"%s\": missing or negative \"ts\"",
+                  path.c_str(), name->string().c_str());
+    const JsonValue* cat = event.Find("cat");
+    CHECK_OR_FAIL(cat != nullptr && cat->is_string(),
+                  "%s: event \"%s\": missing \"cat\"", path.c_str(),
+                  name->string().c_str());
+    if (phase == "X") {
+      const JsonValue* dur = event.Find("dur");
+      CHECK_OR_FAIL(dur != nullptr && dur->is_number() && dur->number() >= 0,
+                    "%s: span \"%s\": missing or negative \"dur\"",
+                    path.c_str(), name->string().c_str());
+      ++spans;
+      span_categories.insert(cat->string());
+    }
+  }
+  CHECK_OR_FAIL(spans > 0, "%s: no \"X\" span events recorded", path.c_str());
+  CHECK_OR_FAIL(span_categories.size() >= 5,
+                "%s: only %zu distinct span categories (need >= 5)",
+                path.c_str(), span_categories.size());
+  std::printf("%s: OK (%zu events, %zu spans, %zu span categories)\n",
+              path.c_str(), events->array().size(), spans,
+              span_categories.size());
+  return true;
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <metrics.json> <trace.json>\n", argv[0]);
+    return 2;
+  }
+  if (!xoar::ValidateMetrics(argv[1])) {
+    return 1;
+  }
+  if (!xoar::ValidateTrace(argv[2])) {
+    return 1;
+  }
+  return 0;
+}
