@@ -1,0 +1,309 @@
+// Seeded randomized fault-injection campaign against a booted XoarPlatform
+// (RESILIENCE.md "Running a campaign").
+//
+//   fault_campaign [--seed N] [--faults N] [--seconds S] [--crashes N]
+//                  [--out BENCH_fault_campaign.json]
+//
+// A FaultPlan::Randomized schedule of transient windows plus shard crashes
+// runs while a probe guest continuously exercises the three client-visible
+// services: XenStore reads, block writes, and network transmits. The
+// campaign reports availability (fraction of probes answered OK), mean
+// recovery time per outage episode, how many transient faults the
+// retry/backoff layer absorbed without a microreboot, and the invariant
+// violations that must stay at zero:
+//
+//   1. the host never fails (faults are contained to shards);
+//   2. every probe completes — nothing wedges forever;
+//   3. after the campaign drains, both frontends are reconnected and a
+//      final probe of every service succeeds.
+//
+// Everything is driven by the simulator clock and the plan's seed: the same
+// seed writes a byte-identical JSON report. Exits non-zero if any invariant
+// is violated.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/report.h"
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/core/xoar_platform.h"
+#include "src/drv/blk.h"
+#include "src/drv/net.h"
+#include "src/drv/xenbus.h"
+#include "src/fault/fault.h"
+#include "src/obs/obs.h"
+
+namespace xoar {
+namespace {
+
+struct Options {
+  std::uint64_t seed = 42;
+  int faults = 12;
+  double seconds = 6.0;
+  int crashes = 2;
+  std::string out = "BENCH_fault_campaign.json";
+};
+
+// One service's probe ledger. Outage episodes are bracketed by the first
+// failed completion and the next successful one; their spans feed the mean
+// recovery time.
+struct ProbeStats {
+  std::uint64_t issued = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  bool down = false;
+  SimTime down_since = 0;
+  double recovery_ms_sum = 0;
+  std::uint64_t recoveries = 0;
+
+  void Complete(SimTime now, bool success) {
+    if (success) {
+      ++ok;
+      if (down) {
+        recovery_ms_sum += static_cast<double>(now - down_since) /
+                           static_cast<double>(kMillisecond);
+        ++recoveries;
+        down = false;
+      }
+    } else {
+      ++failed;
+      if (!down) {
+        down = true;
+        down_since = now;
+      }
+    }
+  }
+};
+
+struct Campaign {
+  ProbeStats xs;
+  ProbeStats blk;
+  ProbeStats net;
+  std::uint64_t host_failures = 0;
+  std::uint64_t lost_probes = 0;  // issued but never completed
+  std::uint64_t final_failures = 0;
+
+  std::uint64_t issued() const {
+    return xs.issued + blk.issued + net.issued;
+  }
+  std::uint64_t completed() const {
+    return xs.ok + xs.failed + blk.ok + blk.failed + net.ok + net.failed;
+  }
+  std::uint64_t ok() const { return xs.ok + blk.ok + net.ok; }
+  double availability() const {
+    const std::uint64_t done = completed();
+    return done == 0 ? 0.0
+                     : static_cast<double>(ok()) / static_cast<double>(done);
+  }
+  double mean_recovery_ms() const {
+    const std::uint64_t n = xs.recoveries + blk.recoveries + net.recoveries;
+    return n == 0 ? 0.0
+                  : (xs.recovery_ms_sum + blk.recovery_ms_sum +
+                     net.recovery_ms_sum) /
+                        static_cast<double>(n);
+  }
+};
+
+int RunCampaign(const Options& options) {
+  XoarPlatform platform;
+  if (!platform.Boot().ok()) {
+    std::fprintf(stderr, "boot failed\n");
+    return 2;
+  }
+  StatusOr<DomainId> guest = platform.CreateGuest(GuestSpec{.name = "probe"});
+  if (!guest.ok()) {
+    std::fprintf(stderr, "guest creation failed\n");
+    return 2;
+  }
+  platform.Settle();
+  NetFront* netfront = platform.netfront(*guest);
+  BlkFront* blkfront = platform.blkfront(*guest);
+  if (netfront == nullptr || blkfront == nullptr) {
+    std::fprintf(stderr, "probe guest has no frontends\n");
+    return 2;
+  }
+
+  Simulator& sim = platform.sim();
+  const SimTime start = sim.Now();
+  const SimTime end = start + FromSeconds(options.seconds);
+
+  CampaignConfig config;
+  config.seed = options.seed;
+  config.fault_count = options.faults;
+  config.start = start;
+  config.end = end;
+  config.crash_count = options.crashes;
+  FaultPlan plan = FaultPlan::Randomized(config);
+  FaultInjector injector(&platform);
+  injector.Arm(plan);
+
+  Campaign campaign;
+  const std::string xs_probe_path =
+      FrontendDir(*guest, kVbdType) + "/state";
+
+  // Probe every 11 ms: denser than the narrowest fault window (10 ms), so
+  // no transient window can open and close unobserved.
+  constexpr SimDuration kProbeInterval = 11 * kMillisecond;
+  std::function<void()> tick = [&] {
+    if (platform.hv().host_failed()) {
+      ++campaign.host_failures;
+    }
+    // XenStore: synchronous read of a node the guest itself published.
+    ++campaign.xs.issued;
+    campaign.xs.Complete(sim.Now(),
+                         platform.xenstore().Read(*guest, xs_probe_path).ok());
+    // Block: 4 KiB write, offset walking a 1 MiB window of the image.
+    ++campaign.blk.issued;
+    blkfront->WriteBytes((campaign.blk.issued * 4096) % (1 * kMiB), 4096,
+                         [&campaign, &sim](Status status) {
+                           campaign.blk.Complete(sim.Now(), status.ok());
+                         });
+    // Network: one MTU-sized frame.
+    ++campaign.net.issued;
+    netfront->SendFrame(1500, [&campaign, &sim](Status status) {
+                          campaign.net.Complete(sim.Now(), status.ok());
+                        });
+    if (sim.Now() + kProbeInterval < end) {
+      sim.ScheduleAfter(kProbeInterval, tick);
+    }
+  };
+  sim.ScheduleAfter(kProbeInterval, tick);
+  sim.RunUntil(end);
+
+  // Drain: let open windows close, microreboots finish, and every retry
+  // ladder run to completion (worst chain: 2 s block deadlines x 8 retries).
+  injector.Disarm();
+  sim.RunFor(FromSeconds(20.0));
+  campaign.lost_probes = campaign.issued() - campaign.completed();
+
+  // Final health check: both frontends reconnected, one more probe of each
+  // service succeeds.
+  if (!netfront->connected() || !blkfront->connected()) {
+    ++campaign.final_failures;
+  }
+  if (!platform.xenstore().Read(*guest, xs_probe_path).ok()) {
+    ++campaign.final_failures;
+  }
+  bool final_blk_ok = false;
+  bool final_net_ok = false;
+  blkfront->WriteBytes(0, 4096,
+                       [&](Status status) { final_blk_ok = status.ok(); });
+  netfront->SendFrame(1500,
+                      [&](Status status) { final_net_ok = status.ok(); });
+  sim.RunFor(FromSeconds(20.0));
+  if (!final_blk_ok) {
+    ++campaign.final_failures;
+  }
+  if (!final_net_ok) {
+    ++campaign.final_failures;
+  }
+
+  const std::uint64_t violations =
+      campaign.host_failures + campaign.lost_probes + campaign.final_failures;
+  const std::uint64_t absorbed =
+      blkfront->retry_recovered() + netfront->retry_recovered();
+  const std::uint64_t microreboots =
+      injector.injected_count(FaultType::kShardCrash);
+
+  MetricRegistry& metrics = platform.obs().metrics();
+  metrics.GetGauge("campaign.seed")
+      ->Set(static_cast<double>(options.seed));
+  metrics.GetGauge("campaign.availability")->Set(campaign.availability());
+  metrics.GetGauge("campaign.probes_issued")
+      ->Set(static_cast<double>(campaign.issued()));
+  metrics.GetGauge("campaign.faults_injected")
+      ->Set(static_cast<double>(injector.total_injected()));
+  metrics.GetGauge("campaign.absorbed_by_retry")
+      ->Set(static_cast<double>(absorbed));
+  metrics.GetGauge("campaign.microreboots")
+      ->Set(static_cast<double>(microreboots));
+  metrics.GetGauge("campaign.mean_recovery_ms")
+      ->Set(campaign.mean_recovery_ms());
+  metrics.GetGauge("campaign.invariant_violations")
+      ->Set(static_cast<double>(violations));
+
+  PrintHeading(StrFormat("Fault campaign (seed %llu, %d windows, %d crashes, "
+                         "%.1f s)",
+                         static_cast<unsigned long long>(options.seed),
+                         options.faults, options.crashes, options.seconds));
+  Table schedule({"t (ms)", "fault", "window (ms)", "p", "target"});
+  for (const FaultSpec& spec : plan.specs()) {
+    const bool crash = spec.type == FaultType::kShardCrash;
+    schedule.AddRow(
+        {StrFormat("%.1f", static_cast<double>(spec.at - start) /
+                               static_cast<double>(kMillisecond)),
+         std::string(FaultTypeName(spec.type)),
+         crash ? "-"
+               : StrFormat("%.1f", static_cast<double>(spec.duration) /
+                                       static_cast<double>(kMillisecond)),
+         crash ? "-" : StrFormat("%.2f", spec.probability),
+         crash ? spec.target : "-"});
+  }
+  schedule.Print();
+
+  Table results({"metric", "value"});
+  results.AddRow({"probes issued", StrFormat("%llu", campaign.issued())});
+  results.AddRow({"availability",
+                  StrFormat("%.4f", campaign.availability())});
+  results.AddRow({"faults injected",
+                  StrFormat("%llu", injector.total_injected())});
+  results.AddRow({"absorbed by retry/backoff", StrFormat("%llu", absorbed)});
+  results.AddRow({"microreboots", StrFormat("%llu", microreboots)});
+  results.AddRow({"crashes skipped",
+                  StrFormat("%llu", injector.crashes_skipped())});
+  results.AddRow({"mean recovery (ms)",
+                  StrFormat("%.2f", campaign.mean_recovery_ms())});
+  results.AddRow({"invariant violations", StrFormat("%llu", violations)});
+  results.Print();
+
+  Status status = metrics.WriteJsonFile(options.out, "fault_campaign");
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", options.out.c_str(),
+                 status.ToString().c_str());
+    return 2;
+  }
+  std::printf("\ncampaign report -> %s\n", options.out.c_str());
+  if (violations > 0) {
+    std::fprintf(stderr,
+                 "INVARIANT VIOLATIONS: host_failures=%llu lost_probes=%llu "
+                 "final_failures=%llu\n",
+                 static_cast<unsigned long long>(campaign.host_failures),
+                 static_cast<unsigned long long>(campaign.lost_probes),
+                 static_cast<unsigned long long>(campaign.final_failures));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xoar
+
+int main(int argc, char** argv) {
+  xoar::Logger::Get().set_level(xoar::LogLevel::kError);
+  xoar::Options options;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      options.faults = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      options.seconds = std::atof(next());
+    } else if (std::strcmp(argv[i], "--crashes") == 0) {
+      options.crashes = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      options.out = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--faults N] [--seconds S] "
+                   "[--crashes N] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return xoar::RunCampaign(options);
+}

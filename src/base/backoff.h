@@ -1,0 +1,74 @@
+// Exponential backoff for retrying transient failures.
+//
+// Frontends and backends retry transiently failed operations (lost event
+// notifications, injected I/O errors, XenStore outages during a Logic
+// microreboot) on a deterministic exponential delay ladder. There is
+// deliberately NO jitter: the whole platform is a single-threaded
+// discrete-event simulation, so there is no thundering herd to spread, and
+// deterministic delays keep every run bit-for-bit replayable (DESIGN.md
+// §5c). All delays are simulated time — never wall clock.
+#ifndef XOAR_SRC_BASE_BACKOFF_H_
+#define XOAR_SRC_BASE_BACKOFF_H_
+
+#include <algorithm>
+
+#include "src/base/units.h"
+
+namespace xoar {
+
+// The delay ladder: attempt n waits initial_delay * multiplier^n, capped at
+// max_delay. max_attempts bounds how many retries a caller should issue
+// before reporting the error upward; callers that must never give up (a
+// backend re-advertising itself after a microreboot) keep drawing delays
+// past the bound and simply stay at max_delay (see RESILIENCE.md).
+struct BackoffPolicy {
+  SimDuration initial_delay = 1 * kMillisecond;
+  double multiplier = 2.0;
+  SimDuration max_delay = 256 * kMillisecond;
+  int max_attempts = 8;
+
+  // Delay before retry number `attempt` (0-based), clamped to max_delay.
+  SimDuration DelayForAttempt(int attempt) const {
+    double delay = static_cast<double>(initial_delay);
+    for (int i = 0; i < attempt; ++i) {
+      delay *= multiplier;
+      if (delay >= static_cast<double>(max_delay)) {
+        return max_delay;
+      }
+    }
+    return std::min(static_cast<SimDuration>(delay), max_delay);
+  }
+};
+
+// Mutable retry state for one logical operation or one outage episode.
+// Reset() on success so the next episode starts from the initial delay.
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff() = default;
+  explicit ExponentialBackoff(BackoffPolicy policy) : policy_(policy) {}
+
+  // True once max_attempts delays have been handed out. Advisory: NextDelay
+  // keeps working past exhaustion (pinned at max_delay) for callers with
+  // unbounded-retry semantics.
+  bool Exhausted() const { return attempts_ >= policy_.max_attempts; }
+
+  // Returns the next delay on the ladder and advances the attempt count.
+  SimDuration NextDelay() {
+    const SimDuration delay = policy_.DelayForAttempt(attempts_);
+    ++attempts_;
+    return delay;
+  }
+
+  void Reset() { attempts_ = 0; }
+
+  int attempts() const { return attempts_; }
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  int attempts_ = 0;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_BASE_BACKOFF_H_

@@ -34,6 +34,8 @@ Status RestartEngine::Register(const std::string& name, DomainId domain,
   entry.m_downtime_ms = obs_->metrics().GetHistogram(
       MetricName(name, "microreboot", "downtime_ms"),
       Histogram::ExponentialBounds(1.0, 2.0, 12));
+  entry.m_up = obs_->metrics().GetGauge(MetricName(name, "microreboot", "up"));
+  entry.m_up->Set(1.0);
   components_.emplace(name, std::move(entry));
   return Status::Ok();
 }
@@ -60,8 +62,11 @@ Status RestartEngine::DoRestart(Entry& entry, const std::string& name,
   if (entry.hooks.suspend) {
     entry.hooks.suspend();
   }
-  // 2. The hypervisor tears down channels; peers observe the outage.
+  // 2. The hypervisor tears down channels; peers observe the outage. The
+  //    up gauge drops with it and only returns to 1 once the resume hook
+  //    has run — a failed CompleteReboot leaves it at 0.
   XOAR_RETURN_IF_ERROR(hv_->BeginReboot(controller_, entry.domain));
+  entry.m_up->Set(0.0);
 
   // 3. Rollback to the post-init snapshot. The recovery box survives; the
   //    fast path uses it to skip part of the renegotiation.
@@ -94,6 +99,7 @@ Status RestartEngine::DoRestart(Entry& entry, const std::string& name,
     if (e.hooks.resume) {
       e.hooks.resume();
     }
+    e.m_up->Set(1.0);
     e.in_progress = false;
     ++e.restarts;
     e.m_restarts->Increment();

@@ -35,8 +35,28 @@ namespace xoar {
 constexpr SimDuration kSlowRestartDowntime = FromMilliseconds(260);
 constexpr SimDuration kFastRestartDowntime = FromMilliseconds(140);
 
+// Drives microreboot cycles for registered components. One engine per
+// platform; components register once at their ready-to-serve point and are
+// restarted either on demand (RestartNow — this is also how fault campaigns
+// model a shard crash) or on a timer (EnablePeriodicRestarts).
+//
+// All state an Entry caches across restarts — metric pointers, restart
+// counts, the open trace span — belongs to the *engine*, not to the
+// component instance being rebooted: a restart must never reset a
+// component's metric history, and the `<name>.microreboot.up` gauge flips
+// 1 -> 0 -> 1 around each cycle precisely because the registry entries
+// outlive the reboot (see RESILIENCE.md "Observing recovery").
 class RestartEngine {
  public:
+  // Callbacks a restartable component hands to Register. The engine calls
+  // `suspend` synchronously at the start of a cycle, while the component's
+  // domain can still issue XenStore writes (orderly teardown: close XenBus
+  // state, unmap grants, drop in-flight work). `resume` runs after the
+  // device downtime has elapsed and the domain is running again; it must
+  // re-advertise the component so peers renegotiate. `state`, when set,
+  // is snapshotted at Register time and rolled back during every cycle —
+  // the §3.3 "rollback to post-init image" step; leave it null for
+  // components whose state is fully rebuilt by `resume`.
   struct ComponentHooks {
     std::function<void()> suspend;
     std::function<void()> resume;
@@ -53,20 +73,30 @@ class RestartEngine {
 
   // Registers a restartable component. Takes the §3.3 snapshot immediately
   // if `hooks.state` is provided — callers register at the ready-to-serve
-  // point.
+  // point. Also registers the component's `<name>.microreboot.*` metrics
+  // and sets `<name>.microreboot.up` to 1. Fails with ALREADY_EXISTS on a
+  // duplicate name.
   Status Register(const std::string& name, DomainId domain,
                   ComponentHooks hooks);
 
   // One microreboot cycle now. `fast` selects the recovery-box-assisted
-  // path.
+  // path (~140 ms downtime vs ~260 ms). Returns FAILED_PRECONDITION if the
+  // component is already mid-restart or its domain is not running — a fault
+  // campaign counts that as a skipped crash, not an error. Returns
+  // synchronously once the outage has begun; recovery completes at
+  // Now() + downtime on the simulator.
   Status RestartNow(const std::string& name, bool fast);
 
   // Periodic restarts every `interval` ("restarted on a timer", Fig 5.1).
+  // A cycle that can't start (e.g. the previous one is still in progress)
+  // is skipped, not queued.
   Status EnablePeriodicRestarts(const std::string& name, SimDuration interval,
                                 bool fast);
   Status DisableRestarts(const std::string& name);
 
+  // True between the start of a cycle and its resume hook completing.
   bool IsRestarting(const std::string& name) const;
+  // Completed cycles (unknown names report 0 / zero downtime).
   int RestartCount(const std::string& name) const;
   SimDuration LastDowntime(const std::string& name) const;
 
@@ -81,6 +111,9 @@ class RestartEngine {
     SimDuration last_downtime = 0;
     Counter* m_restarts = nullptr;       // <name>.microreboot.restarts
     Histogram* m_downtime_ms = nullptr;  // <name>.microreboot.downtime_ms
+    // <name>.microreboot.up: 1 while serving, 0 during the outage window.
+    // Owned by the engine's Entry so a dying instance can't drop it.
+    Gauge* m_up = nullptr;
     Tracer::SpanId span = Tracer::kInvalidSpan;  // open restart window
   };
 

@@ -1,6 +1,8 @@
 #include "src/drv/blk.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
@@ -102,53 +104,86 @@ void BlkBack::OnFrontendStateChange(DomainId guest) {
   StatusOr<std::string> state =
       xs_->Read(self_, FrontendDir(guest, kVbdType) + "/state");
   if (!state.ok()) {
+    // A transiently unreadable frontend node (XenStore-Logic down, injected
+    // timeout) would silently strand the handshake: the watch already fired
+    // and nothing re-fires it. Retry on the backoff ladder.
+    if (state.status().code() == StatusCode::kUnavailable) {
+      ScheduleConnectRetry(guest);
+    }
     return;
   }
   const XenbusState front_state = XenbusStateFromString(*state);
   if (front_state == XenbusState::kInitialised && !vbd.connected) {
-    ConnectVbd(vbd);
+    const Status status = ConnectVbd(vbd);
+    if (status.ok()) {
+      vbd.connect_backoff.Reset();
+    } else if (status.code() == StatusCode::kUnavailable) {
+      ScheduleConnectRetry(guest);
+    } else {
+      XLOG(kWarning) << "[blkback] VBD connect for dom" << guest.value()
+                     << " failed permanently: " << status;
+    }
   }
 }
 
-void BlkBack::ConnectVbd(Vbd& vbd) {
+Status BlkBack::ConnectVbd(Vbd& vbd) {
   const std::string front_dir = FrontendDir(vbd.guest, kVbdType);
-  StatusOr<std::string> gref_str = xs_->Read(self_, front_dir + "/ring-ref");
-  StatusOr<std::string> port_str =
-      xs_->Read(self_, front_dir + "/event-channel");
-  if (!gref_str.ok() || !port_str.ok()) {
-    return;
-  }
+  XOAR_ASSIGN_OR_RETURN(std::string gref_str,
+                        xs_->Read(self_, front_dir + "/ring-ref"));
+  XOAR_ASSIGN_OR_RETURN(std::string port_str,
+                        xs_->Read(self_, front_dir + "/event-channel"));
   const GrantRef gref(
-      static_cast<std::uint32_t>(std::stoul(*gref_str)));
+      static_cast<std::uint32_t>(std::stoul(gref_str)));
   const EvtchnPort front_port(
-      static_cast<std::uint32_t>(std::stoul(*port_str)));
+      static_cast<std::uint32_t>(std::stoul(port_str)));
 
-  StatusOr<MappedPage> page = hv_->MapGrant(self_, vbd.guest, gref);
-  if (!page.ok()) {
-    XLOG(kWarning) << "[blkback] map grant failed: " << page.status();
-    return;
-  }
-  StatusOr<EvtchnPort> port =
-      hv_->EvtchnBindInterdomain(self_, vbd.guest, front_port);
-  if (!port.ok()) {
-    XLOG(kWarning) << "[blkback] bind evtchn failed: " << port.status();
-    return;
-  }
+  XOAR_ASSIGN_OR_RETURN(MappedPage page,
+                        hv_->MapGrant(self_, vbd.guest, gref));
+  XOAR_ASSIGN_OR_RETURN(EvtchnPort port,
+                        hv_->EvtchnBindInterdomain(self_, vbd.guest,
+                                                   front_port));
   vbd.ring_gref = gref;
-  vbd.ring_page = page->data;
-  vbd.port = *port;
+  vbd.ring_page = page.data;
+  vbd.port = port;
   vbd.connected = true;
   const DomainId guest = vbd.guest;
   (void)hv_->EvtchnSetHandler(self_, vbd.port,
                               [this, guest] { ServiceRing(guest); });
-  (void)xs_->Write(self_, BackendDir(self_, guest, kVbdType) + "/state",
-                   XenbusStateString(XenbusState::kConnected));
+  XOAR_RETURN_IF_ERROR(
+      xs_->Write(self_, BackendDir(self_, guest, kVbdType) + "/state",
+                 XenbusStateString(XenbusState::kConnected)));
   m_vbd_connects_->Increment();
   obs_->tracer().Op(TraceCategory::kDriver, "blkback_vbd_connect",
                     self_.value());
   XLOG(kDebug) << "[blkback] VBD connected for dom" << guest.value();
   // Drain anything the frontend pushed before we connected.
   ServiceRing(guest);
+  return Status::Ok();
+}
+
+void BlkBack::ScheduleConnectRetry(DomainId guest) {
+  auto it = vbds_.find(guest);
+  if (it == vbds_.end() || it->second.retry_pending) {
+    return;
+  }
+  Vbd& vbd = it->second;
+  vbd.retry_pending = true;
+  const SimDuration delay = vbd.connect_backoff.NextDelay();
+  if (vbd.connect_backoff.Exhausted()) {
+    XLOG(kWarning) << "[blkback] dom" << guest.value()
+                   << " connect retries exhausted; continuing at max delay";
+  }
+  sim_->ScheduleAfter(delay, [this, guest] {
+    auto vbd_it = vbds_.find(guest);
+    if (vbd_it == vbds_.end()) {
+      return;
+    }
+    vbd_it->second.retry_pending = false;
+    if (!available_ || vbd_it->second.connected) {
+      return;
+    }
+    OnFrontendStateChange(guest);
+  });
 }
 
 void BlkBack::DisconnectVbd(Vbd& vbd) {
@@ -176,7 +211,9 @@ void BlkBack::ServiceRing(DomainId guest) {
         static_cast<std::uint64_t>(request.sector_count) * kSectorSize;
     std::int8_t status = 0;
     if (request.sector * kSectorSize + byte_len > vbd.size_bytes) {
-      status = -1;  // out of range for this VBD
+      status = kBlkStatusFailed;  // out of range for this VBD
+    } else if (io_fault_hook_ && io_fault_hook_(guest, request)) {
+      status = kBlkStatusTransient;  // injected EIO; frontend retries
     }
     ++requests_served_;
     m_requests_->Increment();
@@ -229,11 +266,34 @@ void BlkBack::Suspend() {
 void BlkBack::Resume() {
   obs_->tracer().Op(TraceCategory::kDriver, "blkback_resume", self_.value());
   available_ = true;
-  // Re-advertise; frontends watching our state renegotiate from scratch.
+  // Re-advertise; frontends watching our state renegotiate from scratch. If
+  // XenStore is itself down (concurrent Logic microreboot, injected
+  // timeout), the write MUST be retried: this advertisement is the only
+  // signal frontends get that the backend is back, so giving up would wedge
+  // every VBD permanently. Unbounded retry at capped delay (RESILIENCE.md).
+  bool transient_failure = false;
   for (auto& [guest, vbd] : vbds_) {
-    (void)xs_->Write(self_, BackendDir(self_, guest, kVbdType) + "/state",
-                     XenbusStateString(XenbusState::kInitWait));
+    const Status status =
+        xs_->Write(self_, BackendDir(self_, guest, kVbdType) + "/state",
+                   XenbusStateString(XenbusState::kInitWait));
+    if (!status.ok() && status.code() == StatusCode::kUnavailable) {
+      transient_failure = true;
+    }
   }
+  if (!transient_failure) {
+    resume_backoff_.Reset();
+    return;
+  }
+  if (resume_retry_pending_) {
+    return;
+  }
+  resume_retry_pending_ = true;
+  sim_->ScheduleAfter(resume_backoff_.NextDelay(), [this] {
+    resume_retry_pending_ = false;
+    if (available_) {
+      Resume();
+    }
+  });
 }
 
 bool BlkBack::IsVbdConnected(DomainId guest) const {
@@ -249,7 +309,38 @@ bool BlkBack::IsVbdConnected(DomainId guest) const {
 
 BlkFront::BlkFront(Hypervisor* hv, XenStoreService* xs, Simulator* sim,
                    DomainId self, DomainId backend)
-    : hv_(hv), xs_(xs), sim_(sim), self_(self), backend_(backend) {}
+    : hv_(hv),
+      xs_(xs),
+      sim_(sim),
+      self_(self),
+      backend_(backend),
+      m_retry_attempts_(
+          hv->obs()->metrics().GetCounter("BlkFront.retry.attempts")),
+      m_retry_recovered_(
+          hv->obs()->metrics().GetCounter("BlkFront.retry.recovered")),
+      m_retry_exhausted_(
+          hv->obs()->metrics().GetCounter("BlkFront.retry.exhausted")),
+      m_backoff_ms_(hv->obs()->metrics().GetHistogram(
+          "BlkFront.retry.backoff_ms",
+          Histogram::ExponentialBounds(1.0, 2.0, 10))) {
+  xs_backoff_ = ExponentialBackoff(retry_.backoff);
+}
+
+BlkFront::~BlkFront() {
+  // The guest died; scheduled timers and watch deliveries may still be in
+  // the simulator's queue. Flip the guard so they no-op.
+  *alive_ = false;
+  for (auto& [id, io] : outstanding_) {
+    if (io.timeout_event.valid()) {
+      (void)sim_->Cancel(io.timeout_event);
+    }
+  }
+}
+
+void BlkFront::set_retry_config(const RetryConfig& config) {
+  retry_ = config;
+  xs_backoff_ = ExponentialBackoff(retry_.backoff);
+}
 
 Status BlkFront::Connect() {
   if (handshake_started_) {
@@ -261,14 +352,34 @@ Status BlkFront::Connect() {
   ring_page_ = hv_->memory().PageData(ring_pfn_);
   Republish();
   // Watch the backend state: reconnect when a microrebooted backend
-  // re-advertises, mark connected when it reports Connected.
+  // re-advertises, mark connected when it reports Connected. Deliveries are
+  // asynchronous, so guard against this frontend dying first.
   const std::string back_state =
       BackendDir(backend_, self_, kVbdType) + "/state";
   return xs_->Watch(self_, back_state, "blkfront",
-                    [this](const XsWatchEvent&) { OnBackendStateChange(); });
+                    [this, alive = alive_](const XsWatchEvent&) {
+                      if (*alive) {
+                        OnBackendStateChange();
+                      }
+                    });
 }
 
 void BlkFront::Republish() {
+  const Status status = DoRepublish();
+  if (status.ok()) {
+    xs_backoff_.Reset();
+    return;
+  }
+  if (status.code() == StatusCode::kUnavailable) {
+    // XenStore (or the grant/evtchn path) transiently down mid-handshake.
+    // Nothing re-fires this publish, so retry it ourselves.
+    ScheduleXsRetry(/*republish=*/true);
+    return;
+  }
+  XLOG(kWarning) << "[blkfront] republish failed permanently: " << status;
+}
+
+Status BlkFront::DoRepublish() {
   // Retire the previous generation's grant (ignore failure: the backend may
   // still hold a dangling mapping if it crashed rather than suspended).
   if (ring_gref_.valid()) {
@@ -277,50 +388,86 @@ void BlkFront::Republish() {
   }
   awaiting_connect_ = true;
   // Fresh grant + event channel for this connection generation.
-  StatusOr<GrantRef> gref =
-      hv_->GrantAccess(self_, backend_, ring_pfn_, /*writable=*/true);
-  if (!gref.ok()) {
-    XLOG(kWarning) << "[blkfront] grant failed: " << gref.status();
-    return;
-  }
-  StatusOr<EvtchnPort> port = hv_->EvtchnAllocUnbound(self_, backend_);
-  if (!port.ok()) {
-    XLOG(kWarning) << "[blkfront] evtchn alloc failed: " << port.status();
-    return;
-  }
-  ring_gref_ = *gref;
-  port_ = *port;
+  XOAR_ASSIGN_OR_RETURN(
+      GrantRef gref,
+      hv_->GrantAccess(self_, backend_, ring_pfn_, /*writable=*/true));
+  XOAR_ASSIGN_OR_RETURN(EvtchnPort port,
+                        hv_->EvtchnAllocUnbound(self_, backend_));
+  ring_gref_ = gref;
+  port_ = port;
   BlkRing::Create(ring_page_);  // reset indices for the new generation
-  (void)hv_->EvtchnSetHandler(self_, port_, [this] { OnResponse(); });
+  (void)hv_->EvtchnSetHandler(self_, port_, [this, alive = alive_] {
+    if (*alive) {
+      OnResponse();
+    }
+  });
 
   const std::string front_dir = FrontendDir(self_, kVbdType);
-  (void)xs_->Write(self_, front_dir + "/backend-id",
-                   StrFormat("%u", backend_.value()));
-  (void)xs_->Write(self_, front_dir + "/ring-ref",
-                   StrFormat("%u", ring_gref_.value()));
-  (void)xs_->Write(self_, front_dir + "/event-channel",
-                   StrFormat("%u", port_.value()));
+  XOAR_RETURN_IF_ERROR(xs_->Write(self_, front_dir + "/backend-id",
+                                  StrFormat("%u", backend_.value())));
+  XOAR_RETURN_IF_ERROR(xs_->Write(self_, front_dir + "/ring-ref",
+                                  StrFormat("%u", ring_gref_.value())));
+  XOAR_RETURN_IF_ERROR(xs_->Write(self_, front_dir + "/event-channel",
+                                  StrFormat("%u", port_.value())));
   // Give the backend read access to our device directory.
   for (const char* leaf : {"/backend-id", "/ring-ref", "/event-channel"}) {
     XsNodePerms perms;
     perms.owner = self_;
     perms.acl[backend_] = XsPerm::kRead;
-    (void)xs_->SetPerms(self_, front_dir + leaf, perms);
+    XOAR_RETURN_IF_ERROR(xs_->SetPerms(self_, front_dir + leaf, perms));
   }
-  (void)xs_->Write(self_, front_dir + "/state",
-                   XenbusStateString(XenbusState::kInitialised));
+  XOAR_RETURN_IF_ERROR(xs_->Write(self_, front_dir + "/state",
+                                  XenbusStateString(XenbusState::kInitialised)));
   XsNodePerms state_perms;
   state_perms.owner = self_;
   state_perms.acl[backend_] = XsPerm::kRead;
-  (void)xs_->SetPerms(self_, front_dir + "/state", state_perms);
+  return xs_->SetPerms(self_, front_dir + "/state", state_perms);
+}
+
+void BlkFront::ScheduleXsRetry(bool republish) {
+  if (republish) {
+    xs_retry_republish_ = true;
+  }
+  if (xs_retry_pending_) {
+    return;
+  }
+  xs_retry_pending_ = true;
+  const SimDuration delay = xs_backoff_.NextDelay();
+  if (xs_backoff_.Exhausted()) {
+    // Handshake retries must not give up: the backend's next advertisement
+    // may never be readable if we stop looking (RESILIENCE.md). Stay at the
+    // capped delay instead.
+    XLOG(kWarning)
+        << "[blkfront] XenStore retries exhausted; continuing at max delay";
+  }
+  sim_->ScheduleAfter(delay, [this, alive = alive_] {
+    if (!*alive) {
+      return;
+    }
+    xs_retry_pending_ = false;
+    const bool republish_now = xs_retry_republish_;
+    xs_retry_republish_ = false;
+    if (republish_now) {
+      Republish();
+    } else {
+      OnBackendStateChange();
+    }
+  });
 }
 
 void BlkFront::OnBackendStateChange() {
   StatusOr<std::string> state =
       xs_->Read(self_, BackendDir(backend_, self_, kVbdType) + "/state");
   if (!state.ok()) {
+    // The watch told us the backend changed state but we could not read
+    // which; dropping the event would desynchronise the handshake. Re-read
+    // after backoff.
+    if (state.status().code() == StatusCode::kUnavailable) {
+      ScheduleXsRetry(/*republish=*/false);
+    }
     return;
   }
+  xs_backoff_.Reset();
   switch (XenbusStateFromString(*state)) {
     case XenbusState::kConnected: {
       if (connected_) {
@@ -329,11 +476,16 @@ void BlkFront::OnBackendStateChange() {
       connected_ = true;
       awaiting_connect_ = false;
       // Retransmit everything that was in flight when the backend went
-      // down, then drain the queue.
+      // down, then drain the queue. Response deadlines are re-armed when
+      // the requests go back on the ring.
       if (!outstanding_.empty()) {
         std::vector<PendingIo> retry;
         retry.reserve(outstanding_.size());
         for (auto& [id, io] : outstanding_) {
+          if (io.timeout_event.valid()) {
+            (void)sim_->Cancel(io.timeout_event);
+            io.timeout_event = EventId::Invalid();
+          }
           retry.push_back(std::move(io));
         }
         outstanding_.clear();
@@ -389,7 +541,7 @@ void BlkFront::ReadBytes(std::uint64_t offset, std::uint64_t bytes,
 }
 
 void BlkFront::WriteBytes(std::uint64_t offset, std::uint64_t bytes,
-                          IoDone done) {
+                         IoDone done) {
   const std::uint64_t first = offset / kSectorSize;
   const std::uint64_t last = (offset + bytes + kSectorSize - 1) / kSectorSize;
   SubmitIo(first, static_cast<std::uint32_t>(last - first), /*is_write=*/true,
@@ -407,6 +559,14 @@ void BlkFront::PumpQueue() {
     queue_.pop_front();
     const std::uint64_t id = io.request.id;
     ring.PushRequest(io.request);
+    // Arm the per-attempt response deadline. If the backend never answers
+    // (dropped notification, lost completion), OnRequestTimeout retries.
+    io.timeout_event = sim_->ScheduleAfter(
+        retry_.request_timeout, [this, alive = alive_, id] {
+          if (*alive) {
+            OnRequestTimeout(id);
+          }
+        });
     outstanding_.emplace(id, std::move(io));
     pushed = true;
   }
@@ -427,7 +587,19 @@ void BlkFront::OnResponse() {
     }
     PendingIo io = std::move(it->second);
     outstanding_.erase(it);
+    if (io.timeout_event.valid()) {
+      (void)sim_->Cancel(io.timeout_event);
+      io.timeout_event = EventId::Invalid();
+    }
+    if (rsp->status == kBlkStatusTransient) {
+      RetryIo(std::move(io));
+      continue;
+    }
     ++completed_ios_;
+    if (rsp->status == 0 && io.attempts > 0) {
+      ++retry_recovered_;
+      m_retry_recovered_->Increment();
+    }
     if (io.done) {
       io.done(rsp->status == 0
                   ? Status::Ok()
@@ -435,6 +607,51 @@ void BlkFront::OnResponse() {
     }
   }
   PumpQueue();
+}
+
+void BlkFront::OnRequestTimeout(std::uint64_t id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) {
+    return;  // response arrived just before the deadline fired
+  }
+  if (!connected_) {
+    // The backend is down; the reconnect path owns these requests (it will
+    // retransmit them and arm fresh deadlines). A timeout here is not an
+    // error signal.
+    it->second.timeout_event = EventId::Invalid();
+    return;
+  }
+  PendingIo io = std::move(it->second);
+  outstanding_.erase(it);
+  io.timeout_event = EventId::Invalid();
+  RetryIo(std::move(io));
+}
+
+void BlkFront::RetryIo(PendingIo io) {
+  ++io.attempts;
+  ++retry_attempts_;
+  m_retry_attempts_->Increment();
+  if (io.attempts > retry_.backoff.max_attempts) {
+    ++retry_exhausted_;
+    m_retry_exhausted_->Increment();
+    XLOG(kWarning) << "[blkfront] request " << io.request.id
+                   << " exhausted retries";
+    if (io.done) {
+      io.done(UnavailableError(
+          StrFormat("block I/O failed after %d retries", io.attempts - 1)));
+    }
+    return;
+  }
+  const SimDuration delay = retry_.backoff.DelayForAttempt(io.attempts - 1);
+  m_backoff_ms_->Observe(ToMilliseconds(delay));
+  sim_->ScheduleAfter(delay, [this, alive = alive_,
+                              io = std::move(io)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    queue_.push_front(std::move(io));
+    PumpQueue();
+  });
 }
 
 }  // namespace xoar

@@ -13,6 +13,13 @@
 // (frames in flight are lost); Resume() re-advertises the backend, and
 // frontends renegotiate through XenStore, retransmitting outstanding
 // requests — the crash-only recovery loop of §3.3.
+//
+// Resilience (RESILIENCE.md): every request the frontend puts on the ring
+// carries a simulated-time response deadline. A timed-out or transiently
+// failed request is retried with bounded exponential backoff; exhaustion
+// surfaces UNAVAILABLE to the caller. XenStore reads/writes on the
+// handshake path are retried the same way, so an injected XenStore timeout
+// delays reconnection instead of wedging it.
 #ifndef XOAR_SRC_DRV_BLK_H_
 #define XOAR_SRC_DRV_BLK_H_
 
@@ -20,9 +27,11 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/base/backoff.h"
 #include "src/base/ids.h"
 #include "src/base/status.h"
 #include "src/base/units.h"
@@ -45,8 +54,15 @@ struct BlkRingRequest {
 
 struct BlkRingResponse {
   std::uint64_t id;
-  std::int8_t status;  // 0 = OK
+  std::int8_t status;  // 0 = OK, else kBlkStatus*
 };
+
+// Ring response status codes. kBlkStatusFailed is permanent (the request
+// itself is bad — out of range for the VBD); kBlkStatusTransient marks a
+// retryable backend-side fault (an injected EIO): the frontend retries it
+// with backoff instead of failing the caller.
+constexpr std::int8_t kBlkStatusFailed = -1;
+constexpr std::int8_t kBlkStatusTransient = -2;
 
 using BlkRing = IoRing<BlkRingRequest, BlkRingResponse, 32>;
 
@@ -57,6 +73,13 @@ constexpr SimDuration kBlkBackPerOpOverhead = 15 * kMicrosecond;
 
 class BlkBack {
  public:
+  // Fault-injection hook (src/fault), consulted once per popped ring
+  // request. Returning true makes the backend answer kBlkStatusTransient
+  // without touching the disk — a transient EIO the frontend absorbs via
+  // retry/backoff.
+  using IoFaultHook =
+      std::function<bool(DomainId guest, const BlkRingRequest& request)>;
+
   // `obs` receives `BlkBack.ring.*` / `BlkBack.vbd.*` counters and kDriver
   // trace events; nullptr falls back to Obs::Global().
   BlkBack(Hypervisor* hv, XenStoreService* xs, Simulator* sim, DomainId self,
@@ -90,6 +113,8 @@ class BlkBack {
   // interference; 1.0 = isolated driver domain).
   void set_overhead_multiplier(double m) { overhead_multiplier_ = m; }
 
+  void set_io_fault_hook(IoFaultHook hook) { io_fault_hook_ = std::move(hook); }
+
   std::uint64_t requests_served() const { return requests_served_; }
   std::uint64_t bytes_moved() const { return bytes_moved_; }
 
@@ -103,10 +128,16 @@ class BlkBack {
     GrantRef ring_gref;
     std::byte* ring_page = nullptr;
     EvtchnPort port;
+    // Reconnect retry state: a transiently failed ConnectVbd (XenStore down
+    // mid-handshake, injected grant-map failure) is retried on this ladder
+    // because nothing else re-fires the frontend-state watch.
+    ExponentialBackoff connect_backoff;
+    bool retry_pending = false;
   };
 
   void OnFrontendStateChange(DomainId guest);
-  void ConnectVbd(Vbd& vbd);
+  Status ConnectVbd(Vbd& vbd);
+  void ScheduleConnectRetry(DomainId guest);
   void DisconnectVbd(Vbd& vbd);
   void ServiceRing(DomainId guest);
 
@@ -117,6 +148,12 @@ class BlkBack {
   DiskDevice* disk_;
   bool available_ = false;
   double overhead_multiplier_ = 1.0;
+  IoFaultHook io_fault_hook_;
+  // Resume() must eventually get its InitWait re-advertisement into
+  // XenStore or no frontend ever renegotiates; retried unbounded at capped
+  // delay when XenStore itself is down (RESILIENCE.md).
+  ExponentialBackoff resume_backoff_;
+  bool resume_retry_pending_ = false;
   std::map<DomainId, Vbd> vbds_;
   std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
       images_;  // name -> (offset, size)
@@ -133,8 +170,19 @@ class BlkFront {
  public:
   using IoDone = std::function<void(Status)>;
 
+  // Retry/backoff tuning (RESILIENCE.md "Tuning knobs"). request_timeout is
+  // the on-ring response deadline per attempt; it must comfortably exceed
+  // worst-case queueing + disk service time — a full 32-deep ring of
+  // random-offset requests queues ~430 ms behind seek costs — or healthy
+  // requests get retransmitted as duplicate disk writes.
+  struct RetryConfig {
+    BackoffPolicy backoff;
+    SimDuration request_timeout = 2 * kSecond;
+  };
+
   BlkFront(Hypervisor* hv, XenStoreService* xs, Simulator* sim, DomainId self,
            DomainId backend);
+  ~BlkFront();
 
   // Runs the frontend side of the XenBus handshake. Also watches the
   // backend state so a microrebooted backend triggers renegotiation.
@@ -144,7 +192,9 @@ class BlkFront {
   DomainId backend() const { return backend_; }
 
   // Asynchronous sector I/O. While disconnected (backend rebooting),
-  // requests queue and are retransmitted after reconnection.
+  // requests queue and are retransmitted after reconnection. Transient
+  // backend errors and response timeouts are retried with exponential
+  // backoff; `done` sees UNAVAILABLE only after retry exhaustion.
   void SubmitIo(std::uint64_t sector, std::uint32_t sector_count,
                 bool is_write, IoDone done);
 
@@ -152,20 +202,32 @@ class BlkFront {
   void ReadBytes(std::uint64_t offset, std::uint64_t bytes, IoDone done);
   void WriteBytes(std::uint64_t offset, std::uint64_t bytes, IoDone done);
 
+  void set_retry_config(const RetryConfig& config);
+  const RetryConfig& retry_config() const { return retry_; }
+
   std::uint64_t completed_ios() const { return completed_ios_; }
   std::uint64_t retransmitted_ios() const { return retransmits_; }
   std::size_t outstanding_ios() const { return outstanding_.size(); }
+  std::uint64_t retry_attempts() const { return retry_attempts_; }
+  std::uint64_t retry_recovered() const { return retry_recovered_; }
+  std::uint64_t retry_exhausted() const { return retry_exhausted_; }
 
  private:
   struct PendingIo {
     BlkRingRequest request;
     IoDone done;
+    int attempts = 0;  // backoff retries so far (reconnects not counted)
+    EventId timeout_event = EventId::Invalid();
   };
 
   void Republish();
+  Status DoRepublish();
   void OnBackendStateChange();
+  void ScheduleXsRetry(bool republish);
   void PumpQueue();
   void OnResponse();
+  void OnRequestTimeout(std::uint64_t id);
+  void RetryIo(PendingIo io);
 
   Hypervisor* hv_;
   XenStoreService* xs_;
@@ -180,10 +242,25 @@ class BlkFront {
   GrantRef ring_gref_;
   EvtchnPort port_;
   std::uint64_t next_id_ = 1;
+  RetryConfig retry_;
+  ExponentialBackoff xs_backoff_;
+  bool xs_retry_pending_ = false;
+  bool xs_retry_republish_ = false;
   std::deque<PendingIo> queue_;                  // not yet on the ring
   std::map<std::uint64_t, PendingIo> outstanding_;  // on the ring, unanswered
   std::uint64_t completed_ios_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t retry_attempts_ = 0;
+  std::uint64_t retry_recovered_ = 0;
+  std::uint64_t retry_exhausted_ = 0;
+  Counter* m_retry_attempts_;   // BlkFront.retry.attempts
+  Counter* m_retry_recovered_;  // BlkFront.retry.recovered
+  Counter* m_retry_exhausted_;  // BlkFront.retry.exhausted
+  Histogram* m_backoff_ms_;     // BlkFront.retry.backoff_ms
+  // Frontends die with their guest while the simulation keeps running;
+  // every scheduled callback checks this guard so late timers and watch
+  // events can't touch a destroyed frontend.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace xoar

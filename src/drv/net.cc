@@ -1,5 +1,6 @@
 #include "src/drv/net.h"
 
+#include <utility>
 #include <vector>
 
 #include "src/base/log.h"
@@ -66,57 +67,90 @@ void NetBack::OnFrontendStateChange(DomainId guest) {
   StatusOr<std::string> state =
       xs_->Read(self_, FrontendDir(guest, kVifType) + "/state");
   if (!state.ok()) {
+    // The watch already fired; if XenStore was only transiently unreadable,
+    // nothing else re-triggers this handshake. Retry on the backoff ladder.
+    if (state.status().code() == StatusCode::kUnavailable) {
+      ScheduleConnectRetry(guest);
+    }
     return;
   }
   if (XenbusStateFromString(*state) == XenbusState::kInitialised &&
       !it->second.connected) {
-    ConnectVif(it->second);
+    const Status status = ConnectVif(it->second);
+    if (status.ok()) {
+      it->second.connect_backoff.Reset();
+    } else if (status.code() == StatusCode::kUnavailable) {
+      ScheduleConnectRetry(guest);
+    } else {
+      XLOG(kWarning) << "[netback] vif connect for dom" << guest.value()
+                     << " failed permanently: " << status;
+    }
   }
 }
 
-void NetBack::ConnectVif(Vif& vif) {
+Status NetBack::ConnectVif(Vif& vif) {
   const std::string front_dir = FrontendDir(vif.guest, kVifType);
-  StatusOr<std::string> tx_gref = xs_->Read(self_, front_dir + "/tx-ring-ref");
-  StatusOr<std::string> rx_gref = xs_->Read(self_, front_dir + "/rx-ring-ref");
-  StatusOr<std::string> port_str =
-      xs_->Read(self_, front_dir + "/event-channel");
-  if (!tx_gref.ok() || !rx_gref.ok() || !port_str.ok()) {
-    return;
-  }
-  const GrantRef tx(static_cast<std::uint32_t>(std::stoul(*tx_gref)));
-  const GrantRef rx(static_cast<std::uint32_t>(std::stoul(*rx_gref)));
+  XOAR_ASSIGN_OR_RETURN(std::string tx_gref,
+                        xs_->Read(self_, front_dir + "/tx-ring-ref"));
+  XOAR_ASSIGN_OR_RETURN(std::string rx_gref,
+                        xs_->Read(self_, front_dir + "/rx-ring-ref"));
+  XOAR_ASSIGN_OR_RETURN(std::string port_str,
+                        xs_->Read(self_, front_dir + "/event-channel"));
+  const GrantRef tx(static_cast<std::uint32_t>(std::stoul(tx_gref)));
+  const GrantRef rx(static_cast<std::uint32_t>(std::stoul(rx_gref)));
   const EvtchnPort front_port(
-      static_cast<std::uint32_t>(std::stoul(*port_str)));
+      static_cast<std::uint32_t>(std::stoul(port_str)));
 
-  StatusOr<MappedPage> tx_page = hv_->MapGrant(self_, vif.guest, tx);
-  StatusOr<MappedPage> rx_page = hv_->MapGrant(self_, vif.guest, rx);
-  if (!tx_page.ok() || !rx_page.ok()) {
-    XLOG(kWarning) << "[netback] map grants failed for dom"
-                   << vif.guest.value();
-    return;
-  }
-  StatusOr<EvtchnPort> port =
-      hv_->EvtchnBindInterdomain(self_, vif.guest, front_port);
-  if (!port.ok()) {
-    XLOG(kWarning) << "[netback] bind evtchn failed: " << port.status();
-    return;
-  }
+  XOAR_ASSIGN_OR_RETURN(MappedPage tx_page,
+                        hv_->MapGrant(self_, vif.guest, tx));
+  XOAR_ASSIGN_OR_RETURN(MappedPage rx_page,
+                        hv_->MapGrant(self_, vif.guest, rx));
+  XOAR_ASSIGN_OR_RETURN(EvtchnPort port,
+                        hv_->EvtchnBindInterdomain(self_, vif.guest,
+                                                   front_port));
   vif.tx_gref = tx;
   vif.rx_gref = rx;
-  vif.tx_ring = tx_page->data;
-  vif.rx_ring = rx_page->data;
-  vif.port = *port;
+  vif.tx_ring = tx_page.data;
+  vif.rx_ring = rx_page.data;
+  vif.port = port;
   vif.connected = true;
   const DomainId guest = vif.guest;
   (void)hv_->EvtchnSetHandler(self_, vif.port,
                               [this, guest] { ServiceTxRing(guest); });
-  (void)xs_->Write(self_, BackendDir(self_, guest, kVifType) + "/state",
-                   XenbusStateString(XenbusState::kConnected));
+  XOAR_RETURN_IF_ERROR(
+      xs_->Write(self_, BackendDir(self_, guest, kVifType) + "/state",
+                 XenbusStateString(XenbusState::kConnected)));
   m_vif_connects_->Increment();
   obs_->tracer().Op(TraceCategory::kDriver, "netback_vif_connect",
                     self_.value());
   XLOG(kDebug) << "[netback] vif connected for dom" << guest.value();
   ServiceTxRing(guest);
+  return Status::Ok();
+}
+
+void NetBack::ScheduleConnectRetry(DomainId guest) {
+  auto it = vifs_.find(guest);
+  if (it == vifs_.end() || it->second.retry_pending) {
+    return;
+  }
+  Vif& vif = it->second;
+  vif.retry_pending = true;
+  const SimDuration delay = vif.connect_backoff.NextDelay();
+  if (vif.connect_backoff.Exhausted()) {
+    XLOG(kWarning) << "[netback] dom" << guest.value()
+                   << " connect retries exhausted; continuing at max delay";
+  }
+  sim_->ScheduleAfter(delay, [this, guest] {
+    auto vif_it = vifs_.find(guest);
+    if (vif_it == vifs_.end()) {
+      return;
+    }
+    vif_it->second.retry_pending = false;
+    if (!available_ || vif_it->second.connected) {
+      return;
+    }
+    OnFrontendStateChange(guest);
+  });
 }
 
 void NetBack::DisconnectVif(Vif& vif) {
@@ -140,6 +174,13 @@ void NetBack::ServiceTxRing(DomainId guest) {
   NetRing ring = NetRing::Attach(vif.tx_ring);
   while (auto req = ring.PopRequest()) {
     const NetRingRequest request = *req;
+    if (tx_fault_hook_ && tx_fault_hook_(guest, request)) {
+      // Injected drop: the frame vanishes with no response, exactly like a
+      // frame lost mid-reboot. The frontend's deadline handles it.
+      ++frames_dropped_;
+      m_dropped_->Increment();
+      continue;
+    }
     ++frames_forwarded_;
     m_tx_frames_->Increment();
     const SimDuration overhead = static_cast<SimDuration>(
@@ -201,10 +242,33 @@ void NetBack::Suspend() {
 void NetBack::Resume() {
   obs_->tracer().Op(TraceCategory::kDriver, "netback_resume", self_.value());
   available_ = true;
+  // Re-advertise; frontends watching our state renegotiate from scratch.
+  // This write is the only "backend is back" signal frontends receive, so
+  // if XenStore is itself down it MUST be retried — unbounded, at capped
+  // delay (RESILIENCE.md).
+  bool transient_failure = false;
   for (auto& [guest, vif] : vifs_) {
-    (void)xs_->Write(self_, BackendDir(self_, guest, kVifType) + "/state",
-                     XenbusStateString(XenbusState::kInitWait));
+    const Status status =
+        xs_->Write(self_, BackendDir(self_, guest, kVifType) + "/state",
+                   XenbusStateString(XenbusState::kInitWait));
+    if (!status.ok() && status.code() == StatusCode::kUnavailable) {
+      transient_failure = true;
+    }
   }
+  if (!transient_failure) {
+    resume_backoff_.Reset();
+    return;
+  }
+  if (resume_retry_pending_) {
+    return;
+  }
+  resume_retry_pending_ = true;
+  sim_->ScheduleAfter(resume_backoff_.NextDelay(), [this] {
+    resume_retry_pending_ = false;
+    if (available_) {
+      Resume();
+    }
+  });
 }
 
 bool NetBack::IsVifConnected(DomainId guest) const {
@@ -222,7 +286,37 @@ bool NetBack::IsVifConnected(DomainId guest) const {
 
 NetFront::NetFront(Hypervisor* hv, XenStoreService* xs, Simulator* sim,
                    DomainId self, DomainId backend)
-    : hv_(hv), xs_(xs), sim_(sim), self_(self), backend_(backend) {}
+    : hv_(hv),
+      xs_(xs),
+      sim_(sim),
+      self_(self),
+      backend_(backend),
+      m_retry_attempts_(
+          hv->obs()->metrics().GetCounter("NetFront.retry.attempts")),
+      m_retry_recovered_(
+          hv->obs()->metrics().GetCounter("NetFront.retry.recovered")),
+      m_retry_exhausted_(
+          hv->obs()->metrics().GetCounter("NetFront.retry.exhausted")),
+      m_backoff_ms_(hv->obs()->metrics().GetHistogram(
+          "NetFront.retry.backoff_ms",
+          Histogram::ExponentialBounds(1.0, 2.0, 10))) {
+  xs_backoff_ = ExponentialBackoff(retry_.backoff);
+}
+
+NetFront::~NetFront() {
+  // The guest died; late timers and watch deliveries must no-op.
+  *alive_ = false;
+  for (auto& [id, frame] : tx_outstanding_) {
+    if (frame.timeout_event.valid()) {
+      (void)sim_->Cancel(frame.timeout_event);
+    }
+  }
+}
+
+void NetFront::set_retry_config(const RetryConfig& config) {
+  retry_ = config;
+  xs_backoff_ = ExponentialBackoff(retry_.backoff);
+}
 
 Status NetFront::Connect() {
   if (handshake_started_) {
@@ -237,10 +331,29 @@ Status NetFront::Connect() {
   const std::string back_state =
       BackendDir(backend_, self_, kVifType) + "/state";
   return xs_->Watch(self_, back_state, "netfront",
-                    [this](const XsWatchEvent&) { OnBackendStateChange(); });
+                    [this, alive = alive_](const XsWatchEvent&) {
+                      if (*alive) {
+                        OnBackendStateChange();
+                      }
+                    });
 }
 
 void NetFront::Republish() {
+  const Status status = DoRepublish();
+  if (status.ok()) {
+    xs_backoff_.Reset();
+    return;
+  }
+  if (status.code() == StatusCode::kUnavailable) {
+    // Transient outage mid-handshake; nothing re-fires this publish, so
+    // retry it ourselves.
+    ScheduleXsRetry(/*republish=*/true);
+    return;
+  }
+  XLOG(kWarning) << "[netfront] republish failed permanently: " << status;
+}
+
+Status NetFront::DoRepublish() {
   if (tx_gref_.valid()) {
     (void)hv_->EndGrantAccess(self_, tx_gref_);
     tx_gref_ = GrantRef::Invalid();
@@ -250,52 +363,91 @@ void NetFront::Republish() {
     rx_gref_ = GrantRef::Invalid();
   }
   awaiting_connect_ = true;
-  StatusOr<GrantRef> tx =
-      hv_->GrantAccess(self_, backend_, tx_pfn_, /*writable=*/true);
-  StatusOr<GrantRef> rx =
-      hv_->GrantAccess(self_, backend_, rx_pfn_, /*writable=*/true);
-  StatusOr<EvtchnPort> port = hv_->EvtchnAllocUnbound(self_, backend_);
-  if (!tx.ok() || !rx.ok() || !port.ok()) {
-    XLOG(kWarning) << "[netfront] republish failed for dom" << self_.value();
-    return;
-  }
-  tx_gref_ = *tx;
-  rx_gref_ = *rx;
-  port_ = *port;
+  XOAR_ASSIGN_OR_RETURN(
+      GrantRef tx, hv_->GrantAccess(self_, backend_, tx_pfn_,
+                                    /*writable=*/true));
+  XOAR_ASSIGN_OR_RETURN(
+      GrantRef rx, hv_->GrantAccess(self_, backend_, rx_pfn_,
+                                    /*writable=*/true));
+  XOAR_ASSIGN_OR_RETURN(EvtchnPort port,
+                        hv_->EvtchnAllocUnbound(self_, backend_));
+  tx_gref_ = tx;
+  rx_gref_ = rx;
+  port_ = port;
   NetRing::Create(tx_page_);
   NetRing::Create(rx_page_);
-  (void)hv_->EvtchnSetHandler(self_, port_, [this] { OnEvent(); });
+  (void)hv_->EvtchnSetHandler(self_, port_, [this, alive = alive_] {
+    if (*alive) {
+      OnEvent();
+    }
+  });
 
   const std::string front_dir = FrontendDir(self_, kVifType);
-  (void)xs_->Write(self_, front_dir + "/backend-id",
-                   StrFormat("%u", backend_.value()));
-  (void)xs_->Write(self_, front_dir + "/tx-ring-ref",
-                   StrFormat("%u", tx_gref_.value()));
-  (void)xs_->Write(self_, front_dir + "/rx-ring-ref",
-                   StrFormat("%u", rx_gref_.value()));
-  (void)xs_->Write(self_, front_dir + "/event-channel",
-                   StrFormat("%u", port_.value()));
+  XOAR_RETURN_IF_ERROR(xs_->Write(self_, front_dir + "/backend-id",
+                                  StrFormat("%u", backend_.value())));
+  XOAR_RETURN_IF_ERROR(xs_->Write(self_, front_dir + "/tx-ring-ref",
+                                  StrFormat("%u", tx_gref_.value())));
+  XOAR_RETURN_IF_ERROR(xs_->Write(self_, front_dir + "/rx-ring-ref",
+                                  StrFormat("%u", rx_gref_.value())));
+  XOAR_RETURN_IF_ERROR(xs_->Write(self_, front_dir + "/event-channel",
+                                  StrFormat("%u", port_.value())));
   for (const char* leaf :
        {"/backend-id", "/tx-ring-ref", "/rx-ring-ref", "/event-channel"}) {
     XsNodePerms perms;
     perms.owner = self_;
     perms.acl[backend_] = XsPerm::kRead;
-    (void)xs_->SetPerms(self_, front_dir + leaf, perms);
+    XOAR_RETURN_IF_ERROR(xs_->SetPerms(self_, front_dir + leaf, perms));
   }
-  (void)xs_->Write(self_, front_dir + "/state",
-                   XenbusStateString(XenbusState::kInitialised));
+  XOAR_RETURN_IF_ERROR(xs_->Write(self_, front_dir + "/state",
+                                  XenbusStateString(XenbusState::kInitialised)));
   XsNodePerms state_perms;
   state_perms.owner = self_;
   state_perms.acl[backend_] = XsPerm::kRead;
-  (void)xs_->SetPerms(self_, front_dir + "/state", state_perms);
+  return xs_->SetPerms(self_, front_dir + "/state", state_perms);
+}
+
+void NetFront::ScheduleXsRetry(bool republish) {
+  if (republish) {
+    xs_retry_republish_ = true;
+  }
+  if (xs_retry_pending_) {
+    return;
+  }
+  xs_retry_pending_ = true;
+  const SimDuration delay = xs_backoff_.NextDelay();
+  if (xs_backoff_.Exhausted()) {
+    // Giving up on the handshake would wedge the vif forever; stay at the
+    // capped delay instead (RESILIENCE.md).
+    XLOG(kWarning)
+        << "[netfront] XenStore retries exhausted; continuing at max delay";
+  }
+  sim_->ScheduleAfter(delay, [this, alive = alive_] {
+    if (!*alive) {
+      return;
+    }
+    xs_retry_pending_ = false;
+    const bool republish_now = xs_retry_republish_;
+    xs_retry_republish_ = false;
+    if (republish_now) {
+      Republish();
+    } else {
+      OnBackendStateChange();
+    }
+  });
 }
 
 void NetFront::OnBackendStateChange() {
   StatusOr<std::string> state =
       xs_->Read(self_, BackendDir(backend_, self_, kVifType) + "/state");
   if (!state.ok()) {
+    // Dropping the watch event would desynchronise the handshake; re-read
+    // after backoff.
+    if (state.status().code() == StatusCode::kUnavailable) {
+      ScheduleXsRetry(/*republish=*/false);
+    }
     return;
   }
+  xs_backoff_.Reset();
   switch (XenbusStateFromString(*state)) {
     case XenbusState::kConnected: {
       if (connected_) {
@@ -307,6 +459,10 @@ void NetFront::OnBackendStateChange() {
         std::vector<PendingTx> retry;
         retry.reserve(tx_outstanding_.size());
         for (auto& [id, frame] : tx_outstanding_) {
+          if (frame.timeout_event.valid()) {
+            (void)sim_->Cancel(frame.timeout_event);
+            frame.timeout_event = EventId::Invalid();
+          }
           retry.push_back(std::move(frame));
         }
         tx_outstanding_.clear();
@@ -351,6 +507,14 @@ void NetFront::PumpTxQueue() {
     tx_queue_.pop_front();
     const std::uint64_t id = frame.request.id;
     ring.PushRequest(frame.request);
+    // Arm the acknowledgement deadline: a frame the backend silently drops
+    // (injected burst, lost notification) is retransmitted by OnTxTimeout.
+    frame.timeout_event = sim_->ScheduleAfter(
+        retry_.request_timeout, [this, alive = alive_, id] {
+          if (*alive) {
+            OnTxTimeout(id);
+          }
+        });
     tx_outstanding_.emplace(id, std::move(frame));
     pushed = true;
   }
@@ -372,7 +536,15 @@ void NetFront::OnEvent() {
     }
     PendingTx frame = std::move(it->second);
     tx_outstanding_.erase(it);
+    if (frame.timeout_event.valid()) {
+      (void)sim_->Cancel(frame.timeout_event);
+      frame.timeout_event = EventId::Invalid();
+    }
     ++tx_completed_;
+    if (rsp->status == 0 && frame.attempts > 0) {
+      ++retry_recovered_;
+      m_retry_recovered_->Increment();
+    }
     if (frame.done) {
       frame.done(rsp->status == 0 ? Status::Ok()
                                   : InternalError("tx failed at backend"));
@@ -387,6 +559,50 @@ void NetFront::OnEvent() {
     }
   }
   PumpTxQueue();
+}
+
+void NetFront::OnTxTimeout(std::uint64_t id) {
+  auto it = tx_outstanding_.find(id);
+  if (it == tx_outstanding_.end()) {
+    return;  // acknowledged just before the deadline fired
+  }
+  if (!connected_) {
+    // Backend down: the reconnect path owns these frames and will
+    // retransmit them with fresh deadlines.
+    it->second.timeout_event = EventId::Invalid();
+    return;
+  }
+  PendingTx frame = std::move(it->second);
+  tx_outstanding_.erase(it);
+  frame.timeout_event = EventId::Invalid();
+  RetryTx(std::move(frame));
+}
+
+void NetFront::RetryTx(PendingTx frame) {
+  ++frame.attempts;
+  ++retry_attempts_;
+  m_retry_attempts_->Increment();
+  if (frame.attempts > retry_.backoff.max_attempts) {
+    ++retry_exhausted_;
+    m_retry_exhausted_->Increment();
+    XLOG(kWarning) << "[netfront] frame " << frame.request.id
+                   << " exhausted retries";
+    if (frame.done) {
+      frame.done(UnavailableError(
+          StrFormat("tx failed after %d retries", frame.attempts - 1)));
+    }
+    return;
+  }
+  const SimDuration delay = retry_.backoff.DelayForAttempt(frame.attempts - 1);
+  m_backoff_ms_->Observe(ToMilliseconds(delay));
+  sim_->ScheduleAfter(delay, [this, alive = alive_,
+                              frame = std::move(frame)]() mutable {
+    if (!*alive) {
+      return;
+    }
+    tx_queue_.push_front(std::move(frame));
+    PumpTxQueue();
+  });
 }
 
 }  // namespace xoar

@@ -9,6 +9,11 @@
 // Suspend() detaches the NIC and breaks every vif (frames in flight are
 // lost, exactly what TCP sees as an outage); Resume() re-advertises the
 // backend and frontends renegotiate via XenStore.
+//
+// Resilience (RESILIENCE.md): NetFront arms a simulated-time deadline per
+// tx frame; frames the backend never acknowledges (a dropped notification,
+// an injected drop burst) are retransmitted with bounded exponential
+// backoff. XenStore handshake traffic retries the same way.
 #ifndef XOAR_SRC_DRV_NET_H_
 #define XOAR_SRC_DRV_NET_H_
 
@@ -16,8 +21,10 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "src/base/backoff.h"
 #include "src/base/ids.h"
 #include "src/base/status.h"
 #include "src/base/units.h"
@@ -47,6 +54,13 @@ constexpr SimDuration kNetBackPerFrameOverhead = 4 * kMicrosecond;
 
 class NetBack {
  public:
+  // Fault-injection hook (src/fault), consulted once per popped tx request.
+  // Returning true silently drops the frame — no response is ever pushed,
+  // so the frontend's per-frame deadline expires and it retransmits. This
+  // models a congested or faulty path rather than an explicit NACK.
+  using TxFaultHook =
+      std::function<bool(DomainId guest, const NetRingRequest& request)>;
+
   // `obs` receives `NetBack.ring.*` / `NetBack.vif.*` counters and kDriver
   // trace events; nullptr falls back to Obs::Global().
   NetBack(Hypervisor* hv, XenStoreService* xs, Simulator* sim, DomainId self,
@@ -82,6 +96,8 @@ class NetBack {
     return nic_->link_rate() * rate_multiplier_;
   }
 
+  void set_tx_fault_hook(TxFaultHook hook) { tx_fault_hook_ = std::move(hook); }
+
   std::uint64_t frames_forwarded() const { return frames_forwarded_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
 
@@ -94,10 +110,14 @@ class NetBack {
     std::byte* tx_ring = nullptr;
     std::byte* rx_ring = nullptr;
     EvtchnPort port;  // backend-local port of the shared channel
+    // Reconnect retry state, see BlkBack::Vbd.
+    ExponentialBackoff connect_backoff;
+    bool retry_pending = false;
   };
 
   void OnFrontendStateChange(DomainId guest);
-  void ConnectVif(Vif& vif);
+  Status ConnectVif(Vif& vif);
+  void ScheduleConnectRetry(DomainId guest);
   void DisconnectVif(Vif& vif);
   void ServiceTxRing(DomainId guest);
 
@@ -108,6 +128,10 @@ class NetBack {
   NicDevice* nic_;
   bool available_ = false;
   double rate_multiplier_ = 1.0;
+  TxFaultHook tx_fault_hook_;
+  // Resume() re-advertisement retry, see BlkBack.
+  ExponentialBackoff resume_backoff_;
+  bool resume_retry_pending_ = false;
   std::map<DomainId, Vif> vifs_;
   std::uint64_t frames_forwarded_ = 0;
   std::uint64_t frames_dropped_ = 0;
@@ -123,8 +147,18 @@ class NetFront {
   using TxDone = std::function<void(Status)>;
   using RxHandler = std::function<void(std::uint32_t bytes)>;
 
+  // Retry/backoff tuning (RESILIENCE.md "Tuning knobs"). request_timeout is
+  // the per-frame acknowledgement deadline; it must exceed normal backend
+  // forwarding latency (microseconds here) by a wide margin or healthy
+  // frames get duplicated on the wire.
+  struct RetryConfig {
+    BackoffPolicy backoff;
+    SimDuration request_timeout = 250 * kMillisecond;
+  };
+
   NetFront(Hypervisor* hv, XenStoreService* xs, Simulator* sim, DomainId self,
            DomainId backend);
+  ~NetFront();
 
   // Frontend half of the XenBus handshake; also arms reconnection on
   // backend microreboots.
@@ -135,13 +169,21 @@ class NetFront {
 
   // Queues a frame for transmission; `done` fires when the backend has put
   // it on the wire. Frames queue while disconnected and flush on reconnect.
+  // Unacknowledged frames are retransmitted with exponential backoff; `done`
+  // sees UNAVAILABLE only after retry exhaustion.
   void SendFrame(std::uint32_t bytes, TxDone done);
 
   void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
 
+  void set_retry_config(const RetryConfig& config);
+  const RetryConfig& retry_config() const { return retry_; }
+
   std::uint64_t tx_completed() const { return tx_completed_; }
   std::uint64_t rx_frames() const { return rx_frames_; }
   std::uint64_t retransmitted_frames() const { return retransmits_; }
+  std::uint64_t retry_attempts() const { return retry_attempts_; }
+  std::uint64_t retry_recovered() const { return retry_recovered_; }
+  std::uint64_t retry_exhausted() const { return retry_exhausted_; }
 
  private:
   friend class NetBack;  // rx delivery
@@ -149,12 +191,18 @@ class NetFront {
   struct PendingTx {
     NetRingRequest request;
     TxDone done;
+    int attempts = 0;  // backoff retries so far (reconnects not counted)
+    EventId timeout_event = EventId::Invalid();
   };
 
   void Republish();
+  Status DoRepublish();
   void OnBackendStateChange();
+  void ScheduleXsRetry(bool republish);
   void PumpTxQueue();
   void OnEvent();  // tx completions and rx arrivals
+  void OnTxTimeout(std::uint64_t id);
+  void RetryTx(PendingTx frame);
 
   Hypervisor* hv_;
   XenStoreService* xs_;
@@ -172,12 +220,26 @@ class NetFront {
   GrantRef rx_gref_;
   EvtchnPort port_;
   std::uint64_t next_id_ = 1;
+  RetryConfig retry_;
+  ExponentialBackoff xs_backoff_;
+  bool xs_retry_pending_ = false;
+  bool xs_retry_republish_ = false;
   std::deque<PendingTx> tx_queue_;
   std::map<std::uint64_t, PendingTx> tx_outstanding_;
   RxHandler rx_handler_;
   std::uint64_t tx_completed_ = 0;
   std::uint64_t rx_frames_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t retry_attempts_ = 0;
+  std::uint64_t retry_recovered_ = 0;
+  std::uint64_t retry_exhausted_ = 0;
+  Counter* m_retry_attempts_;   // NetFront.retry.attempts
+  Counter* m_retry_recovered_;  // NetFront.retry.recovered
+  Counter* m_retry_exhausted_;  // NetFront.retry.exhausted
+  Histogram* m_backoff_ms_;     // NetFront.retry.backoff_ms
+  // Guards scheduled callbacks against this frontend dying with its guest;
+  // see BlkFront.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace xoar

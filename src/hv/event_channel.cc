@@ -124,9 +124,21 @@ Status EventChannelManager::Send(DomainId caller, EvtchnPort port) {
   ++sends_;
   m_sends_->Increment();
   obs_->tracer().Op(TraceCategory::kEvtchn, "evtchn_send", caller.value());
+  SimDuration latency = kEventDeliveryLatency;
+  if (send_fault_hook_) {
+    const SendFaultDecision decision = send_fault_hook_(caller, port);
+    if (decision.action == SendFaultAction::kDrop) {
+      // The notification is lost in flight; the sender already observed
+      // success. Receivers recover via their request timeouts (§RESILIENCE).
+      return Status::Ok();
+    }
+    if (decision.action == SendFaultAction::kDelay) {
+      latency += decision.extra_delay;
+    }
+  }
   const DomainId remote = channel->remote;
   const EvtchnPort remote_port = channel->remote_port;
-  sim_->ScheduleAfter(kEventDeliveryLatency, [this, remote, remote_port] {
+  sim_->ScheduleAfter(latency, [this, remote, remote_port] {
     const Channel* peer = Find(remote, remote_port);
     if (peer != nullptr && peer->handler &&
         peer->state == ChannelState::kConnected) {

@@ -34,9 +34,27 @@ std::string_view VirqName(Virq virq);
 // Latency from evtchn_send to the peer's handler running.
 constexpr SimDuration kEventDeliveryLatency = 1 * kMicrosecond;
 
+// What a fault-injection hook may do to one Send() (src/fault). kDrop
+// silently loses the notification — the sender still sees success, which is
+// exactly what a lost interrupt looks like; kDelay adds extra_delay to the
+// delivery latency.
+enum class SendFaultAction { kDeliver, kDrop, kDelay };
+
+struct SendFaultDecision {
+  SendFaultAction action = SendFaultAction::kDeliver;
+  SimDuration extra_delay = 0;  // only read for kDelay
+};
+
 class EventChannelManager {
  public:
   using Handler = std::function<void()>;
+
+  // Fault-injection hook, consulted once per Send() after all state checks
+  // pass (DESIGN.md §5c: injection sites sit after validation so error
+  // semantics stay unchanged). Must not call back into the manager. Unset
+  // or returning kDeliver means normal delivery.
+  using SendFaultHook =
+      std::function<SendFaultDecision(DomainId caller, EvtchnPort port)>;
 
   // `obs` receives `hv.evtchn.*` counters and kEvtchn trace instants;
   // nullptr falls back to Obs::Global().
@@ -77,6 +95,10 @@ class EventChannelManager {
   // True if the channel exists and is connected to a live peer.
   bool IsConnected(DomainId domain, EvtchnPort port) const;
 
+  void set_send_fault_hook(SendFaultHook hook) {
+    send_fault_hook_ = std::move(hook);
+  }
+
   std::uint64_t sends() const { return sends_; }
   std::uint64_t deliveries() const { return deliveries_; }
 
@@ -101,6 +123,7 @@ class EventChannelManager {
   Obs* obs_;
   Counter* m_sends_;       // hv.evtchn.sends
   Counter* m_deliveries_;  // hv.evtchn.deliveries
+  SendFaultHook send_fault_hook_;
   std::map<Key, Channel> channels_;
   std::map<std::uint32_t, std::uint32_t> next_port_;
   std::uint64_t sends_ = 0;

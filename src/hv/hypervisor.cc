@@ -637,6 +637,10 @@ StatusOr<MappedPage> Hypervisor::MapGrant(DomainId caller, DomainId owner,
         StrFormat("grant ref %u of dom%u is for dom%u, not dom%u", ref.value(),
                   owner.value(), entry.grantee.value(), caller.value()));
   }
+  if (grant_map_fault_hook_ && grant_map_fault_hook_(caller, owner)) {
+    return UnavailableError(
+        StrFormat("grant map of ref %u failed (injected fault)", ref.value()));
+  }
   XOAR_RETURN_IF_ERROR(owner_dom->grant_table().NoteMapped(ref));
   m_grant_maps_->Increment();
   obs_->tracer().Op(TraceCategory::kGrant, "grant_map", caller.value());

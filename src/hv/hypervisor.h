@@ -175,6 +175,15 @@ class Hypervisor {
   Status UnmapGrant(DomainId caller, DomainId owner, GrantRef ref);
   Status EndGrantAccess(DomainId caller, GrantRef ref);
 
+  // Fault-injection hook (src/fault), consulted by MapGrant after every
+  // privilege and grantee check has passed — injected failures never mask a
+  // real denial (DESIGN.md §5c). Returning true fails the map with
+  // UNAVAILABLE, the retryable code backends treat as "try again later".
+  using GrantMapFaultHook = std::function<bool(DomainId caller, DomainId owner)>;
+  void set_grant_map_fault_hook(GrantMapFaultHook hook) {
+    grant_map_fault_hook_ = std::move(hook);
+  }
+
   // --- Event channel operations (kEventChannelOp) ---
 
   StatusOr<EvtchnPort> EvtchnAllocUnbound(DomainId caller, DomainId remote);
@@ -228,6 +237,7 @@ class Hypervisor {
   std::uint32_t next_domid_ = 0;
   bool host_failed_ = false;
   AuditHook audit_hook_;
+  GrantMapFaultHook grant_map_fault_hook_;
 };
 
 }  // namespace xoar

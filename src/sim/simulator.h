@@ -2,7 +2,16 @@
 //
 // The whole platform — hypervisor, shards, devices, guests — executes as
 // callbacks scheduled on a single Simulator. Events at equal timestamps fire
-// in scheduling order (FIFO tie-break), which keeps every run deterministic.
+// in scheduling order (FIFO tie-break), which keeps every run deterministic:
+// the same sequence of Schedule* calls always produces the same execution
+// order, so two runs with the same seed are identical byte for byte. Nothing
+// in the kernel consults wall-clock time; anything time-dependent (fault
+// windows, retry backoff, watchdogs) must be expressed as scheduled events,
+// which is what makes campaigns in src/fault replayable (DESIGN.md §5c).
+//
+// Single-threaded by construction: callbacks run to completion one at a
+// time, so simulation code needs no locking, but a callback that blocks
+// blocks the world.
 #ifndef XOAR_SRC_SIM_SIMULATOR_H_
 #define XOAR_SRC_SIM_SIMULATOR_H_
 
@@ -26,10 +35,14 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  // Current simulated time. Advances only while events execute (or via
+  // RunUntil's idle-advance); reading it never perturbs the run.
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run at absolute time `when`. Scheduling in the past is
-  // clamped to Now(). Returns a handle usable with Cancel().
+  // clamped to Now(). Returns a handle usable with Cancel(). Handles are
+  // never reused, so a stale EventId held after its event fired is safe to
+  // Cancel (it returns false).
   EventId ScheduleAt(SimTime when, Callback fn);
 
   // Schedules `fn` to run `delay` from now.
@@ -38,13 +51,17 @@ class Simulator {
   }
 
   // Cancels a pending event. Returns false if it already fired or was
-  // already cancelled.
+  // already cancelled — callers use the result to tell "I stopped it" from
+  // "it already happened", e.g. when disarming request deadlines.
   bool Cancel(EventId id);
 
   // Runs a single event. Returns false if the queue is empty.
   bool Step();
 
-  // Runs events until the queue drains or `max_events` is hit.
+  // Runs events until the queue drains or `max_events` is hit. Note that
+  // retry loops with unbounded capped-delay backoff (RESILIENCE.md) keep
+  // the queue non-empty while a component is down — prefer RunUntil/RunFor
+  // when such loops may be active.
   void Run(std::uint64_t max_events = UINT64_MAX);
 
   // Runs all events with timestamp <= deadline, then advances the clock to
@@ -54,7 +71,9 @@ class Simulator {
   // Runs for `duration` of simulated time from now.
   void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
 
+  // Events scheduled but not yet fired or cancelled.
   std::size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+  // Total callbacks executed since construction (cancelled ones excluded).
   std::uint64_t EventsExecuted() const { return executed_; }
 
  private:

@@ -101,6 +101,9 @@ Status XenStoreService::CheckRequest(DomainId caller) {
     return FailedPreconditionError(
         StrFormat("dom%u has no XenStore connection", caller.value()));
   }
+  if (request_fault_hook_ && request_fault_hook_(caller)) {
+    return UnavailableError("XenStore request timed out (injected fault)");
+  }
   return Status::Ok();
 }
 

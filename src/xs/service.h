@@ -108,6 +108,16 @@ class XenStoreService {
   std::uint64_t requests_processed() const { return requests_processed_; }
   std::uint64_t logic_restarts() const { return logic_restarts_; }
 
+  // Fault-injection hook (src/fault), consulted per request after the
+  // deployment/availability/connection gates — an injected timeout never
+  // masks a real precondition error (DESIGN.md §5c). Returning true fails
+  // the request with UNAVAILABLE, indistinguishable from a Logic outage to
+  // the caller, which is the point: clients retry both the same way.
+  using RequestFaultHook = std::function<bool(DomainId caller)>;
+  void set_request_fault_hook(RequestFaultHook hook) {
+    request_fault_hook_ = std::move(hook);
+  }
+
  private:
   struct Connection {
     Pfn ring_pfn;
@@ -132,6 +142,7 @@ class XenStoreService {
   bool monolithic_ = false;
   bool logic_available_ = false;
   RestartPolicy restart_policy_ = RestartPolicy::kNever;
+  RequestFaultHook request_fault_hook_;
   std::map<DomainId, Connection> connections_;
   // State-component checkpoint taken when Logic goes down; Logic re-attaches
   // to it on the way back up. O(1) both ways (copy-on-write tree share).

@@ -72,15 +72,15 @@ class ContainmentTest : public ::testing::Test {
     *victim = *platform.CreateGuest(GuestSpec{.name = "victim", .hvm = true});
   }
 
-  static const Vulnerability& FindByVector(AttackVector vector,
-                                           AttackEffect effect) {
+  // By value: GuestOriginatedVulnerabilities() returns a temporary vector,
+  // so a reference into it would dangle once this helper returns.
+  static Vulnerability FindByVector(AttackVector vector, AttackEffect effect) {
     for (const auto& vuln : GuestOriginatedVulnerabilities()) {
       if (vuln.vector == vector && vuln.effect == effect) {
         return vuln;
       }
     }
-    static Vulnerability dummy;
-    return dummy;
+    return Vulnerability{};
   }
 };
 

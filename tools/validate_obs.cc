@@ -2,6 +2,14 @@
 // quickstart example (see examples/CMakeLists.txt):
 //
 //   validate_obs <metrics.json> <trace.json>
+//   validate_obs --campaign <BENCH_fault_campaign.json>
+//
+// The --campaign mode checks a fault-campaign report (bench/fault_campaign,
+// RESILIENCE.md) beyond the generic BENCH shape: the campaign.* summary
+// metrics must be present with sane values — availability in [0,1], zero
+// invariant violations, at least one fault injected and at least one
+// absorbed by retry/backoff — and at least one per-type fault.injected.*
+// counter must be non-zero.
 //
 // Checks the metrics file against the BENCH_*.json family shape (top-level
 // "context" + "benchmarks" array) and the trace file against the Chrome
@@ -135,12 +143,95 @@ bool ValidateTrace(const std::string& path) {
   return true;
 }
 
+// One row of the campaign schema table: a metric that must be present,
+// with bounds on its value. max < 0 means unbounded above.
+struct CampaignRule {
+  const char* name;
+  double min;
+  double max;
+};
+
+constexpr CampaignRule kCampaignRules[] = {
+    {"campaign.availability", 0.0, 1.0},
+    {"campaign.invariant_violations", 0.0, 0.0},
+    {"campaign.faults_injected", 1.0, -1.0},
+    {"campaign.absorbed_by_retry", 1.0, -1.0},
+    {"campaign.mean_recovery_ms", 0.0, -1.0},
+    {"campaign.probes_issued", 1.0, -1.0},
+};
+
+bool ValidateCampaign(const std::string& path) {
+  // The report must be a well-formed BENCH export first.
+  if (!ValidateMetrics(path)) {
+    return false;
+  }
+  StatusOr<JsonValue> doc = ParseJsonFile(path);
+  CHECK_OR_FAIL(doc.ok(), "%s: parse failed: %s", path.c_str(),
+                doc.status().ToString().c_str());
+  const JsonValue* benchmarks = doc->Find("benchmarks");
+
+  auto find_value = [&](const std::string& name) -> const JsonValue* {
+    for (const JsonValue& entry : benchmarks->array()) {
+      const JsonValue* n = entry.Find("name");
+      if (n != nullptr && n->is_string() && n->string() == name) {
+        return entry.Find("value");
+      }
+    }
+    return nullptr;
+  };
+
+  for (const CampaignRule& rule : kCampaignRules) {
+    const JsonValue* value = find_value(rule.name);
+    CHECK_OR_FAIL(value != nullptr && value->is_number(),
+                  "%s: missing campaign metric \"%s\"", path.c_str(),
+                  rule.name);
+    CHECK_OR_FAIL(value->number() >= rule.min,
+                  "%s: %s = %g below minimum %g", path.c_str(), rule.name,
+                  value->number(), rule.min);
+    CHECK_OR_FAIL(rule.max < 0 || value->number() <= rule.max,
+                  "%s: %s = %g above maximum %g", path.c_str(), rule.name,
+                  value->number(), rule.max);
+  }
+
+  // At least one per-type injection counter must have fired, or the
+  // campaign exercised nothing.
+  double injected = 0;
+  std::size_t injected_counters = 0;
+  for (const JsonValue& entry : benchmarks->array()) {
+    const JsonValue* n = entry.Find("name");
+    if (n == nullptr || !n->is_string() ||
+        n->string().rfind("fault.injected.", 0) != 0) {
+      continue;
+    }
+    ++injected_counters;
+    const JsonValue* value = entry.Find("value");
+    CHECK_OR_FAIL(value != nullptr && value->is_number(),
+                  "%s: %s has no numeric \"value\"", path.c_str(),
+                  n->string().c_str());
+    injected += value->number();
+  }
+  CHECK_OR_FAIL(injected_counters > 0,
+                "%s: no fault.injected.* counters exported", path.c_str());
+  CHECK_OR_FAIL(injected > 0,
+                "%s: every fault.injected.* counter is zero", path.c_str());
+
+  std::printf("%s: campaign OK (%zu fault types tracked, %g injections)\n",
+              path.c_str(), injected_counters, injected);
+  return true;
+}
+
 }  // namespace
 }  // namespace xoar
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--campaign") {
+    return xoar::ValidateCampaign(argv[2]) ? 0 : 1;
+  }
   if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <metrics.json> <trace.json>\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <metrics.json> <trace.json>\n"
+                 "       %s --campaign <BENCH_fault_campaign.json>\n",
+                 argv[0], argv[0]);
     return 2;
   }
   if (!xoar::ValidateMetrics(argv[1])) {
