@@ -2,20 +2,27 @@
 // (RESILIENCE.md "Running a campaign").
 //
 //   fault_campaign [--seed N] [--faults N] [--seconds S] [--crashes N]
+//                  [--hangs N] [--box-corrupts N]
 //                  [--out BENCH_fault_campaign.json]
 //
-// A FaultPlan::Randomized schedule of transient windows plus shard crashes
-// runs while a probe guest continuously exercises the three client-visible
-// services: XenStore reads, block writes, and network transmits. The
-// campaign reports availability (fraction of probes answered OK), mean
-// recovery time per outage episode, how many transient faults the
-// retry/backoff layer absorbed without a microreboot, and the invariant
-// violations that must stay at zero:
+// A FaultPlan::Randomized schedule of transient windows plus shard
+// crashes, service-loop hangs, and recovery-box corruptions runs while a
+// probe guest continuously exercises the three client-visible services:
+// XenStore reads, block writes, and network transmits. The campaign
+// reports availability (fraction of probes answered OK), mean recovery
+// time per outage episode, how many transient faults the retry/backoff
+// layer absorbed without a microreboot, what the watchdog detected and
+// auto-recovered, and the invariant violations that must stay at zero:
 //
 //   1. the host never fails (faults are contained to shards);
 //   2. every probe completes — nothing wedges forever;
 //   3. after the campaign drains, both frontends are reconnected and a
-//      final probe of every service succeeds.
+//      final probe of every service succeeds;
+//   4. supervision closed its loop: every injected hang was detected (or
+//      absorbed by an independent restart of the same shard) and the
+//      worst detection latency stayed within the heartbeat timeout;
+//   5. every injected recovery-box corruption was caught by fast-path
+//      validation and rejected onto the slow path — never resumed from.
 //
 // Everything is driven by the simulator clock and the plan's seed: the same
 // seed writes a byte-identical JSON report. Exits non-zero if any invariant
@@ -43,6 +50,8 @@ struct Options {
   int faults = 12;
   double seconds = 6.0;
   int crashes = 2;
+  int hangs = 2;
+  int box_corrupts = 1;
   std::string out = "BENCH_fault_campaign.json";
 };
 
@@ -135,6 +144,8 @@ int RunCampaign(const Options& options) {
   config.start = start;
   config.end = end;
   config.crash_count = options.crashes;
+  config.hang_count = options.hangs;
+  config.box_corrupt_count = options.box_corrupts;
   FaultPlan plan = FaultPlan::Randomized(config);
   FaultInjector injector(&platform);
   injector.Arm(plan);
@@ -200,12 +211,44 @@ int RunCampaign(const Options& options) {
     ++campaign.final_failures;
   }
 
-  const std::uint64_t violations =
-      campaign.host_failures + campaign.lost_probes + campaign.final_failures;
   const std::uint64_t absorbed =
       blkfront->retry_recovered() + netfront->retry_recovered();
   const std::uint64_t microreboots =
       injector.injected_count(FaultType::kShardCrash);
+
+  // Supervision invariants (4) and (5): the watchdog accounted for every
+  // injected hang within its timeout, and fast-path validation rejected
+  // every poisoned recovery box.
+  Watchdog* watchdog = platform.watchdog();
+  const std::uint64_t hangs_injected =
+      injector.injected_count(FaultType::kShardHang);
+  const std::uint64_t box_corrupts_injected =
+      injector.injected_count(FaultType::kRecoveryBoxCorrupt);
+  const std::uint64_t boxes_rejected =
+      static_cast<std::uint64_t>(platform.restarts().TotalBoxesRejected());
+  std::uint64_t supervision_failures = 0;
+  const SimDuration heartbeat_timeout =
+      watchdog != nullptr ? watchdog->config().heartbeat_timeout : 0;
+  const SimDuration hang_detection_max =
+      watchdog != nullptr ? watchdog->max_hang_detection_latency() : 0;
+  if (watchdog != nullptr) {
+    if (watchdog->hangs_detected() + watchdog->hangs_absorbed() !=
+        hangs_injected) {
+      ++supervision_failures;
+    }
+    if (hang_detection_max > heartbeat_timeout) {
+      ++supervision_failures;
+    }
+  } else if (hangs_injected > 0) {
+    ++supervision_failures;  // hangs with nobody watching would wedge
+  }
+  if (boxes_rejected != box_corrupts_injected) {
+    ++supervision_failures;
+  }
+
+  const std::uint64_t violations =
+      campaign.host_failures + campaign.lost_probes +
+      campaign.final_failures + supervision_failures;
 
   MetricRegistry& metrics = platform.obs().metrics();
   metrics.GetGauge("campaign.seed")
@@ -223,23 +266,61 @@ int RunCampaign(const Options& options) {
       ->Set(campaign.mean_recovery_ms());
   metrics.GetGauge("campaign.invariant_violations")
       ->Set(static_cast<double>(violations));
+  metrics.GetGauge("campaign.hangs_injected")
+      ->Set(static_cast<double>(hangs_injected));
+  metrics.GetGauge("campaign.box_corrupts_injected")
+      ->Set(static_cast<double>(box_corrupts_injected));
+  metrics.GetGauge("campaign.boxes_rejected")
+      ->Set(static_cast<double>(boxes_rejected));
+  metrics.GetGauge("campaign.heartbeat_timeout_ms")
+      ->Set(static_cast<double>(heartbeat_timeout) /
+            static_cast<double>(kMillisecond));
+  metrics.GetGauge("campaign.hang_detection_max_ms")
+      ->Set(static_cast<double>(hang_detection_max) /
+            static_cast<double>(kMillisecond));
+  metrics.GetGauge("campaign.watchdog_hangs_detected")
+      ->Set(watchdog != nullptr
+                ? static_cast<double>(watchdog->hangs_detected())
+                : 0.0);
+  metrics.GetGauge("campaign.watchdog_hangs_absorbed")
+      ->Set(watchdog != nullptr
+                ? static_cast<double>(watchdog->hangs_absorbed())
+                : 0.0);
+  metrics.GetGauge("campaign.watchdog_deaths_detected")
+      ->Set(watchdog != nullptr
+                ? static_cast<double>(watchdog->deaths_detected())
+                : 0.0);
+  metrics.GetGauge("campaign.watchdog_auto_restarts")
+      ->Set(watchdog != nullptr
+                ? static_cast<double>(watchdog->auto_restarts())
+                : 0.0);
+  metrics.GetGauge("campaign.watchdog_quarantines")
+      ->Set(watchdog != nullptr
+                ? static_cast<double>(watchdog->quarantines())
+                : 0.0);
 
   PrintHeading(StrFormat("Fault campaign (seed %llu, %d windows, %d crashes, "
-                         "%.1f s)",
+                         "%d hangs, %d box corruptions, %.1f s)",
                          static_cast<unsigned long long>(options.seed),
-                         options.faults, options.crashes, options.seconds));
+                         options.faults, options.crashes, options.hangs,
+                         options.box_corrupts, options.seconds));
   Table schedule({"t (ms)", "fault", "window (ms)", "p", "target"});
   for (const FaultSpec& spec : plan.specs()) {
-    const bool crash = spec.type == FaultType::kShardCrash;
+    // Fire-once faults (crash, hang, box corruption) name a target; only
+    // transient windows have a probability, and only windows and hangs
+    // have a duration.
+    const bool targeted = !spec.target.empty();
+    const bool timed = spec.type != FaultType::kShardCrash &&
+                       spec.type != FaultType::kRecoveryBoxCorrupt;
     schedule.AddRow(
         {StrFormat("%.1f", static_cast<double>(spec.at - start) /
                                static_cast<double>(kMillisecond)),
          std::string(FaultTypeName(spec.type)),
-         crash ? "-"
-               : StrFormat("%.1f", static_cast<double>(spec.duration) /
-                                       static_cast<double>(kMillisecond)),
-         crash ? "-" : StrFormat("%.2f", spec.probability),
-         crash ? spec.target : "-"});
+         timed ? StrFormat("%.1f", static_cast<double>(spec.duration) /
+                                       static_cast<double>(kMillisecond))
+               : "-",
+         targeted ? "-" : StrFormat("%.2f", spec.probability),
+         targeted ? spec.target : "-"});
   }
   schedule.Print();
 
@@ -255,6 +336,26 @@ int RunCampaign(const Options& options) {
                   StrFormat("%llu", injector.crashes_skipped())});
   results.AddRow({"mean recovery (ms)",
                   StrFormat("%.2f", campaign.mean_recovery_ms())});
+  if (watchdog != nullptr) {
+    results.AddRow({"hangs injected / detected / absorbed",
+                    StrFormat("%llu / %llu / %llu", hangs_injected,
+                              watchdog->hangs_detected(),
+                              watchdog->hangs_absorbed())});
+    results.AddRow(
+        {"worst hang detection (ms)",
+         StrFormat("%.2f (timeout %.0f)",
+                   static_cast<double>(hang_detection_max) /
+                       static_cast<double>(kMillisecond),
+                   static_cast<double>(heartbeat_timeout) /
+                       static_cast<double>(kMillisecond))});
+    results.AddRow({"watchdog auto restarts",
+                    StrFormat("%llu", watchdog->auto_restarts())});
+    results.AddRow({"quarantines",
+                    StrFormat("%llu", watchdog->quarantines())});
+  }
+  results.AddRow({"boxes corrupted / rejected",
+                  StrFormat("%llu / %llu", box_corrupts_injected,
+                            boxes_rejected)});
   results.AddRow({"invariant violations", StrFormat("%llu", violations)});
   results.Print();
 
@@ -268,10 +369,11 @@ int RunCampaign(const Options& options) {
   if (violations > 0) {
     std::fprintf(stderr,
                  "INVARIANT VIOLATIONS: host_failures=%llu lost_probes=%llu "
-                 "final_failures=%llu\n",
+                 "final_failures=%llu supervision_failures=%llu\n",
                  static_cast<unsigned long long>(campaign.host_failures),
                  static_cast<unsigned long long>(campaign.lost_probes),
-                 static_cast<unsigned long long>(campaign.final_failures));
+                 static_cast<unsigned long long>(campaign.final_failures),
+                 static_cast<unsigned long long>(supervision_failures));
     return 1;
   }
   return 0;
@@ -295,12 +397,17 @@ int main(int argc, char** argv) {
       options.seconds = std::atof(next());
     } else if (std::strcmp(argv[i], "--crashes") == 0) {
       options.crashes = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--hangs") == 0) {
+      options.hangs = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--box-corrupts") == 0) {
+      options.box_corrupts = std::atoi(next());
     } else if (std::strcmp(argv[i], "--out") == 0) {
       options.out = next();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed N] [--faults N] [--seconds S] "
-                   "[--crashes N] [--out FILE]\n",
+                   "[--crashes N] [--hangs N] [--box-corrupts N] "
+                   "[--out FILE]\n",
                    argv[0]);
       return 2;
     }

@@ -11,6 +11,7 @@
 #define XOAR_SRC_BASE_BACKOFF_H_
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/base/units.h"
 
@@ -28,13 +29,34 @@ struct BackoffPolicy {
   int max_attempts = 8;
 
   // Delay before retry number `attempt` (0-based), clamped to max_delay.
+  //
+  // Closed form: initial_delay * multiplier^attempt, O(1) per call so a
+  // long-running unbounded ladder (a backend re-advertising at the cap for
+  // hours of simulated time) never pays per-attempt cost. Semantics match
+  // the original multiply loop exactly, including its quirk for
+  // multiplier < 1: the loop capped after *each* multiply, so any attempt
+  // whose first step already reached max_delay returns max_delay even
+  // though later steps would have shrunk below it.
   SimDuration DelayForAttempt(int attempt) const {
-    double delay = static_cast<double>(initial_delay);
-    for (int i = 0; i < attempt; ++i) {
-      delay *= multiplier;
-      if (delay >= static_cast<double>(max_delay)) {
+    const double initial = static_cast<double>(initial_delay);
+    const double cap = static_cast<double>(max_delay);
+    if (attempt <= 0 || multiplier == 1.0) {
+      return std::min(static_cast<SimDuration>(initial), max_delay);
+    }
+    if (multiplier < 1.0) {
+      if (initial * multiplier >= cap) {
         return max_delay;
       }
+      const double delay = initial * std::pow(multiplier, attempt);
+      return std::min(static_cast<SimDuration>(delay), max_delay);
+    }
+    // multiplier > 1: the sequence is non-decreasing, so the loop's
+    // step-by-step cap check reduces to one comparison of the final value.
+    // pow can overflow to +inf for large attempts; !(x < cap) clamps both
+    // the overflow and the ordinary >= cap case.
+    const double delay = initial * std::pow(multiplier, attempt);
+    if (!(delay < cap)) {
+      return max_delay;
     }
     return std::min(static_cast<SimDuration>(delay), max_delay);
   }

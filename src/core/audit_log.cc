@@ -23,6 +23,12 @@ std::string_view AuditEventKindName(AuditEventKind kind) {
       return "compromise";
     case AuditEventKind::kHypervisor:
       return "hypervisor";
+    case AuditEventKind::kWatchdogRestart:
+      return "watchdog-restart";
+    case AuditEventKind::kShardQuarantined:
+      return "shard-quarantined";
+    case AuditEventKind::kRecoveryBoxRejected:
+      return "recovery-box-rejected";
   }
   return "unknown";
 }

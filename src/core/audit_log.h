@@ -30,6 +30,12 @@ enum class AuditEventKind : std::uint8_t {
   kShardUpgraded,   // object shard replaced with a new release
   kCompromise,      // detection marker, for forensics exercises
   kHypervisor,      // raw hypervisor audit event (free text)
+  // Supervision decisions (the watchdog's automatic actions); detail
+  // carries the component name and a cause= tag (missed-heartbeat,
+  // dead-domain, corrupt-box).
+  kWatchdogRestart,      // watchdog-initiated automatic microreboot
+  kShardQuarantined,     // restart budget exhausted; degraded mode entered
+  kRecoveryBoxRejected,  // corrupt recovery box discarded, slow path taken
 };
 
 std::string_view AuditEventKindName(AuditEventKind kind);

@@ -29,6 +29,10 @@ Status RestartEngine::Register(const std::string& name, DomainId domain,
   }
   entry.m_restarts = obs_->metrics().GetCounter(
       MetricName(name, "microreboot", "restarts"));
+  entry.m_skipped = obs_->metrics().GetCounter(
+      MetricName(name, "microreboot", "skipped"));
+  entry.m_box_rejected = obs_->metrics().GetCounter(
+      MetricName(name, "microreboot", "box_rejected"));
   // Downtime buckets: 1ms .. ~2s in x2 steps, bracketing the paper's
   // 140/260 ms windows.
   entry.m_downtime_ms = obs_->metrics().GetHistogram(
@@ -47,10 +51,39 @@ Status RestartEngine::DoRestart(Entry& entry, const std::string& name,
         StrFormat("%s is already mid-restart", name.c_str()));
   }
   const Domain* dom = hv_->domain(entry.domain);
-  if (dom == nullptr || dom->state() != DomainState::kRunning) {
+  const bool domain_dead =
+      dom != nullptr && dom->state() == DomainState::kDead;
+  if (dom == nullptr ||
+      (dom->state() != DomainState::kRunning && !domain_dead)) {
     return FailedPreconditionError(
         StrFormat("%s's domain is not running", name.c_str()));
   }
+
+  // Fast path only: validate the recovery box before trusting it. A box
+  // that fails its checksums is discarded and this cycle downgrades to the
+  // slow (full-renegotiation) path.
+  if (fast) {
+    RecoveryBox& box = snapshots_->recovery_box(entry.domain);
+    Status valid = box.Validate();
+    if (!valid.ok()) {
+      XLOG(kWarning) << "[restart] " << name
+                     << " recovery box rejected, falling back to slow path: "
+                     << valid;
+      box.Clear();
+      fast = false;
+      ++entry.boxes_rejected;
+      entry.m_box_rejected->Increment();
+      if (audit_ != nullptr) {
+        AuditEvent event;
+        event.time = sim_->Now();
+        event.kind = AuditEventKind::kRecoveryBoxRejected;
+        event.object = entry.domain;
+        event.detail = StrFormat("%s cause=corrupt-box", name.c_str());
+        audit_->Record(std::move(event));
+      }
+    }
+  }
+
   entry.in_progress = true;
   entry.span = obs_->tracer().BeginSpan(
       TraceCategory::kMicroreboot,
@@ -58,8 +91,9 @@ Status RestartEngine::DoRestart(Entry& entry, const std::string& name,
       entry.domain.value());
 
   // 1. Orderly suspend: the component closes its backend state while its
-  //    domain can still issue XenStore writes.
-  if (entry.hooks.suspend) {
+  //    domain can still issue XenStore writes. A dead domain gets no
+  //    orderly teardown — the crash already tore its channels down.
+  if (entry.hooks.suspend && !domain_dead) {
     entry.hooks.suspend();
   }
   // 2. The hypervisor tears down channels; peers observe the outage. The
@@ -143,6 +177,8 @@ Status RestartEngine::EnablePeriodicRestarts(const std::string& name,
         }
         Status status = DoRestart(entry_it->second, name, entry_it->second.fast);
         if (!status.ok()) {
+          ++entry_it->second.skipped;
+          entry_it->second.m_skipped->Increment();
           XLOG(kDebug) << "[restart] skipped cycle for " << name << ": "
                        << status;
         }
@@ -173,6 +209,32 @@ int RestartEngine::RestartCount(const std::string& name) const {
 SimDuration RestartEngine::LastDowntime(const std::string& name) const {
   auto it = components_.find(name);
   return it == components_.end() ? 0 : it->second.last_downtime;
+}
+
+int RestartEngine::SkippedCycles(const std::string& name) const {
+  auto it = components_.find(name);
+  return it == components_.end() ? 0 : it->second.skipped;
+}
+
+int RestartEngine::BoxesRejected(const std::string& name) const {
+  auto it = components_.find(name);
+  return it == components_.end() ? 0 : it->second.boxes_rejected;
+}
+
+int RestartEngine::TotalBoxesRejected() const {
+  int total = 0;
+  for (const auto& [name, entry] : components_) {
+    total += entry.boxes_rejected;
+  }
+  return total;
+}
+
+StatusOr<DomainId> RestartEngine::DomainOf(const std::string& name) const {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    return NotFoundError(StrFormat("no component %s", name.c_str()));
+  }
+  return it->second.domain;
 }
 
 }  // namespace xoar

@@ -81,10 +81,18 @@ class RestartEngine {
 
   // One microreboot cycle now. `fast` selects the recovery-box-assisted
   // path (~140 ms downtime vs ~260 ms). Returns FAILED_PRECONDITION if the
-  // component is already mid-restart or its domain is not running — a fault
-  // campaign counts that as a skipped crash, not an error. Returns
-  // synchronously once the outage has begun; recovery completes at
-  // Now() + downtime on the simulator.
+  // component is already mid-restart or its domain is neither running nor
+  // dead — a fault campaign counts that as a skipped crash, not an error.
+  // A *dead* domain (crashed, not yet rebooted) is accepted: recovering
+  // crashed shards is the watchdog's whole job; the suspend hook is skipped
+  // because a dead domain cannot do orderly teardown. Returns synchronously
+  // once the outage has begun; recovery completes at Now() + downtime on
+  // the simulator.
+  //
+  // The fast path treats the recovery box as untrusted input: it validates
+  // every entry checksum first, and on corruption discards the box, audits
+  // the rejection, and downgrades this cycle to the slow (full
+  // renegotiation) path — poisoned state is never resumed from.
   Status RestartNow(const std::string& name, bool fast);
 
   // Periodic restarts every `interval` ("restarted on a timer", Fig 5.1).
@@ -99,6 +107,18 @@ class RestartEngine {
   // Completed cycles (unknown names report 0 / zero downtime).
   int RestartCount(const std::string& name) const;
   SimDuration LastDowntime(const std::string& name) const;
+  // Periodic cycles that could not start because another was in progress
+  // (also exported as `<name>.microreboot.skipped`).
+  int SkippedCycles(const std::string& name) const;
+  // Fast-path cycles whose recovery box failed validation and were
+  // downgraded to the slow path.
+  int BoxesRejected(const std::string& name) const;
+  int TotalBoxesRejected() const;
+  // Domain a registered component runs in (NOT_FOUND for unknown names).
+  StatusOr<DomainId> DomainOf(const std::string& name) const;
+  bool IsRegistered(const std::string& name) const {
+    return components_.count(name) > 0;
+  }
 
  private:
   struct Entry {
@@ -108,8 +128,12 @@ class RestartEngine {
     bool fast = false;
     bool in_progress = false;
     int restarts = 0;
+    int skipped = 0;
+    int boxes_rejected = 0;
     SimDuration last_downtime = 0;
     Counter* m_restarts = nullptr;       // <name>.microreboot.restarts
+    Counter* m_skipped = nullptr;        // <name>.microreboot.skipped
+    Counter* m_box_rejected = nullptr;   // <name>.microreboot.box_rejected
     Histogram* m_downtime_ms = nullptr;  // <name>.microreboot.downtime_ms
     // <name>.microreboot.up: 1 while serving, 0 during the outage window.
     // Owned by the engine's Entry so a dying instance can't drop it.

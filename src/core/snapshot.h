@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/base/ids.h"
 #include "src/base/status.h"
@@ -30,35 +31,60 @@ class Snapshottable {
   virtual void RestoreState(const std::string& state) = 0;
 };
 
-// Rollback-surviving key-value region.
+// Rollback-surviving key-value region. The box survives rollbacks, which
+// makes it the one input a freshly rolled-back component adopts without
+// having produced it — so it is treated as untrusted: every entry carries
+// a checksum written at Put() time, and consumers (the RestartEngine's
+// fast path) call Validate() before resuming from it. A corrupt box is
+// discarded, never resumed from.
 class RecoveryBox {
  public:
-  void Put(const std::string& key, std::string value) {
-    entries_[key] = std::move(value);
-  }
-  StatusOr<std::string> Get(const std::string& key) const {
-    auto it = entries_.find(key);
-    if (it == entries_.end()) {
-      return NotFoundError("no such recovery-box entry: " + key);
-    }
-    return it->second;
-  }
+  void Put(const std::string& key, std::string value);
+
+  // Fails INTERNAL if the entry's checksum no longer matches its value.
+  StatusOr<std::string> Get(const std::string& key) const;
+
   bool Contains(const std::string& key) const {
     return entries_.count(key) > 0;
+  }
+  std::vector<std::string> Keys() const {
+    std::vector<std::string> keys;
+    keys.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      keys.push_back(key);
+    }
+    return keys;
   }
   void Erase(const std::string& key) { entries_.erase(key); }
   void Clear() { entries_.clear(); }
   std::size_t size() const { return entries_.size(); }
   std::uint64_t bytes() const {
     std::uint64_t total = 0;
-    for (const auto& [key, value] : entries_) {
-      total += key.size() + value.size();
+    for (const auto& [key, entry] : entries_) {
+      total += key.size() + entry.value.size();
     }
     return total;
   }
 
+  // Integrity check over every entry; fails INTERNAL naming the first
+  // corrupt key. OK for an empty box (nothing to distrust).
+  Status Validate() const;
+
+  // Flips one bit of the named entry's stored value without refreshing its
+  // checksum — the in-memory corruption the `recovery_box_corrupt` fault
+  // models. Self-inverse: a second call restores the original value.
+  Status CorruptForTest(const std::string& key);
+
  private:
-  std::map<std::string, std::string> entries_;
+  struct Entry {
+    std::string value;
+    std::uint64_t checksum = 0;
+  };
+
+  static std::uint64_t EntryChecksum(const std::string& key,
+                                     const std::string& value);
+
+  std::map<std::string, Entry> entries_;
 };
 
 class SnapshotManager {

@@ -260,46 +260,87 @@ Status XoarPlatform::Boot() {
   // --- Steady state: restart engine + self-destructing boot shards ---
   restart_engine_ = std::make_unique<RestartEngine>(
       hv_.get(), &sim_, &snapshots_, builder_dom_, &audit_, &obs_);
+  // §3.3: the fast restart path persists renegotiable device configuration
+  // in the recovery box. The resume hooks re-Put it so a box the fast path
+  // rejected (recovery_box_corrupt) is repopulated — with fresh checksums —
+  // by the renegotiation the slow path forces.
   for (std::size_t i = 0; i < netbacks_.size(); ++i) {
     NetBack* netback = netbacks_[i].get();
+    const DomainId dom = netback_doms_[i];
     const std::string name =
         i == 0 ? "NetBack" : StrFormat("NetBack-%zu", i);
+    const std::string nic_config =
+        StrFormat("slot=%s rate=%.0f",
+                  netback->nic()->slot().ToString().c_str(),
+                  netback->nic()->link_rate());
+    snapshots_.recovery_box(dom).Put("nic-config", nic_config);
     XOAR_RETURN_IF_ERROR(restart_engine_->Register(
-        name, netback_doms_[i],
-        {[netback] { netback->Suspend(); }, [netback] { netback->Resume(); },
+        name, dom,
+        {[netback] { netback->Suspend(); },
+         [this, netback, dom, nic_config] {
+           snapshots_.recovery_box(dom).Put("nic-config", nic_config);
+           netback->Resume();
+         },
          nullptr}));
   }
   for (std::size_t i = 0; i < blkbacks_.size(); ++i) {
     BlkBack* blkback = blkbacks_[i].get();
+    const DomainId dom = blkback_doms_[i];
     const std::string name =
         i == 0 ? "BlkBack" : StrFormat("BlkBack-%zu", i);
+    const std::string disk_config =
+        StrFormat("slot=%s", i == 0 ? "primary" : "aux");
+    snapshots_.recovery_box(dom).Put("disk-config", disk_config);
     XOAR_RETURN_IF_ERROR(restart_engine_->Register(
-        name, blkback_doms_[i],
-        {[blkback] { blkback->Suspend(); }, [blkback] { blkback->Resume(); },
+        name, dom,
+        {[blkback] { blkback->Suspend(); },
+         [this, blkback, dom, disk_config] {
+           snapshots_.recovery_box(dom).Put("disk-config", disk_config);
+           blkback->Resume();
+         },
          nullptr}));
   }
-  // Table 5.1: XenStore-Logic and the Toolstacks are restartable too.
-  // XenStore-Logic re-attaches to XenStore-State on resume; a Toolstack's
-  // durable state (which guests it parents, its delegations) lives in the
-  // hypervisor and XenStore, so its restart hooks are trivial.
+  // Table 5.1: XenStore-Logic, the Builder, and the Toolstacks are
+  // restartable too. XenStore-Logic re-attaches to XenStore-State on
+  // resume; the Builder's and a Toolstack's durable state (which guests
+  // they parent/created, delegations) lives in the hypervisor and
+  // XenStore, so their restart hooks are trivial.
   XOAR_RETURN_IF_ERROR(restart_engine_->Register(
       "XenStore-Logic", xenstore_logic_dom_,
       {[this] { (void)xs_->BeginLogicRestart(); },
        [this] { (void)xs_->CompleteLogicRestart(); }, nullptr}));
   XOAR_RETURN_IF_ERROR(restart_engine_->Register(
+      "Builder", builder_dom_, {nullptr, nullptr, nullptr}));
+  XOAR_RETURN_IF_ERROR(restart_engine_->Register(
       "Toolstack", toolstack_doms_.front(), {nullptr, nullptr, nullptr}));
-  // §3.3: the fast restart path persists renegotiable device configuration
-  // in the recovery box.
-  for (std::size_t i = 0; i < netbacks_.size(); ++i) {
-    snapshots_.recovery_box(netback_doms_[i])
-        .Put("nic-config",
-             StrFormat("slot=%s rate=%.0f",
-                       netbacks_[i]->nic()->slot().ToString().c_str(),
-                       netbacks_[i]->nic()->link_rate()));
-  }
-  for (std::size_t i = 0; i < blkbacks_.size(); ++i) {
-    snapshots_.recovery_box(blkback_doms_[i])
-        .Put("disk-config", StrFormat("slot=%s", i == 0 ? "primary" : "aux"));
+
+  // --- Supervision (DESIGN.md §5d): heartbeats + automatic microreboot
+  // escalation for every restartable shard. The quarantine hooks move a
+  // component into its degraded mode — suspended, so peers see
+  // deterministic UNAVAILABLE instead of silence — when its restart budget
+  // is exhausted.
+  if (config_.supervision_enabled) {
+    watchdog_ = std::make_unique<Watchdog>(&sim_, hv_.get(),
+                                           restart_engine_.get(), &audit_,
+                                           &obs_, config_.watchdog);
+    for (std::size_t i = 0; i < netbacks_.size(); ++i) {
+      NetBack* netback = netbacks_[i].get();
+      const std::string name =
+          i == 0 ? "NetBack" : StrFormat("NetBack-%zu", i);
+      XOAR_RETURN_IF_ERROR(
+          watchdog_->Supervise(name, [netback] { netback->Suspend(); }));
+    }
+    for (std::size_t i = 0; i < blkbacks_.size(); ++i) {
+      BlkBack* blkback = blkbacks_[i].get();
+      const std::string name =
+          i == 0 ? "BlkBack" : StrFormat("BlkBack-%zu", i);
+      XOAR_RETURN_IF_ERROR(
+          watchdog_->Supervise(name, [blkback] { blkback->Suspend(); }));
+    }
+    XOAR_RETURN_IF_ERROR(watchdog_->Supervise(
+        "XenStore-Logic", [this] { (void)xs_->BeginLogicRestart(); }));
+    XOAR_RETURN_IF_ERROR(watchdog_->Supervise("Builder"));
+    XOAR_RETURN_IF_ERROR(watchdog_->Supervise("Toolstack"));
   }
 
   if (c.destroy_pciback_after_boot) {

@@ -24,6 +24,7 @@
 #include "src/core/microreboot.h"
 #include "src/core/shard.h"
 #include "src/core/snapshot.h"
+#include "src/core/watchdog.h"
 #include "src/ctl/builder.h"
 #include "src/ctl/pciback.h"
 #include "src/ctl/platform.h"
@@ -60,6 +61,13 @@ class XoarPlatform : public Platform {
 
     // Fig 5.1: XenStore-Logic is restarted on each request.
     bool xenstore_per_request_restarts = true;
+
+    // Self-healing supervision (DESIGN.md §5d): every restartable shard
+    // emits heartbeats and a watchdog drives automatic microreboots with
+    // escalation and quarantine. Disable for experiments that want the
+    // PR 3 behaviour of purely on-demand restarts.
+    bool supervision_enabled = true;
+    WatchdogConfig watchdog;
 
     // Ablation: boot shards strictly sequentially instead of in parallel
     // (bench/ablation_boot_parallelism).
@@ -130,6 +138,8 @@ class XoarPlatform : public Platform {
   int netback_count() const { return static_cast<int>(netbacks_.size()); }
   int blkback_count() const { return static_cast<int>(blkbacks_.size()); }
   RestartEngine& restarts() { return *restart_engine_; }
+  // Null when supervision is disabled (or before Boot completes).
+  Watchdog* watchdog() { return watchdog_.get(); }
   SnapshotManager& snapshots() { return snapshots_; }
   AuditLog& audit() { return audit_; }
   PciBus& pci_bus() { return pci_bus_; }
@@ -193,6 +203,7 @@ class XoarPlatform : public Platform {
   SnapshotManager snapshots_;
   AuditLog audit_;
   std::unique_ptr<RestartEngine> restart_engine_;
+  std::unique_ptr<Watchdog> watchdog_;
   SimTime boot_complete_at_ = 0;
 };
 

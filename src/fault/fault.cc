@@ -37,6 +37,10 @@ std::string_view FaultTypeName(FaultType type) {
       return "net_drop_burst";
     case FaultType::kXsTimeout:
       return "xs_timeout";
+    case FaultType::kShardHang:
+      return "shard_hang";
+    case FaultType::kRecoveryBoxCorrupt:
+      return "recovery_box_corrupt";
     case FaultType::kCount:
       break;
   }
@@ -86,6 +90,40 @@ FaultPlan FaultPlan::Randomized(const CampaignConfig& config) {
     spec.fast_recovery = config.fast_recovery;
     plan.Add(std::move(spec));
   }
+  // Hangs sit at odd half-slots ((2k+1)/(2(h+1)) of the span) so they fall
+  // between the crash slots rather than on top of them — a hang landing on
+  // a target that is mid-crash-recovery would be refused and skipped.
+  // These draws come after every pre-existing draw, so adding supervision
+  // faults does not perturb the transient/crash layout of older seeds.
+  const std::size_t n_hang_targets = config.hang_targets.size();
+  const std::uint64_t hang_rotation =
+      n_hang_targets > 0 ? layout.NextU64() : 0;
+  for (int k = 0; k < config.hang_count && n_hang_targets > 0; ++k) {
+    FaultSpec spec;
+    spec.type = FaultType::kShardHang;
+    spec.target =
+        config.hang_targets[(hang_rotation + static_cast<std::uint64_t>(k)) %
+                            n_hang_targets];
+    spec.duration = layout.NextInRange(config.min_hang, config.max_hang);
+    spec.at = start + (span * static_cast<std::uint64_t>(2 * k + 1)) /
+                          static_cast<std::uint64_t>(2 * (config.hang_count + 1));
+    plan.Add(std::move(spec));
+  }
+  // Box corruptions poison the box and immediately force a fast restart,
+  // so the validation rejection is observed inside the campaign window.
+  const std::size_t n_box_targets = config.box_corrupt_targets.size();
+  const std::uint64_t box_rotation = n_box_targets > 0 ? layout.NextU64() : 0;
+  for (int k = 0; k < config.box_corrupt_count && n_box_targets > 0; ++k) {
+    FaultSpec spec;
+    spec.type = FaultType::kRecoveryBoxCorrupt;
+    spec.target = config.box_corrupt_targets
+        [(box_rotation + static_cast<std::uint64_t>(k)) % n_box_targets];
+    spec.at = start +
+              (span * static_cast<std::uint64_t>(2 * k + 1)) /
+                  static_cast<std::uint64_t>(2 * (config.box_corrupt_count + 1)) +
+              span / 20;  // offset off the hang half-slots
+    plan.Add(std::move(spec));
+  }
   std::stable_sort(plan.specs_.begin(), plan.specs_.end(),
                    [](const FaultSpec& a, const FaultSpec& b) {
                      return a.at < b.at;
@@ -105,6 +143,9 @@ FaultInjector::FaultInjector(XoarPlatform* platform)
   m_windows_opened_ = obs_->metrics().GetCounter("fault.windows.opened");
   m_windows_active_ = obs_->metrics().GetGauge("fault.windows.active");
   m_crashes_skipped_ = obs_->metrics().GetCounter("fault.crashes.skipped");
+  m_hangs_skipped_ = obs_->metrics().GetCounter("fault.hangs.skipped");
+  m_box_corrupts_skipped_ =
+      obs_->metrics().GetCounter("fault.box_corrupts.skipped");
   InstallHooks();
 }
 
@@ -179,6 +220,16 @@ void FaultInjector::Arm(const FaultPlan& plan) {
           sim.ScheduleAt(spec.at, [this, spec] { FireCrash(spec); }));
       continue;
     }
+    if (spec.type == FaultType::kShardHang) {
+      pending_.push_back(
+          sim.ScheduleAt(spec.at, [this, spec] { FireHang(spec); }));
+      continue;
+    }
+    if (spec.type == FaultType::kRecoveryBoxCorrupt) {
+      pending_.push_back(
+          sim.ScheduleAt(spec.at, [this, spec] { FireBoxCorrupt(spec); }));
+      continue;
+    }
     pending_.push_back(
         sim.ScheduleAt(spec.at, [this, spec] { OpenWindow(spec); }));
     pending_.push_back(sim.ScheduleAt(spec.at + spec.duration,
@@ -251,6 +302,67 @@ void FaultInjector::FireCrash(const FaultSpec& spec) {
   ++injected_[static_cast<std::size_t>(FaultType::kShardCrash)];
   m_injected_[static_cast<std::size_t>(FaultType::kShardCrash)]->Increment();
   XLOG(kDebug) << "[fault] crashed " << spec.target;
+}
+
+void FaultInjector::FireHang(const FaultSpec& spec) {
+  Watchdog* watchdog = platform_->watchdog();
+  Status status =
+      watchdog == nullptr
+          ? FailedPreconditionError("platform has no watchdog")
+          : watchdog->InjectHang(spec.target, spec.duration);
+  if (!status.ok()) {
+    ++hangs_skipped_;
+    m_hangs_skipped_->Increment();
+    XLOG(kInfo) << "[fault] hang of " << spec.target
+                << " skipped: " << status;
+    return;
+  }
+  ++injected_[static_cast<std::size_t>(FaultType::kShardHang)];
+  m_injected_[static_cast<std::size_t>(FaultType::kShardHang)]->Increment();
+  XLOG(kDebug) << "[fault] hung " << spec.target << " for "
+               << spec.duration / kMillisecond << "ms";
+}
+
+void FaultInjector::FireBoxCorrupt(const FaultSpec& spec) {
+  const auto skip = [this, &spec](std::string_view why) {
+    ++box_corrupts_skipped_;
+    m_box_corrupts_skipped_->Increment();
+    XLOG(kInfo) << "[fault] box corruption of " << spec.target
+                << " skipped: " << why;
+  };
+  StatusOr<DomainId> domain = platform_->restarts().DomainOf(spec.target);
+  if (!domain.ok()) {
+    skip("unknown component");
+    return;
+  }
+  RecoveryBox& box = platform_->snapshots().recovery_box(*domain);
+  // Corrupt the first entry with a payload; an empty box has nothing for
+  // the fast path to distrust.
+  std::string victim;
+  for (const std::string& key : box.Keys()) {
+    if (box.CorruptForTest(key).ok()) {
+      victim = key;
+      break;
+    }
+  }
+  if (victim.empty()) {
+    skip("recovery box has no corruptible entry");
+    return;
+  }
+  // Force a fast restart so the validation rejection (and the fall back to
+  // the slow path) happens now, inside the campaign window.
+  Status status = platform_->restarts().RestartNow(spec.target, true);
+  if (!status.ok()) {
+    // Target mid-restart: revert the (self-inverse) flip so a later fast
+    // restart is not silently poisoned by a fault that reported "skipped".
+    (void)box.CorruptForTest(victim);
+    skip("target is mid-restart");
+    return;
+  }
+  ++injected_[static_cast<std::size_t>(FaultType::kRecoveryBoxCorrupt)];
+  m_injected_[static_cast<std::size_t>(FaultType::kRecoveryBoxCorrupt)]
+      ->Increment();
+  XLOG(kDebug) << "[fault] corrupted recovery box of " << spec.target;
 }
 
 std::uint64_t FaultInjector::total_injected() const {

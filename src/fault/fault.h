@@ -38,6 +38,9 @@ enum class FaultType : std::uint8_t {
   kBlkIoError,      // BlkBack answers a transient EIO
   kNetDropBurst,    // NetBack silently drops tx frames
   kXsTimeout,       // XenStore request times out (UNAVAILABLE)
+  kShardHang,       // service loop stalls (heartbeats stop, domain alive)
+  kRecoveryBoxCorrupt,  // recovery box poisoned; next fast restart must
+                        // reject it onto the slow path
   kCount,
 };
 
@@ -47,15 +50,18 @@ constexpr std::size_t kFaultTypeCount =
 std::string_view FaultTypeName(FaultType type);
 
 // One scheduled fault. For kShardCrash, `target` names the RestartEngine
-// component and `fast_recovery` picks the recovery grade; the other fields
-// describe a transient window.
+// component and `fast_recovery` picks the recovery grade; for kShardHang,
+// `target` names the supervised component and `duration` is how long its
+// service loop stalls; for kRecoveryBoxCorrupt, `target` names the
+// component whose box is poisoned. The other fields describe a transient
+// window.
 struct FaultSpec {
   FaultType type = FaultType::kXsTimeout;
   SimTime at = 0;                          // when the window opens / crash fires
-  SimDuration duration = 10 * kMillisecond;  // window length (transients)
+  SimDuration duration = 10 * kMillisecond;  // window length / hang length
   double probability = 1.0;                // per-op injection probability
   SimDuration delay = 5 * kMillisecond;    // extra latency for kEvtchnDelay
-  std::string target;                      // kShardCrash component name
+  std::string target;                      // component name (fire-once faults)
   bool fast_recovery = true;               // kShardCrash recovery grade
 };
 
@@ -72,6 +78,21 @@ struct CampaignConfig {
   std::vector<std::string> crash_targets = {"NetBack", "BlkBack",
                                             "XenStore-Logic"};
   bool fast_recovery = true;
+
+  // Supervision faults (PR 4). Hangs stall a service loop long enough
+  // (>> the watchdog timeout) that detection, not luck, ends the outage;
+  // box corruptions poison a recovery box and immediately exercise the
+  // fast-restart validation path. Targets rotate with the seed like
+  // crash_targets. Set the counts to 0 for a pre-supervision campaign.
+  int hang_count = 2;
+  std::vector<std::string> hang_targets = {"NetBack", "BlkBack",
+                                           "XenStore-Logic"};
+  SimDuration min_hang = 120 * kMillisecond;
+  SimDuration max_hang = 280 * kMillisecond;
+  int box_corrupt_count = 1;
+  // Only components whose recovery boxes hold real config are worth
+  // poisoning; an empty box is skipped at fire time.
+  std::vector<std::string> box_corrupt_targets = {"NetBack", "BlkBack"};
 };
 
 class FaultPlan {
@@ -133,6 +154,11 @@ class FaultInjector {
   std::uint64_t windows_opened() const { return windows_opened_; }
   // Crashes whose RestartNow was rejected (component already mid-restart).
   std::uint64_t crashes_skipped() const { return crashes_skipped_; }
+  // Hangs the watchdog refused (target restarting/quarantined, or no
+  // watchdog on the platform) and box corruptions that could not fire
+  // (empty box / target mid-restart).
+  std::uint64_t hangs_skipped() const { return hangs_skipped_; }
+  std::uint64_t box_corrupts_skipped() const { return box_corrupts_skipped_; }
 
  private:
   struct TypeState {
@@ -149,6 +175,8 @@ class FaultInjector {
   void OpenWindow(const FaultSpec& spec);
   void CloseWindow(FaultType type);
   void FireCrash(const FaultSpec& spec);
+  void FireHang(const FaultSpec& spec);
+  void FireBoxCorrupt(const FaultSpec& spec);
 
   XoarPlatform* platform_;
   Rng rng_;
@@ -157,11 +185,15 @@ class FaultInjector {
   std::array<std::uint64_t, kFaultTypeCount> injected_{};
   std::uint64_t windows_opened_ = 0;
   std::uint64_t crashes_skipped_ = 0;
+  std::uint64_t hangs_skipped_ = 0;
+  std::uint64_t box_corrupts_skipped_ = 0;
   Obs* obs_;
   std::array<Counter*, kFaultTypeCount> m_injected_{};  // fault.injected.<type>
   Counter* m_windows_opened_;   // fault.windows.opened
   Gauge* m_windows_active_;     // fault.windows.active
   Counter* m_crashes_skipped_;  // fault.crashes.skipped
+  Counter* m_hangs_skipped_;    // fault.hangs.skipped
+  Counter* m_box_corrupts_skipped_;  // fault.box_corrupts.skipped
 };
 
 }  // namespace xoar

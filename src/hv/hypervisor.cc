@@ -314,8 +314,13 @@ Status Hypervisor::BeginReboot(DomainId caller, DomainId target) {
   XOAR_RETURN_IF_ERROR(CheckHypercall(caller, Hypercall::kSnapshotOp));
   XOAR_RETURN_IF_ERROR(CheckManagement(caller, target));
   Domain* dom = domain(target);
-  if (dom->state() != DomainState::kRunning) {
-    return FailedPreconditionError("only running domains can microreboot");
+  // A dead domain may also be rebooted: that is precisely how a crashed
+  // shard is recovered (the watchdog's dead-domain path). CloseAll and
+  // RevokeAll are idempotent, so re-tearing-down a crashed domain's
+  // already-torn-down channels is harmless.
+  if (dom->state() != DomainState::kRunning &&
+      dom->state() != DomainState::kDead) {
+    return FailedPreconditionError("only running or dead domains can microreboot");
   }
   dom->set_state(DomainState::kRebooting);
   // Peers observe their channels break and renegotiate on reconnect.
@@ -335,6 +340,9 @@ Status Hypervisor::CompleteReboot(DomainId caller, DomainId target) {
   }
   dom->set_state(DomainState::kRunning);
   dom->IncrementRebootCount();
+  // A reboot can resurrect a crashed (dead) domain, so the live-domain
+  // gauge ReportCrash decremented has to be refreshed here.
+  m_domains_live_->Set(static_cast<double>(LiveDomainCount()));
   Audit(StrFormat("microreboot-complete dom%u (count=%d)", target.value(),
                   dom->reboot_count()));
   return Status::Ok();

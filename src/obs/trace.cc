@@ -26,6 +26,8 @@ std::string_view TraceCategoryName(TraceCategory cat) {
       return "sched";
     case TraceCategory::kDriver:
       return "driver";
+    case TraceCategory::kWatchdog:
+      return "watchdog";
     case TraceCategory::kCount:
       break;
   }

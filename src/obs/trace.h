@@ -45,6 +45,7 @@ enum class TraceCategory : std::uint8_t {
   kMicroreboot,    // §3.3 restart windows, suspend -> resume
   kSched,          // credit-scheduler allocation epochs
   kDriver,         // split-driver negotiation and ring service
+  kWatchdog,       // supervision: detection -> recovery windows
   kCount,
 };
 

@@ -131,6 +131,49 @@ TEST(AuditLogTest, PlatformExposureQueryEndToEnd) {
   EXPECT_EQ(exposed, (std::vector<DomainId>{g1}));
 }
 
+TEST(AuditLogTest, SupervisionEventsAreChainedAndTamperEvident) {
+  XoarPlatform platform;
+  ASSERT_TRUE(platform.Boot().ok());
+  auto guest = platform.CreateGuest(GuestSpec{});
+  ASSERT_TRUE(guest.ok());
+  platform.Settle();
+
+  // One watchdog-driven restart (injected hang) and one recovery-box
+  // rejection (corrupted box + fast restart).
+  ASSERT_NE(platform.watchdog(), nullptr);
+  ASSERT_TRUE(
+      platform.watchdog()->InjectHang("NetBack", 300 * kMillisecond).ok());
+  platform.Settle(kSecond);
+  RecoveryBox& box = platform.snapshots().recovery_box(
+      platform.shard_domain(ShardClass::kNetBack));
+  ASSERT_TRUE(box.CorruptForTest("nic-config").ok());
+  ASSERT_TRUE(platform.restarts().RestartNow("NetBack", /*fast=*/true).ok());
+  platform.Settle(kSecond);
+
+  AuditLog& log = platform.audit();
+  int watchdog_restart = -1;
+  int box_rejected = -1;
+  for (std::size_t i = 0; i < log.events().size(); ++i) {
+    const AuditEvent& event = log.events()[i];
+    if (event.kind == AuditEventKind::kWatchdogRestart &&
+        event.detail.find("cause=missed-heartbeat") != std::string::npos) {
+      watchdog_restart = static_cast<int>(i);
+    }
+    if (event.kind == AuditEventKind::kRecoveryBoxRejected &&
+        event.detail.find("cause=corrupt-box") != std::string::npos) {
+      box_rejected = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(watchdog_restart, 0);
+  ASSERT_GE(box_rejected, 0);
+  EXPECT_EQ(log.FirstCorruptedRecord(), -1);
+
+  // Supervision records sit inside the same hash chain as every other
+  // event: rewriting one ("that restart never happened") is detected.
+  log.TamperForTest(watchdog_restart, "cover up the restart");
+  EXPECT_EQ(log.FirstCorruptedRecord(), watchdog_restart);
+}
+
 TEST(AuditLogTest, HypervisorEventsAreCaptured) {
   XoarPlatform platform;
   ASSERT_TRUE(platform.Boot().ok());

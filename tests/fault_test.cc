@@ -52,6 +52,52 @@ TEST(BackoffTest, ExhaustionIsAdvisoryAndResettable) {
   EXPECT_EQ(backoff.NextDelay(), 1 * kMillisecond);
 }
 
+// The pre-optimisation DelayForAttempt, kept verbatim as the behavioural
+// oracle for the O(1) closed form: the ladder values callers tuned against
+// (including the early-cap quirk for multiplier < 1) must not move.
+SimDuration ReferenceDelayForAttempt(const BackoffPolicy& policy,
+                                     int attempt) {
+  double delay = static_cast<double>(policy.initial_delay);
+  for (int i = 0; i < attempt; ++i) {
+    delay *= policy.multiplier;
+    if (delay >= static_cast<double>(policy.max_delay)) {
+      return policy.max_delay;
+    }
+  }
+  return std::min(static_cast<SimDuration>(delay), policy.max_delay);
+}
+
+TEST(BackoffTest, ClosedFormMatchesReferenceLoop) {
+  const SimDuration initials[] = {0, 1, kMillisecond, 7 * kMillisecond,
+                                  kSecond};
+  const double multipliers[] = {0.5, 1.0, 1.5, 2.0, 3.0};
+  const SimDuration caps[] = {1, 64 * kMillisecond, 256 * kMillisecond,
+                              10 * kSecond};
+  for (SimDuration initial : initials) {
+    for (double multiplier : multipliers) {
+      for (SimDuration cap : caps) {
+        BackoffPolicy policy;
+        policy.initial_delay = initial;
+        policy.multiplier = multiplier;
+        policy.max_delay = cap;
+        for (int attempt = 0; attempt <= 64; ++attempt) {
+          EXPECT_EQ(policy.DelayForAttempt(attempt),
+                    ReferenceDelayForAttempt(policy, attempt))
+              << "initial=" << initial << " multiplier=" << multiplier
+              << " cap=" << cap << " attempt=" << attempt;
+        }
+      }
+    }
+  }
+
+  // The closed form clamps absurd attempt counts without iterating — the
+  // reference loop could not even run these.
+  BackoffPolicy policy;  // 1 ms initial, x2, 256 ms cap
+  EXPECT_EQ(policy.DelayForAttempt(1'000'000'000), policy.max_delay);
+  policy.multiplier = 0.5;  // shrinking ladder underflows to zero
+  EXPECT_EQ(policy.DelayForAttempt(1'000'000'000), 0u);
+}
+
 // --- FaultPlan layout ---
 
 TEST(FaultPlanTest, RandomizedIsSeedDeterministic) {
@@ -94,11 +140,21 @@ TEST(FaultPlanTest, RandomizedCoversEveryTransientType) {
     if (spec.type == FaultType::kShardCrash) {
       EXPECT_FALSE(spec.target.empty());
     }
+    if (spec.type == FaultType::kShardHang) {
+      EXPECT_FALSE(spec.target.empty());
+      EXPECT_GT(spec.duration, 0u);
+    }
+    if (spec.type == FaultType::kRecoveryBoxCorrupt) {
+      EXPECT_FALSE(spec.target.empty());
+    }
   }
   for (std::size_t i = 0; i < kFaultTypeCount; ++i) {
     EXPECT_GE(seen[i], 1) << FaultTypeName(static_cast<FaultType>(i));
   }
   EXPECT_EQ(seen[static_cast<std::size_t>(FaultType::kShardCrash)], 3);
+  EXPECT_EQ(seen[static_cast<std::size_t>(FaultType::kShardHang)], 2);
+  EXPECT_EQ(seen[static_cast<std::size_t>(FaultType::kRecoveryBoxCorrupt)],
+            1);
 }
 
 // --- Injection against a booted platform ---
@@ -127,7 +183,10 @@ class FaultInjectionTest : public ::testing::Test {
   }
 
   double GaugeValueOf(const std::string& name) {
-    const auto* gauge = platform_.obs().metrics().Snapshot().FindGauge(name);
+    // Bind the snapshot: FindGauge returns a pointer into it, which must
+    // not outlive the snapshot itself.
+    const MetricsSnapshot snapshot = platform_.obs().metrics().Snapshot();
+    const auto* gauge = snapshot.FindGauge(name);
     return gauge == nullptr ? -1.0 : gauge->value;
   }
 
@@ -332,6 +391,52 @@ TEST_F(FaultInjectionTest, CrashDuringRestartIsSkippedNotFatal) {
   EXPECT_EQ(injector.injected_count(FaultType::kShardCrash), 1u);
   EXPECT_EQ(injector.crashes_skipped(), 1u);
   EXPECT_EQ(platform_.restarts().RestartCount("NetBack"), 1);
+  EXPECT_TRUE(platform_.netback().IsVifConnected(guest_));
+}
+
+TEST_F(FaultInjectionTest, ShardHangViaPlanIsDetectedByWatchdog) {
+  FaultInjector injector(&platform_);
+  FaultPlan plan;
+  FaultSpec hang;
+  hang.type = FaultType::kShardHang;
+  hang.target = "NetBack";
+  hang.at = platform_.sim().Now() + 10 * kMillisecond;
+  hang.duration = 300 * kMillisecond;
+  plan.Add(hang);
+  injector.Arm(plan);
+  platform_.Settle(2 * kSecond);
+
+  EXPECT_EQ(injector.injected_count(FaultType::kShardHang), 1u);
+  Watchdog* watchdog = platform_.watchdog();
+  ASSERT_NE(watchdog, nullptr);
+  EXPECT_EQ(watchdog->hangs_detected(), 1u);
+  EXPECT_LE(watchdog->max_hang_detection_latency(),
+            watchdog->config().heartbeat_timeout);
+  EXPECT_GE(platform_.restarts().RestartCount("NetBack"), 1);
+  EXPECT_TRUE(platform_.netback().IsVifConnected(guest_));
+}
+
+TEST_F(FaultInjectionTest, RecoveryBoxCorruptionViaPlanIsRejected) {
+  FaultInjector injector(&platform_);
+  FaultPlan plan;
+  FaultSpec corrupt;
+  corrupt.type = FaultType::kRecoveryBoxCorrupt;
+  corrupt.target = "NetBack";
+  corrupt.at = platform_.sim().Now() + 10 * kMillisecond;
+  plan.Add(corrupt);
+  injector.Arm(plan);
+  platform_.Settle(2 * kSecond);
+
+  EXPECT_EQ(injector.injected_count(FaultType::kRecoveryBoxCorrupt), 1u);
+  // The fast restart that followed the corruption rejected the box and ran
+  // at the slow, from-scratch downtime — poisoned state never resumed.
+  EXPECT_EQ(platform_.restarts().BoxesRejected("NetBack"), 1);
+  EXPECT_EQ(platform_.restarts().LastDowntime("NetBack"),
+            kSlowRestartDowntime);
+  RecoveryBox& box = platform_.snapshots().recovery_box(
+      platform_.shard_domain(ShardClass::kNetBack));
+  EXPECT_TRUE(box.Validate().ok());
+  EXPECT_TRUE(box.Contains("nic-config"));
   EXPECT_TRUE(platform_.netback().IsVifConnected(guest_));
 }
 

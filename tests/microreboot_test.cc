@@ -79,8 +79,33 @@ TEST(RecoveryBoxTest, BasicOperations) {
   EXPECT_EQ(box.Get("missing").status().code(), StatusCode::kNotFound);
   EXPECT_EQ(box.size(), 1u);
   EXPECT_GT(box.bytes(), 0u);
+  EXPECT_EQ(box.Keys(), (std::vector<std::string>{"k"}));
   box.Erase("k");
   EXPECT_FALSE(box.Contains("k"));
+}
+
+TEST(RecoveryBoxTest, ChecksumsDetectCorruption) {
+  RecoveryBox box;
+  box.Put("nic-config", "slot=0000:04:00.0 rate=1000000000");
+  EXPECT_TRUE(box.Validate().ok());
+  ASSERT_TRUE(box.CorruptForTest("nic-config").ok());
+  // The box as a whole and the individual read both refuse corrupt data.
+  EXPECT_EQ(box.Validate().code(), StatusCode::kInternal);
+  EXPECT_EQ(box.Get("nic-config").status().code(), StatusCode::kInternal);
+  // A fresh Put re-checksums the entry: the box is trustworthy again.
+  box.Put("nic-config", "slot=0000:04:00.0 rate=1000000000");
+  EXPECT_TRUE(box.Validate().ok());
+  EXPECT_TRUE(box.Get("nic-config").ok());
+}
+
+TEST(RecoveryBoxTest, CorruptForTestEdgeCases) {
+  RecoveryBox box;
+  EXPECT_EQ(box.CorruptForTest("missing").code(), StatusCode::kNotFound);
+  box.Put("empty", "");
+  // An empty value has no byte to flip.
+  EXPECT_EQ(box.CorruptForTest("empty").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(box.Validate().ok());
 }
 
 // --- RestartEngine on a live platform ---
@@ -194,6 +219,91 @@ TEST_F(RestartEngineTest, RecoveryBoxCarriesDriverConfig) {
   ASSERT_TRUE(platform_.restarts().RestartNow("NetBack", /*fast=*/true).ok());
   platform_.Settle(kSecond);
   EXPECT_TRUE(box.Contains("nic-config"));  // survived the reboot
+}
+
+TEST_F(RestartEngineTest, CorruptRecoveryBoxDowngradesFastRestart) {
+  RecoveryBox& box = platform_.snapshots().recovery_box(
+      platform_.shard_domain(ShardClass::kNetBack));
+  ASSERT_TRUE(box.CorruptForTest("nic-config").ok());
+
+  // The fast path validates before trusting the box: the corrupt box is
+  // discarded and the cycle runs at the slow, from-scratch downtime.
+  ASSERT_TRUE(platform_.restarts().RestartNow("NetBack", /*fast=*/true).ok());
+  EXPECT_EQ(platform_.restarts().LastDowntime("NetBack"),
+            kSlowRestartDowntime);
+  EXPECT_EQ(platform_.restarts().BoxesRejected("NetBack"), 1);
+  EXPECT_EQ(platform_.restarts().TotalBoxesRejected(), 1);
+  platform_.Settle(kSecond);
+
+  // The resume hook repopulated the box with freshly checksummed config.
+  EXPECT_TRUE(box.Contains("nic-config"));
+  EXPECT_TRUE(box.Validate().ok());
+  EXPECT_TRUE(platform_.netback().IsVifConnected(guest_));
+
+  bool rejection_audited = false;
+  for (const auto& event : platform_.audit().events()) {
+    if (event.kind == AuditEventKind::kRecoveryBoxRejected &&
+        event.detail.find("NetBack") != std::string::npos) {
+      rejection_audited = true;
+    }
+  }
+  EXPECT_TRUE(rejection_audited);
+
+  const auto snapshot = platform_.obs().metrics().Snapshot();
+  const auto* rejected =
+      snapshot.FindCounter("NetBack.microreboot.box_rejected");
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->value, 1u);
+}
+
+TEST_F(RestartEngineTest, SkippedPeriodicCyclesAreCounted) {
+  // 50 ms interval against a 140 ms downtime: most ticks land mid-restart
+  // and must be skipped, not queued.
+  ASSERT_TRUE(platform_.EnableNetBackRestarts(50 * kMillisecond, true).ok());
+  platform_.Settle(2 * kSecond);
+  ASSERT_TRUE(platform_.DisableNetBackRestarts().ok());
+
+  EXPECT_GT(platform_.restarts().RestartCount("NetBack"), 0);
+  const int skipped = platform_.restarts().SkippedCycles("NetBack");
+  EXPECT_GT(skipped, 0);
+  const auto snapshot = platform_.obs().metrics().Snapshot();
+  const auto* counter = snapshot.FindCounter("NetBack.microreboot.skipped");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, static_cast<std::uint64_t>(skipped));
+}
+
+TEST_F(RestartEngineTest, TwoComponentsRestartConcurrently) {
+  ASSERT_TRUE(platform_.restarts().RestartNow("NetBack", false).ok());
+  ASSERT_TRUE(platform_.restarts().RestartNow("BlkBack", false).ok());
+  EXPECT_TRUE(platform_.restarts().IsRestarting("NetBack"));
+  EXPECT_TRUE(platform_.restarts().IsRestarting("BlkBack"));
+
+  platform_.Settle(kSecond);
+  EXPECT_EQ(platform_.restarts().RestartCount("NetBack"), 1);
+  EXPECT_EQ(platform_.restarts().RestartCount("BlkBack"), 1);
+  EXPECT_TRUE(platform_.netback().IsVifConnected(guest_));
+  EXPECT_TRUE(platform_.blkback().IsVbdConnected(guest_));
+}
+
+TEST(RestartEngineDeadDomainTest, DeadDomainCanBeMicrorebooted) {
+  // Supervision off so the engine's own dead-domain path is exercised
+  // without the watchdog racing to the same restart.
+  XoarPlatform::Config config;
+  config.supervision_enabled = false;
+  XoarPlatform platform(config);
+  ASSERT_TRUE(platform.Boot().ok());
+  auto guest = platform.CreateGuest(GuestSpec{});
+  ASSERT_TRUE(guest.ok());
+  platform.Settle();
+
+  const DomainId dom = platform.shard_domain(ShardClass::kNetBack);
+  platform.hv().ReportCrash(dom);
+  ASSERT_EQ(platform.hv().domain(dom)->state(), DomainState::kDead);
+
+  ASSERT_TRUE(platform.restarts().RestartNow("NetBack", false).ok());
+  platform.Settle(kSecond);
+  EXPECT_EQ(platform.hv().domain(dom)->state(), DomainState::kRunning);
+  EXPECT_TRUE(platform.netback().IsVifConnected(*guest));
 }
 
 }  // namespace

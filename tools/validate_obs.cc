@@ -9,7 +9,10 @@
 // metrics must be present with sane values — availability in [0,1], zero
 // invariant violations, at least one fault injected and at least one
 // absorbed by retry/backoff — and at least one per-type fault.injected.*
-// counter must be non-zero.
+// counter must be non-zero. Supervision fields (RESILIENCE.md
+// "Supervision") are checked too: the watchdog counters must be present,
+// every corrupted recovery box must have been rejected, and the worst
+// hang-detection latency must not exceed the heartbeat timeout.
 //
 // Checks the metrics file against the BENCH_*.json family shape (top-level
 // "context" + "benchmarks" array) and the trace file against the Chrome
@@ -158,6 +161,19 @@ constexpr CampaignRule kCampaignRules[] = {
     {"campaign.absorbed_by_retry", 1.0, -1.0},
     {"campaign.mean_recovery_ms", 0.0, -1.0},
     {"campaign.probes_issued", 1.0, -1.0},
+    // Supervision summary (watchdog + recovery-box validation). Counts can
+    // legitimately be zero for a campaign that injects no hangs/corruption,
+    // but the fields themselves must always be exported.
+    {"campaign.hangs_injected", 0.0, -1.0},
+    {"campaign.box_corrupts_injected", 0.0, -1.0},
+    {"campaign.boxes_rejected", 0.0, -1.0},
+    {"campaign.heartbeat_timeout_ms", 0.0, -1.0},
+    {"campaign.hang_detection_max_ms", 0.0, -1.0},
+    {"campaign.watchdog_hangs_detected", 0.0, -1.0},
+    {"campaign.watchdog_hangs_absorbed", 0.0, -1.0},
+    {"campaign.watchdog_deaths_detected", 0.0, -1.0},
+    {"campaign.watchdog_auto_restarts", 0.0, -1.0},
+    {"campaign.watchdog_quarantines", 0.0, -1.0},
 };
 
 bool ValidateCampaign(const std::string& path) {
@@ -214,6 +230,31 @@ bool ValidateCampaign(const std::string& path) {
                 "%s: no fault.injected.* counters exported", path.c_str());
   CHECK_OR_FAIL(injected > 0,
                 "%s: every fault.injected.* counter is zero", path.c_str());
+
+  // Cross-field supervision invariants. Single-field bounds live in
+  // kCampaignRules; these relate two exported values.
+  auto number_of = [&](const char* name) {
+    const JsonValue* value = find_value(name);
+    return value != nullptr && value->is_number() ? value->number() : 0.0;
+  };
+  const double hangs_injected = number_of("campaign.hangs_injected");
+  const double hangs_handled =
+      number_of("campaign.watchdog_hangs_detected") +
+      number_of("campaign.watchdog_hangs_absorbed");
+  CHECK_OR_FAIL(hangs_handled == hangs_injected,
+                "%s: %g hangs injected but %g detected+absorbed",
+                path.c_str(), hangs_injected, hangs_handled);
+  CHECK_OR_FAIL(number_of("campaign.hang_detection_max_ms") <=
+                    number_of("campaign.heartbeat_timeout_ms"),
+                "%s: hang detection latency %g ms exceeds heartbeat "
+                "timeout %g ms",
+                path.c_str(), number_of("campaign.hang_detection_max_ms"),
+                number_of("campaign.heartbeat_timeout_ms"));
+  CHECK_OR_FAIL(number_of("campaign.boxes_rejected") ==
+                    number_of("campaign.box_corrupts_injected"),
+                "%s: %g recovery boxes corrupted but %g rejected",
+                path.c_str(), number_of("campaign.box_corrupts_injected"),
+                number_of("campaign.boxes_rejected"));
 
   std::printf("%s: campaign OK (%zu fault types tracked, %g injections)\n",
               path.c_str(), injected_counters, injected);
