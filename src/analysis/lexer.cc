@@ -1,0 +1,331 @@
+#include "src/analysis/lexer.h"
+
+#include <cctype>
+
+namespace xoar {
+namespace analysis {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses the body of a line comment that begins with the xoar-lint marker
+// (the "allow(<rule>): <justification>" form described in ANALYSIS.md).
+SuppressionComment ParseSuppression(std::string_view body, int line) {
+  SuppressionComment out;
+  out.line = line;
+  out.valid = false;
+  body = Trim(body);
+  constexpr std::string_view kAllow = "allow(";
+  if (body.substr(0, kAllow.size()) != kAllow) {
+    out.error = "expected allow(<rule>) after xoar-lint:";
+    return out;
+  }
+  body.remove_prefix(kAllow.size());
+  const std::size_t close = body.find(')');
+  if (close == std::string_view::npos) {
+    out.error = "unterminated allow(";
+    return out;
+  }
+  out.rule = std::string(Trim(body.substr(0, close)));
+  body.remove_prefix(close + 1);
+  body = Trim(body);
+  if (out.rule.empty()) {
+    out.error = "empty rule name in allow()";
+    return out;
+  }
+  if (body.empty() || body.front() != ':') {
+    out.error = "missing justification (expected \": <why>\" after allow())";
+    return out;
+  }
+  body.remove_prefix(1);
+  out.justification = std::string(Trim(body));
+  if (out.justification.empty()) {
+    out.error = "empty justification";
+    return out;
+  }
+  out.valid = true;
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexedSource Run() {
+    while (pos_ < src_.size()) {
+      Step();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Cur() const { return src_[pos_]; }
+  char Peek() const { return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0'; }
+  bool AtLineStart() const { return at_line_start_; }
+
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      at_line_start_ = true;
+    } else if (!std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      at_line_start_ = false;
+    }
+    ++pos_;
+  }
+
+  void Step() {
+    const char c = Cur();
+    if (c == '/' && Peek() == '/') {
+      LineComment();
+      return;
+    }
+    if (c == '/' && Peek() == '*') {
+      BlockComment();
+      return;
+    }
+    if (c == '"') {
+      StringLiteral();
+      return;
+    }
+    if (c == '\'') {
+      CharLiteral();
+      return;
+    }
+    if (c == '#' && AtLineStart()) {
+      Preprocessor();
+      return;
+    }
+    if (IsIdentStart(c)) {
+      Identifier();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Number();
+      return;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      Punct();
+      return;
+    }
+    Advance();
+  }
+
+  void LineComment() {
+    const int start_line = line_;
+    std::size_t end = src_.find('\n', pos_);
+    if (end == std::string_view::npos) {
+      end = src_.size();
+    }
+    std::string_view body = src_.substr(pos_ + 2, end - pos_ - 2);
+    const std::string_view trimmed = Trim(body);
+    constexpr std::string_view kMarker = "xoar-lint:";
+    if (trimmed.substr(0, kMarker.size()) == kMarker) {
+      out_.suppressions.push_back(
+          ParseSuppression(trimmed.substr(kMarker.size()), start_line));
+    }
+    while (pos_ < end) {
+      Advance();
+    }
+  }
+
+  void BlockComment() {
+    Advance();  // '/'
+    Advance();  // '*'
+    while (pos_ < src_.size()) {
+      if (Cur() == '*' && Peek() == '/') {
+        Advance();
+        Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  void StringLiteral() {
+    Advance();  // opening quote
+    while (pos_ < src_.size()) {
+      if (Cur() == '\\') {
+        Advance();
+        if (pos_ < src_.size()) {
+          Advance();
+        }
+        continue;
+      }
+      if (Cur() == '"' || Cur() == '\n') {  // \n: tolerate unterminated
+        Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  void CharLiteral() {
+    Advance();
+    while (pos_ < src_.size()) {
+      if (Cur() == '\\') {
+        Advance();
+        if (pos_ < src_.size()) {
+          Advance();
+        }
+        continue;
+      }
+      if (Cur() == '\'' || Cur() == '\n') {
+        Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  // R"delim( ... )delim"
+  void RawString() {
+    Advance();  // 'R' already consumed by caller contract; here at '"'
+    std::string delim;
+    while (pos_ < src_.size() && Cur() != '(' && Cur() != '\n') {
+      delim.push_back(Cur());
+      Advance();
+    }
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = src_.find(closer, pos_);
+    const std::size_t stop =
+        end == std::string_view::npos ? src_.size() : end + closer.size();
+    while (pos_ < stop) {
+      Advance();
+    }
+  }
+
+  // Skips any preprocessor directive (honoring backslash continuations)
+  // after capturing #include targets.
+  void Preprocessor() {
+    const int start_line = line_;
+    Advance();  // '#'
+    while (pos_ < src_.size() &&
+           (Cur() == ' ' || Cur() == '\t')) {
+      Advance();
+    }
+    std::string word;
+    while (pos_ < src_.size() && IsIdentChar(Cur())) {
+      word.push_back(Cur());
+      Advance();
+    }
+    if (word == "include") {
+      while (pos_ < src_.size() && (Cur() == ' ' || Cur() == '\t')) {
+        Advance();
+      }
+      if (pos_ < src_.size() && (Cur() == '"' || Cur() == '<')) {
+        const bool angled = Cur() == '<';
+        const char closer = angled ? '>' : '"';
+        Advance();
+        std::string target;
+        while (pos_ < src_.size() && Cur() != closer && Cur() != '\n') {
+          target.push_back(Cur());
+          Advance();
+        }
+        out_.includes.push_back({std::move(target), angled, start_line});
+      }
+    }
+    // Skip the rest of the directive, including continuation lines. Line
+    // comments inside directives terminate them; block comments are rare
+    // enough in directives to ignore here.
+    while (pos_ < src_.size()) {
+      if (Cur() == '\\' && Peek() == '\n') {
+        Advance();
+        Advance();
+        continue;
+      }
+      if (Cur() == '\n') {
+        Advance();
+        return;
+      }
+      if (Cur() == '/' && Peek() == '/') {
+        LineComment();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  void Identifier() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() && IsIdentChar(Cur())) {
+      text.push_back(Cur());
+      Advance();
+    }
+    // Raw string literal: R"(...)" (also LR"/u8R" etc., which end in R).
+    if (pos_ < src_.size() && Cur() == '"' && !text.empty() &&
+        text.back() == 'R') {
+      RawString();
+      return;
+    }
+    // Plain prefixed literal like u8"x" / L"x": skip the string.
+    if (pos_ < src_.size() && Cur() == '"' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      StringLiteral();
+      return;
+    }
+    out_.tokens.push_back({TokenKind::kIdentifier, std::move(text),
+                           start_line});
+  }
+
+  void Number() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() &&
+           (IsIdentChar(Cur()) || Cur() == '.' ||
+            ((Cur() == '+' || Cur() == '-') && !text.empty() &&
+             (text.back() == 'e' || text.back() == 'E' ||
+              text.back() == 'p' || text.back() == 'P')))) {
+      text.push_back(Cur());
+      Advance();
+    }
+    out_.tokens.push_back({TokenKind::kNumber, std::move(text), start_line});
+  }
+
+  void Punct() {
+    const int start_line = line_;
+    const char c = Cur();
+    if (c == ':' && Peek() == ':') {
+      Advance();
+      Advance();
+      out_.tokens.push_back({TokenKind::kPunct, "::", start_line});
+      return;
+    }
+    if (c == '-' && Peek() == '>') {
+      Advance();
+      Advance();
+      out_.tokens.push_back({TokenKind::kPunct, "->", start_line});
+      return;
+    }
+    Advance();
+    out_.tokens.push_back({TokenKind::kPunct, std::string(1, c), start_line});
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedSource out_;
+};
+
+}  // namespace
+
+LexedSource Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace analysis
+}  // namespace xoar

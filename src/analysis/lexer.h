@@ -1,0 +1,72 @@
+// Lightweight C++ tokenizer for xoar_lint (DESIGN.md §5e, ANALYSIS.md).
+//
+// This is not a compiler front end: it produces the token stream the lint
+// rules actually need — identifiers, numbers, punctuation — while skipping
+// the places violations must NOT be reported from (comments, string and
+// character literals, preprocessor directives). Two side channels are
+// extracted along the way:
+//
+//   * `#include "..."` / `#include <...>` directives, with line numbers,
+//     feeding the layering rule;
+//   * `// xoar-lint: allow(<rule>): <justification>` suppression comments,
+//     feeding the suppression contract (a suppression covers findings on
+//     its own line and the line immediately below, so it works both as a
+//     trailing comment and as a standalone comment above the violation).
+//
+// All other preprocessor lines (#define, #ifdef, ...) are skipped entirely,
+// honoring backslash continuations, so macro bodies can never trip the
+// token-level rules.
+#ifndef XOAR_SRC_ANALYSIS_LEXER_H_
+#define XOAR_SRC_ANALYSIS_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xoar {
+namespace analysis {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (no distinction needed)
+  kNumber,
+  kPunct,  // one operator/punctuator character per token, except "::",
+           // "->", which are kept whole because the rules match on them
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+};
+
+struct IncludeDirective {
+  std::string path;  // include target, without quotes/brackets
+  bool angled;       // <...> instead of "..."
+  int line;
+};
+
+struct SuppressionComment {
+  std::string rule;           // rule name inside allow(...)
+  std::string justification;  // text after the trailing colon, trimmed
+  int line;
+  // False when the comment carries the xoar-lint marker but does not parse
+  // (missing rule, missing justification). Invalid suppressions never
+  // suppress anything and are themselves reported by the suppression rule.
+  bool valid;
+  std::string error;  // why `valid` is false
+};
+
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<SuppressionComment> suppressions;
+};
+
+// Tokenizes one translation unit. Never fails: unrecognized bytes are
+// skipped (lint rules only care about the recognized subset).
+LexedSource Lex(std::string_view source);
+
+}  // namespace analysis
+}  // namespace xoar
+
+#endif  // XOAR_SRC_ANALYSIS_LEXER_H_

@@ -1,0 +1,129 @@
+#include "src/analysis/report.h"
+
+#include <map>
+
+#include "src/base/strings.h"
+
+namespace xoar {
+namespace analysis {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LintSummary Summarize(const std::vector<Finding>& findings,
+                      std::size_t files_scanned) {
+  LintSummary summary;
+  summary.files_scanned = files_scanned;
+  summary.total = findings.size();
+  for (const Finding& finding : findings) {
+    if (finding.suppressed) {
+      ++summary.suppressed;
+    } else {
+      ++summary.unsuppressed;
+    }
+  }
+  return summary;
+}
+
+std::string FormatText(const std::vector<Finding>& findings,
+                       const LintSummary& summary) {
+  std::string out;
+  for (const Finding& finding : findings) {
+    out += StrFormat("%s:%d: [%s] %s", finding.file.c_str(), finding.line,
+                     finding.rule.c_str(), finding.message.c_str());
+    if (finding.suppressed) {
+      out += StrFormat("  [suppressed: %s]",
+                       finding.justification.c_str());
+    }
+    out += "\n";
+  }
+  out += StrFormat(
+      "xoar_lint: %zu file(s) scanned, %zu finding(s) (%zu suppressed, "
+      "%zu blocking)\n",
+      summary.files_scanned, summary.total, summary.suppressed,
+      summary.unsuppressed);
+  return out;
+}
+
+std::string FormatJson(const std::vector<Finding>& findings,
+                       const LintSummary& summary) {
+  // Per-rule counts cover every suppressible rule plus "suppression", even
+  // when zero, so the schema checker can rely on their presence.
+  std::map<std::string, std::size_t> per_rule;
+  for (const std::string& rule : SuppressibleRules()) {
+    per_rule[rule] = 0;
+  }
+  per_rule["suppression"] = 0;
+  for (const Finding& finding : findings) {
+    if (!finding.suppressed) {
+      ++per_rule[finding.rule];
+    }
+  }
+
+  std::string out;
+  out += "{\n";
+  out += "  \"context\": {\n";
+  out += "    \"executable\": \"xoar_lint\",\n";
+  out += "    \"sim_time_ns\": 0\n";
+  out += "  },\n";
+  out += "  \"benchmarks\": [\n";
+  auto metric = [&out](const std::string& name, const char* run_type,
+                       std::size_t value, bool last) {
+    out += StrFormat(
+        "    {\"name\": \"%s\", \"run_type\": \"%s\", \"value\": %zu}%s\n",
+        name.c_str(), run_type, value, last ? "" : ",");
+  };
+  metric("lint.files_scanned", "gauge", summary.files_scanned, false);
+  for (const auto& [rule, count] : per_rule) {
+    metric("lint.findings." + rule, "counter", count, false);
+  }
+  metric("lint.findings.total", "counter", summary.unsuppressed, false);
+  metric("lint.suppressed.total", "counter", summary.suppressed, true);
+  out += "  ],\n";
+  out += "  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += StrFormat(
+        "    {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, "
+        "\"message\": \"%s\", \"suppressed\": %s, \"justification\": "
+        "\"%s\"}%s\n",
+        JsonEscape(f.rule).c_str(), JsonEscape(f.file).c_str(), f.line,
+        JsonEscape(f.message).c_str(), f.suppressed ? "true" : "false",
+        JsonEscape(f.justification).c_str(),
+        i + 1 == findings.size() ? "" : ",");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace xoar

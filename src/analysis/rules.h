@@ -1,0 +1,103 @@
+// The four xoar_lint rule families (ANALYSIS.md, DESIGN.md §5e).
+//
+// Xoar's disaggregation argument rests on invariants that, before this
+// layer, were only enforced at runtime (HypercallFilter, AuditLog) or by
+// convention (module layering, simulated time). Each rule makes one of them
+// machine-checked at build time:
+//
+//   layering     — the src/ module dependency DAG is declared in ONE table
+//                  (DefaultConfig().layering); an include edge outside the
+//                  table, or a cycle in the table itself, is an error.
+//   privilege    — every `Hypercall::k*` use outside src/hv/ must be
+//                  attributable to a shard whose declared grant set (kept in
+//                  sync with the permit_hypercall calls in
+//                  src/core/xoar_platform.cc and the unprivileged class in
+//                  src/hv/hypercall.h) includes that op (§3.1, Fig 3.1).
+//   determinism  — wall-clock and libc randomness are banned outside
+//                  src/sim/ and bench/, protecting seed-stable fault
+//                  campaigns and byte-stable reports (DESIGN.md §5c).
+//   audit        — the privileged operations named in the audited-op table
+//                  (restart escalation, quarantine, builder launch, PCI
+//                  assignment) must emit an AuditLog event in the same
+//                  function body (§3.2.2).
+//
+// A fifth pseudo-rule, "suppression", reports xoar-lint comments that are
+// malformed, lack a justification, or name an unknown rule. It cannot be
+// suppressed.
+#ifndef XOAR_SRC_ANALYSIS_RULES_H_
+#define XOAR_SRC_ANALYSIS_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/source_tree.h"
+
+namespace xoar {
+namespace analysis {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // tree-relative path, or "<tree>" for tree-wide issues
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string justification;  // set when suppressed
+};
+
+// One shard's declared privilege grants (the paper's Fig 3.1 assignments,
+// Table 5.1). `target_token` is the identifier the grant call sites in the
+// platform source use for this shard's domain, which is how extracted
+// grants are attributed back to a shard.
+struct ShardGrant {
+  std::string shard;
+  std::string target_token;
+  bool all_privileges = false;      // PermitAll (Bootstrapper only)
+  std::vector<std::string> ops;     // Hypercall::k* enumerator names
+};
+
+struct AuditedOp {
+  std::string cls;     // e.g. "Builder"
+  std::string method;  // e.g. "BuildVm"
+};
+
+struct LintConfig {
+  // module -> full set of modules it may include from (the declared DAG).
+  std::vector<std::pair<std::string, std::vector<std::string>>> layering;
+
+  // Path prefixes exempt from the determinism rule.
+  std::vector<std::string> determinism_exempt_prefixes;
+  // Banned wherever they appear as an identifier (chrono clocks etc.).
+  std::vector<std::string> banned_clock_identifiers;
+  // Banned only in call position: `name(` not preceded by `.` or `->`.
+  std::vector<std::string> banned_call_identifiers;
+
+  // Privilege rule inputs.
+  std::vector<ShardGrant> shards;
+  std::string privilege_exempt_module = "hv";
+  std::string hypercall_header_suffix = "src/hv/hypercall.h";
+  std::string platform_source_suffix = "src/core/xoar_platform.cc";
+
+  // Audit rule inputs.
+  std::vector<AuditedOp> audited_ops;
+  // When true (the real tree), every audited op must be *found* somewhere,
+  // so renaming a privileged operation cannot silently detach its rule.
+  // Fixture trees set this to false.
+  bool require_audited_op_definitions = true;
+};
+
+// The one authoritative table set. Layering mirrors src/*/CMakeLists.txt
+// link dependencies; shard grants mirror PAPER.md §3.1/Table 5.1.
+LintConfig DefaultConfig();
+
+// Rules a suppression comment may name.
+std::vector<std::string> SuppressibleRules();
+
+// Runs every rule over the tree, applies suppressions, reports invalid
+// suppressions, and returns findings sorted by (file, line, rule, message).
+std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
+                             const LintConfig& config);
+
+}  // namespace analysis
+}  // namespace xoar
+
+#endif  // XOAR_SRC_ANALYSIS_RULES_H_

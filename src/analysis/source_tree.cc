@@ -1,0 +1,87 @@
+#include "src/analysis/source_tree.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/strings.h"
+
+namespace xoar {
+namespace analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string ToForwardSlashes(std::string s) {
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+std::string ModuleOf(const std::string& rel_path) {
+  constexpr std::string_view kSrc = "src/";
+  if (rel_path.rfind(kSrc, 0) != 0) {
+    return "";
+  }
+  const std::size_t slash = rel_path.find('/', kSrc.size());
+  if (slash == std::string::npos) {
+    return "";  // a file directly under src/ belongs to no module
+  }
+  return rel_path.substr(kSrc.size(), slash - kSrc.size());
+}
+
+}  // namespace
+
+std::vector<std::string> DefaultScanDirs() {
+  return {"src", "tools", "examples", "bench"};
+}
+
+StatusOr<std::vector<SourceFile>> LoadTree(
+    const std::string& root, const std::vector<std::string>& dirs) {
+  std::vector<std::string> rel_paths;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) {
+      continue;  // fixture trees may omit whole subtrees
+    }
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (it->is_regular_file() && HasSourceExtension(it->path())) {
+        rel_paths.push_back(ToForwardSlashes(
+            fs::relative(it->path(), root).string()));
+      }
+    }
+    if (ec) {
+      return InternalError(StrFormat("walking %s: %s",
+                                     base.string().c_str(),
+                                     ec.message().c_str()));
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      return InternalError(StrFormat("cannot read %s", rel.c_str()));
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    SourceFile file;
+    file.path = rel;
+    file.module = ModuleOf(rel);
+    file.lexed = Lex(buffer.str());
+    files.push_back(std::move(file));
+  }
+  return files;
+}
+
+}  // namespace analysis
+}  // namespace xoar

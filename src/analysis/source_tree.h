@@ -1,0 +1,42 @@
+// Loads and lexes the source tree xoar_lint analyzes.
+//
+// A "tree" is a root directory plus the set of top-level subdirectories to
+// scan (src, tools, examples, bench for the real repository; fixture trees
+// under tests/analysis_fixtures/ carry the same shape in miniature). Files
+// are discovered with deterministic ordering (sorted paths) so every lint
+// report is byte-stable for a given tree.
+#ifndef XOAR_SRC_ANALYSIS_SOURCE_TREE_H_
+#define XOAR_SRC_ANALYSIS_SOURCE_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/lexer.h"
+#include "src/base/status.h"
+
+namespace xoar {
+namespace analysis {
+
+struct SourceFile {
+  // Path relative to the tree root, with forward slashes
+  // (e.g. "src/hv/hypervisor.cc").
+  std::string path;
+  // For files under src/: the module directory ("base", "hv", ...).
+  // Empty otherwise.
+  std::string module;
+  LexedSource lexed;
+};
+
+// Subdirectories scanned by default (missing ones are skipped silently so
+// fixture trees can be minimal).
+std::vector<std::string> DefaultScanDirs();
+
+// Recursively loads every .h/.cc/.cpp file under root/<dir> for each given
+// dir. Fails only on I/O errors for files that exist but cannot be read.
+StatusOr<std::vector<SourceFile>> LoadTree(
+    const std::string& root, const std::vector<std::string>& dirs);
+
+}  // namespace analysis
+}  // namespace xoar
+
+#endif  // XOAR_SRC_ANALYSIS_SOURCE_TREE_H_

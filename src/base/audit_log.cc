@@ -1,4 +1,4 @@
-#include "src/core/audit_log.h"
+#include "src/base/audit_log.h"
 
 #include <algorithm>
 #include <set>
@@ -29,6 +29,10 @@ std::string_view AuditEventKindName(AuditEventKind kind) {
       return "shard-quarantined";
     case AuditEventKind::kRecoveryBoxRejected:
       return "recovery-box-rejected";
+    case AuditEventKind::kVmBuilt:
+      return "vm-built";
+    case AuditEventKind::kPciAssigned:
+      return "pci-assigned";
   }
   return "unknown";
 }

@@ -9,8 +9,8 @@
 //      a vulnerable release of a component.
 // Append-only tamper evidence is modeled with a hash chain over the
 // serialized records (see src/base/hash_chain.h).
-#ifndef XOAR_SRC_CORE_AUDIT_LOG_H_
-#define XOAR_SRC_CORE_AUDIT_LOG_H_
+#ifndef XOAR_SRC_BASE_AUDIT_LOG_H_
+#define XOAR_SRC_BASE_AUDIT_LOG_H_
 
 #include <cstdint>
 #include <string>
@@ -36,6 +36,10 @@ enum class AuditEventKind : std::uint8_t {
   kWatchdogRestart,      // watchdog-initiated automatic microreboot
   kShardQuarantined,     // restart budget exhausted; degraded mode entered
   kRecoveryBoxRejected,  // corrupt recovery box discarded, slow path taken
+  // Privileged control-plane operations (ANALYSIS.md audit rule): the
+  // shards below hold dangerous permits, so each use is logged.
+  kVmBuilt,      // Builder constructed a guest (subject guest <- object builder)
+  kPciAssigned,  // PCIBack delegated a device (subject guest <- object pciback)
 };
 
 std::string_view AuditEventKindName(AuditEventKind kind);
@@ -84,4 +88,4 @@ class AuditLog {
 
 }  // namespace xoar
 
-#endif  // XOAR_SRC_CORE_AUDIT_LOG_H_
+#endif  // XOAR_SRC_BASE_AUDIT_LOG_H_

@@ -40,7 +40,7 @@
 #include "src/base/ids.h"
 #include "src/base/status.h"
 #include "src/base/units.h"
-#include "src/core/audit_log.h"
+#include "src/base/audit_log.h"
 #include "src/core/microreboot.h"
 #include "src/hv/hypervisor.h"
 #include "src/obs/obs.h"

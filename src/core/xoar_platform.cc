@@ -143,6 +143,7 @@ Status XoarPlatform::Boot() {
     XOAR_RETURN_IF_ERROR(hv_->PermitHypercall(bootstrapper_, builder_dom_, hc));
   }
   builder_ = std::make_unique<Builder>(hv_.get(), xs_.get(), builder_dom_);
+  builder_->set_audit_log(&audit_);
   xs_->store().AddManagerDomain(builder_dom_);
   XOAR_RETURN_IF_ERROR(xs_->Connect(builder_dom_));
   if (console_ != nullptr) {
@@ -181,6 +182,7 @@ Status XoarPlatform::Boot() {
   }
   pci_service_ =
       std::make_unique<PciBackService>(hv_.get(), &pci_bus_, pciback_dom_);
+  pci_service_->set_audit_log(&audit_);
   XOAR_RETURN_IF_ERROR(pci_service_->InitializeHardware(bootstrapper_));
   sim_.RunUntil(t_pciback);
 

@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/audit_log.h"
+#include "src/base/audit_log.h"
 #include "src/core/microreboot.h"
 #include "src/core/shard.h"
 #include "src/core/snapshot.h"

@@ -97,6 +97,16 @@ StatusOr<DomainId> Builder::BuildVm(DomainId toolstack,
   }
 
   ++builds_;
+  if (audit_ != nullptr) {
+    AuditEvent event;
+    event.time = hv_->sim()->Now();
+    event.kind = AuditEventKind::kVmBuilt;
+    event.subject = guest;
+    event.object = self_;
+    event.detail = StrFormat("image=%s name=%s toolstack=%u", image.c_str(),
+                             request.config.name.c_str(), toolstack.value());
+    audit_->Record(std::move(event));
+  }
   XLOG(kDebug) << "[builder] built dom" << guest.value() << " ("
                << request.config.name << ") for toolstack dom"
                << toolstack.value();

@@ -14,6 +14,7 @@
 #include <set>
 #include <string>
 
+#include "src/base/audit_log.h"
 #include "src/base/ids.h"
 #include "src/base/status.h"
 #include "src/drv/console.h"
@@ -46,6 +47,9 @@ class Builder {
     console_foreign_map_ = console_uses_foreign_map;
   }
 
+  // Audit sink for kVmBuilt records (§3.2.2); optional, set by the platform.
+  void set_audit_log(AuditLog* audit) { audit_ = audit; }
+
   // Image library management (§5.2: "library of known good images").
   void AddKnownImage(const std::string& name) { known_images_.insert(name); }
   bool HasImage(const std::string& name) const {
@@ -66,6 +70,7 @@ class Builder {
   Hypervisor* hv_;
   XenStoreService* xs_;
   DomainId self_;
+  AuditLog* audit_ = nullptr;
   ConsoleBackend* console_ = nullptr;
   bool console_foreign_map_ = false;
   std::set<std::string> known_images_;

@@ -46,7 +46,17 @@ Status PciBackService::PassThrough(DomainId target, const PciSlot& slot) {
     return FailedPreconditionError("hardware not initialized");
   }
   XOAR_RETURN_IF_ERROR(hv_->CheckHwCapability(self_, HwCapability::kPciBusControl));
-  return hv_->AssignPciDevice(self_, target, slot);
+  XOAR_RETURN_IF_ERROR(hv_->AssignPciDevice(self_, target, slot));
+  if (audit_ != nullptr) {
+    AuditEvent event;
+    event.time = hv_->sim()->Now();
+    event.kind = AuditEventKind::kPciAssigned;
+    event.subject = target;
+    event.object = self_;
+    event.detail = StrFormat("slot=%s", slot.ToString().c_str());
+    audit_->Record(std::move(event));
+  }
+  return Status::Ok();
 }
 
 Status PciBackService::CheckProxyAccess(DomainId caller,

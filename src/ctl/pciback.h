@@ -15,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "src/base/audit_log.h"
 #include "src/base/ids.h"
 #include "src/base/status.h"
 #include "src/dev/pci.h"
@@ -40,6 +41,10 @@ class PciBackService {
 
   bool hardware_initialized() const { return hardware_initialized_; }
   const std::vector<PciDeviceInfo>& discovered() const { return discovered_; }
+
+  // Audit sink for kPciAssigned records (§3.2.2); optional, set by the
+  // platform.
+  void set_audit_log(AuditLog* audit) { audit_ = audit; }
 
   void set_udev_rule(UdevRule rule) { udev_rule_ = std::move(rule); }
   // Runs the udev rules over discovered network/storage controllers.
@@ -75,6 +80,7 @@ class PciBackService {
   Hypervisor* hv_;
   PciBus* bus_;
   DomainId self_;
+  AuditLog* audit_ = nullptr;
   bool hardware_initialized_ = false;
   bool destroyed_ = false;
   bool sriov_active_ = false;

@@ -259,8 +259,7 @@ class Parser {
 
   StatusOr<JsonValue> ParseNumber() {
     const std::size_t start = pos_;
-    if (Consume('-')) {
-    }
+    (void)Consume('-');
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
             text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||

@@ -203,7 +203,8 @@ void AppendJsonString(std::string* out, std::string_view s) {
         break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          out->append(StrFormat("\\u%04x", c));
+          out->append(StrFormat(
+              "\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c))));
         } else {
           out->push_back(c);
         }
@@ -214,8 +215,10 @@ void AppendJsonString(std::string* out, std::string_view s) {
 
 std::string JsonNumber(double value) {
   // Integral values print without a fraction so counters stay integers.
-  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
-      value < 1e15 && value > -1e15) {
+  // Range-check before the int64 cast: casting a double outside int64
+  // range is undefined behaviour.
+  if (value < 1e15 && value > -1e15 &&
+      value == static_cast<double>(static_cast<std::int64_t>(value))) {
     return StrFormat("%lld", static_cast<long long>(value));
   }
   return StrFormat("%.17g", value);

@@ -162,7 +162,8 @@ void AppendJsonString(std::string* out, std::string_view s) {
         break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          out->append(StrFormat("\\u%04x", c));
+          out->append(StrFormat(
+              "\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c))));
         } else {
           out->push_back(c);
         }

@@ -1,0 +1,20 @@
+// Fixture: exactly one audit violation. Builder::BuildVm is a privileged
+// operation (it writes guest memory) but its body never records an
+// AuditLog event.
+namespace xoar_fixture {
+
+struct BuildRequest {
+  int memory_mb = 0;
+};
+
+struct Builder {
+  int BuildVm(int toolstack, const BuildRequest& request);
+  int builds_ = 0;
+};
+
+int Builder::BuildVm(int toolstack, const BuildRequest& request) {
+  ++builds_;
+  return toolstack + request.memory_mb;
+}
+
+}  // namespace xoar_fixture

@@ -1,0 +1,13 @@
+// Fixture: a suppression missing its justification. The malformed comment
+// is itself a finding, and because it is invalid it does NOT silence the
+// underlying determinism violation — two blocking findings total.
+#include <ctime>
+
+namespace xoar_fixture {
+
+long Seed() {
+  // xoar-lint: allow(determinism)
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace xoar_fixture

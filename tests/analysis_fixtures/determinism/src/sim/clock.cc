@@ -1,0 +1,11 @@
+// Fixture: src/sim/ is exempt from the determinism rule, so this use of a
+// wall clock must NOT produce a finding.
+#include <chrono>
+
+namespace xoar_fixture {
+
+long WallNanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace xoar_fixture

@@ -1,0 +1,23 @@
+// Fixture: exactly two determinism violations (steady_clock and rand()).
+// The decoys below must NOT trigger: "time(" inside a string literal, a
+// member call obj.time(), and the identifier time_ms.
+#include <chrono>
+#include <cstdlib>
+
+namespace xoar_fixture {
+
+struct Box {
+  long time() { return 0; }
+};
+
+long Sample() {
+  auto now = std::chrono::steady_clock::now();  // violation 1
+  int jitter = rand();                          // violation 2
+  Box box;
+  long time_ms = box.time();
+  const char* label = "time(s) elapsed";
+  (void)label;
+  return now.time_since_epoch().count() + jitter + time_ms;
+}
+
+}  // namespace xoar_fixture

@@ -1,0 +1,9 @@
+// Fixture: a hypervisor-layer header for the layering fixture to include.
+#ifndef XOAR_TESTS_ANALYSIS_FIXTURES_LAYERING_SRC_HV_HYPERCALL_API_H_
+#define XOAR_TESTS_ANALYSIS_FIXTURES_LAYERING_SRC_HV_HYPERCALL_API_H_
+
+namespace xoar_fixture {
+inline int HypercallApiVersion() { return 1; }
+}  // namespace xoar_fixture
+
+#endif  // XOAR_TESTS_ANALYSIS_FIXTURES_LAYERING_SRC_HV_HYPERCALL_API_H_

@@ -1,0 +1,8 @@
+// Fixture: exactly one layering violation. The observability layer sits
+// below the hypervisor in the declared DAG, so this include is an upward
+// edge (obs may not depend on hv).
+#include "src/hv/hypercall_api.h"
+
+namespace xoar_fixture {
+int ProbeVersion() { return HypercallApiVersion(); }
+}  // namespace xoar_fixture

@@ -1,0 +1,15 @@
+// Fixture: a grant site that stays within the declared privilege table.
+// kDomctlCreate is in the Builder's declared set, so this file is clean.
+#include "src/hv/hypercall.h"
+
+namespace xoar_fixture {
+
+struct Hv {
+  void PermitHypercall(int grantor, int target, Hypercall op);
+};
+
+void Boot(Hv* hv, int bootstrapper, int builder_dom_) {
+  hv->PermitHypercall(bootstrapper, builder_dom_, Hypercall::kDomctlCreate);
+}
+
+}  // namespace xoar_fixture

@@ -1,0 +1,14 @@
+// Fixture: exactly one privilege violation. kSysctlReboot is neither in the
+// unprivileged class nor in any shard's declared grant set, so this call
+// site could never pass the hypercall filter.
+#include "src/hv/hypercall.h"
+
+namespace xoar_fixture {
+
+struct Hv {
+  bool Invoke(Hypercall op);
+};
+
+bool RequestReboot(Hv* hv) { return hv->Invoke(Hypercall::kSysctlReboot); }
+
+}  // namespace xoar_fixture

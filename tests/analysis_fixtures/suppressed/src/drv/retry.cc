@@ -1,0 +1,13 @@
+// Fixture: one determinism violation carrying a well-formed, justified
+// suppression. The tree must lint clean (the finding is reported as
+// suppressed, not blocking).
+#include <ctime>
+
+namespace xoar_fixture {
+
+long Seed() {
+  // xoar-lint: allow(determinism): fixture demonstrates a justified waiver
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace xoar_fixture

@@ -1,0 +1,217 @@
+// Tests for the xoar_lint analysis library: the lexer, the rule engine over
+// the seeded fixture trees in tests/analysis_fixtures/, and the suppression
+// contract (ANALYSIS.md).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/analysis/lexer.h"
+#include "src/analysis/report.h"
+#include "src/analysis/rules.h"
+#include "src/analysis/source_tree.h"
+
+namespace xoar {
+namespace analysis {
+namespace {
+
+std::vector<Finding> LintFixture(const std::string& name) {
+  const std::string root =
+      std::string(XOAR_FIXTURE_DIR) + "/" + name;
+  LintConfig config = DefaultConfig();
+  config.require_audited_op_definitions = false;  // fixture trees are small
+  StatusOr<std::vector<SourceFile>> files =
+      LoadTree(root, DefaultScanDirs());
+  EXPECT_TRUE(files.ok()) << files.status().ToString();
+  EXPECT_FALSE(files->empty()) << "fixture " << name << " has no sources";
+  return RunLint(*files, config);
+}
+
+std::vector<Finding> Unsuppressed(const std::vector<Finding>& findings) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, SkipsCommentsStringsAndCharLiterals) {
+  const LexedSource lexed = Lex(
+      "// rand() in a comment\n"
+      "/* steady_clock in a block */\n"
+      "const char* s = \"time(0) in a string\";\n"
+      "char c = 'r';\n"
+      "int x = 1;\n");
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "steady_clock");
+    EXPECT_NE(t.text, "time");
+  }
+}
+
+TEST(LexerTest, CapturesQuotedIncludesWithLines) {
+  const LexedSource lexed = Lex(
+      "#include \"src/hv/hypervisor.h\"\n"
+      "#include <chrono>\n");
+  ASSERT_EQ(lexed.includes.size(), 2u);
+  EXPECT_EQ(lexed.includes[0].path, "src/hv/hypervisor.h");
+  EXPECT_FALSE(lexed.includes[0].angled);
+  EXPECT_EQ(lexed.includes[0].line, 1);
+  EXPECT_TRUE(lexed.includes[1].angled);
+  EXPECT_EQ(lexed.includes[1].line, 2);
+}
+
+TEST(LexerTest, SkipsRawStringBodies) {
+  const LexedSource lexed = Lex(
+      "const char* j = R\"(rand() \" time(0))\";\n"
+      "int after = 2;\n");
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "rand");
+  }
+  const auto it = std::find_if(
+      lexed.tokens.begin(), lexed.tokens.end(),
+      [](const Token& t) { return t.text == "after"; });
+  ASSERT_NE(it, lexed.tokens.end());
+  EXPECT_EQ(it->line, 2);
+}
+
+TEST(LexerTest, ParsesWellFormedSuppression) {
+  const LexedSource lexed =
+      Lex("// xoar-lint: allow(determinism): seeded fixture waiver\n");
+  ASSERT_EQ(lexed.suppressions.size(), 1u);
+  EXPECT_TRUE(lexed.suppressions[0].valid);
+  EXPECT_EQ(lexed.suppressions[0].rule, "determinism");
+  EXPECT_EQ(lexed.suppressions[0].justification, "seeded fixture waiver");
+}
+
+TEST(LexerTest, RejectsSuppressionWithoutJustification) {
+  const LexedSource lexed = Lex("// xoar-lint: allow(privilege)\n");
+  ASSERT_EQ(lexed.suppressions.size(), 1u);
+  EXPECT_FALSE(lexed.suppressions[0].valid);
+  EXPECT_FALSE(lexed.suppressions[0].error.empty());
+}
+
+TEST(LexerTest, KeepsScopeAndArrowAsWholePuncts) {
+  const LexedSource lexed = Lex("a::b c->d\n");
+  std::vector<std::string> puncts;
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokenKind::kPunct) {
+      puncts.push_back(t.text);
+    }
+  }
+  EXPECT_EQ(puncts, (std::vector<std::string>{"::", "->"}));
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine over fixture trees
+// ---------------------------------------------------------------------------
+
+TEST(FixtureTest, LayeringFixtureHasExactlyOneUpwardEdge) {
+  const std::vector<Finding> findings = LintFixture("layering");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].file, "src/obs/probe.cc");
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+TEST(FixtureTest, PrivilegeFixtureFlagsUngrantedOpOnly) {
+  const std::vector<Finding> findings = LintFixture("privilege");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "privilege");
+  EXPECT_EQ(findings[0].file, "src/drv/reboot.cc");
+  EXPECT_NE(findings[0].message.find("kSysctlReboot"), std::string::npos);
+}
+
+TEST(FixtureTest, DeterminismFixtureFlagsClockAndRandButNotDecoys) {
+  const std::vector<Finding> findings = LintFixture("determinism");
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "determinism");
+    EXPECT_EQ(f.file, "src/xs/clocked.cc");  // src/sim/clock.cc is exempt
+  }
+}
+
+TEST(FixtureTest, AuditFixtureFlagsBuildVmWithoutEmission) {
+  const std::vector<Finding> findings = LintFixture("audit");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "audit");
+  EXPECT_NE(findings[0].message.find("Builder::BuildVm"), std::string::npos);
+}
+
+TEST(FixtureTest, SuppressedFixtureLintsCleanWithJustification) {
+  const std::vector<Finding> findings = LintFixture("suppressed");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_FALSE(findings[0].justification.empty());
+  EXPECT_TRUE(Unsuppressed(findings).empty());
+}
+
+TEST(FixtureTest, BadSuppressionYieldsTwoBlockingFindings) {
+  const std::vector<Finding> findings = LintFixture("bad_suppression");
+  const std::vector<Finding> blocking = Unsuppressed(findings);
+  ASSERT_EQ(blocking.size(), 2u);
+  EXPECT_EQ(blocking[0].rule, "suppression");   // malformed comment, line 9
+  EXPECT_EQ(blocking[1].rule, "determinism");   // unsilenced, line 10
+}
+
+// ---------------------------------------------------------------------------
+// Config-level checks
+// ---------------------------------------------------------------------------
+
+TEST(ConfigTest, CyclicLayeringTableIsItselfAFinding) {
+  LintConfig config = DefaultConfig();
+  config.require_audited_op_definitions = false;
+  config.layering = {{"a", {"b"}}, {"b", {"a"}}};
+  const std::vector<Finding> findings = RunLint({}, config);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_NE(findings[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(ConfigTest, MissingAuditedOpDefinitionIsReportedWhenRequired) {
+  LintConfig config = DefaultConfig();
+  config.audited_ops = {{"Ghost", "Op"}};
+  const std::vector<Finding> findings = RunLint({}, config);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "audit");
+  EXPECT_NE(findings[0].message.find("Ghost::Op"), std::string::npos);
+}
+
+TEST(ConfigTest, DefaultLayeringTableIsAcyclic) {
+  LintConfig config = DefaultConfig();
+  config.require_audited_op_definitions = false;
+  const std::vector<Finding> findings = RunLint({}, config);
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Report formatting
+// ---------------------------------------------------------------------------
+
+TEST(ReportTest, JsonIsStableAndCountsMatch) {
+  std::vector<Finding> findings = {
+      {"determinism", "src/xs/a.cc", 7, "msg \"quoted\"", false, ""},
+      {"privilege", "bench/b.cpp", 3, "other", true, "why"},
+  };
+  const LintSummary summary = Summarize(findings, 4);
+  EXPECT_EQ(summary.files_scanned, 4u);
+  EXPECT_EQ(summary.total, 2u);
+  EXPECT_EQ(summary.unsuppressed, 1u);
+  EXPECT_EQ(summary.suppressed, 1u);
+  const std::string a = FormatJson(findings, summary);
+  const std::string b = FormatJson(findings, summary);
+  EXPECT_EQ(a, b);  // byte-stable: no wall-clock anywhere in the report
+  EXPECT_NE(a.find("\"msg \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(a.find("lint.findings.total"), std::string::npos);
+  EXPECT_NE(a.find("\"sim_time_ns\": 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace xoar

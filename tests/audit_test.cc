@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "src/core/audit_log.h"
+#include "src/base/audit_log.h"
 #include "src/core/xoar_platform.h"
 
 namespace xoar {

@@ -3,6 +3,14 @@
 //
 //   validate_obs <metrics.json> <trace.json>
 //   validate_obs --campaign <BENCH_fault_campaign.json>
+//   validate_obs --lint <xoar_lint_report.json>
+//
+// The --lint mode checks an xoar_lint JSON report (ANALYSIS.md) beyond the
+// generic BENCH shape: the lint.* summary metrics must be present, every
+// entry in the "findings" array must be well-formed (rule/file/line/
+// message/suppressed), the blocking and suppressed counts must agree with
+// the exported totals, and every suppressed finding must carry a non-empty
+// justification (the suppression contract).
 //
 // The --campaign mode checks a fault-campaign report (bench/fault_campaign,
 // RESILIENCE.md) beyond the generic BENCH shape: the campaign.* summary
@@ -261,6 +269,101 @@ bool ValidateCampaign(const std::string& path) {
   return true;
 }
 
+bool ValidateLint(const std::string& path) {
+  // The report must be a well-formed BENCH export first (context +
+  // benchmarks with known run_types).
+  if (!ValidateMetrics(path)) {
+    return false;
+  }
+  StatusOr<JsonValue> doc = ParseJsonFile(path);
+  CHECK_OR_FAIL(doc.ok(), "%s: parse failed: %s", path.c_str(),
+                doc.status().ToString().c_str());
+  const JsonValue* benchmarks = doc->Find("benchmarks");
+
+  auto number_of = [&](const std::string& name,
+                       double* out) -> bool {
+    for (const JsonValue& entry : benchmarks->array()) {
+      const JsonValue* n = entry.Find("name");
+      if (n == nullptr || !n->is_string() || n->string() != name) {
+        continue;
+      }
+      const JsonValue* value = entry.Find("value");
+      if (value == nullptr || !value->is_number()) {
+        return false;
+      }
+      *out = value->number();
+      return true;
+    }
+    return false;
+  };
+
+  double files_scanned = 0;
+  double findings_total = 0;
+  double suppressed_total = 0;
+  CHECK_OR_FAIL(number_of("lint.files_scanned", &files_scanned),
+                "%s: missing lint.files_scanned gauge", path.c_str());
+  CHECK_OR_FAIL(files_scanned > 0,
+                "%s: lint.files_scanned is zero — the scan saw no sources",
+                path.c_str());
+  CHECK_OR_FAIL(number_of("lint.findings.total", &findings_total),
+                "%s: missing lint.findings.total counter", path.c_str());
+  CHECK_OR_FAIL(number_of("lint.suppressed.total", &suppressed_total),
+                "%s: missing lint.suppressed.total counter", path.c_str());
+
+  const JsonValue* findings = doc->Find("findings");
+  CHECK_OR_FAIL(findings != nullptr && findings->is_array(),
+                "%s: missing \"findings\" array", path.c_str());
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  for (const JsonValue& finding : findings->array()) {
+    CHECK_OR_FAIL(finding.is_object(), "%s: finding is not an object",
+                  path.c_str());
+    const JsonValue* rule = finding.Find("rule");
+    CHECK_OR_FAIL(rule != nullptr && rule->is_string() &&
+                      !rule->string().empty(),
+                  "%s: finding without a \"rule\"", path.c_str());
+    const JsonValue* file = finding.Find("file");
+    CHECK_OR_FAIL(file != nullptr && file->is_string() &&
+                      !file->string().empty(),
+                  "%s: [%s] finding without a \"file\"", path.c_str(),
+                  rule->string().c_str());
+    const JsonValue* line = finding.Find("line");
+    CHECK_OR_FAIL(line != nullptr && line->is_number() &&
+                      line->number() >= 0,
+                  "%s: %s: missing or negative \"line\"", path.c_str(),
+                  file->string().c_str());
+    const JsonValue* message = finding.Find("message");
+    CHECK_OR_FAIL(message != nullptr && message->is_string() &&
+                      !message->string().empty(),
+                  "%s: %s: finding without a \"message\"", path.c_str(),
+                  file->string().c_str());
+    const JsonValue* is_suppressed = finding.Find("suppressed");
+    CHECK_OR_FAIL(is_suppressed != nullptr && is_suppressed->is_bool(),
+                  "%s: %s: missing \"suppressed\" bool", path.c_str(),
+                  file->string().c_str());
+    if (is_suppressed->bool_value()) {
+      ++suppressed;
+      const JsonValue* justification = finding.Find("justification");
+      CHECK_OR_FAIL(justification != nullptr && justification->is_string() &&
+                        !justification->string().empty(),
+                    "%s: %s:%g: suppressed finding without a justification",
+                    path.c_str(), file->string().c_str(), line->number());
+    } else {
+      ++unsuppressed;
+    }
+  }
+  CHECK_OR_FAIL(static_cast<double>(unsuppressed) == findings_total,
+                "%s: %zu blocking findings but lint.findings.total = %g",
+                path.c_str(), unsuppressed, findings_total);
+  CHECK_OR_FAIL(static_cast<double>(suppressed) == suppressed_total,
+                "%s: %zu suppressed findings but lint.suppressed.total = %g",
+                path.c_str(), suppressed, suppressed_total);
+
+  std::printf("%s: lint OK (%g files, %zu blocking, %zu suppressed)\n",
+              path.c_str(), files_scanned, unsuppressed, suppressed);
+  return true;
+}
+
 }  // namespace
 }  // namespace xoar
 
@@ -268,11 +371,15 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::string(argv[1]) == "--campaign") {
     return xoar::ValidateCampaign(argv[2]) ? 0 : 1;
   }
+  if (argc == 3 && std::string(argv[1]) == "--lint") {
+    return xoar::ValidateLint(argv[2]) ? 0 : 1;
+  }
   if (argc != 3) {
     std::fprintf(stderr,
                  "usage: %s <metrics.json> <trace.json>\n"
-                 "       %s --campaign <BENCH_fault_campaign.json>\n",
-                 argv[0], argv[0]);
+                 "       %s --campaign <BENCH_fault_campaign.json>\n"
+                 "       %s --lint <xoar_lint_report.json>\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   if (!xoar::ValidateMetrics(argv[1])) {
