@@ -14,6 +14,11 @@ using SimTime = std::uint64_t;
 // A duration in nanoseconds.
 using SimDuration = std::uint64_t;
 
+// Saturation point of the simulated clock, used as the "forever" sentinel:
+// Simulator::ScheduleAfter clamps a wrapping `now + delay` here instead of
+// letting it alias a time in the past.
+constexpr SimTime kSimTimeMax = ~static_cast<SimTime>(0);
+
 constexpr SimDuration kNanosecond = 1;
 constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
 constexpr SimDuration kMillisecond = 1000 * kMicrosecond;

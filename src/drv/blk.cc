@@ -198,12 +198,40 @@ void BlkBack::DisconnectVbd(Vbd& vbd) {
 
 void BlkBack::ServiceRing(DomainId guest) {
   auto it = vbds_.find(guest);
-  if (it == vbds_.end() || !it->second.connected || !available_) {
+  if (it == vbds_.end() || !it->second.connected || !available_ ||
+      it->second.drain_scheduled) {
+    return;
+  }
+  // One drain event per kick, not one event per request: the demux overhead
+  // is charged once and the drain below batches every request on the ring
+  // (mirrors real netback/blkback, which process the whole ring per
+  // interrupt and re-check before sleeping).
+  Vbd& vbd = it->second;
+  vbd.drain_scheduled = true;
+  const SimDuration overhead = static_cast<SimDuration>(
+      static_cast<double>(kBlkBackPerOpOverhead) * overhead_multiplier_);
+  sim_->ScheduleAfter(overhead, [this, guest] { DrainRing(guest); });
+}
+
+void BlkBack::DrainRing(DomainId guest) {
+  auto it = vbds_.find(guest);
+  if (it == vbds_.end()) {
     return;
   }
   Vbd& vbd = it->second;
+  vbd.drain_scheduled = false;
+  if (!vbd.connected || !available_) {
+    return;  // disconnected while the drain was in flight
+  }
   BlkRing ring = BlkRing::Attach(vbd.ring_page);
-  while (auto req = ring.PopRequest()) {
+  bool pushed_response = false;
+  std::uint32_t budget = kBlkBackDrainBudget;
+  while (budget > 0) {
+    auto req = ring.PopRequest();
+    if (!req) {
+      break;
+    }
+    --budget;
     const BlkRingRequest request = *req;
     const std::uint64_t byte_offset =
         vbd.base_offset + request.sector * kSectorSize;
@@ -217,39 +245,39 @@ void BlkBack::ServiceRing(DomainId guest) {
     }
     ++requests_served_;
     m_requests_->Increment();
-    const SimDuration overhead = static_cast<SimDuration>(
-        static_cast<double>(kBlkBackPerOpOverhead) * overhead_multiplier_);
     if (status != 0) {
-      // Fail fast without touching the disk.
-      sim_->ScheduleAfter(overhead, [this, guest, request, status] {
-        auto vbd_it = vbds_.find(guest);
-        if (vbd_it == vbds_.end() || !vbd_it->second.connected) {
-          return;
-        }
-        BlkRing r = BlkRing::Attach(vbd_it->second.ring_page);
-        r.PushResponse(BlkRingResponse{request.id, status});
-        (void)hv_->EvtchnSend(self_, vbd_it->second.port);
-      });
+      // Fail fast without touching the disk; one notification covers every
+      // response pushed by this drain.
+      ring.PushResponse(BlkRingResponse{request.id, status});
+      pushed_response = true;
       continue;
     }
     bytes_moved_ += byte_len;
     m_bytes_->Increment(byte_len);
-    // Demux overhead, then the physical I/O, then the response.
-    sim_->ScheduleAfter(overhead, [this, guest, request, byte_offset,
-                                   byte_len] {
-      disk_->SubmitIo(byte_offset, static_cast<std::uint32_t>(byte_len),
-                      request.is_write != 0, [this, guest, request] {
-                        auto vbd_it = vbds_.find(guest);
-                        if (vbd_it == vbds_.end() ||
-                            !vbd_it->second.connected || !available_) {
-                          return;  // completion lost; frontend retransmits
-                        }
-                        BlkRing r = BlkRing::Attach(vbd_it->second.ring_page);
-                        if (r.PushResponse(BlkRingResponse{request.id, 0})) {
-                          (void)hv_->EvtchnSend(self_, vbd_it->second.port);
-                        }
-                      });
-    });
+    // The disk serializes per-request service times internally (seek +
+    // transfer, in submission order), so submitting the whole batch at
+    // drain time preserves each request's completion offset.
+    disk_->SubmitIo(byte_offset, static_cast<std::uint32_t>(byte_len),
+                    request.is_write != 0, [this, guest, request] {
+                      auto vbd_it = vbds_.find(guest);
+                      if (vbd_it == vbds_.end() ||
+                          !vbd_it->second.connected || !available_) {
+                        return;  // completion lost; frontend retransmits
+                      }
+                      BlkRing r = BlkRing::Attach(vbd_it->second.ring_page);
+                      if (r.PushResponse(BlkRingResponse{request.id, 0})) {
+                        (void)hv_->EvtchnSend(self_, vbd_it->second.port);
+                      }
+                    });
+  }
+  if (pushed_response) {
+    (void)hv_->EvtchnSend(self_, vbd.port);
+  }
+  // RING_FINAL_CHECK_FOR_REQUESTS: the frontend may have pushed more while
+  // we drained (its kick was absorbed by drain_scheduled), or the budget
+  // ran out. Either way the leftovers get their own drain event.
+  if (ring.PendingRequests() > 0) {
+    ServiceRing(guest);
   }
 }
 

@@ -71,6 +71,13 @@ constexpr std::uint32_t kSectorSize = 512;
 // Per-request backend CPU overhead (request demux + completion).
 constexpr SimDuration kBlkBackPerOpOverhead = 15 * kMicrosecond;
 
+// Requests processed per scheduled ring drain. One notification schedules
+// one drain event that services up to this many requests (Xen's
+// RING_FINAL_CHECK_FOR_REQUESTS idiom) instead of one simulator event per
+// request; requests left over — or pushed while the drain ran — get a
+// follow-up drain event, so work per event stays bounded.
+constexpr std::uint32_t kBlkBackDrainBudget = BlkRing::kEntries;
+
 class BlkBack {
  public:
   // Fault-injection hook (src/fault), consulted once per popped ring
@@ -133,6 +140,9 @@ class BlkBack {
     // because nothing else re-fires the frontend-state watch.
     ExponentialBackoff connect_backoff;
     bool retry_pending = false;
+    // Coalesces ring notifications: while a drain event is in flight,
+    // further kicks are absorbed by the pending drain's final re-check.
+    bool drain_scheduled = false;
   };
 
   void OnFrontendStateChange(DomainId guest);
@@ -140,6 +150,7 @@ class BlkBack {
   void ScheduleConnectRetry(DomainId guest);
   void DisconnectVbd(Vbd& vbd);
   void ServiceRing(DomainId guest);
+  void DrainRing(DomainId guest);
 
   Hypervisor* hv_;
   XenStoreService* xs_;

@@ -167,12 +167,38 @@ void NetBack::DisconnectVif(Vif& vif) {
 
 void NetBack::ServiceTxRing(DomainId guest) {
   auto it = vifs_.find(guest);
-  if (it == vifs_.end() || !it->second.connected || !available_) {
+  if (it == vifs_.end() || !it->second.connected || !available_ ||
+      it->second.drain_scheduled) {
+    return;
+  }
+  // One drain event per kick (demux overhead charged once per batch), not
+  // one simulator event per frame; see BlkBack::ServiceRing.
+  Vif& vif = it->second;
+  vif.drain_scheduled = true;
+  const SimDuration overhead = static_cast<SimDuration>(
+      static_cast<double>(kNetBackPerFrameOverhead) /
+      std::max(0.05, rate_multiplier_));
+  sim_->ScheduleAfter(overhead, [this, guest] { DrainTxRing(guest); });
+}
+
+void NetBack::DrainTxRing(DomainId guest) {
+  auto it = vifs_.find(guest);
+  if (it == vifs_.end()) {
     return;
   }
   Vif& vif = it->second;
+  vif.drain_scheduled = false;
+  if (!vif.connected || !available_) {
+    return;  // vif torn down while the drain was in flight
+  }
   NetRing ring = NetRing::Attach(vif.tx_ring);
-  while (auto req = ring.PopRequest()) {
+  std::uint32_t budget = kNetBackDrainBudget;
+  while (budget > 0) {
+    auto req = ring.PopRequest();
+    if (!req) {
+      break;
+    }
+    --budget;
     const NetRingRequest request = *req;
     if (tx_fault_hook_ && tx_fault_hook_(guest, request)) {
       // Injected drop: the frame vanishes with no response, exactly like a
@@ -183,25 +209,23 @@ void NetBack::ServiceTxRing(DomainId guest) {
     }
     ++frames_forwarded_;
     m_tx_frames_->Increment();
-    const SimDuration overhead = static_cast<SimDuration>(
-        static_cast<double>(kNetBackPerFrameOverhead) /
-        std::max(0.05, rate_multiplier_));
-    sim_->ScheduleAfter(overhead, [this, guest, request] {
-      auto vif_it = vifs_.find(guest);
-      if (vif_it == vifs_.end() || !vif_it->second.connected || !available_) {
+    // The NIC serializes frames at link rate internally, so submitting the
+    // whole batch at drain time preserves each frame's wire time.
+    nic_->Transmit(request.bytes, [this, guest, request] {
+      auto v = vifs_.find(guest);
+      if (v == vifs_.end() || !v->second.connected || !available_) {
         return;  // frame lost mid-reboot; the guest's TCP retransmits
       }
-      nic_->Transmit(request.bytes, [this, guest, request] {
-        auto v = vifs_.find(guest);
-        if (v == vifs_.end() || !v->second.connected || !available_) {
-          return;
-        }
-        NetRing r = NetRing::Attach(v->second.tx_ring);
-        if (r.PushResponse(NetRingResponse{request.id, 0})) {
-          (void)hv_->EvtchnSend(self_, v->second.port);
-        }
-      });
+      NetRing r = NetRing::Attach(v->second.tx_ring);
+      if (r.PushResponse(NetRingResponse{request.id, 0})) {
+        (void)hv_->EvtchnSend(self_, v->second.port);
+      }
     });
+  }
+  // Final re-check: frames pushed while we drained, or left by the budget,
+  // get their own drain event (RING_FINAL_CHECK_FOR_REQUESTS idiom).
+  if (ring.PendingRequests() > 0) {
+    ServiceTxRing(guest);
   }
 }
 

@@ -52,6 +52,11 @@ using NetRing = IoRing<NetRingRequest, NetRingResponse, 32>;
 // Backend CPU overhead per forwarded frame (demux + bridge + copy grant).
 constexpr SimDuration kNetBackPerFrameOverhead = 4 * kMicrosecond;
 
+// Frames processed per scheduled tx-ring drain; see kBlkBackDrainBudget for
+// the batching rationale (one drain event per kick, final re-check for
+// frames pushed while draining).
+constexpr std::uint32_t kNetBackDrainBudget = NetRing::kEntries;
+
 class NetBack {
  public:
   // Fault-injection hook (src/fault), consulted once per popped tx request.
@@ -113,6 +118,8 @@ class NetBack {
     // Reconnect retry state, see BlkBack::Vbd.
     ExponentialBackoff connect_backoff;
     bool retry_pending = false;
+    // Coalesces tx kicks into one pending drain event, see BlkBack::Vbd.
+    bool drain_scheduled = false;
   };
 
   void OnFrontendStateChange(DomainId guest);
@@ -120,6 +127,7 @@ class NetBack {
   void ScheduleConnectRetry(DomainId guest);
   void DisconnectVif(Vif& vif);
   void ServiceTxRing(DomainId guest);
+  void DrainTxRing(DomainId guest);
 
   Hypervisor* hv_;
   XenStoreService* xs_;

@@ -1,0 +1,142 @@
+// Reference event-queue kernel: the pre-overhaul Simulator implementation
+// (std::priority_queue + out-of-line std::function map + tombstone set),
+// kept verbatim as the semantic baseline for the slab/indexed-heap kernel
+// in simulator.h.
+//
+// Two consumers, neither of them production code:
+//  - tests/sim_test.cc runs the same mixed schedule/cancel workload on both
+//    kernels and asserts the FNV-1a digest of the fired (when, tag)
+//    sequence is identical — the FIFO tie-break contract survives the queue
+//    replacement byte for byte;
+//  - bench/micro_sim_core measures both kernels back to back and reports
+//    the speedup in BENCH_sim_core.json.
+//
+// Do not schedule platform components on this class; it exists only to be
+// compared against.
+#ifndef XOAR_SRC_SIM_LEGACY_SIMULATOR_H_
+#define XOAR_SRC_SIM_LEGACY_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/base/ids.h"
+#include "src/base/units.h"
+
+namespace xoar {
+
+class LegacySimulator {
+ public:
+  using Callback = std::function<void()>;
+
+  LegacySimulator() = default;
+  LegacySimulator(const LegacySimulator&) = delete;
+  LegacySimulator& operator=(const LegacySimulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  EventId ScheduleAt(SimTime when, Callback fn) {
+    if (when < now_) {
+      when = now_;
+    }
+    const std::uint64_t raw = next_id_++;
+    queue_.push(Event{when, next_seq_++, EventId(raw)});
+    callbacks_.emplace(raw, std::move(fn));
+    return EventId(raw);
+  }
+
+  EventId ScheduleAfter(SimDuration delay, Callback fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  bool Cancel(EventId id) {
+    auto it = callbacks_.find(id.value());
+    if (it == callbacks_.end()) {
+      return false;
+    }
+    callbacks_.erase(it);
+    cancelled_.insert(id.value());
+    return true;
+  }
+
+  bool Step() {
+    while (!queue_.empty()) {
+      Event event = queue_.top();
+      queue_.pop();
+      auto cancelled_it = cancelled_.find(event.id.value());
+      if (cancelled_it != cancelled_.end()) {
+        cancelled_.erase(cancelled_it);
+        continue;
+      }
+      auto cb_it = callbacks_.find(event.id.value());
+      if (cb_it == callbacks_.end()) {
+        continue;
+      }
+      Callback fn = std::move(cb_it->second);
+      callbacks_.erase(cb_it);
+      now_ = event.when;
+      ++executed_;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  void Run(std::uint64_t max_events = UINT64_MAX) {
+    for (std::uint64_t i = 0; i < max_events; ++i) {
+      if (!Step()) {
+        return;
+      }
+    }
+  }
+
+  void RunUntil(SimTime deadline) {
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (cancelled_.count(top.id.value()) != 0) {
+        cancelled_.erase(top.id.value());
+        queue_.pop();
+        continue;
+      }
+      if (top.when > deadline) {
+        break;
+      }
+      Step();
+    }
+    if (now_ < deadline) {
+      now_ = deadline;
+    }
+  }
+
+  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+
+  std::uint64_t EventsExecuted() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    bool operator<(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_SIM_LEGACY_SIMULATOR_H_

@@ -1,50 +1,346 @@
 #include "src/sim/simulator.h"
 
-#include <utility>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
 
 namespace xoar {
 
-EventId Simulator::ScheduleAt(SimTime when, Callback fn) {
-  if (when < now_) {
-    when = now_;
+namespace {
+// Size classes for out-of-line callback blocks. Anything larger (or with
+// alignment stricter than max_align_t) falls through to plain new/delete.
+constexpr std::size_t kOutlineClassBytes[4] = {64, 128, 256, 512};
+
+constexpr std::size_t kHugeBytes = std::size_t{2} << 20;
+constexpr std::uint8_t kBigAlignedNew = 0;
+constexpr std::uint8_t kBigHugeMmap = 1;
+
+// Marks a large long-lived allocation as a transparent-huge-page candidate
+// before it is first touched, so the faults that commit it can map 2 MB
+// pages where the kernel supports that. No-op off Linux or when no aligned
+// 2 MB interior exists.
+void AdviseHugePages(void* p, std::size_t bytes) {
+#ifdef __linux__
+  const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t lo = (addr + kHugeBytes - 1) & ~(kHugeBytes - 1);
+  const std::uintptr_t hi = (addr + bytes) & ~(kHugeBytes - 1);
+  if (hi > lo) {
+    madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
   }
-  const std::uint64_t raw = next_id_++;
-  queue_.push(Event{when, next_seq_++, EventId(raw)});
-  callbacks_.emplace(raw, std::move(fn));
-  return EventId(raw);
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+// Backing storage for the record slab and the heap array. Deep event
+// windows chase pointers across tens of megabytes, so on 4 KB pages a sift
+// or record access is a likely dTLB miss on top of the cache miss. Regions
+// that are a multiple of the huge page size first try an explicit
+// huge-page mapping — one TLB entry per 2 MB instead of 512 — and fall
+// back to 64-byte-aligned operator new with the transparent-huge-page hint
+// when no reserved huge pages are available. Huge pages are strictly an
+// optimization; the fallback is always valid.
+void* AllocBig(std::size_t bytes, std::uint8_t& method) {
+#ifdef __linux__
+  if (bytes % kHugeBytes == 0) {
+    void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (p != MAP_FAILED) {
+      method = kBigHugeMmap;
+      return p;
+    }
+  }
+#endif
+  method = kBigAlignedNew;
+  void* p = ::operator new(bytes, std::align_val_t(64));
+  AdviseHugePages(p, bytes);
+  return p;
+}
+
+void FreeBig(void* p, std::size_t bytes, std::uint8_t method) {
+  if (p == nullptr) {
+    return;
+  }
+#ifdef __linux__
+  if (method == kBigHugeMmap) {
+    munmap(p, bytes);
+    return;
+  }
+#endif
+  (void)bytes;
+  ::operator delete(p, std::align_val_t(64));
+}
+}  // namespace
+
+Simulator::~Simulator() {
+  // Destroy callbacks still pending so captured resources (shared_ptrs,
+  // buffers) are released, then drop the pooled out-of-line blocks and the
+  // heap storage.
+  for (std::size_t pos = kHeapPad; pos < heap_size_; ++pos) {
+    ReleaseCallback(RecordAt(SlotOf(heap_[pos])));
+  }
+  FreeBig(heap_, heap_cap_ * sizeof(HeapEntry), heap_method_);
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    FreeBig(chunks_[i], kRecordsPerChunk * sizeof(Record), chunk_method_[i]);
+  }
+  for (void* head : outline_free_) {
+    while (head != nullptr) {
+      void* next = *static_cast<void**>(head);
+      ::operator delete(head);
+      head = next;
+    }
+  }
+}
+
+void Simulator::GrowHeap() {
+  const std::size_t cap = heap_cap_ == 0 ? 1024 : heap_cap_ * 2;
+  std::uint8_t method;
+  auto* grown =
+      static_cast<HeapEntry*>(AllocBig(cap * sizeof(HeapEntry), method));
+  if (heap_ != nullptr) {
+    std::copy(heap_ + kHeapPad, heap_ + heap_size_, grown + kHeapPad);
+    FreeBig(heap_, heap_cap_ * sizeof(HeapEntry), heap_method_);
+  }
+  heap_ = grown;
+  heap_cap_ = cap;
+  heap_method_ = method;
+}
+
+std::uint32_t Simulator::AllocFreshSlot() {
+  if (next_unused_slot_ == chunks_.size() * kRecordsPerChunk) {
+    if (next_unused_slot_ > kSlotMask - kRecordsPerChunk) {
+      std::fprintf(stderr, "Simulator: > 2^%u concurrently pending events\n",
+                   kSlotBits);
+      std::abort();
+    }
+    constexpr std::size_t bytes = kRecordsPerChunk * sizeof(Record);
+    std::uint8_t method;
+    auto* chunk = static_cast<Record*>(AllocBig(bytes, method));
+    chunks_.push_back(chunk);
+    chunk_method_.push_back(method);
+    heap_pos_.resize(chunks_.size() * kRecordsPerChunk, kNotInHeap);
+  }
+  const std::uint32_t slot = next_unused_slot_++;
+  // First use of this slot: construct the record in place. Reused slots
+  // keep their Record alive across free/alloc cycles so the generation
+  // counter persists (that is what invalidates stale EventIds).
+  ::new (&RecordAt(slot)) Record();
+  return slot;
+}
+
+void Simulator::DieSeqExhausted() {
+  std::fprintf(stderr, "Simulator: event sequence space exhausted\n");
+  std::abort();
+}
+
+void Simulator::FreeRecord(std::uint32_t slot) {
+  Record& r = RecordAt(slot);
+  ++r.generation;  // stale EventIds now mismatch
+  r.manage = nullptr;
+  heap_pos_[slot] = kNotInHeap;
+  r.flags_or_next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::ReleaseCallback(Record& r) {
+  const std::uint32_t flags = r.flags_or_next_free;
+  void* target = TargetOf(r);
+  if ((flags & kNeedsDestroy) != 0) {
+    r.manage(target, ManageOp::kDestroy);
+  }
+  const std::uint8_t cls = static_cast<std::uint8_t>(flags & 0xFFu);
+  if (cls != kInlineClass) {
+    FreeOutline(target, cls);
+  }
+}
+
+void* Simulator::AllocOutline(std::size_t bytes, std::size_t align,
+                              std::uint8_t& cls) {
+  if (align <= alignof(std::max_align_t)) {
+    for (std::uint8_t c = 0; c < 4; ++c) {
+      if (bytes <= kOutlineClassBytes[c]) {
+        cls = c;
+        if (outline_free_[c] != nullptr) {
+          void* block = outline_free_[c];
+          outline_free_[c] = *static_cast<void**>(block);
+          return block;
+        }
+        return ::operator new(kOutlineClassBytes[c]);
+      }
+    }
+  }
+  cls = kOversizeClass;
+  if (align > alignof(std::max_align_t)) {
+    return ::operator new(bytes, std::align_val_t(align));
+  }
+  return ::operator new(bytes);
+}
+
+void Simulator::FreeOutline(void* block, std::uint8_t cls) {
+  if (cls < 4) {
+    *static_cast<void**>(block) = outline_free_[cls];
+    outline_free_[cls] = block;
+    return;
+  }
+  // Oversize blocks are not pooled. Over-aligned blocks were allocated with
+  // the aligned form, but plain delete is correct for both on the platforms
+  // we build (Itanium ABI); use the unsized form to stay simple.
+  ::operator delete(block);
+}
+
+// Physical index arithmetic for the padded layout (root at kHeapPad): the
+// children of the node at index p are the 4-aligned group 4p-8 .. 4p-5, and
+// the parent of the node at index c is (c + 8) / 4.
+
+// Smallest entry in heap_[first, end). The full-group case is a pairwise
+// tournament: the two first-round compares have no data dependency on each
+// other, and every select compiles to conditional moves — no data-dependent
+// branches on effectively random keys.
+inline Simulator::MinChild Simulator::FindMinChild(std::size_t first,
+                                                   std::size_t end) const {
+  if (end - first == 4) {
+    const HeapKey k0 = KeyOf(heap_[first]);
+    const HeapKey k1 = KeyOf(heap_[first + 1]);
+    const HeapKey k2 = KeyOf(heap_[first + 2]);
+    const HeapKey k3 = KeyOf(heap_[first + 3]);
+    const bool a = k1 < k0;
+    const std::size_t ia = first + static_cast<std::size_t>(a);
+    const HeapKey ka = a ? k1 : k0;
+    const bool b = k3 < k2;
+    const std::size_t ib = first + 2 + static_cast<std::size_t>(b);
+    const HeapKey kb = b ? k3 : k2;
+    const bool c = kb < ka;
+    return MinChild{c ? ib : ia, c ? kb : ka};
+  }
+  std::size_t best = first;
+  HeapKey best_key = KeyOf(heap_[first]);
+  for (std::size_t child = first + 1; child < end; ++child) {
+    const HeapKey child_key = KeyOf(heap_[child]);
+    const bool lt = child_key < best_key;
+    best = lt ? child : best;
+    best_key = lt ? child_key : best_key;
+  }
+  return MinChild{best, best_key};
+}
+
+void Simulator::HeapSiftDown(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const HeapKey key = KeyOf(entry);
+  const std::size_t size = heap_size_;
+  for (;;) {
+    const std::size_t first = (pos << 2) - 8;
+    if (first >= size) {
+      break;
+    }
+    const MinChild min = FindMinChild(first, std::min(first + 4, size));
+    if (min.key >= key) {
+      break;
+    }
+    heap_[pos] = heap_[min.idx];
+    heap_pos_[SlotOf(heap_[pos])] = static_cast<std::uint32_t>(pos);
+    pos = min.idx;
+  }
+  heap_[pos] = entry;
+  heap_pos_[SlotOf(entry)] = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::HeapPopTop() {
+  // Walk the hole from the root to the bottom always taking the min child —
+  // no compares against a sinking key, so one less comparison per level and
+  // no early-exit branch. The displaced tail entry lands on what is a leaf
+  // of the shrunken array and rarely sifts up more than a level.
+  const std::size_t last = heap_size_ - 1;
+  std::size_t hole = kHeapPad;
+  for (;;) {
+    const std::size_t first = (hole << 2) - 8;
+    if (first >= last) {
+      break;
+    }
+    // The walk's critical path is the chain of dependent line loads — which
+    // child wins decides the next load address. But the grandchildren of
+    // this group sit in four contiguous cache lines starting at
+    // 4*first - 8 regardless of the winner, so pull all four now and the
+    // next level's load is already in flight before the min resolves.
+    // Prefetch is non-faulting, so running past the live heap is harmless.
+    const std::size_t gfirst = (first << 2) - 8;
+    __builtin_prefetch(&heap_[gfirst]);
+    __builtin_prefetch(&heap_[gfirst + 4]);
+    __builtin_prefetch(&heap_[gfirst + 8]);
+    __builtin_prefetch(&heap_[gfirst + 12]);
+    const MinChild min = FindMinChild(first, std::min(first + 4, last));
+    heap_[hole] = heap_[min.idx];
+    heap_pos_[SlotOf(heap_[hole])] = static_cast<std::uint32_t>(hole);
+    hole = min.idx;
+  }
+  heap_[hole] = heap_[last];
+  --heap_size_;
+  if (hole < heap_size_) {
+    HeapSiftUp(hole);
+  }
+}
+
+void Simulator::HeapRemoveAt(std::size_t pos) {
+  const std::size_t last = heap_size_ - 1;
+  if (pos == last) {
+    --heap_size_;
+    return;
+  }
+  heap_[pos] = heap_[last];
+  --heap_size_;
+  // The relocated entry may need to move either direction; both sifts are
+  // no-ops when it is already placed.
+  const std::uint32_t moved = SlotOf(heap_[pos]);
+  heap_pos_[moved] = static_cast<std::uint32_t>(pos);
+  HeapSiftDown(pos);
+  HeapSiftUp(heap_pos_[moved]);
 }
 
 bool Simulator::Cancel(EventId id) {
-  auto it = callbacks_.find(id.value());
-  if (it == callbacks_.end()) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id.value());
+  const std::uint32_t generation =
+      static_cast<std::uint32_t>(id.value() >> 32);
+  if (!id.valid() || slot >= next_unused_slot_) {
     return false;
   }
-  callbacks_.erase(it);
-  cancelled_.insert(id.value());
+  Record& r = RecordAt(slot);
+  const std::uint32_t pos = heap_pos_[slot];
+  if (r.generation != generation || pos == kNotInHeap || pos == kFiring) {
+    return false;  // already fired, already cancelled, or firing right now
+  }
+  HeapRemoveAt(pos);
+  ReleaseCallback(r);
+  FreeRecord(slot);
   return true;
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    auto cancelled_it = cancelled_.find(event.id.value());
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
-    }
-    auto cb_it = callbacks_.find(event.id.value());
-    if (cb_it == callbacks_.end()) {
-      continue;  // Defensive: cancelled without tombstone.
-    }
-    Callback fn = std::move(cb_it->second);
-    callbacks_.erase(cb_it);
-    now_ = event.when;
-    ++executed_;
-    fn();
-    return true;
+  if (heap_size_ == kHeapPad) {
+    return false;
   }
-  return false;
+  const HeapEntry top = heap_[kHeapPad];
+  const std::uint32_t slot = SlotOf(top);
+  // Overlap the record fetch (a likely cache miss on a large slab) with the
+  // pop's sift work.
+  __builtin_prefetch(&RecordAt(slot));
+  HeapPopTop();
+  Record& r = RecordAt(slot);
+  // Mark the record as executing: a Cancel of this id from inside the
+  // callback returns false (the event is no longer pending), matching the
+  // old kernel's erase-before-invoke behavior.
+  heap_pos_[slot] = kFiring;
+  now_ = top.when;
+  ++executed_;
+  // Invoke in place: records never move, so reentrant scheduling (which may
+  // grow the slab) cannot invalidate the callback under its own feet.
+  r.manage(TargetOf(r), ManageOp::kInvoke);
+  ReleaseCallback(r);
+  FreeRecord(slot);
+  return true;
 }
 
 void Simulator::Run(std::uint64_t max_events) {
@@ -56,16 +352,7 @@ void Simulator::Run(std::uint64_t max_events) {
 }
 
 void Simulator::RunUntil(SimTime deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id.value()) != 0) {
-      cancelled_.erase(top.id.value());
-      queue_.pop();
-      continue;
-    }
-    if (top.when > deadline) {
-      break;
-    }
+  while (heap_size_ > kHeapPad && heap_[kHeapPad].when <= deadline) {
     Step();
   }
   if (now_ < deadline) {

@@ -9,17 +9,32 @@
 // windows, retry backoff, watchdogs) must be expressed as scheduled events,
 // which is what makes campaigns in src/fault replayable (DESIGN.md §5c).
 //
+// Internals (DESIGN.md §5f): events live in a slab of stable, reusable
+// records; the callback is stored inline in the record when its captures fit
+// in kInlineCallbackBytes (the common case for every hot path in src/drv and
+// src/hv) and in a size-classed free-list block otherwise, so the steady
+// state allocates nothing. Ordering comes from an indexed 4-ary min-heap
+// keyed on (when, seq) whose 16-byte nodes carry their slab slot; a flat
+// slot→position index makes Cancel() a true O(log n) removal that releases
+// the callback eagerly — no tombstone set, no hash-table lookups anywhere on
+// the schedule/fire/cancel paths. The FIFO tie-break is carried entirely by
+// the monotonically assigned `seq`, so execution order is byte-identical to
+// the previous priority_queue kernel (enforced by the golden digest test in
+// tests/sim_test.cc against src/sim/legacy_simulator.h).
+//
 // Single-threaded by construction: callbacks run to completion one at a
 // time, so simulation code needs no locking, but a callback that blocks
 // blocks the world.
 #ifndef XOAR_SRC_SIM_SIMULATOR_H_
 #define XOAR_SRC_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/base/ids.h"
@@ -27,11 +42,21 @@
 
 namespace xoar {
 
+// Captures up to this many bytes are stored inline in the event record
+// (small-buffer optimization). 48 bytes covers a std::function plus
+// padding, or six pointer-sized captures — every scheduling site in the
+// split drivers and the hypervisor fits.
+constexpr std::size_t kInlineCallbackBytes = 48;
+
 class Simulator {
  public:
+  // Retained as the named callback type for components that store one
+  // (PeriodicTimer, watchdog policies). Schedule* itself is generic: passing
+  // a lambda directly avoids the std::function wrapper entirely.
   using Callback = std::function<void()>;
 
   Simulator() = default;
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -40,19 +65,64 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run at absolute time `when`. Scheduling in the past is
-  // clamped to Now(). Returns a handle usable with Cancel(). Handles are
-  // never reused, so a stale EventId held after its event fired is safe to
-  // Cancel (it returns false).
-  EventId ScheduleAt(SimTime when, Callback fn);
-
-  // Schedules `fn` to run `delay` from now.
-  EventId ScheduleAfter(SimDuration delay, Callback fn) {
-    return ScheduleAt(now_ + delay, std::move(fn));
+  // clamped to Now(). Returns a handle usable with Cancel(). A stale EventId
+  // held after its event fired or was cancelled is safe to Cancel (it
+  // returns false): handles encode a per-slot generation that changes when
+  // the slot is reused, so collisions require ~2^32 reuses of one slot.
+  template <typename F>
+  EventId ScheduleAt(SimTime when, F&& fn) {
+    if (when < now_) {
+      when = now_;
+    }
+    Record& r = AllocRecord(when);
+    using Fn = std::decay_t<F>;
+    void* target;
+    std::uint32_t flags;
+    if constexpr (sizeof(Fn) <= kInlineCallbackBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      target = r.inline_buf;
+      flags = kInlineClass;
+    } else {
+      std::uint8_t cls;
+      target = AllocOutline(sizeof(Fn), alignof(Fn), cls);
+      // The record keeps no separate pointer field; the out-of-line block's
+      // address lives in the first word of the (otherwise unused) buffer.
+      *reinterpret_cast<void**>(r.inline_buf) = target;
+      flags = cls;
+    }
+    if constexpr (!std::is_trivially_destructible_v<Fn>) {
+      flags |= kNeedsDestroy;
+    }
+    ::new (target) Fn(std::forward<F>(fn));
+    r.manage = [](void* p, ManageOp op) {
+      if (op == ManageOp::kInvoke) {
+        (*static_cast<Fn*>(p))();
+      } else {
+        static_cast<Fn*>(p)->~Fn();
+      }
+    };
+    r.flags_or_next_free = flags;
+    return EventId((static_cast<std::uint64_t>(r.generation) << 32) |
+                   last_alloc_slot_);
   }
 
-  // Cancels a pending event. Returns false if it already fired or was
-  // already cancelled — callers use the result to tell "I stopped it" from
-  // "it already happened", e.g. when disarming request deadlines.
+  // Schedules `fn` to run `delay` from now. A delay large enough to wrap the
+  // 64-bit clock (sentinel "forever" deadlines) saturates at kSimTimeMax
+  // instead of aliasing a past timestamp and firing immediately.
+  template <typename F>
+  EventId ScheduleAfter(SimDuration delay, F&& fn) {
+    SimTime when = now_ + delay;
+    if (when < now_) {
+      when = kSimTimeMax;
+    }
+    return ScheduleAt(when, std::forward<F>(fn));
+  }
+
+  // Cancels a pending event: removes it from the heap and destroys the
+  // callback (releasing captured resources) immediately. Returns false if it
+  // already fired, was already cancelled, or is the event currently
+  // executing — callers use the result to tell "I stopped it" from "it
+  // already happened", e.g. when disarming request deadlines.
   bool Cancel(EventId id);
 
   // Runs a single event. Returns false if the queue is empty.
@@ -68,37 +138,206 @@ class Simulator {
   // `deadline` (even if idle), mirroring real elapsed time.
   void RunUntil(SimTime deadline);
 
-  // Runs for `duration` of simulated time from now.
-  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+  // Runs for `duration` of simulated time from now (saturating at
+  // kSimTimeMax, like ScheduleAfter).
+  void RunFor(SimDuration duration) {
+    const SimTime deadline = now_ + duration;
+    RunUntil(deadline < now_ ? kSimTimeMax : deadline);
+  }
 
-  // Events scheduled but not yet fired or cancelled.
-  std::size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+  // Events scheduled but not yet fired or cancelled. Counted directly from
+  // the heap: cancelled events leave it immediately, so there is no
+  // tombstone arithmetic to go stale.
+  std::size_t PendingEvents() const { return heap_size_ - kHeapPad; }
   // Total callbacks executed since construction (cancelled ones excluded).
   std::uint64_t EventsExecuted() const { return executed_; }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    EventId id;
-    // Ordering for the min-heap (std::priority_queue is a max-heap, so the
-    // comparison is inverted).
-    bool operator<(const Event& other) const {
-      if (when != other.when) {
-        return when > other.when;
-      }
-      return seq > other.seq;
-    }
+  // Sentinels for heap_pos_ values.
+  static constexpr std::uint32_t kNotInHeap = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kFiring = 0xFFFFFFFEu;
+  // Low byte of Record::flags_or_next_free: the outline size class, or one
+  // of these sentinels. kNeedsDestroy marks callbacks with non-trivial
+  // destructors; trivially destructible ones skip the destroy call.
+  static constexpr std::uint8_t kInlineClass = 0xFF;
+  static constexpr std::uint8_t kOversizeClass = 0xFE;
+  static constexpr std::uint32_t kNeedsDestroy = 0x100u;
+  static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
+  // One chunk spans exactly one 2 MB huge page: chunks are madvised as
+  // huge-page candidates before first touch, so deep-window workloads chase
+  // records inside a handful of TLB entries instead of thousands of 4 KB
+  // pages. Records are constructed lazily (first use of each fresh slot),
+  // so a small simulation faults in only what it touches.
+  static constexpr std::size_t kRecordsPerChunk = 32768;
+
+  enum class ManageOp { kInvoke, kDestroy };
+
+  // Heap nodes pack the tie-break seq and the slab slot into one word so an
+  // entry is 16 bytes: four children of a 4-ary node span at most two cache
+  // lines, which is what makes deep sifts cheap. `seq` is unique (monotonic
+  // per schedule), so comparing (when, seq_slot) lexicographically is
+  // exactly the old (when, seq) FIFO order — the slot bits below it can
+  // never decide a comparison. AllocRecord aborts before either field can
+  // overflow its bits (~10^12 events / ~10^7 concurrently pending).
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1u << kSlotBits) - 1;
+
+  // One slab slot, sized and aligned to exactly one cache line: a single
+  // manage trampoline (invoke + destroy behind one pointer), the handle
+  // generation, and a field that is the outline class + destroy flag while
+  // the record is pending and the free-list link after it is released —
+  // the two are never live at once. Records never move (chunked storage),
+  // so the callback storage stays valid across reentrant scheduling from
+  // callbacks.
+  struct alignas(64) Record {
+    void (*manage)(void*, ManageOp) = nullptr;
+    std::uint32_t generation = 0;  // bumped on free; stale handles mismatch
+    std::uint32_t flags_or_next_free = kNoFreeSlot;
+    alignas(alignof(std::max_align_t)) std::byte
+        inline_buf[kInlineCallbackBytes];
   };
+  static_assert(sizeof(Record) == 64);
+  // Chunks are released without running destructors (see ~Simulator); the
+  // callback object a record may hold is destroyed via ReleaseCallback.
+  static_assert(std::is_trivially_destructible_v<Record>);
+
+  // Where the callback object lives: inline, or in the out-of-line block
+  // whose address is stashed in the buffer's first word.
+  static void* TargetOf(Record& r) {
+    return (r.flags_or_next_free & 0xFFu) == kInlineClass
+               ? static_cast<void*>(r.inline_buf)
+               : *reinterpret_cast<void**>(r.inline_buf);
+  }
+
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq_slot;  // (seq << kSlotBits) | slot
+  };
+
+  // The heap array is 64-byte aligned and the root lives at index 3, so the
+  // four children of the node at physical index p occupy indices 4p-8 ..
+  // 4p-5 — a 4-aligned group of 16-byte entries, i.e. exactly one cache
+  // line per level of a sift. Indices 0..2 are unused padding.
+  static constexpr std::size_t kHeapPad = 3;
+
+  // The full ordering key as one 128-bit integer: a single branch-free
+  // compare instead of the two-field (when, seq) cascade, which matters in
+  // the sift loops where child-selection branches are data-dependent.
+  using HeapKey = unsigned __int128;
+  static HeapKey KeyOf(const HeapEntry& e) {
+    return (static_cast<HeapKey>(e.when) << 64) | e.seq_slot;
+  }
+  static std::uint32_t SlotOf(const HeapEntry& e) {
+    return static_cast<std::uint32_t>(e.seq_slot & kSlotMask);
+  }
+
+  Record& RecordAt(std::uint32_t slot) {
+    return chunks_[slot / kRecordsPerChunk][slot % kRecordsPerChunk];
+  }
+
+  // Allocates a slab slot, pushes its heap node keyed (when, next_seq_++),
+  // and returns the record for the caller to fill in. Sets
+  // last_alloc_slot_. Defined in-class so the per-event schedule path
+  // inlines into callers; the rare growth and exhaustion cases stay out of
+  // line in simulator.cc.
+  Record& AllocRecord(SimTime when) {
+    std::uint32_t slot;
+    if (free_head_ != kNoFreeSlot) {
+      slot = free_head_;
+      free_head_ = RecordAt(slot).flags_or_next_free;
+    } else {
+      slot = AllocFreshSlot();
+    }
+    if (next_seq_ == kSeqLimit) {
+      DieSeqExhausted();
+    }
+    last_alloc_slot_ = slot;
+    Record& r = RecordAt(slot);
+    if (heap_size_ >= heap_cap_) {
+      GrowHeap();
+    }
+    const std::size_t pos = heap_size_++;
+    heap_[pos] = HeapEntry{when, (next_seq_++ << kSlotBits) | slot};
+    heap_pos_[slot] = static_cast<std::uint32_t>(pos);
+    HeapSiftUp(pos);
+    return r;
+  }
+  // Cold paths for AllocRecord: first use of a slot beyond the allocated
+  // chunks (grows the slab, aborts past the slot cap) and heap storage
+  // growth.
+  std::uint32_t AllocFreshSlot();
+  void GrowHeap();
+  [[noreturn]] static void DieSeqExhausted();
+  static constexpr std::uint64_t kSeqLimit = std::uint64_t{1}
+                                             << (64 - kSlotBits);
+  void FreeRecord(std::uint32_t slot);
+  // Destroys the callback and returns any out-of-line block to its pool.
+  void ReleaseCallback(Record& r);
+  void* AllocOutline(std::size_t bytes, std::size_t align, std::uint8_t& cls);
+  void FreeOutline(void* block, std::uint8_t cls);
+
+  // All positions below are physical indices into heap_ (>= kHeapPad).
+  struct MinChild {
+    std::size_t idx;
+    HeapKey key;
+  };
+  // Smallest entry in heap_[first, end) — branch-free, pairwise tournament
+  // for full child groups.
+  MinChild FindMinChild(std::size_t first, std::size_t end) const;
+  // In-class for the same reason as AllocRecord: a fresh event lands on a
+  // leaf and almost always stays within a level of it, so the whole loop is
+  // a few instructions on the schedule path.
+  void HeapSiftUp(std::size_t pos) {
+    const HeapEntry entry = heap_[pos];
+    const HeapKey key = KeyOf(entry);
+    while (pos > kHeapPad) {
+      const std::size_t parent = (pos + 8) >> 2;
+      if (key >= KeyOf(heap_[parent])) {
+        break;
+      }
+      heap_[pos] = heap_[parent];
+      heap_pos_[SlotOf(heap_[pos])] = static_cast<std::uint32_t>(pos);
+      pos = parent;
+    }
+    heap_[pos] = entry;
+    heap_pos_[SlotOf(entry)] = static_cast<std::uint32_t>(pos);
+  }
+  void HeapSiftDown(std::size_t pos);
+  void HeapRemoveAt(std::size_t pos);
+  // Root removal for Step(): sifts the hole to a leaf choosing min children
+  // (no compares against a sinking key), then sifts the displaced tail entry
+  // up from there. Fewer comparisons than HeapRemoveAt on the hot path.
+  void HeapPopTop();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event> queue_;
-  // Callbacks are held out-of-line so cancelled events release them eagerly.
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint32_t last_alloc_slot_ = 0;
+
+  // Indexed 4-ary min-heap in manually managed 64-byte-aligned storage
+  // (std::vector cannot guarantee the alignment the child-group layout
+  // needs). heap_size_ includes the kHeapPad unused slots.
+  HeapEntry* heap_ = nullptr;
+  std::size_t heap_size_ = kHeapPad;
+  std::size_t heap_cap_ = 0;
+  // Heap position per slab slot (kNotInHeap / kFiring when absent). A flat
+  // side array rather than a Record field: sift swaps rewrite positions for
+  // every entry they move, and 4-byte strides through this dense array stay
+  // in cache where 64-byte Record strides would not.
+  std::vector<std::uint32_t> heap_pos_;
+  // Raw chunk storage, huge-page backed when the platform allows (see
+  // AllocBig in simulator.cc); chunk_method_ remembers how each chunk was
+  // allocated so ~Simulator releases it the matching way, as heap_method_
+  // does for the heap array.
+  std::vector<Record*> chunks_;
+  std::vector<std::uint8_t> chunk_method_;
+  std::uint8_t heap_method_ = 0;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  std::uint32_t next_unused_slot_ = 0;
+  // Free lists of out-of-line callback blocks, one per size class (see
+  // kOutlineClassBytes in simulator.cc). Blocks link through their first
+  // word while pooled.
+  void* outline_free_[4] = {nullptr, nullptr, nullptr, nullptr};
 };
 
 // A restartable repeating timer built on the Simulator. Used for microreboot

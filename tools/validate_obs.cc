@@ -4,6 +4,14 @@
 //   validate_obs <metrics.json> <trace.json>
 //   validate_obs --campaign <BENCH_fault_campaign.json>
 //   validate_obs --lint <xoar_lint_report.json>
+//   validate_obs --sim <BENCH_sim_core.json>
+//
+// The --sim mode checks a simulator-core bench report (bench/micro_sim_core,
+// DESIGN.md §5f) beyond the generic BENCH shape: every sim_core.* gauge
+// must be present and positive, and the simulator-deterministic
+// ring-drain cost (sim events per block request) must stay within the
+// batched-drain budget. Wall-clock throughputs are host-dependent and get
+// no upper bound here.
 //
 // The --lint mode checks an xoar_lint JSON report (ANALYSIS.md) beyond the
 // generic BENCH shape: the lint.* summary metrics must be present, every
@@ -269,6 +277,74 @@ bool ValidateCampaign(const std::string& path) {
   return true;
 }
 
+// One row of the sim-core schema table, same shape as CampaignRule.
+struct SimRule {
+  const char* name;
+  double min;
+  double max;
+};
+
+// Wall-clock throughput gauges and speedup ratios vary with the host and
+// with iteration count (the smoke test runs tiny workloads), so they are
+// only required to be present and positive; the ≥5x acceptance evidence is
+// the committed BENCH_sim_core.json from a full run. The events-per-request
+// cost of the batched ring-drain path is simulator-deterministic, so it
+// gets a real upper bound: the pre-batching design paid one event per
+// request on the backend alone (plus frontend timers and delivery hops);
+// the drain-batched path must stay under 12 total events per request even
+// with a 16-deep pipeline of 4 KiB writes.
+constexpr SimRule kSimRules[] = {
+    {"sim_core.schedule_fire.events_per_sec", 0.0, -1.0},
+    {"sim_core.schedule_fire.baseline_events_per_sec", 0.0, -1.0},
+    {"sim_core.schedule_fire.speedup", 0.0, -1.0},
+    {"sim_core.schedule_cancel.ops_per_sec", 0.0, -1.0},
+    {"sim_core.schedule_cancel.baseline_ops_per_sec", 0.0, -1.0},
+    {"sim_core.schedule_cancel.speedup", 0.0, -1.0},
+    {"sim_core.timer_churn.ops_per_sec", 0.0, -1.0},
+    {"sim_core.timer_churn.baseline_ops_per_sec", 0.0, -1.0},
+    {"sim_core.timer_churn.speedup", 0.0, -1.0},
+    {"sim_core.ring_drain.requests_per_sec", 0.0, -1.0},
+    {"sim_core.ring_drain.sim_events_per_request", 0.0, 12.0},
+};
+
+bool ValidateSimCore(const std::string& path) {
+  // The report must be a well-formed BENCH export first.
+  if (!ValidateMetrics(path)) {
+    return false;
+  }
+  StatusOr<JsonValue> doc = ParseJsonFile(path);
+  CHECK_OR_FAIL(doc.ok(), "%s: parse failed: %s", path.c_str(),
+                doc.status().ToString().c_str());
+  const JsonValue* benchmarks = doc->Find("benchmarks");
+
+  auto find_value = [&](const std::string& name) -> const JsonValue* {
+    for (const JsonValue& entry : benchmarks->array()) {
+      const JsonValue* n = entry.Find("name");
+      if (n != nullptr && n->is_string() && n->string() == name) {
+        return entry.Find("value");
+      }
+    }
+    return nullptr;
+  };
+
+  for (const SimRule& rule : kSimRules) {
+    const JsonValue* value = find_value(rule.name);
+    CHECK_OR_FAIL(value != nullptr && value->is_number(),
+                  "%s: missing sim-core metric \"%s\"", path.c_str(),
+                  rule.name);
+    CHECK_OR_FAIL(value->number() > rule.min,
+                  "%s: %s = %g not above %g", path.c_str(), rule.name,
+                  value->number(), rule.min);
+    CHECK_OR_FAIL(rule.max < 0 || value->number() <= rule.max,
+                  "%s: %s = %g above maximum %g", path.c_str(), rule.name,
+                  value->number(), rule.max);
+  }
+
+  std::printf("%s: sim-core OK (%zu gauges checked)\n", path.c_str(),
+              std::size(kSimRules));
+  return true;
+}
+
 bool ValidateLint(const std::string& path) {
   // The report must be a well-formed BENCH export first (context +
   // benchmarks with known run_types).
@@ -374,12 +450,16 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::string(argv[1]) == "--lint") {
     return xoar::ValidateLint(argv[2]) ? 0 : 1;
   }
+  if (argc == 3 && std::string(argv[1]) == "--sim") {
+    return xoar::ValidateSimCore(argv[2]) ? 0 : 1;
+  }
   if (argc != 3) {
     std::fprintf(stderr,
                  "usage: %s <metrics.json> <trace.json>\n"
                  "       %s --campaign <BENCH_fault_campaign.json>\n"
-                 "       %s --lint <xoar_lint_report.json>\n",
-                 argv[0], argv[0], argv[0]);
+                 "       %s --lint <xoar_lint_report.json>\n"
+                 "       %s --sim <BENCH_sim_core.json>\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   if (!xoar::ValidateMetrics(argv[1])) {
