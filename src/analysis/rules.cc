@@ -659,6 +659,11 @@ LintConfig DefaultConfig() {
        "ts_dom",
        false,
        {"kDomctlPause", "kDomctlUnpause", "kDomctlDestroy"}},
+      // Fig 3.1: XenStore-State (including every density-scale-out State
+      // shard, SCALING.md) is a plain restartable KV with *no* hypercall
+      // privileges. The empty grant set makes any future grant to a State
+      // shard domain a blocking finding.
+      {"XenStore-State", "state_dom", false, {}},
   };
 
   // §3.2.2: privileged operations that must land in the audit log.

@@ -45,10 +45,11 @@ XoarPlatform::XoarPlatform(Config config) : config_(config) {
   });
 }
 
-StatusOr<DomainId> XoarPlatform::CreateShardDomainDirect(ShardClass cls) {
+StatusOr<DomainId> XoarPlatform::CreateShardDomainDirect(
+    ShardClass cls, const std::string& name_suffix) {
   const ShardDescriptor& descriptor = DescriptorFor(cls);
   DomainConfig config;
-  config.name = std::string(descriptor.name);
+  config.name = std::string(descriptor.name) + name_suffix;
   config.memory_mb = descriptor.memory_mb;
   config.vcpus = 1;  // every shard runs a single VCPU (§6.1)
   config.os = descriptor.os;
@@ -110,11 +111,25 @@ Status XoarPlatform::Boot() {
   sim_.RunUntil(t_bootstrapper);
 
   // --- Phase 2: XenStore (required by everything else, §5.2) ---
-  XOAR_ASSIGN_OR_RETURN(xenstore_state_dom_,
-                        CreateShardDomainDirect(ShardClass::kXenStoreState));
+  // Cloud-density: one XenStore-State domain per store partition
+  // (SCALING.md). Shard 0 keeps the canonical descriptor name so the
+  // single-shard deployment is byte-identical to the paper's.
+  const int state_shards = std::max(1, c.xenstore_state_shards);
+  xs_->SetShardCount(state_shards);
+  for (int i = 0; i < state_shards; ++i) {
+    XOAR_ASSIGN_OR_RETURN(
+        DomainId state_dom,
+        CreateShardDomainDirect(ShardClass::kXenStoreState,
+                                i == 0 ? std::string()
+                                       : StrFormat("-%d", i)));
+    xenstore_state_doms_.push_back(state_dom);
+    control_plane_doms_.insert(state_dom);
+  }
+  xenstore_state_dom_ = xenstore_state_doms_.front();
   XOAR_ASSIGN_OR_RETURN(xenstore_logic_dom_,
                         CreateShardDomainDirect(ShardClass::kXenStoreLogic));
-  xs_->DeploySplit(xenstore_logic_dom_, xenstore_state_dom_);
+  control_plane_doms_.insert(xenstore_logic_dom_);
+  xs_->DeploySplit(xenstore_logic_dom_, xenstore_state_doms_);
   if (c.xenstore_per_request_restarts) {
     xs_->set_restart_policy(XenStoreService::RestartPolicy::kPerRequest);
   }
@@ -124,6 +139,7 @@ Status XoarPlatform::Boot() {
   if (c.console_manager_enabled) {
     XOAR_ASSIGN_OR_RETURN(console_dom_,
                           CreateShardDomainDirect(ShardClass::kConsoleManager));
+    control_plane_doms_.insert(console_dom_);
     XOAR_RETURN_IF_ERROR(hv_->GrantHwCapability(bootstrapper_, console_dom_,
                                                 HwCapability::kSerialConsole));
     console_ = std::make_unique<ConsoleBackend>(hv_.get(), &sim_, console_dom_,
@@ -134,6 +150,7 @@ Status XoarPlatform::Boot() {
   // --- Phase 3b: Builder (must precede PCIBack, §5.2) ---
   XOAR_ASSIGN_OR_RETURN(builder_dom_,
                         CreateShardDomainDirect(ShardClass::kBuilder));
+  control_plane_doms_.insert(builder_dom_);
   for (Hypercall hc :
        {Hypercall::kDomctlCreate, Hypercall::kDomctlDestroy,
         Hypercall::kDomctlPause, Hypercall::kDomctlUnpause,
@@ -174,6 +191,7 @@ Status XoarPlatform::Boot() {
   }
   XOAR_ASSIGN_OR_RETURN(pciback_dom_,
                         builder_->BuildVm(bootstrapper_, pciback_request));
+  control_plane_doms_.insert(pciback_dom_);
   XOAR_RETURN_IF_ERROR(scheduler_.AddDomain(pciback_dom_, /*vcpus=*/1));
   // kDomctlDestroy covers PCIBack's own §5.3 self-destruction.
   for (Hypercall hc : {Hypercall::kDomctlSetPrivileges, Hypercall::kPhysdevOp,
@@ -223,6 +241,8 @@ Status XoarPlatform::Boot() {
       netback_doms_.push_back(*dom);
       netbacks_.push_back(std::make_unique<NetBack>(hv_.get(), xs_.get(),
                                                     &sim_, *dom, nic, &obs_));
+      netback_index_[*dom] = netbacks_.back().get();
+      control_plane_doms_.insert(*dom);
       udev_status = netbacks_.back()->Initialize();
     } else {
       DiskDevice* disk = nullptr;
@@ -234,6 +254,8 @@ Status XoarPlatform::Boot() {
       blkback_doms_.push_back(*dom);
       blkbacks_.push_back(std::make_unique<BlkBack>(hv_.get(), xs_.get(),
                                                     &sim_, *dom, disk, &obs_));
+      blkback_index_[*dom] = blkbacks_.back().get();
+      control_plane_doms_.insert(*dom);
       udev_status = blkbacks_.back()->Initialize();
     }
   });
@@ -311,6 +333,19 @@ Status XoarPlatform::Boot() {
       "XenStore-Logic", xenstore_logic_dom_,
       {[this] { (void)xs_->BeginLogicRestart(); },
        [this] { (void)xs_->CompleteLogicRestart(); }, nullptr}));
+  // Each XenStore-State partition microreboots independently; the suspend
+  // hook checkpoints the shard (recovery box) and fails only that
+  // partition's requests, the resume hook re-attaches the contents.
+  for (std::size_t i = 0; i < xenstore_state_doms_.size(); ++i) {
+    const int shard = static_cast<int>(i);
+    const std::string name =
+        i == 0 ? "XenStore-State" : StrFormat("XenStore-State-%zu", i);
+    XOAR_RETURN_IF_ERROR(restart_engine_->Register(
+        name, xenstore_state_doms_[i],
+        {[this, shard] { (void)xs_->BeginStateShardRestart(shard); },
+         [this, shard] { (void)xs_->CompleteStateShardRestart(shard); },
+         nullptr}));
+  }
   XOAR_RETURN_IF_ERROR(restart_engine_->Register(
       "Builder", builder_dom_, {nullptr, nullptr, nullptr}));
   XOAR_RETURN_IF_ERROR(restart_engine_->Register(
@@ -341,6 +376,13 @@ Status XoarPlatform::Boot() {
     }
     XOAR_RETURN_IF_ERROR(watchdog_->Supervise(
         "XenStore-Logic", [this] { (void)xs_->BeginLogicRestart(); }));
+    for (std::size_t i = 0; i < xenstore_state_doms_.size(); ++i) {
+      const int shard = static_cast<int>(i);
+      const std::string name =
+          i == 0 ? "XenStore-State" : StrFormat("XenStore-State-%zu", i);
+      XOAR_RETURN_IF_ERROR(watchdog_->Supervise(
+          name, [this, shard] { (void)xs_->BeginStateShardRestart(shard); }));
+    }
     XOAR_RETURN_IF_ERROR(watchdog_->Supervise("Builder"));
     XOAR_RETURN_IF_ERROR(watchdog_->Supervise("Toolstack"));
   }
@@ -425,7 +467,7 @@ StatusOr<int> XoarPlatform::AddToolstack(std::uint64_t memory_quota_mb) {
     XOAR_RETURN_IF_ERROR(hv_->PermitHypercall(builder_dom_, ts_dom, hc));
   }
   auto toolstack = std::make_unique<Toolstack>(hv_.get(), xs_.get(), &sim_,
-                                               ts_dom, builder_.get());
+                                               ts_dom, builder_.get(), &obs_);
   toolstack->set_authorize_shard_use(true);
   if (memory_quota_mb > 0) {
     toolstack->set_memory_quota_mb(memory_quota_mb);
@@ -442,6 +484,8 @@ StatusOr<int> XoarPlatform::AddToolstack(std::uint64_t memory_quota_mb) {
     toolstack->AddBlkBack(blkbacks_[i].get());
   }
   toolstack_doms_.push_back(ts_dom);
+  toolstack_index_[ts_dom] = toolstack.get();
+  control_plane_doms_.insert(ts_dom);
   toolstacks_.push_back(std::move(toolstack));
   return static_cast<int>(toolstacks_.size()) - 1;
 }
@@ -678,30 +722,27 @@ DomainId XoarPlatform::shard_domain(ShardClass cls) const {
   return DomainId::Invalid();
 }
 
+NetBack* XoarPlatform::netback_for_domain(DomainId dom) const {
+  auto it = netback_index_.find(dom);
+  return it == netback_index_.end() ? nullptr : it->second;
+}
+
+BlkBack* XoarPlatform::blkback_for_domain(DomainId dom) const {
+  auto it = blkback_index_.find(dom);
+  return it == blkback_index_.end() ? nullptr : it->second;
+}
+
+Toolstack* XoarPlatform::toolstack_for_domain(DomainId dom) const {
+  auto it = toolstack_index_.find(dom);
+  return it == toolstack_index_.end() ? nullptr : it->second;
+}
+
 std::uint64_t XoarPlatform::ControlPlaneMemoryMb() const {
+  // control_plane_doms_ is maintained as shards come up — one indexed
+  // walk, independent of guest count, no vector re-concatenation.
   std::uint64_t total = 0;
-  for (ShardClass cls :
-       {ShardClass::kXenStoreState, ShardClass::kXenStoreLogic,
-        ShardClass::kConsoleManager, ShardClass::kBuilder,
-        ShardClass::kPciBack}) {
-    const Domain* dom = hv_->domain(shard_domain(cls));
-    if (dom != nullptr && dom->alive()) {
-      total += dom->config().memory_mb;
-    }
-  }
-  std::vector<DomainId> driver_and_toolstack_doms;
-  driver_and_toolstack_doms.insert(driver_and_toolstack_doms.end(),
-                                   netback_doms_.begin(), netback_doms_.end());
-  driver_and_toolstack_doms.insert(driver_and_toolstack_doms.end(),
-                                   blkback_doms_.begin(), blkback_doms_.end());
-  for (DomainId dom_id : driver_and_toolstack_doms) {
+  for (DomainId dom_id : control_plane_doms_) {
     const Domain* dom = hv_->domain(dom_id);
-    if (dom != nullptr && dom->alive()) {
-      total += dom->config().memory_mb;
-    }
-  }
-  for (DomainId ts : toolstack_doms_) {
-    const Domain* dom = hv_->domain(ts);
     if (dom != nullptr && dom->alive()) {
       total += dom->config().memory_mb;
     }

@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,13 @@ class XoarPlatform : public Platform {
 
     // Fig 5.1: XenStore-Logic is restarted on each request.
     bool xenstore_per_request_restarts = true;
+
+    // Cloud-density scale-out (SCALING.md): partition XenStore-State into
+    // this many path-prefix shards, each hosted in its own shard domain
+    // and independently microrebootable. A State-shard restart only
+    // stalls the tenants whose /local/domain/<id> directories hash to it.
+    // 1 = the paper's evaluated single-State configuration.
+    int xenstore_state_shards = 1;
 
     // Self-healing supervision (DESIGN.md §5d): every restartable shard
     // emits heartbeats and a watchdog drives automatic microreboots with
@@ -126,8 +134,12 @@ class XoarPlatform : public Platform {
   // but not across platform destruction.
 
   // Domain id of a singleton shard, or an invalid id if that shard is not
-  // resident (e.g. the Bootstrapper after self-destruction).
+  // resident (e.g. the Bootstrapper after self-destruction). For
+  // XenStore-State this is shard 0; xenstore_state_domains() lists all.
   DomainId shard_domain(ShardClass cls) const;
+  const std::vector<DomainId>& xenstore_state_domains() const {
+    return xenstore_state_doms_;
+  }
   Builder& builder() { return *builder_; }
   Toolstack& toolstack(int index = 0) { return *toolstacks_.at(index); }
   int toolstack_count() const { return static_cast<int>(toolstacks_.size()); }
@@ -135,6 +147,10 @@ class XoarPlatform : public Platform {
   PciBackService& pci_service() { return *pci_service_; }
   NetBack& netback(int index = 0) { return *netbacks_.at(index); }
   BlkBack& blkback(int index = 0) { return *blkbacks_.at(index); }
+  // DomainId-keyed shard lookups (no O(n) scan of the shard vectors).
+  NetBack* netback_for_domain(DomainId dom) const;
+  BlkBack* blkback_for_domain(DomainId dom) const;
+  Toolstack* toolstack_for_domain(DomainId dom) const;
   int netback_count() const { return static_cast<int>(netbacks_.size()); }
   int blkback_count() const { return static_cast<int>(blkbacks_.size()); }
   RestartEngine& restarts() { return *restart_engine_; }
@@ -170,7 +186,9 @@ class XoarPlatform : public Platform {
   SimTime boot_complete_at() const { return boot_complete_at_; }
 
  private:
-  StatusOr<DomainId> CreateShardDomainDirect(ShardClass cls);
+  StatusOr<DomainId> CreateShardDomainDirect(ShardClass cls,
+                                             const std::string& name_suffix =
+                                                 std::string());
   void RecordGuestAudit(DomainId guest, const GuestSpec& spec,
                         const Toolstack::GuestRecord& record);
   Toolstack* OwningToolstack(DomainId guest);
@@ -183,7 +201,8 @@ class XoarPlatform : public Platform {
   std::unique_ptr<SerialDevice> serial_;
 
   DomainId bootstrapper_;
-  DomainId xenstore_state_dom_;
+  DomainId xenstore_state_dom_;  // shard 0 of xenstore_state_doms_
+  std::vector<DomainId> xenstore_state_doms_;
   DomainId xenstore_logic_dom_;
   DomainId console_dom_;
   DomainId builder_dom_;
@@ -191,6 +210,13 @@ class XoarPlatform : public Platform {
   std::vector<DomainId> netback_doms_;
   std::vector<DomainId> blkback_doms_;
   std::vector<DomainId> toolstack_doms_;
+  // DomainId-keyed indexes over the shard vectors above, plus the set of
+  // all control-plane domains (drives ControlPlaneMemoryMb without
+  // re-concatenating vectors).
+  std::map<DomainId, NetBack*> netback_index_;
+  std::map<DomainId, BlkBack*> blkback_index_;
+  std::map<DomainId, Toolstack*> toolstack_index_;
+  std::set<DomainId> control_plane_doms_;
 
   std::unique_ptr<ConsoleBackend> console_;
   std::unique_ptr<Builder> builder_;

@@ -6,8 +6,16 @@
 namespace xoar {
 
 Toolstack::Toolstack(Hypervisor* hv, XenStoreService* xs, Simulator* sim,
-                     DomainId self, Builder* builder)
-    : hv_(hv), xs_(xs), sim_(sim), self_(self), builder_(builder) {}
+                     DomainId self, Builder* builder, Obs* obs)
+    : hv_(hv),
+      xs_(xs),
+      sim_(sim),
+      self_(self),
+      builder_(builder),
+      obs_(Obs::OrGlobal(obs)),
+      m_slice_count_(obs_->metrics().GetGauge("toolstack.slice.count")),
+      m_slice_guests_(obs_->metrics().GetGauge("toolstack.slice.guests")),
+      m_slice_mem_(obs_->metrics().GetGauge("toolstack.slice.mem_mb")) {}
 
 bool Toolstack::ShardTagCompatible(DomainId shard,
                                    const std::string& tag) const {
@@ -115,18 +123,32 @@ StatusOr<DomainId> Toolstack::CreateGuest(const GuestSpec& spec) {
         std::make_unique<DeviceEmulator>(hv_, record.qemu_domain, guest);
   }
 
-  guests_.emplace(guest, std::move(record));
+  // File the guest under its tenant's slice; all aggregates move
+  // incrementally (no O(host) rescan on the create path).
+  TenantSlice& slice = slices_[spec.tenant];
+  if (slice.guests.empty()) {
+    m_slice_count_->Add(1);
+  }
+  slice.guests.emplace(guest, std::move(record));
+  slice.memory_in_use_mb += spec.memory_mb;
+  guest_tenant_[guest] = spec.tenant;
+  memory_in_use_mb_ += spec.memory_mb;
+  ++guest_count_;
+  m_slice_guests_->Add(1);
+  m_slice_mem_->Add(static_cast<double>(spec.memory_mb));
   XLOG(kDebug) << "[toolstack dom" << self_.value() << "] created guest dom"
                << guest.value();
   return guest;
 }
 
 Status Toolstack::DestroyGuest(DomainId guest) {
-  auto it = guests_.find(guest);
-  if (it == guests_.end()) {
+  auto tenant_it = guest_tenant_.find(guest);
+  if (tenant_it == guest_tenant_.end()) {
     return NotFoundError(
         StrFormat("dom%u is not managed by this toolstack", guest.value()));
   }
+  TenantSlice& slice = slices_[tenant_it->second];
+  auto it = slice.guests.find(guest);
   GuestRecord& record = it->second;
   if (record.netback != nullptr) {
     auto& tags = shard_tags_[record.netback->self()];
@@ -141,7 +163,18 @@ Status Toolstack::DestroyGuest(DomainId guest) {
   }
   xs_->Disconnect(guest);
   XOAR_RETURN_IF_ERROR(hv_->DestroyDomain(self_, guest));
-  guests_.erase(it);
+  const std::uint64_t mem = record.spec.memory_mb;
+  slice.guests.erase(it);
+  slice.memory_in_use_mb -= mem;
+  memory_in_use_mb_ -= mem;
+  --guest_count_;
+  m_slice_guests_->Add(-1);
+  m_slice_mem_->Add(-static_cast<double>(mem));
+  if (slice.guests.empty()) {
+    slices_.erase(tenant_it->second);
+    m_slice_count_->Add(-1);
+  }
+  guest_tenant_.erase(tenant_it);
   return Status::Ok();
 }
 
@@ -154,25 +187,41 @@ Status Toolstack::UnpauseGuest(DomainId guest) {
 }
 
 Toolstack::GuestRecord* Toolstack::guest(DomainId id) {
-  auto it = guests_.find(id);
-  return it == guests_.end() ? nullptr : &it->second;
+  auto tenant_it = guest_tenant_.find(id);
+  if (tenant_it == guest_tenant_.end()) {
+    return nullptr;
+  }
+  auto slice_it = slices_.find(tenant_it->second);
+  auto it = slice_it->second.guests.find(id);
+  return &it->second;
 }
 
 std::vector<DomainId> Toolstack::Guests() const {
   std::vector<DomainId> out;
-  out.reserve(guests_.size());
-  for (const auto& [id, record] : guests_) {
+  out.reserve(guest_count_);
+  for (const auto& [id, tenant] : guest_tenant_) {
     out.push_back(id);
   }
   return out;
 }
 
-std::uint64_t Toolstack::guest_memory_in_use_mb() const {
-  std::uint64_t total = 0;
-  for (const auto& [id, record] : guests_) {
-    total += record.spec.memory_mb;
+const Toolstack::TenantSlice* Toolstack::slice(const std::string& tenant) const {
+  auto it = slices_.find(tenant);
+  return it == slices_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Toolstack::Tenants() const {
+  std::vector<std::string> out;
+  out.reserve(slices_.size());
+  for (const auto& [tenant, slice] : slices_) {
+    out.push_back(tenant);
   }
-  return total;
+  return out;
+}
+
+const std::string* Toolstack::TenantOf(DomainId guest) const {
+  auto it = guest_tenant_.find(guest);
+  return it == guest_tenant_.end() ? nullptr : &it->second;
 }
 
 }  // namespace xoar

@@ -39,8 +39,19 @@ class Toolstack {
     std::unique_ptr<DeviceEmulator> emulator;
   };
 
+  // Guests are grouped into per-tenant slices (GuestSpec::tenant,
+  // SCALING.md): bookkeeping for one tenant never scans another tenant's
+  // guests, and host-wide aggregates (guest count, memory in use) are
+  // maintained incrementally so quota checks stay O(1) at cloud density.
+  struct TenantSlice {
+    std::map<DomainId, GuestRecord> guests;
+    std::uint64_t memory_in_use_mb = 0;
+  };
+
+  // `obs` receives the `toolstack.slice.*` gauges; nullptr falls back to
+  // Obs::Global().
   Toolstack(Hypervisor* hv, XenStoreService* xs, Simulator* sim, DomainId self,
-            Builder* builder);
+            Builder* builder, Obs* obs = nullptr);
 
   DomainId self() const { return self_; }
 
@@ -61,9 +72,20 @@ class Toolstack {
   Status PauseGuest(DomainId guest);
   Status UnpauseGuest(DomainId guest);
 
+  // Indexed lookup: tenant via guest_tenant_, record inside its slice.
   GuestRecord* guest(DomainId id);
   std::vector<DomainId> Guests() const;
-  std::uint64_t guest_memory_in_use_mb() const;
+  // O(1): maintained incrementally on create/destroy, never recomputed by
+  // scanning guests.
+  std::uint64_t guest_memory_in_use_mb() const { return memory_in_use_mb_; }
+  std::size_t guest_count() const { return guest_count_; }
+
+  // --- Tenant slices ---
+  const TenantSlice* slice(const std::string& tenant) const;
+  std::size_t slice_count() const { return slices_.size(); }
+  std::vector<std::string> Tenants() const;
+  // Tenant a guest belongs to; nullptr if not managed here.
+  const std::string* TenantOf(DomainId guest) const;
 
  private:
   // Constraint-group selection (§3.2.1): a shard qualifies if every guest
@@ -79,9 +101,17 @@ class Toolstack {
   Simulator* sim_;
   DomainId self_;
   Builder* builder_;
+  Obs* obs_;
+  Gauge* m_slice_count_;   // toolstack.slice.count
+  Gauge* m_slice_guests_;  // toolstack.slice.guests
+  Gauge* m_slice_mem_;     // toolstack.slice.mem_mb
   std::vector<NetBack*> netbacks_;
   std::vector<BlkBack*> blkbacks_;
-  std::map<DomainId, GuestRecord> guests_;
+  // Per-tenant slices plus a DomainId-keyed index into them.
+  std::map<std::string, TenantSlice> slices_;
+  std::map<DomainId, std::string> guest_tenant_;
+  std::uint64_t memory_in_use_mb_ = 0;
+  std::size_t guest_count_ = 0;
   // shard domain -> constraint tags of guests attached through us
   std::map<DomainId, std::map<std::string, int>> shard_tags_;
   std::uint64_t memory_quota_mb_ = 0;

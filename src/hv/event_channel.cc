@@ -83,19 +83,18 @@ StatusOr<EvtchnPort> EventChannelManager::BindInterdomain(
 
 StatusOr<EvtchnPort> EventChannelManager::BindVirq(DomainId domain, Virq virq) {
   // One binding per VIRQ per domain.
-  for (const auto& [key, channel] : channels_) {
-    if (key.first == domain.value() && channel.state == ChannelState::kVirq &&
-        channel.virq == virq) {
-      return AlreadyExistsError(StrFormat("virq %d already bound on dom%u",
-                                          static_cast<int>(virq),
-                                          domain.value()));
-    }
+  const Key vkey(domain.value(), static_cast<std::uint32_t>(virq));
+  if (virq_ports_.count(vkey) > 0) {
+    return AlreadyExistsError(StrFormat("virq %d already bound on dom%u",
+                                        static_cast<int>(virq),
+                                        domain.value()));
   }
   EvtchnPort port = NextPort(domain);
   Channel channel;
   channel.state = ChannelState::kVirq;
   channel.virq = virq;
   channels_[Key(domain.value(), port.value())] = std::move(channel);
+  virq_ports_[vkey] = port.value();
   return port;
 }
 
@@ -153,23 +152,22 @@ Status EventChannelManager::Send(DomainId caller, EvtchnPort port) {
 }
 
 Status EventChannelManager::RaiseVirq(DomainId domain, Virq virq) {
-  for (auto& [key, channel] : channels_) {
-    if (key.first == domain.value() && channel.state == ChannelState::kVirq &&
-        channel.virq == virq) {
-      if (channel.handler) {
-        // Copy the handler: the channel may be closed before delivery fires.
-        Handler handler = channel.handler;
-        sim_->ScheduleAfter(kEventDeliveryLatency,
-                            [handler = std::move(handler)] { handler(); });
-        ++deliveries_;
-        m_deliveries_->Increment();
-      }
-      return Status::Ok();
-    }
+  auto it = virq_ports_.find(Key(domain.value(), static_cast<std::uint32_t>(virq)));
+  if (it == virq_ports_.end()) {
+    return NotFoundError(StrFormat("dom%u has no binding for virq %s",
+                                   domain.value(),
+                                   std::string(VirqName(virq)).c_str()));
   }
-  return NotFoundError(StrFormat("dom%u has no binding for virq %s",
-                                 domain.value(),
-                                 std::string(VirqName(virq)).c_str()));
+  Channel* channel = Find(domain, EvtchnPort(it->second));
+  if (channel != nullptr && channel->handler) {
+    // Copy the handler: the channel may be closed before delivery fires.
+    Handler handler = channel->handler;
+    sim_->ScheduleAfter(kEventDeliveryLatency,
+                        [handler = std::move(handler)] { handler(); });
+    ++deliveries_;
+    m_deliveries_->Increment();
+  }
+  return Status::Ok();
 }
 
 Status EventChannelManager::Close(DomainId domain, EvtchnPort port) {
@@ -182,6 +180,9 @@ Status EventChannelManager::Close(DomainId domain, EvtchnPort port) {
     if (peer != nullptr) {
       peer->state = ChannelState::kBroken;
     }
+  } else if (it->second.state == ChannelState::kVirq) {
+    virq_ports_.erase(
+        Key(domain.value(), static_cast<std::uint32_t>(it->second.virq)));
   }
   channels_.erase(it);
   return Status::Ok();
@@ -189,19 +190,19 @@ Status EventChannelManager::Close(DomainId domain, EvtchnPort port) {
 
 int EventChannelManager::CloseAll(DomainId domain) {
   int closed = 0;
-  for (auto it = channels_.begin(); it != channels_.end();) {
-    if (it->first.first == domain.value()) {
-      if (it->second.state == ChannelState::kConnected) {
-        Channel* peer = Find(it->second.remote, it->second.remote_port);
-        if (peer != nullptr) {
-          peer->state = ChannelState::kBroken;
-        }
+  auto it = channels_.lower_bound(Key(domain.value(), 0));
+  while (it != channels_.end() && it->first.first == domain.value()) {
+    if (it->second.state == ChannelState::kConnected) {
+      Channel* peer = Find(it->second.remote, it->second.remote_port);
+      if (peer != nullptr) {
+        peer->state = ChannelState::kBroken;
       }
-      it = channels_.erase(it);
-      ++closed;
-    } else {
-      ++it;
+    } else if (it->second.state == ChannelState::kVirq) {
+      virq_ports_.erase(
+          Key(domain.value(), static_cast<std::uint32_t>(it->second.virq)));
     }
+    it = channels_.erase(it);
+    ++closed;
   }
   return closed;
 }

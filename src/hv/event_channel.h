@@ -124,7 +124,11 @@ class EventChannelManager {
   Counter* m_sends_;       // hv.evtchn.sends
   Counter* m_deliveries_;  // hv.evtchn.deliveries
   SendFaultHook send_fault_hook_;
+  // Keyed (domain, port): one domain's channels are contiguous, so per-domain
+  // teardown is a range erase, not a walk of every channel on the host.
   std::map<Key, Channel> channels_;
+  // (domain, virq) -> bound port, so VIRQ raise/duplicate checks are lookups.
+  std::map<Key, std::uint32_t> virq_ports_;
   std::map<std::uint32_t, std::uint32_t> next_port_;
   std::uint64_t sends_ = 0;
   std::uint64_t deliveries_ = 0;

@@ -60,24 +60,15 @@ const Domain* Hypervisor::domain(DomainId id) const {
 }
 
 std::vector<DomainId> Hypervisor::AllDomains() const {
+  ++domain_table_scans_;
   std::vector<DomainId> out;
-  out.reserve(domains_.size());
+  out.reserve(live_count_);
   for (const auto& [raw, dom] : domains_) {
     if (dom->alive()) {
       out.push_back(DomainId(raw));
     }
   }
   return out;
-}
-
-std::size_t Hypervisor::LiveDomainCount() const {
-  std::size_t n = 0;
-  for (const auto& [raw, dom] : domains_) {
-    if (dom->alive()) {
-      ++n;
-    }
-  }
-  return n;
 }
 
 Status Hypervisor::CheckCallerAlive(DomainId caller) const {
@@ -208,8 +199,9 @@ StatusOr<DomainId> Hypervisor::CreateInitialDomain(const DomainConfig& config,
   Audit(StrFormat("create-initial dom%u name=%s control=%d", id.value(),
                   config.name.c_str(), as_control_domain ? 1 : 0));
   domains_.emplace(id.value(), std::move(dom));
+  ++live_count_;
   m_domain_creates_->Increment();
-  m_domains_live_->Set(static_cast<double>(LiveDomainCount()));
+  m_domains_live_->Set(static_cast<double>(live_count_));
   obs_->tracer().SetTrackName(id.value(),
                               StrFormat("dom%u %s", id.value(),
                                         config.name.c_str()));
@@ -239,8 +231,9 @@ StatusOr<DomainId> Hypervisor::CreateDomain(DomainId caller,
                   id.value(), config.name.c_str(), caller.value(),
                   dom->parent_toolstack().value(), config.is_shard ? 1 : 0));
   domains_.emplace(id.value(), std::move(dom));
+  ++live_count_;
   m_domain_creates_->Increment();
-  m_domains_live_->Set(static_cast<double>(LiveDomainCount()));
+  m_domains_live_->Set(static_cast<double>(live_count_));
   obs_->tracer().SetTrackName(id.value(),
                               StrFormat("dom%u %s", id.value(),
                                         config.name.c_str()));
@@ -294,9 +287,13 @@ Status Hypervisor::DestroyDomain(DomainId caller, DomainId target) {
     return FailedPreconditionError("domain already dead");
   }
   dom->set_state(DomainState::kDead);
+  --live_count_;
   dom->grant_table().RevokeAll();
   evtchn_.CloseAll(target);
   memory_.FreeDomainPages(target);
+  for (const PciSlot& slot : dom->pci_devices()) {
+    pci_owner_.erase(slot);
+  }
   // Hardware capabilities held by a destroyed domain return to the pool
   // (PCIBack self-destructs after boot, §5.3).
   for (auto& holder : hw_capability_holder_) {
@@ -306,7 +303,7 @@ Status Hypervisor::DestroyDomain(DomainId caller, DomainId target) {
   }
   Audit(StrFormat("destroy dom%u by dom%u", target.value(), caller.value()));
   m_domain_destroys_->Increment();
-  m_domains_live_->Set(static_cast<double>(LiveDomainCount()));
+  m_domains_live_->Set(static_cast<double>(live_count_));
   return Status::Ok();
 }
 
@@ -321,6 +318,9 @@ Status Hypervisor::BeginReboot(DomainId caller, DomainId target) {
   if (dom->state() != DomainState::kRunning &&
       dom->state() != DomainState::kDead) {
     return FailedPreconditionError("only running or dead domains can microreboot");
+  }
+  if (dom->state() == DomainState::kDead) {
+    ++live_count_;  // resurrection: the crashed shard is coming back
   }
   dom->set_state(DomainState::kRebooting);
   // Peers observe their channels break and renegotiate on reconnect.
@@ -342,7 +342,7 @@ Status Hypervisor::CompleteReboot(DomainId caller, DomainId target) {
   dom->IncrementRebootCount();
   // A reboot can resurrect a crashed (dead) domain, so the live-domain
   // gauge ReportCrash decremented has to be refreshed here.
-  m_domains_live_->Set(static_cast<double>(LiveDomainCount()));
+  m_domains_live_->Set(static_cast<double>(live_count_));
   Audit(StrFormat("microreboot-complete dom%u (count=%d)", target.value(),
                   dom->reboot_count()));
   return Status::Ok();
@@ -361,10 +361,13 @@ void Hypervisor::ReportCrash(DomainId id) {
     Audit("HOST REBOOT: control domain failure is fatal in stock Xen");
     return;
   }
+  if (dom->alive()) {
+    --live_count_;
+  }
   dom->set_state(DomainState::kDead);
   dom->grant_table().RevokeAll();
   evtchn_.CloseAll(id);
-  m_domains_live_->Set(static_cast<double>(LiveDomainCount()));
+  m_domains_live_->Set(static_cast<double>(live_count_));
 }
 
 // --- Fig 3.1 privilege-assignment API ---------------------------------------
@@ -380,15 +383,20 @@ Status Hypervisor::AssignPciDevice(DomainId caller, DomainId target,
   // §3.4.2 private-cloud scenario assigns SR-IOV virtual functions straight
   // to user VMs), so there is deliberately no shard-only restriction here.
   // "the hypervisor checks the availability of the device to ensure it is
-  // not already assigned to another VM" (§3.1).
-  for (const auto& [raw, dom] : domains_) {
-    if (dom->alive() && dom->pci_devices().count(slot) > 0) {
+  // not already assigned to another VM" (§3.1). Resolved through the slot
+  // index; an entry whose holder has since died does not block reassignment
+  // (the old domain-table scan skipped dead domains too).
+  auto assigned = pci_owner_.find(slot);
+  if (assigned != pci_owner_.end()) {
+    const Domain* holder = domain(assigned->second);
+    if (holder != nullptr && holder->alive()) {
       return AlreadyExistsError(StrFormat(
           "PCI device %s already assigned to dom%u", slot.ToString().c_str(),
-          raw));
+          assigned->second.value()));
     }
   }
   target_dom->AddPciDevice(slot);
+  pci_owner_[slot] = target;
   Audit(StrFormat("assign-pci %s -> dom%u by dom%u", slot.ToString().c_str(),
                   target.value(), caller.value()));
   return Status::Ok();

@@ -120,8 +120,12 @@ class Hypervisor {
 
   Domain* domain(DomainId id);
   const Domain* domain(DomainId id) const;
+  // Materializes the full live-domain list — an O(n) walk of the domain
+  // table. Control-plane hot paths (create/destroy) must not call this; the
+  // density bench asserts domain_table_scans() stays flat across a sweep.
   std::vector<DomainId> AllDomains() const;
-  std::size_t LiveDomainCount() const;
+  // O(1): maintained incrementally on every alive<->dead transition.
+  std::size_t LiveDomainCount() const { return live_count_; }
 
   // --- Fig 3.1 privilege-assignment API ---
 
@@ -203,6 +207,10 @@ class Hypervisor {
   }
   std::uint64_t TotalHypercalls() const;
   std::uint64_t denied_hypercalls() const { return denied_; }
+  // Number of full domain-table walks performed (AllDomains and friends).
+  // The density bench reads the delta across a create sweep to prove no
+  // O(n) scan remains on the guest create/destroy path.
+  std::uint64_t domain_table_scans() const { return domain_table_scans_; }
 
   // Exposed for tests: the raw policy checks.
   Status CheckHypercall(DomainId caller, Hypercall hc);
@@ -230,6 +238,11 @@ class Hypervisor {
   MemoryManager memory_;
   EventChannelManager evtchn_;
   std::map<std::uint32_t, std::unique_ptr<Domain>> domains_;
+  std::size_t live_count_ = 0;
+  // PCI assignment index: slot -> owning domain, so assign_pci_device's
+  // already-assigned check (§3.1) is a lookup, not a domain-table scan.
+  std::map<PciSlot, DomainId> pci_owner_;
+  mutable std::uint64_t domain_table_scans_ = 0;
   std::array<DomainId, static_cast<std::size_t>(HwCapability::kCount)>
       hw_capability_holder_;
   std::array<std::uint64_t, kHypercallCount> hypercall_counts_{};

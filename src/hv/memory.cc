@@ -6,6 +6,26 @@
 
 namespace xoar {
 
+std::map<std::uint64_t, MemoryManager::Extent>::const_iterator
+MemoryManager::FindExtent(std::uint64_t pfn) const {
+  auto it = extents_.upper_bound(pfn);
+  if (it == extents_.begin()) {
+    return extents_.end();
+  }
+  --it;
+  if (pfn >= it->first + it->second.count) {
+    return extents_.end();
+  }
+  return it;
+}
+
+void MemoryManager::DropPageData(std::uint64_t first, std::uint64_t count) {
+  auto it = page_data_.lower_bound(first);
+  while (it != page_data_.end() && it->first < first + count) {
+    it = page_data_.erase(it);
+  }
+}
+
 StatusOr<Pfn> MemoryManager::AllocatePages(DomainId owner, std::uint64_t count) {
   if (count == 0) {
     return InvalidArgumentError("cannot allocate zero pages");
@@ -20,9 +40,8 @@ StatusOr<Pfn> MemoryManager::AllocatePages(DomainId owner, std::uint64_t count) 
                   static_cast<unsigned long long>(free_pages_)));
   }
   const std::uint64_t first = next_pfn_;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    frames_.emplace(next_pfn_ + i, Frame{owner, nullptr});
-  }
+  extents_.emplace(first, Extent{count, owner});
+  owner_extents_[owner].insert(first);
   next_pfn_ += count;
   free_pages_ -= count;
   owned_count_[owner] += count;
@@ -31,13 +50,15 @@ StatusOr<Pfn> MemoryManager::AllocatePages(DomainId owner, std::uint64_t count) 
 
 std::uint64_t MemoryManager::FreeDomainPages(DomainId owner) {
   std::uint64_t freed = 0;
-  for (auto it = frames_.begin(); it != frames_.end();) {
-    if (it->second.owner == owner) {
-      it = frames_.erase(it);
-      ++freed;
-    } else {
-      ++it;
+  auto owned = owner_extents_.find(owner);
+  if (owned != owner_extents_.end()) {
+    for (std::uint64_t start : owned->second) {
+      auto it = extents_.find(start);
+      freed += it->second.count;
+      DropPageData(start, it->second.count);
+      extents_.erase(it);
     }
+    owner_extents_.erase(owned);
   }
   free_pages_ += freed;
   owned_count_.erase(owner);
@@ -46,18 +67,44 @@ std::uint64_t MemoryManager::FreeDomainPages(DomainId owner) {
 
 Status MemoryManager::FreeSpecificPages(DomainId owner, Pfn first,
                                         std::uint64_t count) {
-  // Validate the whole range before mutating anything.
-  for (std::uint64_t i = 0; i < count; ++i) {
-    auto it = frames_.find(first.value() + i);
-    if (it == frames_.end() || it->second.owner != owner) {
+  // Validate the whole range before mutating anything: it must be fully
+  // covered by extents, all owned by `owner`. The range may span several
+  // extents (adjacent allocations are contiguous because frames are handed
+  // out monotonically).
+  std::uint64_t pfn = first.value();
+  const std::uint64_t end = first.value() + count;
+  while (pfn < end) {
+    auto it = FindExtent(pfn);
+    if (it == extents_.end() || it->second.owner != owner) {
       return PermissionDeniedError(
           StrFormat("pfn %llu is not owned by dom%u",
-                    static_cast<unsigned long long>(first.value() + i),
-                    owner.value()));
+                    static_cast<unsigned long long>(pfn), owner.value()));
     }
+    pfn = it->first + it->second.count;
   }
-  for (std::uint64_t i = 0; i < count; ++i) {
-    frames_.erase(first.value() + i);
+
+  // Carve [first, end) out of each overlapping extent, keeping any head or
+  // tail remainder as a fresh extent.
+  pfn = first.value();
+  while (pfn < end) {
+    auto it = extents_.upper_bound(pfn);
+    --it;
+    const std::uint64_t ext_start = it->first;
+    const std::uint64_t ext_end = ext_start + it->second.count;
+    auto& starts = owner_extents_[owner];
+    extents_.erase(it);
+    starts.erase(ext_start);
+    if (ext_start < pfn) {
+      extents_.emplace(ext_start, Extent{pfn - ext_start, owner});
+      starts.insert(ext_start);
+    }
+    if (ext_end > end) {
+      extents_.emplace(end, Extent{ext_end - end, owner});
+      starts.insert(end);
+    }
+    const std::uint64_t removed_end = ext_end < end ? ext_end : end;
+    DropPageData(pfn, removed_end - pfn);
+    pfn = ext_end;
   }
   free_pages_ += count;
   owned_count_[owner] -= count;
@@ -65,8 +112,8 @@ Status MemoryManager::FreeSpecificPages(DomainId owner, Pfn first,
 }
 
 StatusOr<DomainId> MemoryManager::OwnerOf(Pfn pfn) const {
-  auto it = frames_.find(pfn.value());
-  if (it == frames_.end()) {
+  auto it = FindExtent(pfn.value());
+  if (it == extents_.end()) {
     return NotFoundError(StrFormat("pfn %llu not allocated",
                                    static_cast<unsigned long long>(pfn.value())));
   }
@@ -74,20 +121,21 @@ StatusOr<DomainId> MemoryManager::OwnerOf(Pfn pfn) const {
 }
 
 bool MemoryManager::IsOwnedBy(Pfn pfn, DomainId domain) const {
-  auto it = frames_.find(pfn.value());
-  return it != frames_.end() && it->second.owner == domain;
+  auto it = FindExtent(pfn.value());
+  return it != extents_.end() && it->second.owner == domain;
 }
 
 std::byte* MemoryManager::PageData(Pfn pfn) {
-  auto it = frames_.find(pfn.value());
-  if (it == frames_.end()) {
+  if (FindExtent(pfn.value()) == extents_.end()) {
     return nullptr;
   }
-  if (!it->second.data) {
-    it->second.data = std::make_unique<std::byte[]>(kPageSize);
-    std::memset(it->second.data.get(), 0, kPageSize);
+  auto it = page_data_.find(pfn.value());
+  if (it == page_data_.end()) {
+    auto data = std::make_unique<std::byte[]>(kPageSize);
+    std::memset(data.get(), 0, kPageSize);
+    it = page_data_.emplace(pfn.value(), std::move(data)).first;
   }
-  return it->second.data.get();
+  return it->second.get();
 }
 
 std::uint64_t MemoryManager::PagesOwnedBy(DomainId owner) const {

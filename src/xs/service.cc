@@ -11,25 +11,48 @@ XenStoreService::XenStoreService(Hypervisor* hv, Simulator* sim, Obs* obs)
       obs_(Obs::OrGlobal(obs)),
       m_requests_(obs_->metrics().GetCounter("xenstore.service.requests")),
       m_logic_restarts_(
-          obs_->metrics().GetCounter("xenstore.service.logic_restarts")) {
+          obs_->metrics().GetCounter("xenstore.service.logic_restarts")),
+      m_shard_restarts_(obs_->metrics().GetCounter("xs.shard.restarts")),
+      m_shard_rejects_(
+          obs_->metrics().GetCounter("xs.shard.unavailable_rejects")) {
   store_.set_obs(obs_);
+}
+
+void XenStoreService::SetShardCount(int count) {
+  store_.Reshard(count);
+  shard_available_.assign(store_.shard_count(), true);
+  shard_pre_restart_.assign(store_.shard_count(), XsStore::Snapshot());
 }
 
 void XenStoreService::DeploySplit(DomainId logic_domain,
                                   DomainId state_domain) {
+  DeploySplit(logic_domain, std::vector<DomainId>{state_domain});
+}
+
+void XenStoreService::DeploySplit(
+    DomainId logic_domain, const std::vector<DomainId>& state_domains) {
   logic_domain_ = logic_domain;
-  state_domain_ = state_domain;
+  state_domains_ = state_domains;
+  state_domain_ =
+      state_domains.empty() ? DomainId::Invalid() : state_domains.front();
   monolithic_ = false;
   logic_available_ = true;
+  shard_available_.assign(store_.shard_count(), true);
+  shard_pre_restart_.assign(store_.shard_count(), XsStore::Snapshot());
   store_.AddManagerDomain(logic_domain);
-  store_.AddManagerDomain(state_domain);
+  for (DomainId state : state_domains) {
+    store_.AddManagerDomain(state);
+  }
 }
 
 void XenStoreService::DeployMonolithic(DomainId control_domain) {
   logic_domain_ = control_domain;
   state_domain_ = control_domain;
+  state_domains_ = {control_domain};
   monolithic_ = true;
   logic_available_ = true;
+  shard_available_.assign(store_.shard_count(), true);
+  shard_pre_restart_.assign(store_.shard_count(), XsStore::Snapshot());
   store_.AddManagerDomain(control_domain);
 }
 
@@ -107,6 +130,30 @@ Status XenStoreService::CheckRequest(DomainId caller) {
   return Status::Ok();
 }
 
+Status XenStoreService::CheckShard(int shard) {
+  if (shard < 0 || shard >= static_cast<int>(shard_available_.size())) {
+    return Status::Ok();  // unknown partition resolves in the store layer
+  }
+  if (!shard_available_[shard]) {
+    m_shard_rejects_->Increment();
+    return UnavailableError(
+        StrFormat("XenStore-State shard %d is restarting", shard));
+  }
+  return Status::Ok();
+}
+
+Status XenStoreService::CheckShardForPath(std::string_view path) {
+  if (XsShardedStore::IsSpanningPath(path)) {
+    // Spanning prefixes fan out (mutations) or merge (listings): every
+    // partition must be up.
+    for (int i = 0; i < static_cast<int>(shard_available_.size()); ++i) {
+      XOAR_RETURN_IF_ERROR(CheckShard(i));
+    }
+    return Status::Ok();
+  }
+  return CheckShard(store_.ShardIndexForPath(path));
+}
+
 void XenStoreService::NoteRequestServed() {
   ++requests_processed_;
   m_requests_->Increment();
@@ -127,13 +174,14 @@ void XenStoreService::FinishLogicRestart() {
   // the current state and re-attaching is an O(1) no-op — the COW snapshot
   // replaces the old full Serialize/Restore round trip.
   store_.RestoreSnapshot(pre_restart_state_);
-  pre_restart_state_ = XsStore::Snapshot();
+  pre_restart_state_ = XsShardedStore::Snapshot();
   logic_available_ = true;
 }
 
 StatusOr<std::string> XenStoreService::Read(DomainId caller,
                                             std::string_view path) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShardForPath(path));
   NoteRequestServed();
   return store_.Read(caller, path);
 }
@@ -141,18 +189,21 @@ StatusOr<std::string> XenStoreService::Read(DomainId caller,
 Status XenStoreService::Write(DomainId caller, std::string_view path,
                               std::string_view value) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShardForPath(path));
   NoteRequestServed();
   return store_.Write(caller, path, value);
 }
 
 Status XenStoreService::Mkdir(DomainId caller, std::string_view path) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShardForPath(path));
   NoteRequestServed();
   return store_.Mkdir(caller, path);
 }
 
 Status XenStoreService::Remove(DomainId caller, std::string_view path) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShardForPath(path));
   NoteRequestServed();
   return store_.Remove(caller, path);
 }
@@ -160,6 +211,7 @@ Status XenStoreService::Remove(DomainId caller, std::string_view path) {
 StatusOr<std::vector<std::string>> XenStoreService::List(
     DomainId caller, std::string_view path) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShardForPath(path));
   NoteRequestServed();
   return store_.List(caller, path);
 }
@@ -167,6 +219,7 @@ StatusOr<std::vector<std::string>> XenStoreService::List(
 Status XenStoreService::SetPerms(DomainId caller, std::string_view path,
                                  const XsNodePerms& perms) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShardForPath(path));
   NoteRequestServed();
   return store_.SetPerms(caller, path, perms);
 }
@@ -175,6 +228,7 @@ Status XenStoreService::Watch(DomainId caller, std::string_view path,
                               std::string_view token,
                               XsStore::WatchCallback cb) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShardForPath(path));
   NoteRequestServed();
   // Watch registrations live in the store itself (XenStore-State), so they
   // survive Logic restarts. Deliveries are asynchronous.
@@ -189,12 +243,14 @@ Status XenStoreService::Watch(DomainId caller, std::string_view path,
 Status XenStoreService::Unwatch(DomainId caller, std::string_view path,
                                 std::string_view token) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShardForPath(path));
   NoteRequestServed();
   return store_.Unwatch(caller, path, token);
 }
 
 StatusOr<XsStore::TxId> XenStoreService::TransactionStart(DomainId caller) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShard(store_.ShardIndexForDomain(caller)));
   NoteRequestServed();
   return store_.TransactionStart(caller);
 }
@@ -202,6 +258,7 @@ StatusOr<XsStore::TxId> XenStoreService::TransactionStart(DomainId caller) {
 Status XenStoreService::TransactionEnd(DomainId caller, XsStore::TxId tx,
                                        bool commit) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShard(store_.ShardOfTransaction(tx)));
   NoteRequestServed();
   return store_.TransactionEnd(caller, tx, commit);
 }
@@ -210,6 +267,7 @@ StatusOr<std::string> XenStoreService::ReadTx(DomainId caller,
                                               std::string_view path,
                                               XsStore::TxId tx) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShard(store_.ShardOfTransaction(tx)));
   NoteRequestServed();
   return store_.Read(caller, path, tx);
 }
@@ -217,6 +275,7 @@ StatusOr<std::string> XenStoreService::ReadTx(DomainId caller,
 Status XenStoreService::WriteTx(DomainId caller, std::string_view path,
                                 std::string_view value, XsStore::TxId tx) {
   XOAR_RETURN_IF_ERROR(CheckRequest(caller));
+  XOAR_RETURN_IF_ERROR(CheckShard(store_.ShardOfTransaction(tx)));
   NoteRequestServed();
   return store_.Write(caller, path, value, tx);
 }
@@ -240,6 +299,56 @@ Status XenStoreService::CompleteLogicRestart() {
     return FailedPreconditionError("XenStore-Logic is not restarting");
   }
   FinishLogicRestart();
+  return Status::Ok();
+}
+
+Status XenStoreService::BeginStateShardRestart(int shard) {
+  if (!deployed() || monolithic_) {
+    return FailedPreconditionError("no restartable XenStore-State deployed");
+  }
+  if (shard < 0 || shard >= static_cast<int>(shard_available_.size())) {
+    return InvalidArgumentError(
+        StrFormat("no such XenStore-State shard: %d", shard));
+  }
+  if (!shard_available_[shard]) {
+    return FailedPreconditionError(
+        StrFormat("XenStore-State shard %d already restarting", shard));
+  }
+  // Recovery box (§3.3): the shard's contents are checkpointed before the
+  // microreboot and re-attached on the way back up. Volatile tenant state
+  // (watches, in-flight transactions) does not survive.
+  shard_pre_restart_[shard] = store_.TakeShardSnapshot(shard);
+  shard_available_[shard] = false;
+  ++state_shard_restarts_;
+  m_shard_restarts_->Increment();
+  return Status::Ok();
+}
+
+Status XenStoreService::CompleteStateShardRestart(int shard) {
+  if (shard < 0 || shard >= static_cast<int>(shard_available_.size())) {
+    return InvalidArgumentError(
+        StrFormat("no such XenStore-State shard: %d", shard));
+  }
+  if (shard_available_[shard]) {
+    return FailedPreconditionError(
+        StrFormat("XenStore-State shard %d is not restarting", shard));
+  }
+  store_.RestoreShardSnapshot(shard, shard_pre_restart_[shard]);
+  shard_pre_restart_[shard] = XsStore::Snapshot();
+  // The fresh shard has no watch registrations or live transactions —
+  // exactly 1/N of the tenants renegotiate, the rest never notice.
+  store_.DropShardVolatileState(shard);
+  shard_available_[shard] = true;
+  return Status::Ok();
+}
+
+Status XenStoreService::RestartStateShard(int shard, SimDuration downtime) {
+  XOAR_RETURN_IF_ERROR(BeginStateShardRestart(shard));
+  sim_->ScheduleAfter(downtime, [this, shard] {
+    (void)CompleteStateShardRestart(shard);
+    XLOG(kDebug) << "[xs] XenStore-State shard " << shard
+                 << " back after restart #" << state_shard_restarts_;
+  });
   return Status::Ok();
 }
 

@@ -11,6 +11,12 @@
 // applies the shard-sharing policy) and then issue requests. While the
 // Logic component microreboots, requests fail with UNAVAILABLE and clients
 // retry — the renegotiation behaviour the restart machinery depends on.
+//
+// For cloud-density hosts, XenStore-State is additionally partitioned into
+// N path-prefix shards (src/xs/sharded_store.h, SCALING.md): each shard is
+// an independently microrebootable store, and a single State-shard restart
+// only stalls requests routed to that partition — tenants on the other
+// N-1 shards are served throughout.
 #ifndef XOAR_SRC_XS_SERVICE_H_
 #define XOAR_SRC_XS_SERVICE_H_
 
@@ -25,6 +31,7 @@
 #include "src/base/status.h"
 #include "src/base/units.h"
 #include "src/hv/hypervisor.h"
+#include "src/xs/sharded_store.h"
 #include "src/xs/store.h"
 
 namespace xoar {
@@ -46,16 +53,25 @@ class XenStoreService {
   // `xenstore.service.*` counters; nullptr falls back to Obs::Global().
   XenStoreService(Hypervisor* hv, Simulator* sim, Obs* obs = nullptr);
 
+  // Partitions XenStore-State into `count` path-prefix shards. Call before
+  // DeploySplit (resharding drops watches and live transactions, so doing
+  // it on a live host is a reshard event, not a config tweak).
+  void SetShardCount(int count);
+
   // Xoar deployment: logic and state in separate shard domains.
   void DeploySplit(DomainId logic_domain, DomainId state_domain);
+  // Cloud-density deployment: one State domain per store partition.
+  void DeploySplit(DomainId logic_domain,
+                   const std::vector<DomainId>& state_domains);
   // Stock deployment: xenstored inside the control domain.
   void DeployMonolithic(DomainId control_domain);
 
   DomainId logic_domain() const { return logic_domain_; }
   DomainId state_domain() const { return state_domain_; }
+  const std::vector<DomainId>& state_domains() const { return state_domains_; }
   bool deployed() const { return logic_domain_.valid(); }
 
-  XsStore& store() { return store_; }
+  XsShardedStore& store() { return store_; }
 
   void set_restart_policy(RestartPolicy policy) { restart_policy_ = policy; }
 
@@ -105,6 +121,23 @@ class XenStoreService {
   Status BeginLogicRestart();
   Status CompleteLogicRestart();
 
+  // --- Microreboot of one XenStore-State shard ---
+  //
+  // Only requests routed to the restarting partition fail UNAVAILABLE;
+  // tenants on the other shards are served throughout. The shard's
+  // contents survive (recovery-box snapshot taken at Begin); its tenants'
+  // watches and in-flight transactions are dropped and re-registered by
+  // clients, exactly as after a Logic restart loses a connection.
+  Status RestartStateShard(int shard, SimDuration downtime);
+  Status BeginStateShardRestart(int shard);
+  Status CompleteStateShardRestart(int shard);
+  int state_shard_count() const { return store_.shard_count(); }
+  bool state_shard_available(int shard) const {
+    return shard >= 0 && shard < static_cast<int>(shard_available_.size()) &&
+           shard_available_[shard];
+  }
+  std::uint64_t state_shard_restarts() const { return state_shard_restarts_; }
+
   std::uint64_t requests_processed() const { return requests_processed_; }
   std::uint64_t logic_restarts() const { return logic_restarts_; }
 
@@ -128,6 +161,11 @@ class XenStoreService {
 
   // Gate every request: connection present, logic component up.
   Status CheckRequest(DomainId caller);
+  // Gate on the State partition a request routes to. Spanning paths
+  // require every shard up (their mutations fan out; their listings
+  // merge); per-tenant paths require only their own shard.
+  Status CheckShardForPath(std::string_view path);
+  Status CheckShard(int shard);
   void NoteRequestServed();
   void FinishLogicRestart();
 
@@ -136,9 +174,12 @@ class XenStoreService {
   Obs* obs_;
   Counter* m_requests_;        // xenstore.service.requests
   Counter* m_logic_restarts_;  // xenstore.service.logic_restarts
-  XsStore store_;
+  Counter* m_shard_restarts_;  // xs.shard.restarts
+  Counter* m_shard_rejects_;   // xs.shard.unavailable_rejects
+  XsShardedStore store_;
   DomainId logic_domain_;
   DomainId state_domain_;
+  std::vector<DomainId> state_domains_;
   bool monolithic_ = false;
   bool logic_available_ = false;
   RestartPolicy restart_policy_ = RestartPolicy::kNever;
@@ -146,9 +187,13 @@ class XenStoreService {
   std::map<DomainId, Connection> connections_;
   // State-component checkpoint taken when Logic goes down; Logic re-attaches
   // to it on the way back up. O(1) both ways (copy-on-write tree share).
-  XsStore::Snapshot pre_restart_state_;
+  XsShardedStore::Snapshot pre_restart_state_;
+  // Per-State-shard availability and recovery-box checkpoints.
+  std::vector<bool> shard_available_;
+  std::vector<XsStore::Snapshot> shard_pre_restart_;
   std::uint64_t requests_processed_ = 0;
   std::uint64_t logic_restarts_ = 0;
+  std::uint64_t state_shard_restarts_ = 0;
 };
 
 }  // namespace xoar

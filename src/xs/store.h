@@ -155,6 +155,20 @@ class XsStore {
   // store's contents revert and the generation advances.
   void RestoreSnapshot(const Snapshot& snapshot);
 
+  // Drops all volatile per-client state: active transactions (and the
+  // mutation log that only serves them) and every watch registration. The
+  // tree contents are untouched. This is what a microreboot of the State
+  // shard holding this partition does to its tenants (§3.3): the recovery
+  // box restores the contents, but in-flight transactions and watch
+  // registrations die with the shard and clients re-register.
+  void DropVolatileState() {
+    transactions_.clear();
+    mutation_log_.clear();
+    watch_root_.watches.clear();
+    watch_root_.children.clear();
+    watch_count_ = 0;
+  }
+
   std::uint64_t generation() const { return generation_; }
   std::uint64_t op_count() const { return op_count_; }
   std::size_t NodeCount() const { return node_count_; }

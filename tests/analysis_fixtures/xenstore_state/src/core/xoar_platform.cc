@@ -1,0 +1,18 @@
+// Fixture: exactly one privilege violation. XenStore-State is declared in
+// the privilege table with an *empty* grant set (Fig 3.1: the State
+// component — and every density-scale-out State shard — is a plain
+// restartable KV holding no hypercall privileges), so granting any
+// hypercall to a State shard domain must be flagged.
+#include "src/hv/hypercall.h"
+
+namespace xoar_fixture {
+
+struct Hv {
+  void PermitHypercall(int grantor, int target, Hypercall op);
+};
+
+void Boot(Hv* hv, int bootstrapper, int state_dom) {
+  hv->PermitHypercall(bootstrapper, state_dom, Hypercall::kDomctlCreate);
+}
+
+}  // namespace xoar_fixture

@@ -1,0 +1,26 @@
+// Fixture: a miniature hypercall surface. Only kEventChannelOp is in the
+// default-grant (unprivileged) class; the rest require an explicit permit.
+#ifndef XOAR_TESTS_ANALYSIS_FIXTURES_XENSTORE_STATE_SRC_HV_HYPERCALL_H_
+#define XOAR_TESTS_ANALYSIS_FIXTURES_XENSTORE_STATE_SRC_HV_HYPERCALL_H_
+
+namespace xoar_fixture {
+
+enum class Hypercall {
+  kEventChannelOp,
+  kDomctlCreate,
+  kSysctlReboot,
+  kCount,
+};
+
+constexpr bool IsUnprivilegedHypercall(Hypercall op) {
+  switch (op) {
+    case Hypercall::kEventChannelOp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace xoar_fixture
+
+#endif  // XOAR_TESTS_ANALYSIS_FIXTURES_XENSTORE_STATE_SRC_HV_HYPERCALL_H_

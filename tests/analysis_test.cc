@@ -128,6 +128,16 @@ TEST(FixtureTest, PrivilegeFixtureFlagsUngrantedOpOnly) {
   EXPECT_NE(findings[0].message.find("kSysctlReboot"), std::string::npos);
 }
 
+TEST(FixtureTest, XenStoreStateFixtureFlagsGrantToStateShard) {
+  // Fig 3.1 via SCALING.md: the State component's privilege row is empty,
+  // so any hypercall grant to a State shard domain is a blocking finding.
+  const std::vector<Finding> findings = LintFixture("xenstore_state");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "privilege");
+  EXPECT_EQ(findings[0].file, "src/core/xoar_platform.cc");
+  EXPECT_NE(findings[0].message.find("XenStore-State"), std::string::npos);
+}
+
 TEST(FixtureTest, DeterminismFixtureFlagsClockAndRandButNotDecoys) {
   const std::vector<Finding> findings = LintFixture("determinism");
   ASSERT_EQ(findings.size(), 2u);

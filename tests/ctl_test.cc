@@ -49,7 +49,7 @@ TEST_F(BuilderTest, UnknownImageFallsBackToPvBootloader) {
 
 TEST_F(BuilderTest, GuestRegisteredInXenStoreWithToolstackAcl) {
   DomainId guest = *platform_.CreateGuest(GuestSpec{.name = "registered"});
-  XsStore& store = platform_.xenstore().store();
+  XsShardedStore& store = platform_.xenstore().store();
   const DomainId builder = platform_.shard_domain(ShardClass::kBuilder);
   auto name = store.Read(builder, DomainDir(guest) + "/name");
   ASSERT_TRUE(name.ok());

@@ -32,6 +32,53 @@ class XsServiceTest : public ::testing::Test {
     EXPECT_TRUE(hv_->AuthorizeShardUse(boot_, guest_, logic_).ok());
   }
 
+  // Cloud-density deployment (SCALING.md): XenStore-State partitioned into
+  // two shards, each in its own shard domain, plus two guests whose home
+  // shards differ.
+  void SetUpSharded() {
+    Hypervisor::Options options;
+    options.enforce_shard_sharing_policy = true;
+    options.total_memory_bytes = 1 * kGiB;
+    hv_ = std::make_unique<Hypervisor>(&sim_, options);
+    xs_ = std::make_unique<XenStoreService>(hv_.get(), &sim_);
+    DomainConfig boot;
+    boot.name = "boot";
+    boot.memory_mb = 32;
+    boot.is_shard = true;
+    boot_ = *hv_->CreateInitialDomain(boot, false);
+    hv_->domain(boot_)->hypercall_policy().PermitAll();
+    logic_ = NewDomain("xs-logic", true);
+    state_ = NewDomain("xs-state", true);
+    state_b_ = NewDomain("xs-state-1", true);
+    xs_->SetShardCount(2);
+    xs_->DeploySplit(logic_, {state_, state_b_});
+    EXPECT_TRUE(hv_->AllowDelegation(boot_, logic_, boot_).ok());
+    guest_ = NewDomain("guest-a", false);
+    guest_b_ = NewDomain("guest-b", false);
+    EXPECT_TRUE(hv_->AuthorizeShardUse(boot_, guest_, logic_).ok());
+    EXPECT_TRUE(hv_->AuthorizeShardUse(boot_, guest_b_, logic_).ok());
+    ASSERT_NE(xs_->store().ShardIndexForDomain(guest_),
+              xs_->store().ShardIndexForDomain(guest_b_));
+    ASSERT_TRUE(xs_->Connect(guest_).ok());
+    ASSERT_TRUE(xs_->Connect(guest_b_).ok());
+    MakeTenantDir(guest_);
+    MakeTenantDir(guest_b_);
+  }
+
+  // Creates /local/domain/<id> owned by the guest; the path routes to the
+  // guest's home shard by construction.
+  void MakeTenantDir(DomainId guest) {
+    const std::string dir = TenantDir(guest);
+    ASSERT_TRUE(xs_->store().Mkdir(logic_, dir).ok());
+    XsNodePerms perms;
+    perms.owner = guest;
+    ASSERT_TRUE(xs_->store().SetPerms(logic_, dir, perms).ok());
+  }
+
+  static std::string TenantDir(DomainId guest) {
+    return "/local/domain/" + std::to_string(guest.value());
+  }
+
   void SetUpMonolithic() {
     Hypervisor::Options options;
     options.enforce_shard_sharing_policy = false;
@@ -61,7 +108,7 @@ class XsServiceTest : public ::testing::Test {
   Simulator sim_;
   std::unique_ptr<Hypervisor> hv_;
   std::unique_ptr<XenStoreService> xs_;
-  DomainId boot_, logic_, state_, guest_;
+  DomainId boot_, logic_, state_, state_b_, guest_, guest_b_;
 };
 
 TEST_F(XsServiceTest, SplitConnectUsesGrantTables) {
@@ -189,6 +236,103 @@ TEST_F(XsServiceTest, TransactionsThroughService) {
   ASSERT_TRUE(xs_->WriteTx(guest_, "/g/a", "1", *tx).ok());
   ASSERT_TRUE(xs_->TransactionEnd(guest_, *tx, true).ok());
   EXPECT_EQ(*xs_->Read(guest_, "/g/a"), "1");
+}
+
+// --- XenStore-State shard microreboots (SCALING.md) ---
+
+TEST_F(XsServiceTest, StateShardRestartStallsOnlyItsTenants) {
+  SetUpSharded();
+  const std::string key_a = TenantDir(guest_) + "/k";
+  const std::string key_b = TenantDir(guest_b_) + "/k";
+  ASSERT_TRUE(xs_->Write(guest_, key_a, "va").ok());
+  ASSERT_TRUE(xs_->Write(guest_b_, key_b, "vb").ok());
+
+  const int shard_b = xs_->store().ShardIndexForDomain(guest_b_);
+  ASSERT_TRUE(xs_->BeginStateShardRestart(shard_b).ok());
+  EXPECT_FALSE(xs_->state_shard_available(shard_b));
+
+  // Mid-restart: only the restarting partition's tenants are stalled.
+  EXPECT_EQ(xs_->Read(guest_b_, key_b).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(*xs_->Read(guest_, key_a), "va");
+  // Spanning operations need every partition up.
+  EXPECT_EQ(xs_->List(guest_, "/local/domain").status().code(),
+            StatusCode::kUnavailable);
+
+  ASSERT_TRUE(xs_->CompleteStateShardRestart(shard_b).ok());
+  EXPECT_TRUE(xs_->state_shard_available(shard_b));
+  // Contents survived via the recovery-box snapshot taken at Begin.
+  EXPECT_EQ(*xs_->Read(guest_b_, key_b), "vb");
+  EXPECT_EQ(xs_->state_shard_restarts(), 1u);
+}
+
+TEST_F(XsServiceTest, StateShardRestartDropsOnlyItsTenantsVolatileState) {
+  SetUpSharded();
+  int fires_a = 0;
+  int fires_b = 0;
+  ASSERT_TRUE(xs_->Watch(guest_, TenantDir(guest_), "ta",
+                         [&](const XsWatchEvent&) { ++fires_a; })
+                  .ok());
+  ASSERT_TRUE(xs_->Watch(guest_b_, TenantDir(guest_b_), "tb",
+                         [&](const XsWatchEvent&) { ++fires_b; })
+                  .ok());
+  sim_.RunFor(kMillisecond);  // flush registration fires
+  auto tx_a = xs_->TransactionStart(guest_);
+  auto tx_b = xs_->TransactionStart(guest_b_);
+  ASSERT_TRUE(tx_a.ok());
+  ASSERT_TRUE(tx_b.ok());
+
+  const int shard_b = xs_->store().ShardIndexForDomain(guest_b_);
+  ASSERT_TRUE(xs_->RestartStateShard(shard_b, FromMilliseconds(20)).ok());
+  sim_.RunFor(FromMilliseconds(30));
+
+  // Tenant A's watch and transaction live on the untouched shard.
+  const int before_a = fires_a;
+  const int before_b = fires_b;
+  ASSERT_TRUE(xs_->WriteTx(guest_, TenantDir(guest_) + "/t", "1", *tx_a).ok());
+  EXPECT_TRUE(xs_->TransactionEnd(guest_, *tx_a, true).ok());
+  ASSERT_TRUE(xs_->Write(guest_, TenantDir(guest_) + "/w", "1").ok());
+  sim_.RunFor(kMillisecond);
+  EXPECT_GT(fires_a, before_a);
+
+  // Tenant B's were dropped by its shard's microreboot: the transaction
+  // handle is dead and the watch no longer fires.
+  EXPECT_EQ(xs_->WriteTx(guest_b_, TenantDir(guest_b_) + "/t", "1", *tx_b)
+                .code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(xs_->Write(guest_b_, TenantDir(guest_b_) + "/w", "1").ok());
+  sim_.RunFor(kMillisecond);
+  EXPECT_EQ(fires_b, before_b);
+}
+
+TEST_F(XsServiceTest, StateShardRestartValidatesItsPreconditions) {
+  SetUpSharded();
+  EXPECT_EQ(xs_->BeginStateShardRestart(7).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(xs_->CompleteStateShardRestart(0).code(),
+            StatusCode::kFailedPrecondition);  // not restarting
+  ASSERT_TRUE(xs_->BeginStateShardRestart(0).ok());
+  EXPECT_EQ(xs_->BeginStateShardRestart(0).code(),
+            StatusCode::kFailedPrecondition);  // already down
+  ASSERT_TRUE(xs_->CompleteStateShardRestart(0).ok());
+}
+
+TEST_F(XsServiceTest, MonolithicXenstoredHasNoRestartableStateShards) {
+  SetUpMonolithic();
+  EXPECT_EQ(xs_->BeginStateShardRestart(0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(XsServiceTest, TransactionsPinnedToHomeShardInShardedDeployment) {
+  SetUpSharded();
+  auto tx = xs_->TransactionStart(guest_b_);
+  ASSERT_TRUE(tx.ok());
+  EXPECT_EQ(xs_->store().ShardOfTransaction(*tx),
+            xs_->store().ShardIndexForDomain(guest_b_));
+  ASSERT_TRUE(
+      xs_->WriteTx(guest_b_, TenantDir(guest_b_) + "/k", "tv", *tx).ok());
+  ASSERT_TRUE(xs_->TransactionEnd(guest_b_, *tx, true).ok());
+  EXPECT_EQ(*xs_->Read(guest_b_, TenantDir(guest_b_) + "/k"), "tv");
 }
 
 // The wire protocol: push a request through an actual grant-mapped ring

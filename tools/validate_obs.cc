@@ -5,6 +5,15 @@
 //   validate_obs --campaign <BENCH_fault_campaign.json>
 //   validate_obs --lint <xoar_lint_report.json>
 //   validate_obs --sim <BENCH_sim_core.json>
+//   validate_obs --density <BENCH_density.json>
+//
+// The --density mode checks a density-trajectory report
+// (bench/ablation_density, SCALING.md) beyond the generic BENCH shape: the
+// density.* summary metrics must be present, the create path must have
+// performed zero O(n) domain-table scans, the top-level "sweep" array must
+// be well-formed with strictly ascending domain targets, and per-domain
+// control-plane bytes must stay flat — no more than 10% growth from one
+// sweep point to the next (the §2.3.1 hosting-density requirement).
 //
 // The --sim mode checks a simulator-core bench report (bench/micro_sim_core,
 // DESIGN.md §5f) beyond the generic BENCH shape: every sim_core.* gauge
@@ -345,6 +354,104 @@ bool ValidateSimCore(const std::string& path) {
   return true;
 }
 
+bool ValidateDensity(const std::string& path) {
+  // The report must be a well-formed BENCH export first.
+  if (!ValidateMetrics(path)) {
+    return false;
+  }
+  StatusOr<JsonValue> doc = ParseJsonFile(path);
+  CHECK_OR_FAIL(doc.ok(), "%s: parse failed: %s", path.c_str(),
+                doc.status().ToString().c_str());
+  const JsonValue* benchmarks = doc->Find("benchmarks");
+
+  auto find_value = [&](const std::string& name) -> const JsonValue* {
+    for (const JsonValue& entry : benchmarks->array()) {
+      const JsonValue* n = entry.Find("name");
+      if (n != nullptr && n->is_string() && n->string() == name) {
+        return entry.Find("value");
+      }
+    }
+    return nullptr;
+  };
+  auto require = [&](const char* name, double min) -> bool {
+    const JsonValue* value = find_value(name);
+    if (value == nullptr || !value->is_number() || value->number() < min) {
+      std::fprintf(stderr, "%s: missing density metric \"%s\" (>= %g)\n",
+                   path.c_str(), name, min);
+      return false;
+    }
+    return true;
+  };
+  if (!require("density.sweep_points", 1) ||
+      !require("density.max_domains", 1) ||
+      !require("density.total_created", 1) ||
+      !require("xs.shard.count", 1)) {
+    return false;
+  }
+  const JsonValue* scan_free = find_value("density.scan_free_create_path");
+  CHECK_OR_FAIL(scan_free != nullptr && scan_free->is_number() &&
+                    scan_free->number() == 1,
+                "%s: create path performed O(n) domain-table scans "
+                "(density.scan_free_create_path != 1)",
+                path.c_str());
+
+  const JsonValue* sweep = doc->Find("sweep");
+  CHECK_OR_FAIL(sweep != nullptr && sweep->is_array(),
+                "%s: missing \"sweep\" array", path.c_str());
+  CHECK_OR_FAIL(!sweep->array().empty(), "%s: \"sweep\" array is empty",
+                path.c_str());
+
+  double prev_domains = 0;
+  double prev_bytes = -1;
+  for (const JsonValue& entry : sweep->array()) {
+    CHECK_OR_FAIL(entry.is_object(), "%s: sweep entry is not an object",
+                  path.c_str());
+    auto field = [&](const char* name) -> const JsonValue* {
+      const JsonValue* v = entry.Find(name);
+      return v != nullptr && v->is_number() ? v : nullptr;
+    };
+    const JsonValue* domains = field("domains");
+    CHECK_OR_FAIL(domains != nullptr && domains->number() >= 1,
+                  "%s: sweep entry without a positive \"domains\"",
+                  path.c_str());
+    CHECK_OR_FAIL(domains->number() > prev_domains,
+                  "%s: sweep domains not strictly ascending (%g after %g)",
+                  path.c_str(), domains->number(), prev_domains);
+    prev_domains = domains->number();
+    const JsonValue* created = field("created");
+    CHECK_OR_FAIL(created != nullptr && created->number() >= 1,
+                  "%s: sweep@%g: nothing created", path.c_str(),
+                  domains->number());
+    const JsonValue* shard_count = field("shard_count");
+    CHECK_OR_FAIL(shard_count != nullptr && shard_count->number() >= 1,
+                  "%s: sweep@%g: missing \"shard_count\"", path.c_str(),
+                  domains->number());
+    const JsonValue* ops = field("create_ops_per_sec");
+    CHECK_OR_FAIL(ops != nullptr && ops->number() > 0,
+                  "%s: sweep@%g: missing \"create_ops_per_sec\"",
+                  path.c_str(), domains->number());
+    const JsonValue* scans = field("create_path_scans");
+    CHECK_OR_FAIL(scans != nullptr && scans->number() == 0,
+                  "%s: sweep@%g: %g O(n) domain-table scans on the create "
+                  "path",
+                  path.c_str(), domains->number(),
+                  scans == nullptr ? -1 : scans->number());
+    const JsonValue* bytes = field("per_domain_control_bytes");
+    CHECK_OR_FAIL(bytes != nullptr && bytes->number() > 0,
+                  "%s: sweep@%g: missing \"per_domain_control_bytes\"",
+                  path.c_str(), domains->number());
+    // Flatness: <= 10% growth per sweep step (§2.3.1 via SCALING.md).
+    CHECK_OR_FAIL(prev_bytes < 0 || bytes->number() <= prev_bytes * 1.10,
+                  "%s: per-domain control bytes grew %g -> %g (> 10%%)",
+                  path.c_str(), prev_bytes, bytes->number());
+    prev_bytes = bytes->number();
+  }
+
+  std::printf("%s: density OK (%zu sweep points, scan-free create path)\n",
+              path.c_str(), sweep->array().size());
+  return true;
+}
+
 bool ValidateLint(const std::string& path) {
   // The report must be a well-formed BENCH export first (context +
   // benchmarks with known run_types).
@@ -453,13 +560,17 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::string(argv[1]) == "--sim") {
     return xoar::ValidateSimCore(argv[2]) ? 0 : 1;
   }
+  if (argc == 3 && std::string(argv[1]) == "--density") {
+    return xoar::ValidateDensity(argv[2]) ? 0 : 1;
+  }
   if (argc != 3) {
     std::fprintf(stderr,
                  "usage: %s <metrics.json> <trace.json>\n"
                  "       %s --campaign <BENCH_fault_campaign.json>\n"
                  "       %s --lint <xoar_lint_report.json>\n"
-                 "       %s --sim <BENCH_sim_core.json>\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 "       %s --sim <BENCH_sim_core.json>\n"
+                 "       %s --density <BENCH_density.json>\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   if (!xoar::ValidateMetrics(argv[1])) {
