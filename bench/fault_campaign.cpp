@@ -1,9 +1,11 @@
 // Seeded randomized fault-injection campaign against a booted XoarPlatform
-// (RESILIENCE.md "Running a campaign").
+// (RESILIENCE.md "Running a campaign"; the driver itself lives in
+// src/fault/campaign.h so record and replay execute the same code path).
 //
 //   fault_campaign [--seed N] [--faults N] [--seconds S] [--crashes N]
 //                  [--hangs N] [--box-corrupts N]
 //                  [--out BENCH_fault_campaign.json]
+//                  [--record JOURNAL | --replay JOURNAL | --diff A B]
 //
 // A FaultPlan::Randomized schedule of transient windows plus shard
 // crashes, service-loop hangs, and recovery-box corruptions runs while a
@@ -27,6 +29,12 @@
 // Everything is driven by the simulator clock and the plan's seed: the same
 // seed writes a byte-identical JSON report. Exits non-zero if any invariant
 // is violated.
+//
+// Record/replay (DEBUGGING.md): --record journals the run's full trace
+// stream plus the campaign parameters; --replay re-executes the journaled
+// parameters and verifies every event against the recording, exiting 1 at
+// the first divergence with the surrounding context; --diff structurally
+// compares two journals and reports their earliest disagreement.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,12 +43,10 @@
 #include "bench/report.h"
 #include "src/base/log.h"
 #include "src/base/strings.h"
-#include "src/core/xoar_platform.h"
-#include "src/drv/blk.h"
-#include "src/drv/net.h"
-#include "src/drv/xenbus.h"
-#include "src/fault/fault.h"
-#include "src/obs/obs.h"
+#include "src/fault/campaign.h"
+#include "src/replay/diff.h"
+#include "src/replay/journal.h"
+#include "src/replay/verify.h"
 
 namespace xoar {
 namespace {
@@ -53,259 +59,21 @@ struct Options {
   int hangs = 2;
   int box_corrupts = 1;
   std::string out = "BENCH_fault_campaign.json";
+  std::string record;   // journal path to write
+  std::string replay;   // journal path to verify against
+  std::string diff_a;   // --diff: first journal
+  std::string diff_b;   // --diff: second journal
 };
 
-// One service's probe ledger. Outage episodes are bracketed by the first
-// failed completion and the next successful one; their spans feed the mean
-// recovery time.
-struct ProbeStats {
-  std::uint64_t issued = 0;
-  std::uint64_t ok = 0;
-  std::uint64_t failed = 0;
-  bool down = false;
-  SimTime down_since = 0;
-  double recovery_ms_sum = 0;
-  std::uint64_t recoveries = 0;
-
-  void Complete(SimTime now, bool success) {
-    if (success) {
-      ++ok;
-      if (down) {
-        recovery_ms_sum += static_cast<double>(now - down_since) /
-                           static_cast<double>(kMillisecond);
-        ++recoveries;
-        down = false;
-      }
-    } else {
-      ++failed;
-      if (!down) {
-        down = true;
-        down_since = now;
-      }
-    }
-  }
-};
-
-struct Campaign {
-  ProbeStats xs;
-  ProbeStats blk;
-  ProbeStats net;
-  std::uint64_t host_failures = 0;
-  std::uint64_t lost_probes = 0;  // issued but never completed
-  std::uint64_t final_failures = 0;
-
-  std::uint64_t issued() const {
-    return xs.issued + blk.issued + net.issued;
-  }
-  std::uint64_t completed() const {
-    return xs.ok + xs.failed + blk.ok + blk.failed + net.ok + net.failed;
-  }
-  std::uint64_t ok() const { return xs.ok + blk.ok + net.ok; }
-  double availability() const {
-    const std::uint64_t done = completed();
-    return done == 0 ? 0.0
-                     : static_cast<double>(ok()) / static_cast<double>(done);
-  }
-  double mean_recovery_ms() const {
-    const std::uint64_t n = xs.recoveries + blk.recoveries + net.recoveries;
-    return n == 0 ? 0.0
-                  : (xs.recovery_ms_sum + blk.recovery_ms_sum +
-                     net.recovery_ms_sum) /
-                        static_cast<double>(n);
-  }
-};
-
-int RunCampaign(const Options& options) {
-  XoarPlatform platform;
-  if (!platform.Boot().ok()) {
-    std::fprintf(stderr, "boot failed\n");
-    return 2;
-  }
-  StatusOr<DomainId> guest = platform.CreateGuest(GuestSpec{.name = "probe"});
-  if (!guest.ok()) {
-    std::fprintf(stderr, "guest creation failed\n");
-    return 2;
-  }
-  platform.Settle();
-  NetFront* netfront = platform.netfront(*guest);
-  BlkFront* blkfront = platform.blkfront(*guest);
-  if (netfront == nullptr || blkfront == nullptr) {
-    std::fprintf(stderr, "probe guest has no frontends\n");
-    return 2;
-  }
-
-  Simulator& sim = platform.sim();
-  const SimTime start = sim.Now();
-  const SimTime end = start + FromSeconds(options.seconds);
-
-  CampaignConfig config;
-  config.seed = options.seed;
-  config.fault_count = options.faults;
-  config.start = start;
-  config.end = end;
-  config.crash_count = options.crashes;
-  config.hang_count = options.hangs;
-  config.box_corrupt_count = options.box_corrupts;
-  FaultPlan plan = FaultPlan::Randomized(config);
-  FaultInjector injector(&platform);
-  injector.Arm(plan);
-
-  Campaign campaign;
-  const std::string xs_probe_path =
-      FrontendDir(*guest, kVbdType) + "/state";
-
-  // Probe every 11 ms: denser than the narrowest fault window (10 ms), so
-  // no transient window can open and close unobserved.
-  constexpr SimDuration kProbeInterval = 11 * kMillisecond;
-  std::function<void()> tick = [&] {
-    if (platform.hv().host_failed()) {
-      ++campaign.host_failures;
-    }
-    // XenStore: synchronous read of a node the guest itself published.
-    ++campaign.xs.issued;
-    campaign.xs.Complete(sim.Now(),
-                         platform.xenstore().Read(*guest, xs_probe_path).ok());
-    // Block: 4 KiB write, offset walking a 1 MiB window of the image.
-    ++campaign.blk.issued;
-    blkfront->WriteBytes((campaign.blk.issued * 4096) % (1 * kMiB), 4096,
-                         [&campaign, &sim](Status status) {
-                           campaign.blk.Complete(sim.Now(), status.ok());
-                         });
-    // Network: one MTU-sized frame.
-    ++campaign.net.issued;
-    netfront->SendFrame(1500, [&campaign, &sim](Status status) {
-                          campaign.net.Complete(sim.Now(), status.ok());
-                        });
-    if (sim.Now() + kProbeInterval < end) {
-      sim.ScheduleAfter(kProbeInterval, tick);
-    }
-  };
-  sim.ScheduleAfter(kProbeInterval, tick);
-  sim.RunUntil(end);
-
-  // Drain: let open windows close, microreboots finish, and every retry
-  // ladder run to completion (worst chain: 2 s block deadlines x 8 retries).
-  injector.Disarm();
-  sim.RunFor(FromSeconds(20.0));
-  campaign.lost_probes = campaign.issued() - campaign.completed();
-
-  // Final health check: both frontends reconnected, one more probe of each
-  // service succeeds.
-  if (!netfront->connected() || !blkfront->connected()) {
-    ++campaign.final_failures;
-  }
-  if (!platform.xenstore().Read(*guest, xs_probe_path).ok()) {
-    ++campaign.final_failures;
-  }
-  bool final_blk_ok = false;
-  bool final_net_ok = false;
-  blkfront->WriteBytes(0, 4096,
-                       [&](Status status) { final_blk_ok = status.ok(); });
-  netfront->SendFrame(1500,
-                      [&](Status status) { final_net_ok = status.ok(); });
-  sim.RunFor(FromSeconds(20.0));
-  if (!final_blk_ok) {
-    ++campaign.final_failures;
-  }
-  if (!final_net_ok) {
-    ++campaign.final_failures;
-  }
-
-  const std::uint64_t absorbed =
-      blkfront->retry_recovered() + netfront->retry_recovered();
-  const std::uint64_t microreboots =
-      injector.injected_count(FaultType::kShardCrash);
-
-  // Supervision invariants (4) and (5): the watchdog accounted for every
-  // injected hang within its timeout, and fast-path validation rejected
-  // every poisoned recovery box.
-  Watchdog* watchdog = platform.watchdog();
-  const std::uint64_t hangs_injected =
-      injector.injected_count(FaultType::kShardHang);
-  const std::uint64_t box_corrupts_injected =
-      injector.injected_count(FaultType::kRecoveryBoxCorrupt);
-  const std::uint64_t boxes_rejected =
-      static_cast<std::uint64_t>(platform.restarts().TotalBoxesRejected());
-  std::uint64_t supervision_failures = 0;
-  const SimDuration heartbeat_timeout =
-      watchdog != nullptr ? watchdog->config().heartbeat_timeout : 0;
-  const SimDuration hang_detection_max =
-      watchdog != nullptr ? watchdog->max_hang_detection_latency() : 0;
-  if (watchdog != nullptr) {
-    if (watchdog->hangs_detected() + watchdog->hangs_absorbed() !=
-        hangs_injected) {
-      ++supervision_failures;
-    }
-    if (hang_detection_max > heartbeat_timeout) {
-      ++supervision_failures;
-    }
-  } else if (hangs_injected > 0) {
-    ++supervision_failures;  // hangs with nobody watching would wedge
-  }
-  if (boxes_rejected != box_corrupts_injected) {
-    ++supervision_failures;
-  }
-
-  const std::uint64_t violations =
-      campaign.host_failures + campaign.lost_probes +
-      campaign.final_failures + supervision_failures;
-
-  MetricRegistry& metrics = platform.obs().metrics();
-  metrics.GetGauge("campaign.seed")
-      ->Set(static_cast<double>(options.seed));
-  metrics.GetGauge("campaign.availability")->Set(campaign.availability());
-  metrics.GetGauge("campaign.probes_issued")
-      ->Set(static_cast<double>(campaign.issued()));
-  metrics.GetGauge("campaign.faults_injected")
-      ->Set(static_cast<double>(injector.total_injected()));
-  metrics.GetGauge("campaign.absorbed_by_retry")
-      ->Set(static_cast<double>(absorbed));
-  metrics.GetGauge("campaign.microreboots")
-      ->Set(static_cast<double>(microreboots));
-  metrics.GetGauge("campaign.mean_recovery_ms")
-      ->Set(campaign.mean_recovery_ms());
-  metrics.GetGauge("campaign.invariant_violations")
-      ->Set(static_cast<double>(violations));
-  metrics.GetGauge("campaign.hangs_injected")
-      ->Set(static_cast<double>(hangs_injected));
-  metrics.GetGauge("campaign.box_corrupts_injected")
-      ->Set(static_cast<double>(box_corrupts_injected));
-  metrics.GetGauge("campaign.boxes_rejected")
-      ->Set(static_cast<double>(boxes_rejected));
-  metrics.GetGauge("campaign.heartbeat_timeout_ms")
-      ->Set(static_cast<double>(heartbeat_timeout) /
-            static_cast<double>(kMillisecond));
-  metrics.GetGauge("campaign.hang_detection_max_ms")
-      ->Set(static_cast<double>(hang_detection_max) /
-            static_cast<double>(kMillisecond));
-  metrics.GetGauge("campaign.watchdog_hangs_detected")
-      ->Set(watchdog != nullptr
-                ? static_cast<double>(watchdog->hangs_detected())
-                : 0.0);
-  metrics.GetGauge("campaign.watchdog_hangs_absorbed")
-      ->Set(watchdog != nullptr
-                ? static_cast<double>(watchdog->hangs_absorbed())
-                : 0.0);
-  metrics.GetGauge("campaign.watchdog_deaths_detected")
-      ->Set(watchdog != nullptr
-                ? static_cast<double>(watchdog->deaths_detected())
-                : 0.0);
-  metrics.GetGauge("campaign.watchdog_auto_restarts")
-      ->Set(watchdog != nullptr
-                ? static_cast<double>(watchdog->auto_restarts())
-                : 0.0);
-  metrics.GetGauge("campaign.watchdog_quarantines")
-      ->Set(watchdog != nullptr
-                ? static_cast<double>(watchdog->quarantines())
-                : 0.0);
-
+void PrintCampaignReport(const Options& options,
+                         const CampaignSummary& summary) {
   PrintHeading(StrFormat("Fault campaign (seed %llu, %d windows, %d crashes, "
                          "%d hangs, %d box corruptions, %.1f s)",
                          static_cast<unsigned long long>(options.seed),
                          options.faults, options.crashes, options.hangs,
                          options.box_corrupts, options.seconds));
   Table schedule({"t (ms)", "fault", "window (ms)", "p", "target"});
-  for (const FaultSpec& spec : plan.specs()) {
+  for (const FaultSpec& spec : summary.plan.specs()) {
     // Fire-once faults (crash, hang, box corruption) name a target; only
     // transient windows have a probability, and only windows and hangs
     // have a duration.
@@ -313,7 +81,7 @@ int RunCampaign(const Options& options) {
     const bool timed = spec.type != FaultType::kShardCrash &&
                        spec.type != FaultType::kRecoveryBoxCorrupt;
     schedule.AddRow(
-        {StrFormat("%.1f", static_cast<double>(spec.at - start) /
+        {StrFormat("%.1f", static_cast<double>(spec.at - summary.start) /
                                static_cast<double>(kMillisecond)),
          std::string(FaultTypeName(spec.type)),
          timed ? StrFormat("%.1f", static_cast<double>(spec.duration) /
@@ -325,58 +93,163 @@ int RunCampaign(const Options& options) {
   schedule.Print();
 
   Table results({"metric", "value"});
-  results.AddRow({"probes issued", StrFormat("%llu", campaign.issued())});
+  results.AddRow({"probes issued", StrFormat("%llu", summary.probes_issued)});
   results.AddRow({"availability",
-                  StrFormat("%.4f", campaign.availability())});
+                  StrFormat("%.4f", summary.availability)});
   results.AddRow({"faults injected",
-                  StrFormat("%llu", injector.total_injected())});
-  results.AddRow({"absorbed by retry/backoff", StrFormat("%llu", absorbed)});
-  results.AddRow({"microreboots", StrFormat("%llu", microreboots)});
+                  StrFormat("%llu", summary.faults_injected)});
+  results.AddRow({"absorbed by retry/backoff",
+                  StrFormat("%llu", summary.absorbed_by_retry)});
+  results.AddRow({"microreboots", StrFormat("%llu", summary.microreboots)});
   results.AddRow({"crashes skipped",
-                  StrFormat("%llu", injector.crashes_skipped())});
+                  StrFormat("%llu", summary.crashes_skipped)});
   results.AddRow({"mean recovery (ms)",
-                  StrFormat("%.2f", campaign.mean_recovery_ms())});
-  if (watchdog != nullptr) {
+                  StrFormat("%.2f", summary.mean_recovery_ms)});
+  if (summary.has_watchdog) {
     results.AddRow({"hangs injected / detected / absorbed",
-                    StrFormat("%llu / %llu / %llu", hangs_injected,
-                              watchdog->hangs_detected(),
-                              watchdog->hangs_absorbed())});
+                    StrFormat("%llu / %llu / %llu", summary.hangs_injected,
+                              summary.hangs_detected,
+                              summary.hangs_absorbed)});
     results.AddRow(
         {"worst hang detection (ms)",
          StrFormat("%.2f (timeout %.0f)",
-                   static_cast<double>(hang_detection_max) /
+                   static_cast<double>(summary.hang_detection_max) /
                        static_cast<double>(kMillisecond),
-                   static_cast<double>(heartbeat_timeout) /
+                   static_cast<double>(summary.heartbeat_timeout) /
                        static_cast<double>(kMillisecond))});
     results.AddRow({"watchdog auto restarts",
-                    StrFormat("%llu", watchdog->auto_restarts())});
+                    StrFormat("%llu", summary.auto_restarts)});
     results.AddRow({"quarantines",
-                    StrFormat("%llu", watchdog->quarantines())});
+                    StrFormat("%llu", summary.quarantines)});
   }
   results.AddRow({"boxes corrupted / rejected",
-                  StrFormat("%llu / %llu", box_corrupts_injected,
-                            boxes_rejected)});
-  results.AddRow({"invariant violations", StrFormat("%llu", violations)});
+                  StrFormat("%llu / %llu", summary.box_corrupts_injected,
+                            summary.boxes_rejected)});
+  results.AddRow({"invariant violations",
+                  StrFormat("%llu", summary.violations)});
   results.Print();
+}
 
-  Status status = metrics.WriteJsonFile(options.out, "fault_campaign");
-  if (!status.ok()) {
-    std::fprintf(stderr, "failed to write %s: %s\n", options.out.c_str(),
-                 status.ToString().c_str());
+int ReportViolations(const CampaignSummary& summary) {
+  if (summary.violations == 0) {
+    return 0;
+  }
+  std::fprintf(stderr,
+               "INVARIANT VIOLATIONS: host_failures=%llu lost_probes=%llu "
+               "final_failures=%llu supervision_failures=%llu\n",
+               static_cast<unsigned long long>(summary.host_failures),
+               static_cast<unsigned long long>(summary.lost_probes),
+               static_cast<unsigned long long>(summary.final_failures),
+               static_cast<unsigned long long>(summary.supervision_failures));
+  return 1;
+}
+
+int RunCampaign(const Options& options) {
+  CampaignRunOptions run;
+  run.seed = options.seed;
+  run.faults = options.faults;
+  run.seconds = options.seconds;
+  run.crashes = options.crashes;
+  run.hangs = options.hangs;
+  run.box_corrupts = options.box_corrupts;
+  run.metrics_out = options.out;
+
+  Journal journal;
+  JournalRecorder recorder(&journal);
+  if (!options.record.empty()) {
+    run.sink = &recorder;
+  }
+
+  StatusOr<CampaignSummary> summary = RunProbeCampaign(run);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
     return 2;
   }
+  PrintCampaignReport(options, *summary);
   std::printf("\ncampaign report -> %s\n", options.out.c_str());
-  if (violations > 0) {
-    std::fprintf(stderr,
-                 "INVARIANT VIOLATIONS: host_failures=%llu lost_probes=%llu "
-                 "final_failures=%llu supervision_failures=%llu\n",
-                 static_cast<unsigned long long>(campaign.host_failures),
-                 static_cast<unsigned long long>(campaign.lost_probes),
-                 static_cast<unsigned long long>(campaign.final_failures),
-                 static_cast<unsigned long long>(supervision_failures));
+
+  if (!options.record.empty()) {
+    journal.SetMeta("seed", StrFormat("%llu", options.seed));
+    journal.SetMeta("faults", StrFormat("%d", options.faults));
+    journal.SetMeta("seconds", StrFormat("%.6f", options.seconds));
+    journal.SetMeta("crashes", StrFormat("%d", options.crashes));
+    journal.SetMeta("hangs", StrFormat("%d", options.hangs));
+    journal.SetMeta("box_corrupts", StrFormat("%d", options.box_corrupts));
+    Status status = journal.WriteFile(options.record);
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n",
+                   options.record.c_str(), status.ToString().c_str());
+      return 2;
+    }
+    std::printf("journal (%zu events, chain %016llx) -> %s\n",
+                journal.size(),
+                static_cast<unsigned long long>(journal.chain_head()),
+                options.record.c_str());
+  }
+  return ReportViolations(*summary);
+}
+
+int RunReplay(const Options& options) {
+  StatusOr<Journal> journal = Journal::ReadFile(options.replay);
+  if (!journal.ok()) {
+    std::fprintf(stderr, "failed to read %s: %s\n", options.replay.c_str(),
+                 journal.status().ToString().c_str());
+    return 2;
+  }
+
+  // Re-execute the journaled parameters, not the command line: a replay is
+  // only meaningful against the recording's own seed and plan.
+  CampaignRunOptions run;
+  run.seed = std::strtoull(journal->Meta("seed").c_str(), nullptr, 10);
+  run.faults = std::atoi(journal->Meta("faults").c_str());
+  run.seconds = std::atof(journal->Meta("seconds").c_str());
+  run.crashes = std::atoi(journal->Meta("crashes").c_str());
+  run.hangs = std::atoi(journal->Meta("hangs").c_str());
+  run.box_corrupts = std::atoi(journal->Meta("box_corrupts").c_str());
+
+  ReplayVerifier verifier(&*journal);
+  run.sink = &verifier;
+
+  StatusOr<CampaignSummary> summary = RunProbeCampaign(run);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 2;
+  }
+  verifier.Finish();
+
+  if (verifier.diverged()) {
+    std::printf("replay of %s DIVERGED after %zu verified events\n%s",
+                options.replay.c_str(), verifier.verified(),
+                verifier.report().ToString("journal", "replay").c_str());
     return 1;
   }
-  return 0;
+  std::printf("replay of %s verified: %zu events, zero divergences "
+              "(chain %016llx)\n",
+              options.replay.c_str(), verifier.verified(),
+              static_cast<unsigned long long>(journal->chain_head()));
+  return ReportViolations(*summary);
+}
+
+int RunDiff(const Options& options) {
+  StatusOr<Journal> a = Journal::ReadFile(options.diff_a);
+  if (!a.ok()) {
+    std::fprintf(stderr, "failed to read %s: %s\n", options.diff_a.c_str(),
+                 a.status().ToString().c_str());
+    return 2;
+  }
+  StatusOr<Journal> b = Journal::ReadFile(options.diff_b);
+  if (!b.ok()) {
+    std::fprintf(stderr, "failed to read %s: %s\n", options.diff_b.c_str(),
+                 b.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s: %zu events, chain %016llx\n", options.diff_a.c_str(),
+              a->size(), static_cast<unsigned long long>(a->chain_head()));
+  std::printf("%s: %zu events, chain %016llx\n", options.diff_b.c_str(),
+              b->size(), static_cast<unsigned long long>(b->chain_head()));
+  DivergenceReport report = DiffJournals(*a, *b);
+  std::printf("%s", report.ToString(options.diff_a, options.diff_b).c_str());
+  return report.diverged ? 1 : 0;
 }
 
 }  // namespace
@@ -403,14 +276,28 @@ int main(int argc, char** argv) {
       options.box_corrupts = std::atoi(next());
     } else if (std::strcmp(argv[i], "--out") == 0) {
       options.out = next();
+    } else if (std::strcmp(argv[i], "--record") == 0) {
+      options.record = next();
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      options.replay = next();
+    } else if (std::strcmp(argv[i], "--diff") == 0) {
+      options.diff_a = next();
+      options.diff_b = next();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed N] [--faults N] [--seconds S] "
                    "[--crashes N] [--hangs N] [--box-corrupts N] "
-                   "[--out FILE]\n",
+                   "[--out FILE] [--record JOURNAL | --replay JOURNAL | "
+                   "--diff A B]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (!options.diff_a.empty()) {
+    return xoar::RunDiff(options);
+  }
+  if (!options.replay.empty()) {
+    return xoar::RunReplay(options);
   }
   return xoar::RunCampaign(options);
 }

@@ -617,6 +617,10 @@ LintConfig DefaultConfig() {
       {"obs", {"base", "sim"}},
       {"net", {"base", "sim"}},
       {"analysis", {"base"}},
+      // The replay journal observes the trace stream and nothing above it:
+      // it may never include the platform it records, or journaling could
+      // perturb the execution being journaled.
+      {"replay", {"base", "sim", "obs"}},
       {"hv", {"base", "sim", "obs"}},
       {"xs", {"base", "sim", "obs", "hv"}},
       {"dev", {"base", "sim", "obs", "hv"}},
@@ -624,13 +628,17 @@ LintConfig DefaultConfig() {
       {"ctl", {"base", "sim", "obs", "hv", "xs", "dev", "drv"}},
       {"core", {"base", "sim", "obs", "hv", "xs", "dev", "drv", "ctl"}},
       {"fault",
-       {"base", "sim", "obs", "hv", "xs", "dev", "drv", "ctl", "core"}},
+       {"base", "sim", "obs", "hv", "xs", "dev", "drv", "ctl", "core",
+        "replay"}},
       {"security",
        {"base", "sim", "obs", "hv", "xs", "dev", "drv", "ctl", "core"}},
       {"workloads",
        {"base", "sim", "obs", "net", "hv", "xs", "dev", "drv", "ctl"}},
   };
 
+  // src/replay/ is deliberately NOT exempt: a wall-clock read in the
+  // journal path would be an unjournaled input, silently breaking the
+  // "same seed, same record stream" contract replay verification rests on.
   config.determinism_exempt_prefixes = {"src/sim/", "bench/"};
   config.banned_clock_identifiers = {
       "system_clock",  "steady_clock", "high_resolution_clock",

@@ -15,8 +15,12 @@ std::uint64_t HashBytes(std::string_view data, std::uint64_t seed) {
   return h;
 }
 
+std::uint64_t ChainNext(std::uint64_t head, std::string_view record) {
+  return HashBytes(record, head ^ 0x9e3779b97f4a7c15ULL);
+}
+
 std::uint64_t HashChain::Append(std::string_view record) {
-  head_ = HashBytes(record, head_ ^ 0x9e3779b97f4a7c15ULL);
+  head_ = ChainNext(head_, record);
   links_.push_back(head_);
   return head_;
 }
@@ -27,7 +31,7 @@ long HashChain::VerifyAgainst(const std::vector<std::string>& records) const {
   }
   std::uint64_t running = 0;
   for (std::size_t i = 0; i < records.size(); ++i) {
-    running = HashBytes(records[i], running ^ 0x9e3779b97f4a7c15ULL);
+    running = ChainNext(running, records[i]);
     if (running != links_[i]) {
       return static_cast<long>(i);
     }

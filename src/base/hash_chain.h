@@ -21,6 +21,13 @@ namespace xoar {
 // 64-bit FNV-1a over arbitrary bytes.
 std::uint64_t HashBytes(std::string_view data, std::uint64_t seed = 0xcbf29ce484222325ULL);
 
+// The single chaining fold shared by every tamper-evident log in the tree
+// (the audit log here and the replay journal in src/replay): the new head is
+// the record hashed with the previous head mixed through a golden-ratio
+// constant. Streaming users that do not keep per-record links (the journal's
+// append buffer) call this directly; HashChain::Append is built on it.
+std::uint64_t ChainNext(std::uint64_t head, std::string_view record);
+
 class HashChain {
  public:
   HashChain() = default;

@@ -81,6 +81,11 @@ Status RestartEngine::DoRestart(Entry& entry, const std::string& name,
         event.detail = StrFormat("%s cause=corrupt-box", name.c_str());
         audit_->Record(std::move(event));
       }
+      // Journal the downgrade decision (fast -> slow) so replay catches a
+      // run whose box validation decided differently, at the decision
+      // itself rather than in the longer restart window that follows.
+      obs_->tracer().Instant(TraceCategory::kMicroreboot,
+                             "box-reject:" + name, entry.domain.value());
     }
   }
 

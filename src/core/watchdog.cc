@@ -219,6 +219,15 @@ void Watchdog::HandleFailure(const std::string& name, Entry& entry) {
   RecordAudit(AuditEventKind::kWatchdogRestart, entry,
               StrFormat("%s cause=%s grade=%s", name.c_str(), cause,
                         fast ? "fast" : "slow"));
+  // The restart grade is a *decision* (chosen from restart history), so it
+  // goes into the trace stream the replay journal records: a divergence
+  // here pinpoints a changed supervision policy, not just its downstream
+  // effects.
+  obs_->tracer().Instant(TraceCategory::kWatchdog,
+                         StrFormat("escalate:%s grade=%s cause=%s",
+                                   name.c_str(), fast ? "fast" : "slow",
+                                   cause),
+                         entry.domain.value());
   ScheduleDeadline(name, entry, now + config_.heartbeat_timeout);
 }
 

@@ -116,6 +116,9 @@ void Tracer::Instant(TraceCategory cat, std::string_view name,
 
 void Tracer::Push(TraceEvent event) {
   event.seq = next_seq_++;
+  if (sink_ != nullptr) {
+    sink_->OnTraceEvent(event);
+  }
   if (size_ < ring_.size()) {
     ring_[(head_ + size_) % ring_.size()] = std::move(event);
     ++size_;

@@ -65,6 +65,18 @@ struct TraceEvent {
   std::uint64_t seq = 0;    // global record order (FIFO tie-break)
 };
 
+// Receives every event the tracer records, at the moment it is recorded.
+// Unlike the bounded ring (which keeps only the most recent window for
+// chrome://tracing export), a sink sees the full stream — this is the hook
+// the replay journal (src/replay) records from and verifies against. Sinks
+// must be pure observers with respect to the simulation: recording an event
+// may not schedule work or read any clock but the event's own timestamps.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnTraceEvent(const TraceEvent& event) = 0;
+};
+
 class Tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 14;  // 16384 events
@@ -79,6 +91,13 @@ class Tracer {
   void set_sim(const Simulator* sim) { sim_ = sim; }
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
+
+  // Attaches/detaches the full-stream observer (nullptr detaches). At most
+  // one sink; the caller owns it and must outlive its attachment. The sink
+  // fires only while the tracer is enabled, after the event's global seq is
+  // assigned and regardless of ring-buffer eviction.
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
 
   // Names a track in the exported trace (Chrome thread_name metadata);
   // platforms register one track per shard domain.
@@ -142,6 +161,7 @@ class Tracer {
 
   const Simulator* sim_;
   bool enabled_ = false;
+  TraceSink* sink_ = nullptr;
   std::vector<TraceEvent> ring_;  // fixed capacity, allocated up front
   std::size_t head_ = 0;          // index of the oldest event
   std::size_t size_ = 0;

@@ -1,0 +1,110 @@
+#include "src/replay/diff.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/base/units.h"
+#include "src/obs/trace.h"
+
+namespace xoar {
+
+std::string FormatJournalRecord(const JournalRecord& record) {
+  const std::uint64_t ms = record.when / kMillisecond;
+  const std::uint64_t frac_ns = record.when % kMillisecond;
+  return StrFormat(
+      "t=+%llu.%06llums seq=%llu shard=dom%u kind=%s phase=%s "
+      "payload=%016llx",
+      static_cast<unsigned long long>(ms),
+      static_cast<unsigned long long>(frac_ns),
+      static_cast<unsigned long long>(record.seq), record.shard,
+      std::string(TraceCategoryName(static_cast<TraceCategory>(record.kind)))
+          .c_str(),
+      record.phase == static_cast<std::uint8_t>(TraceEvent::Phase::kComplete)
+          ? "span"
+          : "instant",
+      static_cast<unsigned long long>(record.payload_hash));
+}
+
+std::string DivergenceReport::ToString(std::string_view a_label,
+                                       std::string_view b_label) const {
+  if (!diverged) {
+    return "no divergence\n";
+  }
+  std::string out = StrFormat("first divergence at record %zu", index);
+  if (has_a) {
+    out += StrFormat(" (when=%llu, seq=%llu)",
+                     static_cast<unsigned long long>(a.when),
+                     static_cast<unsigned long long>(a.seq));
+  } else if (has_b) {
+    out += StrFormat(" (when=%llu, seq=%llu)",
+                     static_cast<unsigned long long>(b.when),
+                     static_cast<unsigned long long>(b.seq));
+  }
+  out += ":\n";
+  auto side = [&](std::string_view label, bool has,
+                  const JournalRecord& record,
+                  const std::vector<JournalRecord>& context,
+                  const std::vector<std::string>* names,
+                  const std::string& name) {
+    out += StrFormat("  %.*s:\n", static_cast<int>(label.size()),
+                     label.data());
+    const std::size_t first = index - context.size();
+    for (std::size_t i = 0; i < context.size(); ++i) {
+      out += StrFormat("    [%zu]  %s", first + i,
+                       FormatJournalRecord(context[i]).c_str());
+      if (names != nullptr && i < names->size() && !(*names)[i].empty()) {
+        out += StrFormat("  \"%s\"", (*names)[i].c_str());
+      }
+      out += "\n";
+    }
+    if (has) {
+      out += StrFormat("    [%zu]> %s", index,
+                       FormatJournalRecord(record).c_str());
+      if (!name.empty()) {
+        out += StrFormat("  \"%s\"", name.c_str());
+      }
+      out += "\n";
+    } else {
+      out += StrFormat("    [%zu]> <stream ended>\n", index);
+    }
+  };
+  side(a_label, has_a, a, a_context, nullptr, std::string());
+  side(b_label, has_b, b, b_context, &b_context_names, b_name);
+  return out;
+}
+
+DivergenceReport DiffJournals(const Journal& a, const Journal& b,
+                              std::size_t context) {
+  DivergenceReport report;
+  const std::size_t common = std::min(a.size(), b.size());
+  std::size_t index = common;
+  bool found = false;
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) {
+      index = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found && a.size() == b.size()) {
+    return report;  // identical
+  }
+  report.diverged = true;
+  report.index = index;
+  report.has_a = index < a.size();
+  report.has_b = index < b.size();
+  if (report.has_a) {
+    report.a = a[index];
+  }
+  if (report.has_b) {
+    report.b = b[index];
+  }
+  const std::size_t first = index > context ? index - context : 0;
+  for (std::size_t i = first; i < index; ++i) {
+    report.a_context.push_back(a[i]);
+    report.b_context.push_back(b[i]);
+  }
+  return report;
+}
+
+}  // namespace xoar

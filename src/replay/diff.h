@@ -1,0 +1,61 @@
+// Structural first-divergence diffing of journals (DEBUGGING.md).
+//
+// A golden digest can only say "these two runs differ"; the differ says
+// *where*: the earliest `(when, seq)` at which two journals disagree, with
+// the N preceding records from each side so the reader sees the last agreed
+// history leading into the split. The same report type is produced live by
+// the replay verifier (src/replay/verify.h), which additionally knows the
+// human-readable names of the run it is observing.
+#ifndef XOAR_SRC_REPLAY_DIFF_H_
+#define XOAR_SRC_REPLAY_DIFF_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/replay/journal.h"
+
+namespace xoar {
+
+// How two event streams disagree at one position. Sides are "a" (the
+// reference/expected journal) and "b" (the other journal, or the live run
+// under verification). has_a/has_b are false when that side simply ended —
+// a prefix relationship is still a divergence, at the shorter length.
+struct DivergenceReport {
+  bool diverged = false;
+  std::size_t index = 0;  // first disagreeing position (record index)
+  bool has_a = false;
+  bool has_b = false;
+  JournalRecord a{};
+  JournalRecord b{};
+  // Up to `context` records preceding `index` on each side (oldest first).
+  // Until the divergence the sides agree, so the two vectors are equal for
+  // a journal/journal diff; the live verifier keeps side b anyway because
+  // it can attach names to it.
+  std::vector<JournalRecord> a_context;
+  std::vector<JournalRecord> b_context;
+  // Live verification only: the name of the diverging event and of the
+  // b_context events (parallel vector), recovered from the run being
+  // verified. Empty for a journal/journal diff — names are not journaled
+  // (DESIGN.md §5h).
+  std::string b_name;
+  std::vector<std::string> b_context_names;
+
+  // Human-readable multi-line report: the verdict line naming the exact
+  // (when, seq), then the context table from each side.
+  std::string ToString(std::string_view a_label = "expected",
+                       std::string_view b_label = "actual") const;
+};
+
+// "t=+1.234567ms seq=42 shard=dom7 kind=xenstore phase=op payload=0x...".
+std::string FormatJournalRecord(const JournalRecord& record);
+
+// Compares two journals and reports the earliest position where they
+// disagree, with up to `context` preceding records per side. Identical
+// journals (including both empty) return diverged=false.
+DivergenceReport DiffJournals(const Journal& a, const Journal& b,
+                              std::size_t context = 8);
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_REPLAY_DIFF_H_

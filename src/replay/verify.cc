@@ -1,0 +1,67 @@
+#include "src/replay/verify.h"
+
+namespace xoar {
+
+void ReplayVerifier::OnTraceEvent(const TraceEvent& event) {
+  if (report_.diverged) {
+    return;  // halted at the first mismatch; ignore the rest of the run
+  }
+  const JournalRecord actual = RecordFromTraceEvent(event);
+  if (cursor_ >= journal_->size()) {
+    // The run fired an event past the journal's end.
+    report_.diverged = true;
+    report_.index = cursor_;
+    report_.has_a = false;
+    report_.has_b = true;
+    report_.b = actual;
+    report_.b_name = event.name;
+    CaptureContext();
+    return;
+  }
+  const JournalRecord& expected = (*journal_)[cursor_];
+  if (actual != expected) {
+    report_.diverged = true;
+    report_.index = cursor_;
+    report_.has_a = true;
+    report_.has_b = true;
+    report_.a = expected;
+    report_.b = actual;
+    report_.b_name = event.name;
+    CaptureContext();
+    return;
+  }
+  ++cursor_;
+  recent_.push_back(actual);
+  recent_names_.push_back(event.name);
+  if (recent_.size() > context_) {
+    recent_.pop_front();
+    recent_names_.pop_front();
+  }
+}
+
+void ReplayVerifier::Finish() {
+  finished_ = true;
+  if (report_.diverged || cursor_ >= journal_->size()) {
+    return;
+  }
+  // The journal promises more events than the run produced.
+  report_.diverged = true;
+  report_.index = cursor_;
+  report_.has_a = true;
+  report_.has_b = false;
+  report_.a = (*journal_)[cursor_];
+  CaptureContext();
+}
+
+void ReplayVerifier::CaptureContext() {
+  // Matched history is identical on both sides; side b carries the names.
+  const std::size_t first =
+      report_.index > context_ ? report_.index - context_ : 0;
+  for (std::size_t i = first; i < report_.index; ++i) {
+    report_.a_context.push_back((*journal_)[i]);
+  }
+  report_.b_context.assign(recent_.begin(), recent_.end());
+  report_.b_context_names.assign(recent_names_.begin(), recent_names_.end());
+}
+
+}  // namespace xoar

@@ -1,0 +1,82 @@
+// Recording and verifying trace-event streams against a Journal.
+//
+// Both classes are Tracer sinks (src/obs/trace.h): attach one with
+// `tracer.set_sink(...)` before the run starts, and every event the tracer
+// records flows through it in order. Both are pure observers — they never
+// schedule simulator work or read any clock, so attaching them cannot
+// change the execution they observe (the property the whole record/replay
+// story rests on; xoar_lint's determinism rule enforces it statically for
+// all of src/replay).
+//
+// JournalRecorder appends each event to a Journal. ReplayVerifier replays
+// the other direction: the run executes normally, and each event it
+// produces is checked against the next journal record; the first mismatch
+// is captured as a DivergenceReport with the N preceding events from both
+// sides — including the live run's event *names*, which the journal itself
+// does not store — and verification halts (subsequent events are ignored,
+// so a diverged run finishes quickly and the report stays pinned to the
+// first bad decision).
+#ifndef XOAR_SRC_REPLAY_VERIFY_H_
+#define XOAR_SRC_REPLAY_VERIFY_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+#include "src/replay/diff.h"
+#include "src/replay/journal.h"
+
+namespace xoar {
+
+// Appends every observed trace event to `journal` (not owned).
+class JournalRecorder : public TraceSink {
+ public:
+  explicit JournalRecorder(Journal* journal) : journal_(journal) {}
+
+  void OnTraceEvent(const TraceEvent& event) override {
+    journal_->Append(RecordFromTraceEvent(event));
+  }
+
+ private:
+  Journal* journal_;
+};
+
+// Verifies a live trace-event stream against `journal` (not owned).
+// After the run, call Finish(): a run that produced fewer events than the
+// journal promises is a divergence too (the journal side continues where
+// the run ended). `complete()` is the all-clear: every journal record was
+// matched and nothing extra fired.
+class ReplayVerifier : public TraceSink {
+ public:
+  explicit ReplayVerifier(const Journal* journal, std::size_t context = 8)
+      : journal_(journal), context_(context) {}
+
+  void OnTraceEvent(const TraceEvent& event) override;
+
+  // Closes verification: flags journal records the run never produced.
+  void Finish();
+
+  bool diverged() const { return report_.diverged; }
+  const DivergenceReport& report() const { return report_; }
+  // Events matched so far (== journal size after a clean, finished run).
+  std::size_t verified() const { return cursor_; }
+  bool complete() const {
+    return finished_ && !report_.diverged && cursor_ == journal_->size();
+  }
+
+ private:
+  void CaptureContext();
+
+  const Journal* journal_;
+  std::size_t context_;
+  std::size_t cursor_ = 0;
+  bool finished_ = false;
+  DivergenceReport report_;
+  // Sliding window of the last `context_` live events (record + name).
+  std::deque<JournalRecord> recent_;
+  std::deque<std::string> recent_names_;
+};
+
+}  // namespace xoar
+
+#endif  // XOAR_SRC_REPLAY_VERIFY_H_

@@ -1,0 +1,28 @@
+// Fixture: src/replay/ is NOT determinism-exempt (src/analysis/rules.cc),
+// so a wall-clock read on the journal path must produce exactly one
+// blocking finding — an unjournaled input would silently break the
+// "same seed, same record stream" replay contract. The simulated-time
+// decoys below must NOT trigger.
+#include <chrono>
+
+namespace xoar_fixture {
+
+struct Record {
+  unsigned long when = 0;
+};
+
+unsigned long StampRecord(Record* record) {
+  auto wall = std::chrono::steady_clock::now();  // violation
+  record->when = static_cast<unsigned long>(
+      wall.time_since_epoch().count());
+  return record->when;
+}
+
+unsigned long SimulatedStamp(unsigned long now_ns) {
+  unsigned long time_ns = now_ns;  // decoy identifier
+  const char* label = "time(ns) from Simulator::Now()";  // decoy string
+  (void)label;
+  return time_ns;
+}
+
+}  // namespace xoar_fixture

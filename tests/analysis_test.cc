@@ -147,6 +147,39 @@ TEST(FixtureTest, DeterminismFixtureFlagsClockAndRandButNotDecoys) {
   }
 }
 
+TEST(FixtureTest, ReplayWallclockFixtureFlagsUnjournaledClockRead) {
+  // src/replay/ is not determinism-exempt: a wall-clock read there is an
+  // unjournaled input that would break the replay contract (DEBUGGING.md).
+  // Exactly one finding; the simulated-time decoys stay silent.
+  const std::vector<Finding> findings = LintFixture("replay_wallclock");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "determinism");
+  EXPECT_EQ(findings[0].file, "src/replay/journal_clocked.cc");
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+TEST(ConfigTest, ReplayModuleIsDeclaredBelowThePlatform) {
+  // The journal records the platform's trace stream, so the layering table
+  // must let fault (the campaign driver) see replay while keeping replay
+  // itself limited to base/sim/obs — it may never include what it records.
+  LintConfig config = DefaultConfig();
+  auto find_module =
+      [&](const std::string& name) -> const std::vector<std::string>* {
+    for (const auto& [module, deps] : config.layering) {
+      if (module == name) {
+        return &deps;
+      }
+    }
+    return nullptr;
+  };
+  const std::vector<std::string>* replay = find_module("replay");
+  ASSERT_NE(replay, nullptr);
+  EXPECT_EQ(*replay, (std::vector<std::string>{"base", "sim", "obs"}));
+  const std::vector<std::string>* fault = find_module("fault");
+  ASSERT_NE(fault, nullptr);
+  EXPECT_NE(std::find(fault->begin(), fault->end(), "replay"), fault->end());
+}
+
 TEST(FixtureTest, AuditFixtureFlagsBuildVmWithoutEmission) {
   const std::vector<Finding> findings = LintFixture("audit");
   ASSERT_EQ(findings.size(), 1u);

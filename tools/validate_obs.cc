@@ -6,6 +6,16 @@
 //   validate_obs --lint <xoar_lint_report.json>
 //   validate_obs --sim <BENCH_sim_core.json>
 //   validate_obs --density <BENCH_density.json>
+//   validate_obs --replay <BENCH_replay.json>
+//
+// The --replay mode checks a record/replay selftest report
+// (tools/xoar_replay selftest, DEBUGGING.md) beyond the generic BENCH
+// shape: the replay.* gauges must be present, the journal's hash chain
+// must have verified on load, the re-executed run must have matched every
+// journaled event (zero divergences, verified count == record count), the
+// two-seed structural diff must have found a divergence at an index inside
+// the journal, and the injected single-event perturbation must have been
+// caught at exactly the index where it was planted.
 //
 // The --density mode checks a density-trajectory report
 // (bench/ablation_density, SCALING.md) beyond the generic BENCH shape: the
@@ -452,6 +462,94 @@ bool ValidateDensity(const std::string& path) {
   return true;
 }
 
+// One row of the replay-selftest schema table, same shape as CampaignRule.
+struct ReplayRule {
+  const char* name;
+  double min;
+  double max;
+};
+
+constexpr ReplayRule kReplayRules[] = {
+    {"replay.seed", 0.0, -1.0},
+    {"replay.records", 1.0, -1.0},
+    {"replay.journal_bytes", 1.0, -1.0},
+    // Hard invariants of a passing selftest: the chain verified, the
+    // replay matched everything, the diff and the planted perturbation
+    // were both caught.
+    {"replay.chain_verified", 1.0, 1.0},
+    {"replay.replay_divergences", 0.0, 0.0},
+    {"replay.replay_verified", 1.0, -1.0},
+    {"replay.diff_seed_b", 0.0, -1.0},
+    {"replay.diff_diverged", 1.0, 1.0},
+    {"replay.diff_index", 0.0, -1.0},
+    {"replay.perturb_index", 0.0, -1.0},
+    {"replay.perturb_caught", 1.0, 1.0},
+    {"replay.perturb_caught_index", 0.0, -1.0},
+};
+
+bool ValidateReplay(const std::string& path) {
+  // The report must be a well-formed BENCH export first.
+  if (!ValidateMetrics(path)) {
+    return false;
+  }
+  StatusOr<JsonValue> doc = ParseJsonFile(path);
+  CHECK_OR_FAIL(doc.ok(), "%s: parse failed: %s", path.c_str(),
+                doc.status().ToString().c_str());
+  const JsonValue* benchmarks = doc->Find("benchmarks");
+
+  auto find_value = [&](const std::string& name) -> const JsonValue* {
+    for (const JsonValue& entry : benchmarks->array()) {
+      const JsonValue* n = entry.Find("name");
+      if (n != nullptr && n->is_string() && n->string() == name) {
+        return entry.Find("value");
+      }
+    }
+    return nullptr;
+  };
+
+  for (const ReplayRule& rule : kReplayRules) {
+    const JsonValue* value = find_value(rule.name);
+    CHECK_OR_FAIL(value != nullptr && value->is_number(),
+                  "%s: missing replay metric \"%s\"", path.c_str(),
+                  rule.name);
+    CHECK_OR_FAIL(value->number() >= rule.min,
+                  "%s: %s = %g below minimum %g", path.c_str(), rule.name,
+                  value->number(), rule.min);
+    CHECK_OR_FAIL(rule.max < 0 || value->number() <= rule.max,
+                  "%s: %s = %g above maximum %g", path.c_str(), rule.name,
+                  value->number(), rule.max);
+  }
+
+  // Cross-field invariants: the replay verified the whole journal, the
+  // perturbation was caught exactly where it was planted, and the diff
+  // divergence lies inside the journal.
+  auto number_of = [&](const char* name) {
+    const JsonValue* value = find_value(name);
+    return value != nullptr && value->is_number() ? value->number() : 0.0;
+  };
+  CHECK_OR_FAIL(number_of("replay.replay_verified") ==
+                    number_of("replay.records"),
+                "%s: replay verified %g of %g journaled events",
+                path.c_str(), number_of("replay.replay_verified"),
+                number_of("replay.records"));
+  CHECK_OR_FAIL(number_of("replay.perturb_caught_index") ==
+                    number_of("replay.perturb_index"),
+                "%s: perturbation planted at %g but caught at %g",
+                path.c_str(), number_of("replay.perturb_index"),
+                number_of("replay.perturb_caught_index"));
+  CHECK_OR_FAIL(number_of("replay.diff_index") <=
+                    number_of("replay.records"),
+                "%s: diff divergence index %g past journal end %g",
+                path.c_str(), number_of("replay.diff_index"),
+                number_of("replay.records"));
+
+  std::printf("%s: replay OK (%g records, chain verified, perturbation "
+              "caught at %g)\n",
+              path.c_str(), number_of("replay.records"),
+              number_of("replay.perturb_caught_index"));
+  return true;
+}
+
 bool ValidateLint(const std::string& path) {
   // The report must be a well-formed BENCH export first (context +
   // benchmarks with known run_types).
@@ -563,14 +661,18 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::string(argv[1]) == "--density") {
     return xoar::ValidateDensity(argv[2]) ? 0 : 1;
   }
+  if (argc == 3 && std::string(argv[1]) == "--replay") {
+    return xoar::ValidateReplay(argv[2]) ? 0 : 1;
+  }
   if (argc != 3) {
     std::fprintf(stderr,
                  "usage: %s <metrics.json> <trace.json>\n"
                  "       %s --campaign <BENCH_fault_campaign.json>\n"
                  "       %s --lint <xoar_lint_report.json>\n"
                  "       %s --sim <BENCH_sim_core.json>\n"
-                 "       %s --density <BENCH_density.json>\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 "       %s --density <BENCH_density.json>\n"
+                 "       %s --replay <BENCH_replay.json>\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   if (!xoar::ValidateMetrics(argv[1])) {
