@@ -3,6 +3,7 @@
 //
 //   ablation_density [--sweep 100,1000,10000] [--max-guests N]
 //                    [--shards N] [--out BENCH_density.json]
+//                    [--record JOURNAL | --replay JOURNAL]
 //
 // Sweeps guest count across decades on the Xoar platform and reports, per
 // sweep point: how many guests were created, wall-clock create throughput,
@@ -22,6 +23,13 @@
 // binary; the simulation itself stays deterministic. --max-guests replaces
 // the old hard 48-guest cutoff: 0 means "run each sweep point to its
 // target", any other value caps every point (smoke tests run tiny sweeps).
+//
+// Record/replay (DEBUGGING.md): --record journals the full trace stream of
+// every sweep point's platform (one platform per point, streamed back to
+// back) plus the sweep parameters; --replay re-executes the journaled
+// parameters and verifies every event against the recording, exiting 1 at
+// the first divergence. Wall-clock never feeds back into the simulation,
+// so the trace stream is byte-deterministic across runs.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +44,8 @@
 #include "src/base/units.h"
 #include "src/core/xoar_platform.h"
 #include "src/obs/metrics.h"
+#include "src/replay/journal.h"
+#include "src/replay/verify.h"
 
 namespace xoar {
 namespace {
@@ -45,6 +55,8 @@ struct Options {
   int max_guests = 0;  // 0 = no cap beyond the sweep target
   int shards = 0;      // 0 = auto-scale with the sweep target
   std::string out = "BENCH_density.json";
+  std::string record;  // journal path to write
+  std::string replay;  // journal path to verify against
 };
 
 struct SweepPoint {
@@ -75,7 +87,8 @@ int AutoShards(int domains) {
   return 16;
 }
 
-SweepPoint RunPoint(int target, int shards, int max_guests) {
+SweepPoint RunPoint(int target, int shards, int max_guests,
+                    TraceSink* sink) {
   SweepPoint point;
   point.domains_target = target;
   point.shard_count = shards;
@@ -91,6 +104,12 @@ SweepPoint RunPoint(int target, int shards, int max_guests) {
   // Density runs pack control-plane ops, not console traffic.
   config.console_manager_enabled = false;
   XoarPlatform platform(config);
+  if (sink != nullptr) {
+    // Record/replay observer: must be attached before Boot so the journal
+    // covers the platform's whole life, not just the create sweep.
+    platform.obs().tracer().set_enabled(true);
+    platform.obs().tracer().set_sink(sink);
+  }
   if (!platform.Boot().ok()) {
     std::fprintf(stderr, "boot failed at %d domains\n", target);
     return point;
@@ -199,7 +218,7 @@ bool WriteReport(const std::string& path, const std::vector<SweepPoint>& sweep,
   return written == out.size();
 }
 
-int Run(const Options& options) {
+int Run(const Options& options, TraceSink* sink) {
   PrintHeading("Ablation: density trajectory (sharded XenStore-State)");
 
   std::vector<SweepPoint> sweep;
@@ -207,7 +226,7 @@ int Run(const Options& options) {
   for (int target : options.sweep) {
     const int shards =
         options.shards > 0 ? options.shards : AutoShards(target);
-    SweepPoint point = RunPoint(target, shards, options.max_guests);
+    SweepPoint point = RunPoint(target, shards, options.max_guests, sink);
     if (point.create_path_scans != 0) {
       std::fprintf(stderr,
                    "FAIL: %llu O(n) domain-table scans on the create path "
@@ -253,10 +272,12 @@ int Run(const Options& options) {
     }
   }
 
-  if (!WriteReport(options.out, sweep, scan_free)) {
-    return 2;
+  if (!options.out.empty()) {  // a replay verification run writes no report
+    if (!WriteReport(options.out, sweep, scan_free)) {
+      return 2;
+    }
+    std::printf("\ndensity report -> %s\n", options.out.c_str());
   }
-  std::printf("\ndensity report -> %s\n", options.out.c_str());
 
   std::printf(
       "\nControl-plane cost per domain stays flat across decades: "
@@ -265,6 +286,14 @@ int Run(const Options& options) {
       "'limit the density of VM hosting'\n(§1, §2.3.1), extended to cloud "
       "density by State sharding (SCALING.md).\n");
   return (scan_free && flat) ? 0 : 1;
+}
+
+std::string SweepToString(const std::vector<int>& sweep) {
+  std::string out;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out += StrFormat(i == 0 ? "%d" : ",%d", sweep[i]);
+  }
+  return out;
 }
 
 std::vector<int> ParseSweep(const char* arg) {
@@ -286,6 +315,66 @@ std::vector<int> ParseSweep(const char* arg) {
   return sweep;
 }
 
+int RunRecord(const Options& options) {
+  Journal journal;
+  JournalRecorder recorder(&journal);
+  const int result = Run(options, &recorder);
+  if (result == 2) {
+    return result;
+  }
+  journal.SetMeta("sweep", SweepToString(options.sweep));
+  journal.SetMeta("max_guests", StrFormat("%d", options.max_guests));
+  journal.SetMeta("shards", StrFormat("%d", options.shards));
+  Status status = journal.WriteFile(options.record);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", options.record.c_str(),
+                 status.ToString().c_str());
+    return 2;
+  }
+  std::printf("journal (%zu events, chain %016llx) -> %s\n", journal.size(),
+              static_cast<unsigned long long>(journal.chain_head()),
+              options.record.c_str());
+  return result;
+}
+
+int RunReplay(const Options& options) {
+  StatusOr<Journal> journal = Journal::ReadFile(options.replay);
+  if (!journal.ok()) {
+    std::fprintf(stderr, "failed to read %s: %s\n", options.replay.c_str(),
+                 journal.status().ToString().c_str());
+    return 2;
+  }
+
+  // Re-execute the journaled parameters, not the command line: a replay is
+  // only meaningful against the recording's own sweep.
+  Options recorded = options;
+  recorded.sweep = ParseSweep(journal->Meta("sweep").c_str());
+  recorded.max_guests = std::atoi(journal->Meta("max_guests").c_str());
+  recorded.shards = std::atoi(journal->Meta("shards").c_str());
+  recorded.out.clear();
+  if (recorded.sweep.empty()) {
+    std::fprintf(stderr, "journal %s has no sweep metadata\n",
+                 options.replay.c_str());
+    return 2;
+  }
+
+  ReplayVerifier verifier(&*journal);
+  const int result = Run(recorded, &verifier);
+  verifier.Finish();
+
+  if (verifier.diverged()) {
+    std::printf("replay of %s DIVERGED after %zu verified events\n%s",
+                options.replay.c_str(), verifier.verified(),
+                verifier.report().ToString("journal", "replay").c_str());
+    return 1;
+  }
+  std::printf("replay of %s verified: %zu events, zero divergences "
+              "(chain %016llx)\n",
+              options.replay.c_str(), verifier.verified(),
+              static_cast<unsigned long long>(journal->chain_head()));
+  return result;
+}
+
 }  // namespace
 }  // namespace xoar
 
@@ -304,17 +393,28 @@ int main(int argc, char** argv) {
       options.shards = std::atoi(next());
     } else if (std::strcmp(argv[i], "--out") == 0) {
       options.out = next();
+    } else if (std::strcmp(argv[i], "--record") == 0) {
+      options.record = next();
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      options.replay = next();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sweep N,N,...] [--max-guests N] "
-                   "[--shards N] [--out FILE]\n",
+                   "[--shards N] [--out FILE]\n"
+                   "       [--record JOURNAL | --replay JOURNAL]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (!options.replay.empty()) {
+    return xoar::RunReplay(options);
   }
   if (options.sweep.empty()) {
     std::fprintf(stderr, "empty --sweep\n");
     return 2;
   }
-  return xoar::Run(options);
+  if (!options.record.empty()) {
+    return xoar::RunRecord(options);
+  }
+  return xoar::Run(options, nullptr);
 }

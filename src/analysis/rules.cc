@@ -634,6 +634,11 @@ LintConfig DefaultConfig() {
        {"base", "sim", "obs", "hv", "xs", "dev", "drv", "ctl", "core"}},
       {"workloads",
        {"base", "sim", "obs", "net", "hv", "xs", "dev", "drv", "ctl"}},
+      // The fleet orchestrates whole platforms and arms fault campaigns,
+      // so it sits at the very top of the DAG; nothing may include it.
+      {"fleet",
+       {"base", "sim", "obs", "hv", "xs", "dev", "drv", "ctl", "core",
+        "fault", "replay"}},
   };
 
   // src/replay/ is deliberately NOT exempt: a wall-clock read in the

@@ -33,6 +33,12 @@ std::string_view AuditEventKindName(AuditEventKind kind) {
       return "vm-built";
     case AuditEventKind::kPciAssigned:
       return "pci-assigned";
+    case AuditEventKind::kEvacuationStarted:
+      return "evacuation-started";
+    case AuditEventKind::kEvacuationCompleted:
+      return "evacuation-completed";
+    case AuditEventKind::kUpgradeWaveStep:
+      return "upgrade-wave-step";
   }
   return "unknown";
 }

@@ -40,6 +40,13 @@ enum class AuditEventKind : std::uint8_t {
   // shards below hold dangerous permits, so each use is logged.
   kVmBuilt,      // Builder constructed a guest (subject guest <- object builder)
   kPciAssigned,  // PCIBack delegated a device (subject guest <- object pciback)
+  // Fleet orchestration (src/fleet): host-level operations the operator
+  // must be able to reconstruct after the fact. `subject` is a domain on
+  // the affected host when one applies; detail carries host=<name> plus
+  // operation-specific tags (guests=, wave=, reason=).
+  kEvacuationStarted,    // fleet began draining every guest off a host
+  kEvacuationCompleted,  // evacuation finished (detail: moved=/failed=)
+  kUpgradeWaveStep,      // one host's microreboot-upgrade step in a wave
 };
 
 std::string_view AuditEventKindName(AuditEventKind kind);

@@ -7,6 +7,27 @@
 
 namespace xoar {
 
+namespace {
+
+// Abort helper: tear the receiving shell back down so a failed migration
+// never leaks a half-built domain on the destination. Teardown failure is
+// itself an invariant breach, so it overrides the original error.
+Status AbortMigration(Platform* destination, DomainId dest_guest,
+                      Status cause) {
+  Status teardown = destination->DestroyGuest(dest_guest);
+  if (!teardown.ok()) {
+    return InternalError(StrFormat(
+        "migration abort leaked dom%u on %s: %s (original error: %s)",
+        dest_guest.value(), std::string(destination->name()).c_str(),
+        teardown.ToString().c_str(), cause.ToString().c_str()));
+  }
+  XLOG(kDebug) << "[migrate] aborted, destination dom"
+               << dest_guest.value() << " torn down: " << cause;
+  return cause;
+}
+
+}  // namespace
+
 StatusOr<MigrationResult> LiveMigrate(Platform* source, DomainId guest,
                                       Platform* destination,
                                       const MigrationParams& params) {
@@ -34,15 +55,56 @@ StatusOr<MigrationResult> LiveMigrate(Platform* source, DomainId guest,
 
   MigrationResult result;
   const SimTime started_at = source->sim().Now();
+  const auto past_deadline = [&](SimDuration extra) {
+    return params.deadline > 0 &&
+           (source->sim().Now() - started_at) + extra > params.deadline;
+  };
+
+  // Build the receiving shell up front — pre-copy needs somewhere to land
+  // pages, and a destination that cannot host the guest should fail before
+  // any source-side work (the Remus-style safety rule in reverse: no
+  // source work until the destination has committed resources).
+  GuestSpec dest_spec = *spec;
+  StatusOr<DomainId> dest_guest = destination->CreateGuest(dest_spec);
+  if (!dest_guest.ok()) {
+    return FailedPreconditionError(
+        StrFormat("destination rejected the guest: %s",
+                  dest_guest.status().ToString().c_str()));
+  }
+  result.destination_guest = *dest_guest;
 
   // --- Pre-copy: ship memory while the guest keeps running. ---
   std::uint64_t to_send = dom->memory_bytes();
   while (true) {
     ++result.precopy_rounds;
+    if (params.stream_fault && params.stream_fault(result.precopy_rounds)) {
+      return AbortMigration(
+          destination, *dest_guest,
+          UnavailableError(StrFormat("migration stream dropped in round %d",
+                                     result.precopy_rounds)));
+    }
     const double round_seconds =
         static_cast<double>(to_send) / stream_bytes_per_sec;
+    if (past_deadline(FromSeconds(round_seconds))) {
+      return AbortMigration(
+          destination, *dest_guest,
+          AbortedError(StrFormat(
+              "migration deadline hit after %d pre-copy rounds",
+              result.precopy_rounds - 1)));
+    }
     result.bytes_transferred += to_send;
     source->sim().RunFor(FromSeconds(round_seconds));
+    // The source guest must still be running: a guest paused (or killed)
+    // mid-pre-copy stops dirtying pages but also stops being migratable —
+    // the dirty-bitmap protocol assumes a live producer.
+    dom = source->hv().domain(guest);
+    if (dom == nullptr || dom->state() != DomainState::kRunning) {
+      return AbortMigration(
+          destination, *dest_guest,
+          FailedPreconditionError(StrFormat(
+              "source guest left the running state in pre-copy round %d",
+              result.precopy_rounds)));
+    }
     // While this round was in flight, the guest dirtied more pages (capped
     // at its whole memory).
     const std::uint64_t dirtied = std::min<std::uint64_t>(
@@ -56,30 +118,39 @@ StatusOr<MigrationResult> LiveMigrate(Platform* source, DomainId guest,
     }
     if (result.precopy_rounds >= params.max_precopy_rounds) {
       // Dirty rate beats the link: fall back to stop-and-copy of whatever
-      // remains.
+      // remains (subject to the downtime bound below).
       break;
     }
   }
 
   // --- Stop-and-copy: pause, ship the residue, switch over. ---
+  if (params.stream_fault && params.stream_fault(result.precopy_rounds + 1)) {
+    return AbortMigration(
+        destination, *dest_guest,
+        UnavailableError("migration stream dropped at stop-and-copy"));
+  }
   const double residue_seconds =
       static_cast<double>(to_send) / stream_bytes_per_sec;
-  result.bytes_transferred += to_send;
-  result.downtime =
+  const SimDuration projected_downtime =
       FromSeconds(residue_seconds) + params.switchover_overhead;
-  source->sim().RunFor(result.downtime);
-
-  // Build the guest on the destination before tearing down the source, so
-  // a destination failure leaves the source intact (the Remus-style safety
-  // rule).
-  GuestSpec dest_spec = *spec;
-  StatusOr<DomainId> dest_guest = destination->CreateGuest(dest_spec);
-  if (!dest_guest.ok()) {
-    return FailedPreconditionError(
-        StrFormat("destination rejected the guest: %s",
-                  dest_guest.status().ToString().c_str()));
+  if (!result.converged && params.max_downtime > 0 &&
+      projected_downtime > params.max_downtime) {
+    return AbortMigration(
+        destination, *dest_guest,
+        AbortedError(StrFormat(
+            "did not converge: stop-and-copy downtime %lldms exceeds the "
+            "%lldms bound",
+            static_cast<long long>(ToMilliseconds(projected_downtime)),
+            static_cast<long long>(ToMilliseconds(params.max_downtime)))));
   }
-  result.destination_guest = *dest_guest;
+  if (past_deadline(projected_downtime)) {
+    return AbortMigration(
+        destination, *dest_guest,
+        AbortedError("migration deadline hit at stop-and-copy"));
+  }
+  result.bytes_transferred += to_send;
+  result.downtime = projected_downtime;
+  source->sim().RunFor(result.downtime);
 
   XOAR_RETURN_IF_ERROR(source->DestroyGuest(guest));
   result.total_time = source->sim().Now() - started_at;

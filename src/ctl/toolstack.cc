@@ -87,40 +87,70 @@ StatusOr<DomainId> Toolstack::CreateGuest(const GuestSpec& spec) {
   record.id = guest;
   record.spec = spec;
 
+  // Unwind for any failure past this point: the domain is already built,
+  // so a rejected attach/image/emulator step must tear everything back
+  // down — a create that fails and leaks a half-built guest breaks the
+  // same invariant as a migration abort that leaks its destination shell.
+  const std::string image_name = StrFormat("vm-%u-disk0", guest.value());
+  bool image_created = false;
+  auto unwind = [&](Status cause) -> Status {
+    if (record.blkback != nullptr) {
+      (void)record.blkback->DetachVbd(guest);
+    }
+    if (image_created) {
+      (void)blkback->DeleteImage(image_name);
+    }
+    if (record.netback != nullptr) {
+      (void)record.netback->DetachVif(guest);
+    }
+    xs_->Disconnect(guest);
+    (void)hv_->DestroyDomain(self_, guest);
+    return cause;
+  };
+
   if (spec.with_net) {
     if (authorize_shard_use_) {
-      XOAR_RETURN_IF_ERROR(
-          hv_->AuthorizeShardUse(self_, guest, netback->self()));
+      Status s = hv_->AuthorizeShardUse(self_, guest, netback->self());
+      if (!s.ok()) return unwind(s);
     }
-    XOAR_RETURN_IF_ERROR(netback->AttachVif(guest));
+    if (Status s = netback->AttachVif(guest); !s.ok()) return unwind(s);
     record.netback = netback;
     record.netfront = std::make_unique<NetFront>(hv_, xs_, sim_, guest,
                                                  netback->self());
-    XOAR_RETURN_IF_ERROR(record.netfront->Connect());
-    shard_tags_[netback->self()][spec.constraint_tag] += 1;
+    if (Status s = record.netfront->Connect(); !s.ok()) return unwind(s);
   }
   if (spec.with_disk) {
     if (authorize_shard_use_) {
-      XOAR_RETURN_IF_ERROR(
-          hv_->AuthorizeShardUse(self_, guest, blkback->self()));
+      Status s = hv_->AuthorizeShardUse(self_, guest, blkback->self());
+      if (!s.ok()) return unwind(s);
     }
     // §5.4: disk images live in BlkBack; the Toolstack proxies requests to
     // the daemon there instead of mounting files itself.
-    const std::string image_name = StrFormat("vm-%u-disk0", guest.value());
-    XOAR_RETURN_IF_ERROR(
-        blkback->CreateImage(image_name, spec.disk_image_mb * kMiB));
-    XOAR_RETURN_IF_ERROR(blkback->BindImage(guest, image_name));
+    if (Status s = blkback->CreateImage(image_name, spec.disk_image_mb * kMiB);
+        !s.ok()) {
+      return unwind(s);
+    }
+    image_created = true;
+    if (Status s = blkback->BindImage(guest, image_name); !s.ok()) {
+      return unwind(s);
+    }
     record.blkback = blkback;
     record.blkfront = std::make_unique<BlkFront>(hv_, xs_, sim_, guest,
                                                  blkback->self());
-    XOAR_RETURN_IF_ERROR(record.blkfront->Connect());
-    shard_tags_[blkback->self()][spec.constraint_tag] += 1;
+    if (Status s = record.blkfront->Connect(); !s.ok()) return unwind(s);
   }
   if (spec.hvm) {
-    XOAR_ASSIGN_OR_RETURN(record.qemu_domain,
-                          builder_->BuildEmulatorDomain(self_, guest));
+    StatusOr<DomainId> qemu = builder_->BuildEmulatorDomain(self_, guest);
+    if (!qemu.ok()) return unwind(qemu.status());
+    record.qemu_domain = *qemu;
     record.emulator =
         std::make_unique<DeviceEmulator>(hv_, record.qemu_domain, guest);
+  }
+  if (spec.with_net) {
+    shard_tags_[netback->self()][spec.constraint_tag] += 1;
+  }
+  if (spec.with_disk) {
+    shard_tags_[blkback->self()][spec.constraint_tag] += 1;
   }
 
   // File the guest under its tenant's slice; all aggregates move
@@ -153,10 +183,17 @@ Status Toolstack::DestroyGuest(DomainId guest) {
   if (record.netback != nullptr) {
     auto& tags = shard_tags_[record.netback->self()];
     tags[record.spec.constraint_tag] -= 1;
+    (void)record.netback->DetachVif(guest);
   }
   if (record.blkback != nullptr) {
     auto& tags = shard_tags_[record.blkback->self()];
     tags[record.spec.constraint_tag] -= 1;
+    // Drop the VBD before the image so the delete never sees a live
+    // binding; without the delete, create/destroy churn (migration!)
+    // fills the disk with orphaned images.
+    (void)record.blkback->DetachVbd(guest);
+    (void)record.blkback->DeleteImage(
+        StrFormat("vm-%u-disk0", guest.value()));
   }
   if (record.qemu_domain.valid()) {
     (void)hv_->DestroyDomain(self_, record.qemu_domain);

@@ -37,15 +37,54 @@ Status BlkBack::Initialize() {
   return Status::Ok();
 }
 
+std::optional<std::uint64_t> BlkBack::AllocateExtent(
+    std::uint64_t bytes) const {
+  // First-fit over the gaps between live extents. The first 64 MiB are
+  // reserved for metadata.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;
+  extents.reserve(images_.size());
+  for (const auto& [name, extent] : images_) {
+    extents.push_back(extent);
+  }
+  std::sort(extents.begin(), extents.end());
+  std::uint64_t cursor = 64 * kMiB;
+  for (const auto& [offset, size] : extents) {
+    if (offset - cursor >= bytes) {
+      return cursor;
+    }
+    cursor = offset + size;
+  }
+  if (cursor + bytes <= disk_->geometry().capacity_bytes) {
+    return cursor;
+  }
+  return std::nullopt;
+}
+
 Status BlkBack::CreateImage(const std::string& name, std::uint64_t bytes) {
   if (images_.count(name) > 0) {
     return AlreadyExistsError(StrFormat("image %s exists", name.c_str()));
   }
-  if (next_image_offset_ + bytes > disk_->geometry().capacity_bytes) {
+  std::optional<std::uint64_t> offset = AllocateExtent(bytes);
+  if (!offset.has_value()) {
     return ResourceExhaustedError("disk full");
   }
-  images_.emplace(name, std::make_pair(next_image_offset_, bytes));
-  next_image_offset_ += bytes;
+  images_.emplace(name, std::make_pair(*offset, bytes));
+  return Status::Ok();
+}
+
+Status BlkBack::DeleteImage(const std::string& name) {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    return NotFoundError(StrFormat("no image %s", name.c_str()));
+  }
+  for (const auto& [guest, vbd] : vbds_) {
+    if (vbd.image == name) {
+      return FailedPreconditionError(
+          StrFormat("image %s still bound to dom%u", name.c_str(),
+                    guest.value()));
+    }
+  }
+  images_.erase(it);
   return Status::Ok();
 }
 
@@ -194,6 +233,19 @@ void BlkBack::DisconnectVbd(Vbd& vbd) {
   (void)hv_->UnmapGrant(self_, vbd.guest, vbd.ring_gref);
   (void)hv_->EvtchnClose(self_, vbd.port);
   vbd.ring_page = nullptr;
+}
+
+Status BlkBack::DetachVbd(DomainId guest) {
+  auto it = vbds_.find(guest);
+  if (it == vbds_.end()) {
+    return NotFoundError(
+        StrFormat("dom%u has no VBD on this backend", guest.value()));
+  }
+  DisconnectVbd(it->second);
+  (void)xs_->Unwatch(self_, FrontendDir(guest, kVbdType) + "/state",
+                     StrFormat("blkback-%u", guest.value()));
+  vbds_.erase(it);
+  return Status::Ok();
 }
 
 void BlkBack::ServiceRing(DomainId guest) {

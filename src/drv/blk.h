@@ -28,6 +28,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -104,10 +105,19 @@ class BlkBack {
   // of manipulating files itself.
   Status CreateImage(const std::string& name, std::uint64_t bytes);
   StatusOr<std::uint64_t> ImageSize(const std::string& name) const;
+  // Releases an image's extent back to the disk (first-fit reuse). Fails
+  // while a VBD is still bound to it. Destroying a guest without deleting
+  // its image fills the disk after enough create/destroy churn — exactly
+  // what a migration-heavy fleet does.
+  Status DeleteImage(const std::string& name);
 
   // Binds a guest's VBD to an image. Called by the Toolstack when attaching
   // a virtual disk; the data-path handshake then runs over XenStore.
   Status BindImage(DomainId guest, const std::string& image);
+  // Tears down a guest's VBD completely: disconnect the ring, drop the
+  // frontend-state watch, forget the guest. The destroy-side counterpart
+  // of BindImage (Suspend/Resume keep VBDs, this does not).
+  Status DetachVbd(DomainId guest);
 
   // --- Microreboot hooks (driven by the restart engine in src/core) ---
 
@@ -166,9 +176,12 @@ class BlkBack {
   ExponentialBackoff resume_backoff_;
   bool resume_retry_pending_ = false;
   std::map<DomainId, Vbd> vbds_;
+  // Finds a first-fit offset for `bytes`, scanning the gaps left by
+  // deleted images; nullopt when no gap fits.
+  std::optional<std::uint64_t> AllocateExtent(std::uint64_t bytes) const;
+
   std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
       images_;  // name -> (offset, size)
-  std::uint64_t next_image_offset_ = 64 * kMiB;  // leave room for metadata
   std::uint64_t requests_served_ = 0;
   std::uint64_t bytes_moved_ = 0;
   Obs* obs_;

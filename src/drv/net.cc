@@ -165,6 +165,19 @@ void NetBack::DisconnectVif(Vif& vif) {
   vif.rx_ring = nullptr;
 }
 
+Status NetBack::DetachVif(DomainId guest) {
+  auto it = vifs_.find(guest);
+  if (it == vifs_.end()) {
+    return NotFoundError(
+        StrFormat("dom%u has no vif on this backend", guest.value()));
+  }
+  DisconnectVif(it->second);
+  (void)xs_->Unwatch(self_, FrontendDir(guest, kVifType) + "/state",
+                     StrFormat("netback-%u", guest.value()));
+  vifs_.erase(it);
+  return Status::Ok();
+}
+
 void NetBack::ServiceTxRing(DomainId guest) {
   auto it = vifs_.find(guest);
   if (it == vifs_.end() || !it->second.connected || !available_ ||

@@ -80,6 +80,10 @@ class NetBack {
 
   // Creates a vif record for `guest` and advertises the backend half.
   Status AttachVif(DomainId guest);
+  // Tears the vif down completely: disconnect the rings, drop the
+  // frontend-state watch, forget the guest. The destroy-side counterpart
+  // of AttachVif (Suspend/Resume keep vifs, this does not).
+  Status DetachVif(DomainId guest);
 
   // Frame arriving from the physical network destined for `guest`.
   // Dropped (returns false) while the backend or the vif is down.

@@ -41,6 +41,8 @@ std::string_view FaultTypeName(FaultType type) {
       return "shard_hang";
     case FaultType::kRecoveryBoxCorrupt:
       return "recovery_box_corrupt";
+    case FaultType::kMigrationStreamDrop:
+      return "migration_stream_drop";
     case FaultType::kCount:
       break;
   }
@@ -122,6 +124,22 @@ FaultPlan FaultPlan::Randomized(const CampaignConfig& config) {
               (span * static_cast<std::uint64_t>(2 * k + 1)) /
                   static_cast<std::uint64_t>(2 * (config.box_corrupt_count + 1)) +
               span / 20;  // offset off the hang half-slots
+    plan.Add(std::move(spec));
+  }
+  // Migration stream drops (src/fleet). Spread across the campaign span at
+  // even slots like crashes — an evacuation sweeping the host keeps running
+  // into them — but with seeded-random window lengths. These draws come
+  // after every pre-existing draw, so fleet campaigns do not perturb the
+  // layout of older single-host seeds (migration_drop_count defaults to 0).
+  for (int k = 0; k < config.migration_drop_count; ++k) {
+    FaultSpec spec;
+    spec.type = FaultType::kMigrationStreamDrop;
+    spec.duration = layout.NextInRange(config.min_migration_drop_window,
+                                       config.max_migration_drop_window);
+    spec.at = start + (span * static_cast<std::uint64_t>(k + 1)) /
+                          static_cast<std::uint64_t>(
+                              config.migration_drop_count + 1);
+    spec.probability = config.probability;
     plan.Add(std::move(spec));
   }
   std::stable_sort(plan.specs_.begin(), plan.specs_.end(),

@@ -41,6 +41,8 @@ enum class FaultType : std::uint8_t {
   kShardHang,       // service loop stalls (heartbeats stop, domain alive)
   kRecoveryBoxCorrupt,  // recovery box poisoned; next fast restart must
                         // reject it onto the slow path
+  kMigrationStreamDrop,  // live-migration stream breaks mid-round; the
+                         // orchestrator must abort and retry with backoff
   kCount,
 };
 
@@ -93,6 +95,15 @@ struct CampaignConfig {
   // Only components whose recovery boxes hold real config are worth
   // poisoning; an empty box is skipped at fire time.
   std::vector<std::string> box_corrupt_targets = {"NetBack", "BlkBack"};
+
+  // Fleet migration faults (src/fleet). Windows during which the
+  // live-migration stream off this host breaks per-round with
+  // `probability`. 0 keeps single-host campaigns (and every pre-existing
+  // seed's layout) untouched: like the supervision faults above, these
+  // draws come after every older draw in Randomized().
+  int migration_drop_count = 0;
+  SimDuration min_migration_drop_window = 40 * kMillisecond;
+  SimDuration max_migration_drop_window = 120 * kMillisecond;
 };
 
 class FaultPlan {
@@ -149,6 +160,14 @@ class FaultInjector {
 
   std::uint64_t injected_count(FaultType type) const {
     return injected_[static_cast<std::size_t>(type)];
+  }
+  // Per-round decision for the live-migration stream. Unlike the other
+  // fault types there is no subsystem hook to install — the migration
+  // orchestrator (src/fleet) polls this at each pre-copy round boundary
+  // and treats true as a broken stream. Outside an open
+  // kMigrationStreamDrop window it always returns false.
+  bool DrawMigrationStreamDrop() {
+    return Draw(FaultType::kMigrationStreamDrop);
   }
   std::uint64_t total_injected() const;
   std::uint64_t windows_opened() const { return windows_opened_; }

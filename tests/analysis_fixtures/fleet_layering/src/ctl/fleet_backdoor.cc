@@ -1,0 +1,16 @@
+// Fixture: src/fleet sits at the very top of the layering DAG
+// (src/analysis/rules.cc DefaultConfig) — it orchestrates whole platforms
+// and arms fault campaigns, so nothing below it may include it. A control-
+// plane file reaching up into the fleet must produce exactly one blocking
+// layering finding. The in-module decoy include below must NOT trigger.
+#include "src/fleet/fleet.h"  // violation: ctl may not depend on fleet
+#include "src/ctl/toolstack.h"  // decoy: same-module include is always fine
+
+namespace xoar_fixture {
+
+int EscalateThroughTheFleet() {
+  // No behaviour needed — the layering rule is include-graph only.
+  return 0;
+}
+
+}  // namespace xoar_fixture

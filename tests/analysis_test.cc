@@ -158,6 +158,19 @@ TEST(FixtureTest, ReplayWallclockFixtureFlagsUnjournaledClockRead) {
   EXPECT_FALSE(findings[0].suppressed);
 }
 
+TEST(FixtureTest, FleetLayeringFixtureFlagsReachUpIntoTheFleet) {
+  // src/fleet sits at the very top of the DAG (it orchestrates whole
+  // platforms and arms fault campaigns), so a control-plane file including
+  // it is exactly one blocking layering finding; the same-module decoy
+  // include stays silent.
+  const std::vector<Finding> findings = LintFixture("fleet_layering");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].file, "src/ctl/fleet_backdoor.cc");
+  EXPECT_NE(findings[0].message.find("fleet"), std::string::npos);
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
 TEST(ConfigTest, ReplayModuleIsDeclaredBelowThePlatform) {
   // The journal records the platform's trace stream, so the layering table
   // must let fault (the campaign driver) see replay while keeping replay

@@ -343,5 +343,110 @@ TEST(MigrationTest, PausedGuestCannotLiveMigrate) {
       StatusCode::kFailedPrecondition);
 }
 
+// --- Live migration abort paths (destination rollback) ---
+
+TEST(MigrationTest, StreamFailureTearsDownDestination) {
+  XoarPlatform source, destination;
+  ASSERT_TRUE(source.Boot().ok());
+  ASSERT_TRUE(destination.Boot().ok());
+  DomainId guest = *source.CreateGuest(GuestSpec{.name = "dropper"});
+
+  const std::size_t live_before = destination.hv().LiveDomainCount();
+  const std::uint64_t free_before = destination.hv().memory().free_pages();
+  MigrationParams params;
+  int faults_consulted = 0;
+  params.stream_fault = [&](int round) {
+    ++faults_consulted;
+    return round >= 3;  // break the stream mid-pre-copy
+  };
+  auto result = LiveMigrate(&source, guest, &destination, params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(faults_consulted, 3);
+  // No half-built domain (and no leaked memory) on the destination.
+  EXPECT_EQ(destination.hv().LiveDomainCount(), live_before);
+  EXPECT_EQ(destination.hv().memory().free_pages(), free_before);
+  // The source guest survived, still running.
+  const Domain* dom = source.hv().domain(guest);
+  ASSERT_NE(dom, nullptr);
+  EXPECT_EQ(dom->state(), DomainState::kRunning);
+}
+
+TEST(MigrationTest, NonConvergentStopCopyAbortsUnderDowntimeBound) {
+  XoarPlatform source, destination;
+  ASSERT_TRUE(source.Boot().ok());
+  ASSERT_TRUE(destination.Boot().ok());
+  DomainId guest = *source.CreateGuest(GuestSpec{.name = "hot"});
+
+  const std::size_t live_before = destination.hv().LiveDomainCount();
+  MigrationParams params;
+  params.dirty_rate_bytes_per_sec = 500e6;  // never converges
+  params.max_precopy_rounds = 5;
+  params.max_downtime = FromMilliseconds(100);  // residue would take seconds
+  auto result = LiveMigrate(&source, guest, &destination, params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(destination.hv().LiveDomainCount(), live_before);
+  EXPECT_EQ(source.hv().domain(guest)->state(), DomainState::kRunning);
+}
+
+TEST(MigrationTest, DeadlineAbortsAndRollsBack) {
+  XoarPlatform source, destination;
+  ASSERT_TRUE(source.Boot().ok());
+  ASSERT_TRUE(destination.Boot().ok());
+  DomainId guest = *source.CreateGuest(GuestSpec{});
+
+  const std::size_t live_before = destination.hv().LiveDomainCount();
+  MigrationParams params;
+  params.deadline = FromMilliseconds(100);  // 1 GiB over GbE needs ~10 s
+  auto result = LiveMigrate(&source, guest, &destination, params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(destination.hv().LiveDomainCount(), live_before);
+  EXPECT_EQ(source.hv().domain(guest)->state(), DomainState::kRunning);
+}
+
+TEST(MigrationTest, ZeroDirtyRateConvergesInOneRound) {
+  XoarPlatform source, destination;
+  ASSERT_TRUE(source.Boot().ok());
+  ASSERT_TRUE(destination.Boot().ok());
+  DomainId guest = *source.CreateGuest(GuestSpec{.name = "idle"});
+
+  MigrationParams params;
+  params.dirty_rate_bytes_per_sec = 0;  // idle guest: nothing re-dirtied
+  auto result = LiveMigrate(&source, guest, &destination, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->precopy_rounds, 1);
+  // Empty residue: downtime is the bare switchover cost.
+  EXPECT_EQ(result->downtime, FromMilliseconds(30));
+  EXPECT_EQ(destination.hv().domain(result->destination_guest)->state(),
+            DomainState::kRunning);
+}
+
+TEST(MigrationTest, GuestPausedMidPrecopyAbortsAndRollsBack) {
+  XoarPlatform source, destination;
+  ASSERT_TRUE(source.Boot().ok());
+  ASSERT_TRUE(destination.Boot().ok());
+  DomainId guest = *source.CreateGuest(GuestSpec{.name = "interrupted"});
+
+  const std::size_t live_before = destination.hv().LiveDomainCount();
+  // Pre-copy of a 1 GiB guest over GbE runs ~10 s per early round; pause
+  // the guest one second in, mid-round.
+  source.sim().ScheduleAfter(FromSeconds(1.0), [&] {
+    ASSERT_TRUE(source.toolstack().PauseGuest(guest).ok());
+  });
+  auto result = LiveMigrate(&source, guest, &destination, MigrationParams{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  // Destination rolled back; the source guest still exists, paused — the
+  // migration must not destroy a guest it failed to move.
+  EXPECT_EQ(destination.hv().LiveDomainCount(), live_before);
+  const Domain* dom = source.hv().domain(guest);
+  ASSERT_NE(dom, nullptr);
+  EXPECT_EQ(dom->state(), DomainState::kPaused);
+  EXPECT_NE(source.guest_spec(guest), nullptr);
+}
+
 }  // namespace
 }  // namespace xoar

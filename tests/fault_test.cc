@@ -126,6 +126,10 @@ TEST(FaultPlanTest, RandomizedCoversEveryTransientType) {
   CampaignConfig config;
   config.fault_count = 12;
   config.crash_count = 3;
+  // Migration stream drops are opt-in (the 0 default keeps older
+  // single-host seeds' layouts untouched); opt in so coverage includes
+  // the fleet fault type too.
+  config.migration_drop_count = 2;
   FaultPlan plan = FaultPlan::Randomized(config);
   std::array<int, kFaultTypeCount> seen{};
   SimTime last = 0;
@@ -155,6 +159,8 @@ TEST(FaultPlanTest, RandomizedCoversEveryTransientType) {
   EXPECT_EQ(seen[static_cast<std::size_t>(FaultType::kShardHang)], 2);
   EXPECT_EQ(seen[static_cast<std::size_t>(FaultType::kRecoveryBoxCorrupt)],
             1);
+  EXPECT_EQ(seen[static_cast<std::size_t>(FaultType::kMigrationStreamDrop)],
+            2);
 }
 
 // --- Injection against a booted platform ---

@@ -7,6 +7,18 @@
 //   validate_obs --sim <BENCH_sim_core.json>
 //   validate_obs --density <BENCH_density.json>
 //   validate_obs --replay <BENCH_replay.json>
+//   validate_obs --fleet <BENCH_fleet.json>
+//
+// The --fleet mode checks a fleet-resilience campaign report
+// (bench/fleet_campaign, RESILIENCE.md "Fleet") beyond the generic BENCH
+// shape: the fleet.* summary metrics must be present with sane values —
+// at least two hosts, zero invariant violations, at least one completed
+// migration and evacuation, at least one injected migration stream drop —
+// plus the scenario cross-checks: the clean upgrade wave must have
+// completed without aborting, the storm wave's health gate must have
+// tripped and the fleet must have converged after the storm, rebalancing
+// must not have widened the load spread, per-step wave gauges must be
+// present, and p999 must dominate p99.
 //
 // The --replay mode checks a record/replay selftest report
 // (tools/xoar_replay selftest, DEBUGGING.md) beyond the generic BENCH
@@ -550,6 +562,114 @@ bool ValidateReplay(const std::string& path) {
   return true;
 }
 
+// One row of the fleet schema table, same shape as CampaignRule.
+struct FleetRule {
+  const char* name;
+  double min;
+  double max;
+};
+
+constexpr FleetRule kFleetRules[] = {
+    {"fleet.seed", 0.0, -1.0},
+    {"fleet.hosts", 2.0, -1.0},
+    {"fleet.guests_placed", 1.0, -1.0},
+    {"fleet.invariant_violations", 0.0, 0.0},
+    {"fleet.admission.accepted", 1.0, -1.0},
+    {"fleet.admission.shed", 1.0, -1.0},  // the whale probe must shed
+    {"fleet.migrations.attempted", 1.0, -1.0},
+    {"fleet.migrations.completed", 1.0, -1.0},
+    {"fleet.evacuations.started", 1.0, -1.0},
+    {"fleet.evac.moved", 1.0, -1.0},
+    {"fleet.evac.failed", 0.0, 0.0},
+    {"fleet.faults.migration_stream_drops", 1.0, -1.0},
+    {"fleet.controller.supervised", 1.0, 1.0},
+    {"fleet.workload.p99_ms", 0.001, -1.0},
+    {"fleet.workload.p999_ms", 0.001, -1.0},
+    {"fleet.wave.clean.steps", 1.0, -1.0},
+    {"fleet.wave.clean.aborted", 0.0, 0.0},
+    {"fleet.wave.storm.aborted", 1.0, 1.0},
+    {"fleet.wave.storm.converged", 1.0, 1.0},
+    {"fleet.rebalance.spread_before", 0.0, -1.0},
+    {"fleet.rebalance.spread_after", 0.0, -1.0},
+};
+
+bool ValidateFleet(const std::string& path) {
+  // The report must be a well-formed BENCH export first.
+  if (!ValidateMetrics(path)) {
+    return false;
+  }
+  StatusOr<JsonValue> doc = ParseJsonFile(path);
+  CHECK_OR_FAIL(doc.ok(), "%s: parse failed: %s", path.c_str(),
+                doc.status().ToString().c_str());
+  const JsonValue* benchmarks = doc->Find("benchmarks");
+
+  auto find_value = [&](const std::string& name) -> const JsonValue* {
+    for (const JsonValue& entry : benchmarks->array()) {
+      const JsonValue* n = entry.Find("name");
+      if (n != nullptr && n->is_string() && n->string() == name) {
+        return entry.Find("value");
+      }
+    }
+    return nullptr;
+  };
+
+  for (const FleetRule& rule : kFleetRules) {
+    const JsonValue* value = find_value(rule.name);
+    CHECK_OR_FAIL(value != nullptr && value->is_number(),
+                  "%s: missing fleet metric \"%s\"", path.c_str(), rule.name);
+    CHECK_OR_FAIL(value->number() >= rule.min,
+                  "%s: %s = %g below minimum %g", path.c_str(), rule.name,
+                  value->number(), rule.min);
+    CHECK_OR_FAIL(rule.max < 0 || value->number() <= rule.max,
+                  "%s: %s = %g above maximum %g", path.c_str(), rule.name,
+                  value->number(), rule.max);
+  }
+
+  auto number_of = [&](const char* name) {
+    const JsonValue* value = find_value(name);
+    return value != nullptr && value->is_number() ? value->number() : 0.0;
+  };
+
+  // Cross-field scenario invariants.
+  CHECK_OR_FAIL(number_of("fleet.rebalance.spread_after") <=
+                    number_of("fleet.rebalance.spread_before"),
+                "%s: rebalance widened the spread (%g -> %g)", path.c_str(),
+                number_of("fleet.rebalance.spread_before"),
+                number_of("fleet.rebalance.spread_after"));
+  CHECK_OR_FAIL(number_of("fleet.workload.p999_ms") >=
+                    number_of("fleet.workload.p99_ms"),
+                "%s: p999 %g ms below p99 %g ms", path.c_str(),
+                number_of("fleet.workload.p999_ms"),
+                number_of("fleet.workload.p99_ms"));
+  CHECK_OR_FAIL(number_of("fleet.migrations.completed") <=
+                    number_of("fleet.migrations.attempted"),
+                "%s: %g migrations completed but only %g attempted",
+                path.c_str(), number_of("fleet.migrations.completed"),
+                number_of("fleet.migrations.attempted"));
+
+  // Per-step wave health gauges: the waves must have exported at least one
+  // per-step p99 reading each.
+  std::size_t wave_step_gauges = 0;
+  for (const JsonValue& entry : benchmarks->array()) {
+    const JsonValue* n = entry.Find("name");
+    if (n != nullptr && n->is_string() &&
+        n->string().rfind("fleet.wave.", 0) == 0 &&
+        n->string().find(".step.") != std::string::npos) {
+      ++wave_step_gauges;
+    }
+  }
+  CHECK_OR_FAIL(wave_step_gauges > 0,
+                "%s: no per-step fleet.wave.*.step.* gauges exported",
+                path.c_str());
+
+  std::printf("%s: fleet OK (%g hosts, %g guests, %g migrations, %zu "
+              "wave-step gauges)\n",
+              path.c_str(), number_of("fleet.hosts"),
+              number_of("fleet.guests_placed"),
+              number_of("fleet.migrations.completed"), wave_step_gauges);
+  return true;
+}
+
 bool ValidateLint(const std::string& path) {
   // The report must be a well-formed BENCH export first (context +
   // benchmarks with known run_types).
@@ -664,6 +784,9 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::string(argv[1]) == "--replay") {
     return xoar::ValidateReplay(argv[2]) ? 0 : 1;
   }
+  if (argc == 3 && std::string(argv[1]) == "--fleet") {
+    return xoar::ValidateFleet(argv[2]) ? 0 : 1;
+  }
   if (argc != 3) {
     std::fprintf(stderr,
                  "usage: %s <metrics.json> <trace.json>\n"
@@ -671,8 +794,10 @@ int main(int argc, char** argv) {
                  "       %s --lint <xoar_lint_report.json>\n"
                  "       %s --sim <BENCH_sim_core.json>\n"
                  "       %s --density <BENCH_density.json>\n"
-                 "       %s --replay <BENCH_replay.json>\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 "       %s --replay <BENCH_replay.json>\n"
+                 "       %s --fleet <BENCH_fleet.json>\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
+                 argv[0]);
     return 2;
   }
   if (!xoar::ValidateMetrics(argv[1])) {
