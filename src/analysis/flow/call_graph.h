@@ -1,0 +1,85 @@
+// Whole-program symbol table + call graph for xoar_flow (ANALYSIS.md
+// "Whole-program flow analysis", DESIGN.md §5j).
+//
+// Built from the same token streams the lexical rules consume — this is
+// still not a compiler front end, but it recognizes enough structure for
+// interprocedural reasoning:
+//
+//   * function definitions (free functions, inline class methods, and
+//     out-of-line `Class::Method` definitions), with the enclosing
+//     namespace/class scope tracked through brace nesting;
+//   * call edges: unqualified calls, `Namespace::Fn(...)` /
+//     `Class::Fn(...)` qualified calls, and `obj.M(...)` / `obj->M(...)`
+//     method calls with the receiver's type recovered from declared
+//     variables and members (including through `unique_ptr`/`shared_ptr`/
+//     `StatusOr`/`optional` wrappers and one level of `using X = Y;` or
+//     `namespace a = b;` aliasing) or from the return-type hint of a
+//     chained call `f()->M(...)`;
+//   * conservative resolution: a name with several candidate definitions
+//     (overloads, virtual overrides via the recorded class hierarchy, an
+//     unresolvable receiver) links to every candidate visible from the
+//     caller's include closure;
+//   * conservative widening: a call through a callable value (a declared
+//     `std::function` variable or a function pointer) links the caller to
+//     EVERY function defined in the caller's module, and marks the caller
+//     widened — "may reach anything in the including module".
+//
+// Everything is deterministic: functions are sorted by (file, line), edges
+// by (callee, line), so every downstream traversal and report is
+// byte-stable for a given tree.
+#ifndef XOAR_SRC_ANALYSIS_FLOW_CALL_GRAPH_H_
+#define XOAR_SRC_ANALYSIS_FLOW_CALL_GRAPH_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/source_tree.h"
+
+namespace xoar {
+namespace analysis {
+namespace flow {
+
+struct FunctionDef {
+  std::string name;        // unqualified name
+  std::string qualifier;   // defining class, "" for free functions
+  std::string ns;          // "::"-joined enclosing namespaces ("xoar::...")
+  std::string return_hint;  // base identifier of the return type, if a
+                            // class defined in the tree (else empty)
+  std::string file;        // tree-relative path
+  std::string module;      // src/<module>/, "" for tools/bench/examples
+  int line = 0;
+  int file_index = 0;           // index into the loaded files vector
+  std::size_t body_begin = 0;   // token index of the body's "{"
+  std::size_t body_end = 0;     // token index one past the body's "}"
+};
+
+struct CallEdge {
+  int callee = 0;
+  int line = 0;          // call-site line in the caller's file
+  bool widened = false;  // speculative edge from a callable-value call
+};
+
+struct CallGraph {
+  std::vector<FunctionDef> functions;        // sorted by (file, line)
+  std::vector<std::vector<CallEdge>> edges;  // per caller, sorted, deduped
+  // Classes declared anywhere in the tree, and the per-class method index.
+  std::set<std::string> classes;
+  std::map<std::string, std::vector<int>> by_class;
+  std::map<std::string, std::vector<int>> by_name;
+  std::size_t widened_functions = 0;  // callers with >= 1 widened edge
+  std::size_t edge_count = 0;
+};
+
+CallGraph BuildCallGraph(const std::vector<SourceFile>& files);
+
+// "Class::Method" / "Fn" display name for witness paths.
+std::string QualifiedName(const FunctionDef& fn);
+
+}  // namespace flow
+}  // namespace analysis
+}  // namespace xoar
+
+#endif  // XOAR_SRC_ANALYSIS_FLOW_CALL_GRAPH_H_

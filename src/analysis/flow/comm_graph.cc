@@ -1,0 +1,176 @@
+#include "src/analysis/flow/comm_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/base/strings.h"
+
+namespace xoar {
+namespace analysis {
+namespace flow {
+namespace {
+
+const char kGuestNode[] = "Guest";
+
+// Classifies an hv function reached by a closure as a channel primitive.
+// Returns the edge kind, or "" when the function is not one.
+std::string ChannelKind(const std::string& fn_name) {
+  if (fn_name.rfind("Evtchn", 0) == 0 || fn_name == "BindVirq" ||
+      fn_name == "SendEvent" || fn_name == "NotifyVia") {
+    return "evtchn";
+  }
+  if (fn_name.find("Grant") != std::string::npos) {
+    return "grant";
+  }
+  if (fn_name == "ForeignMap" || fn_name == "ForeignUnmap" ||
+      fn_name == "PopulateDomainMemory") {
+    return "map";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<CommEdge> DeriveCommGraph(
+    const CallGraph& graph, const std::vector<ShardClosure>& closures,
+    const std::vector<ShardSpec>& specs) {
+  (void)specs;
+  std::map<std::tuple<std::string, std::string, std::string>, CommEdge>
+      edges;  // keyed (from, to, kind); first witness wins
+
+  auto add = [&edges](CommEdge edge) {
+    if (edge.from == edge.to) {
+      return;
+    }
+    edges.emplace(std::make_tuple(edge.from, edge.to, edge.kind),
+                  std::move(edge));
+  };
+
+  for (const ShardClosure& closure : closures) {
+    // In-simulator call crossings into another shard's entry surface.
+    for (const StopEdge& stop : closure.stop_edges) {
+      const FunctionDef& caller = graph.functions[stop.caller];
+      const FunctionDef& callee = graph.functions[stop.callee];
+      CommEdge edge;
+      edge.from = closure.shard;
+      edge.to = stop.target_shard;
+      edge.kind = (stop.target_shard == "XenStore-Logic" ||
+                   stop.target_shard == "XenStore-State")
+                      ? "xenstore"
+                      : "rpc";
+      edge.witness_file = caller.file;
+      edge.witness_line = stop.line;
+      edge.detail = StrFormat("%s calls %s", QualifiedName(caller).c_str(),
+                              QualifiedName(callee).c_str());
+      add(std::move(edge));
+    }
+    // Hypervisor channel primitives inside the closure. parent is ordered
+    // by function index = (file, line), so the first witness is stable.
+    for (const auto& [fn, discovered] : closure.parent) {
+      const FunctionDef& def = graph.functions[fn];
+      if (def.module != "hv") {
+        continue;
+      }
+      const std::string kind = ChannelKind(def.name);
+      if (kind.empty()) {
+        continue;
+      }
+      CommEdge edge;
+      edge.from = closure.shard;
+      edge.to = kGuestNode;
+      edge.kind = kind;
+      if (discovered.first >= 0) {
+        edge.witness_file = graph.functions[discovered.first].file;
+        edge.witness_line = discovered.second;
+      } else {
+        edge.witness_file = def.file;
+        edge.witness_line = def.line;
+      }
+      edge.detail = StrFormat("closure reaches %s",
+                              QualifiedName(def).c_str());
+      add(std::move(edge));
+    }
+  }
+
+  std::vector<CommEdge> out;
+  out.reserve(edges.size());
+  for (auto& [key, edge] : edges) {
+    (void)key;
+    out.push_back(std::move(edge));
+  }
+  return out;  // map iteration order == sorted (from, to, kind)
+}
+
+std::vector<Finding> DiffCommGraph(const CallGraph& graph,
+                                   const std::vector<CommEdge>& derived,
+                                   const std::vector<DeclaredEdge>& declared,
+                                   const std::vector<ShardSpec>& specs,
+                                   bool strict) {
+  std::set<std::tuple<std::string, std::string, std::string>> declared_keys;
+  for (const DeclaredEdge& edge : declared) {
+    declared_keys.insert(std::make_tuple(edge.from, edge.to, edge.kind));
+  }
+  std::set<std::tuple<std::string, std::string, std::string>> derived_keys;
+  for (const CommEdge& edge : derived) {
+    derived_keys.insert(std::make_tuple(edge.from, edge.to, edge.kind));
+  }
+  // A shard is "present" when at least one of its entry classes has a
+  // method definition in the scanned tree; the Guest node is present when
+  // any shard is. Dead-edge warnings only fire between present endpoints,
+  // so a fixture tree that models two shards does not drag in the other
+  // seven rows of the declared DAG.
+  std::set<std::string> present;
+  for (const ShardSpec& spec : specs) {
+    for (const std::string& cls : spec.entry_classes) {
+      if (graph.by_class.count(cls) > 0) {
+        present.insert(spec.shard);
+        break;
+      }
+    }
+  }
+  if (!present.empty()) {
+    present.insert(kGuestNode);
+  }
+
+  std::vector<Finding> findings;
+  for (const CommEdge& edge : derived) {
+    if (declared_keys.count(std::make_tuple(edge.from, edge.to, edge.kind)) >
+        0) {
+      continue;
+    }
+    Finding finding;
+    finding.rule = "comm_flow";
+    finding.file = edge.witness_file;
+    finding.line = edge.witness_line;
+    finding.message = StrFormat(
+        "undeclared %s channel %s -> %s (%s); add it to the declared "
+        "communication graph or remove the coupling",
+        edge.kind.c_str(), edge.from.c_str(), edge.to.c_str(),
+        edge.detail.c_str());
+    findings.push_back(std::move(finding));
+  }
+  for (const DeclaredEdge& edge : declared) {
+    if (derived_keys.count(std::make_tuple(edge.from, edge.to, edge.kind)) >
+            0 ||
+        present.count(edge.from) == 0 || present.count(edge.to) == 0) {
+      continue;
+    }
+    Finding finding;
+    finding.rule = "comm_flow";
+    finding.file = "<tree>";
+    finding.line = 0;
+    finding.message = StrFormat(
+        "declared %s channel %s -> %s has no code behind it; the "
+        "declaration is stale",
+        edge.kind.c_str(), edge.from.c_str(), edge.to.c_str());
+    finding.warning = !strict;
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+}  // namespace flow
+}  // namespace analysis
+}  // namespace xoar

@@ -1,0 +1,67 @@
+// Code-derived shard communication graph (ANALYSIS.md "Whole-program flow
+// analysis", PAPER.md §3.3 / Fig 3).
+//
+// The paper's isolation argument names WHICH shards talk to which; this
+// pass recovers that graph from the implementation instead of trusting the
+// design document. Two sources of edges:
+//
+//   * stop edges from the shard traversal: a resolved call from shard A's
+//     closure into shard B's entry class is the in-simulator stand-in for
+//     a ring/RPC channel — kind "xenstore" when B is the XenStore service
+//     path, "rpc" otherwise;
+//   * hypervisor channel primitives reached by A's closure: event-channel
+//     ops (Evtchn*/BindVirq) derive an "evtchn" edge, grant-table ops a
+//     "grant" edge, and foreign-mapping ops ("map") — all toward the Guest
+//     node, because those primitives exist to reach guest memory/ports.
+//
+// DiffCommGraph compares the derived graph against the declared DAG: a
+// derived edge missing from the declaration is a blocking "comm_flow"
+// finding (the implementation grew a channel the design does not admit);
+// a declared edge with no code behind it is a stale-declaration warning
+// (--strict promotes it), reported only when both endpoints' entry classes
+// actually exist in the scanned tree so partial fixture trees stay quiet.
+#ifndef XOAR_SRC_ANALYSIS_FLOW_COMM_GRAPH_H_
+#define XOAR_SRC_ANALYSIS_FLOW_COMM_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/flow/reachability.h"
+
+namespace xoar {
+namespace analysis {
+namespace flow {
+
+struct CommEdge {
+  std::string from;
+  std::string to;
+  std::string kind;  // "rpc" | "xenstore" | "evtchn" | "grant" | "map"
+  std::string witness_file;
+  int witness_line = 0;
+  std::string detail;  // the crossing call or hv primitive, qualified
+};
+
+struct DeclaredEdge {
+  std::string from;
+  std::string to;
+  std::string kind;
+};
+
+// Derives the communication graph from per-shard closures. Deterministic:
+// edges deduped by (from, to, kind) keeping the first witness, output
+// sorted by (from, to, kind).
+std::vector<CommEdge> DeriveCommGraph(const CallGraph& graph,
+                                      const std::vector<ShardClosure>& closures,
+                                      const std::vector<ShardSpec>& specs);
+
+std::vector<Finding> DiffCommGraph(const CallGraph& graph,
+                                   const std::vector<CommEdge>& derived,
+                                   const std::vector<DeclaredEdge>& declared,
+                                   const std::vector<ShardSpec>& specs,
+                                   bool strict);
+
+}  // namespace flow
+}  // namespace analysis
+}  // namespace xoar
+
+#endif  // XOAR_SRC_ANALYSIS_FLOW_COMM_GRAPH_H_

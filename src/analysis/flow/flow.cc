@@ -1,0 +1,284 @@
+#include "src/analysis/flow/flow.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/base/strings.h"
+
+namespace xoar {
+namespace analysis {
+namespace flow {
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+FlowConfig DefaultFlowConfig() {
+  FlowConfig config;
+
+  // Code-level entry surface per shard (DESIGN.md §3): requests from other
+  // shards or guests arrive as calls on these classes. MonolithicPlatform
+  // is deliberately absent — it models the stock-Dom0 baseline, not a
+  // shard. Guest frontends are modeled so guest-side closures exist and
+  // cross-shard calls INTO frontends derive edges instead of leaking
+  // backend privileges into the guest row.
+  config.entries = {
+      {"Bootstrapper", {"XoarPlatform"}},
+      {"Builder", {"Builder"}},
+      {"Toolstack", {"Toolstack"}},
+      {"PCIBack", {"PciBackService"}},
+      {"NetBack", {"NetBack"}},
+      {"BlkBack", {"BlkBack"}},
+      {"Console Manager", {"ConsoleBackend"}},
+      {"XenStore-Logic", {"XenStoreService"}},
+      {"XenStore-State", {"XsStore", "XsShardedStore"}},
+      {"QemuVM", {"DeviceEmulator"}},
+      {"Guest", {"NetFront", "BlkFront"}},
+  };
+
+  // Fig 3.1 rows. The first five mirror the lexical rule's grant table
+  // (rules.cc DefaultConfig — kept textually in sync, and the WILL_FAIL
+  // fixtures catch drift in either direction); QemuVM's per-guest
+  // foreign-map privilege is §5.6 (DMA on behalf of its one guest). Every
+  // other shard holds NO privileged hypercalls: the device paths run
+  // entirely on the unprivileged class (event channels, grant tables).
+  config.privileges = {
+      {"Bootstrapper", /*all_privileges=*/true, {}},
+      {"Builder",
+       false,
+       {"kDomctlCreate", "kDomctlDestroy", "kDomctlPause", "kDomctlUnpause",
+        "kForeignMemoryMap", "kDomctlSetPrivileges", "kDomctlDelegate",
+        "kSnapshotOp", "kSetupGuestRings"}},
+      {"PCIBack",
+       false,
+       {"kDomctlSetPrivileges", "kPhysdevOp", "kPciConfigOp",
+        "kDomctlDestroy"}},
+      {"Toolstack", false, {"kDomctlPause", "kDomctlUnpause", "kDomctlDestroy"}},
+      {"XenStore-State", false, {}},
+      {"QemuVM", false, {"kForeignMemoryMap"}},
+      {"NetBack", false, {}},
+      {"BlkBack", false, {}},
+      {"Console Manager", false, {}},
+      {"XenStore-Logic", false, {}},
+      {"Guest", false, {}},
+  };
+
+  // The declared shard communication DAG (PAPER.md Fig 3): control-plane
+  // RPC down the management chain, XenStore as the rendezvous bus, and
+  // device/builder channels into guest memory. DiffCommGraph holds the
+  // implementation to exactly this list.
+  config.declared_comm = {
+      // Bootstrapper provisions every shard (and seeds the sharded
+      // XenStore-State with its manager domain) before handing control to
+      // the toolstack.
+      {"Bootstrapper", "Builder", "rpc"},
+      {"Bootstrapper", "Toolstack", "rpc"},
+      {"Bootstrapper", "PCIBack", "rpc"},
+      {"Bootstrapper", "NetBack", "rpc"},
+      {"Bootstrapper", "BlkBack", "rpc"},
+      {"Bootstrapper", "Console Manager", "rpc"},
+      {"Bootstrapper", "QemuVM", "rpc"},
+      {"Bootstrapper", "XenStore-Logic", "xenstore"},
+      {"Bootstrapper", "XenStore-State", "xenstore"},
+      {"Bootstrapper", "Guest", "grant"},
+      // Management chain: the toolstack drives the builder and the device
+      // backends, and (in-simulator) pokes guest frontends to connect —
+      // the stand-in for the guest booting and probing its devices.
+      {"Toolstack", "Builder", "rpc"},
+      {"Toolstack", "NetBack", "rpc"},
+      {"Toolstack", "BlkBack", "rpc"},
+      {"Toolstack", "Guest", "rpc"},
+      {"Toolstack", "XenStore-Logic", "xenstore"},
+      // VM building: memory population plus console wiring (§5.4).
+      {"Builder", "XenStore-Logic", "xenstore"},
+      {"Builder", "Console Manager", "rpc"},
+      {"Builder", "Guest", "map"},
+      // XenStore: logic fronts the restartable state shards; rings into
+      // guests use grants (Xoar mode) or the §4.4 stock foreign map.
+      {"XenStore-Logic", "XenStore-State", "xenstore"},
+      {"XenStore-Logic", "Guest", "evtchn"},
+      {"XenStore-Logic", "Guest", "grant"},
+      {"XenStore-Logic", "Guest", "map"},
+      // Device backends: grant-mapped rings + event-channel signalling.
+      {"NetBack", "XenStore-Logic", "xenstore"},
+      {"NetBack", "Guest", "evtchn"},
+      {"NetBack", "Guest", "grant"},
+      {"BlkBack", "XenStore-Logic", "xenstore"},
+      {"BlkBack", "Guest", "evtchn"},
+      {"BlkBack", "Guest", "grant"},
+      {"Console Manager", "Guest", "evtchn"},
+      {"Console Manager", "Guest", "grant"},
+      {"Console Manager", "Guest", "map"},
+      // PCIBack assigns hardware capabilities to its guest (§5.8); QemuVM
+      // maps its one guest's memory for emulated DMA (§5.6).
+      {"PCIBack", "Guest", "grant"},
+      {"QemuVM", "Guest", "map"},
+      {"Guest", "XenStore-Logic", "xenstore"},
+  };
+
+  // Deterministic-output sinks for the taint rule (DESIGN.md §5c): the
+  // replay journal, the audit log, and the byte-stable JSON exporters.
+  config.sinks = {
+      {"Journal", "Append", "journal"},
+      {"AuditLog", "Record", "audit"},
+      {"MetricRegistry", "WriteJsonFile", "bench export"},
+      {"TraceSink", "WriteJsonFile", "bench export"},
+  };
+  return config;
+}
+
+std::vector<std::string> FlowSuppressibleRules() {
+  return {"comm_flow", "nondet_flow", "privilege_flow"};
+}
+
+FlowResult RunFlow(const std::vector<SourceFile>& files,
+                   const FlowConfig& config) {
+  FlowResult result;
+  result.files_scanned = files.size();
+
+  const CallGraph graph = BuildCallGraph(files);
+  result.functions = graph.functions.size();
+  result.call_edges = graph.edge_count;
+  result.widened_functions = graph.widened_functions;
+
+  std::set<std::string> unprivileged;
+  for (const SourceFile& file : files) {
+    if (EndsWith(file.path, config.hypercall_header_suffix)) {
+      unprivileged = ExtractUnprivilegedHypercallOps(file);
+      break;
+    }
+  }
+
+  const std::vector<std::vector<OpMention>> direct_ops =
+      CollectDirectOps(files, graph);
+  const std::vector<ShardClosure> closures =
+      TraverseShards(graph, config.entries);
+
+  std::vector<Finding> findings = CheckPrivilegeFlow(
+      graph, closures, direct_ops, config.privileges, unprivileged);
+
+  result.derived_comm = DeriveCommGraph(graph, closures, config.entries);
+  std::vector<Finding> comm = DiffCommGraph(
+      graph, result.derived_comm, config.declared_comm, config.entries,
+      config.strict);
+  findings.insert(findings.end(), std::make_move_iterator(comm.begin()),
+                  std::make_move_iterator(comm.end()));
+
+  std::vector<Finding> taint = CheckNondetFlow(files, graph, config.sinks);
+  findings.insert(findings.end(), std::make_move_iterator(taint.begin()),
+                  std::make_move_iterator(taint.end()));
+
+  ApplyToolSuppressions(files, "flow", FlowSuppressibleRules(), config.strict,
+                        &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  result.findings = std::move(findings);
+  return result;
+}
+
+std::string FormatFlowJson(
+    const FlowResult& result, const LintSummary& summary,
+    const std::vector<GraphStats>& containment,
+    const std::vector<std::pair<std::string, std::size_t>>& extra_gauges) {
+  // Assemble the metric list first so the trailing-comma logic stays in
+  // one place regardless of how many containment/extra entries exist.
+  std::vector<std::pair<std::string, std::size_t>> counters;
+  std::map<std::string, std::size_t> per_rule;
+  for (const std::string& rule : FlowSuppressibleRules()) {
+    per_rule[rule] = 0;
+  }
+  per_rule["suppression"] = 0;
+  for (const Finding& finding : result.findings) {
+    if (!finding.suppressed && !finding.warning) {
+      ++per_rule[finding.rule];
+    }
+  }
+  std::vector<std::pair<std::string, std::size_t>> gauges = {
+      {"flow.files_scanned", result.files_scanned},
+      {"flow.functions", result.functions},
+      {"flow.call_edges", result.call_edges},
+      {"flow.widened_functions", result.widened_functions},
+      {"flow.comm.derived_edges", result.derived_comm.size()},
+  };
+  for (const GraphStats& stats : containment) {
+    const std::string prefix = "flow.containment." + stats.label;
+    gauges.push_back({prefix + ".nodes", stats.nodes});
+    gauges.push_back({prefix + ".edges", stats.edges});
+    gauges.push_back({prefix + ".attack_surface", stats.attack_surface});
+    gauges.push_back({prefix + ".max_reach", stats.max_reach});
+    gauges.push_back({prefix + ".mean_reach_milli", stats.mean_reach_milli});
+  }
+  for (const auto& extra : extra_gauges) {
+    gauges.push_back(extra);
+  }
+  for (const auto& [rule, count] : per_rule) {
+    counters.push_back({"flow.findings." + rule, count});
+  }
+  counters.push_back({"flow.findings.total", summary.unsuppressed});
+  counters.push_back({"flow.suppressed.total", summary.suppressed});
+  counters.push_back({"flow.warnings.total", summary.warnings});
+
+  std::string out;
+  out += "{\n";
+  out += "  \"context\": {\n";
+  out += "    \"executable\": \"xoar_flow\",\n";
+  out += "    \"sim_time_ns\": 0\n";
+  out += "  },\n";
+  out += "  \"benchmarks\": [\n";
+  const std::size_t total = gauges.size() + counters.size();
+  std::size_t emitted = 0;
+  auto metric = [&out, &emitted, total](const std::string& name,
+                                        const char* run_type,
+                                        std::size_t value) {
+    ++emitted;
+    out += StrFormat(
+        "    {\"name\": \"%s\", \"run_type\": \"%s\", \"value\": %zu}%s\n",
+        name.c_str(), run_type, value, emitted == total ? "" : ",");
+  };
+  for (const auto& [name, value] : gauges) {
+    metric(name, "gauge", value);
+  }
+  for (const auto& [name, value] : counters) {
+    metric(name, "counter", value);
+  }
+  out += "  ],\n";
+  out += "  \"findings\": [\n";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    out += StrFormat(
+        "    {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, "
+        "\"message\": \"%s\", \"suppressed\": %s, \"warning\": %s, "
+        "\"justification\": \"%s\"}%s\n",
+        JsonEscape(f.rule).c_str(), JsonEscape(f.file).c_str(), f.line,
+        JsonEscape(f.message).c_str(), f.suppressed ? "true" : "false",
+        f.warning ? "true" : "false", JsonEscape(f.justification).c_str(),
+        i + 1 == result.findings.size() ? "" : ",");
+  }
+  out += "  ],\n";
+  out += "  \"comm_graph\": [\n";
+  for (std::size_t i = 0; i < result.derived_comm.size(); ++i) {
+    const CommEdge& e = result.derived_comm[i];
+    out += StrFormat(
+        "    {\"from\": \"%s\", \"to\": \"%s\", \"kind\": \"%s\", "
+        "\"witness_file\": \"%s\", \"witness_line\": %d, "
+        "\"detail\": \"%s\"}%s\n",
+        JsonEscape(e.from).c_str(), JsonEscape(e.to).c_str(),
+        JsonEscape(e.kind).c_str(), JsonEscape(e.witness_file).c_str(),
+        e.witness_line, JsonEscape(e.detail).c_str(),
+        i + 1 == result.derived_comm.size() ? "" : ",");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace flow
+}  // namespace analysis
+}  // namespace xoar

@@ -1,0 +1,97 @@
+// xoar_flow: whole-program flow analysis over the lexed source tree
+// (ANALYSIS.md "Whole-program flow analysis", DESIGN.md §5j).
+//
+// Three interprocedural rules on top of the call graph (call_graph.h):
+//
+//   privilege_flow — a shard's call-graph closure reaches a hypercall op
+//                    its Fig 3.1 row does not grant (reachability.h);
+//   comm_flow      — the communication graph derived from the code differs
+//                    from the declared shard DAG (comm_graph.h);
+//   nondet_flow    — unordered-container iteration order flows into
+//                    journaled / audited / BENCH-exported output (taint.h).
+//
+// Plus the shared "suppression" pseudo-rule: malformed or stale
+// `// xoar-flow: allow(<rule>): <justification>` comments. xoar-lint
+// comments never silence flow findings and vice versa.
+//
+// Everything here is deterministic for a given tree; FormatFlowJson output
+// is byte-stable, which tier-1 CTest enforces by running the tool twice.
+#ifndef XOAR_SRC_ANALYSIS_FLOW_FLOW_H_
+#define XOAR_SRC_ANALYSIS_FLOW_FLOW_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/analysis/flow/call_graph.h"
+#include "src/analysis/flow/comm_graph.h"
+#include "src/analysis/flow/reachability.h"
+#include "src/analysis/flow/taint.h"
+#include "src/analysis/report.h"
+#include "src/analysis/rules.h"
+
+namespace xoar {
+namespace analysis {
+namespace flow {
+
+struct FlowConfig {
+  // Shard entry surfaces, privilege rows, and the declared communication
+  // DAG. The unprivileged hypercall class is parsed from the hypercall
+  // header when the tree contains it (same extraction the lexical
+  // privilege rule uses), so the two rules can never disagree about it.
+  std::vector<ShardSpec> entries;
+  std::vector<PrivilegeRow> privileges;
+  std::vector<DeclaredEdge> declared_comm;
+  std::vector<SinkSpec> sinks;
+  std::string hypercall_header_suffix = "src/hv/hypercall.h";
+  bool strict = false;  // promote warnings to blocking findings
+};
+
+// The authoritative tables for the real tree: entry classes per shard,
+// Fig 3.1 rows (mirroring the lexical rule's grant table, plus the QemuVM
+// §5.6 per-guest foreign-map row), the declared communication DAG from
+// PAPER.md Fig 3 / DESIGN.md, and the deterministic-output sinks.
+FlowConfig DefaultFlowConfig();
+
+// Rules an xoar-flow suppression comment may name.
+std::vector<std::string> FlowSuppressibleRules();
+
+struct FlowResult {
+  std::vector<Finding> findings;  // sorted (file, line, rule, message)
+  std::vector<CommEdge> derived_comm;
+  std::size_t files_scanned = 0;
+  std::size_t functions = 0;
+  std::size_t call_edges = 0;
+  std::size_t widened_functions = 0;
+};
+
+FlowResult RunFlow(const std::vector<SourceFile>& files,
+                   const FlowConfig& config);
+
+// One containment recomputation over an interface graph (declared or
+// derived), produced by src/security's interface-graph analyzer and
+// exported side by side in the report. Values are integers so the report
+// stays byte-stable (mean reach is exported in thousandths).
+struct GraphStats {
+  std::string label;  // "declared" | "derived"
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t attack_surface = 0;  // shards adjacent to the Guest node
+  std::size_t max_reach = 0;
+  std::size_t mean_reach_milli = 0;
+};
+
+// BENCH-shape JSON (context + benchmarks + findings + comm_graph). The
+// caller supplies containment stats and optional extra integer gauges
+// (bench/micro_lint adds its lint_cost.* timings; timing gauges are the
+// one intentionally non-stable field and only the bench writes them).
+std::string FormatFlowJson(
+    const FlowResult& result, const LintSummary& summary,
+    const std::vector<GraphStats>& containment,
+    const std::vector<std::pair<std::string, std::size_t>>& extra_gauges);
+
+}  // namespace flow
+}  // namespace analysis
+}  // namespace xoar
+
+#endif  // XOAR_SRC_ANALYSIS_FLOW_FLOW_H_

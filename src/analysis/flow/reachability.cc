@@ -1,0 +1,190 @@
+#include "src/analysis/flow/reachability.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/analysis/flow/token_util.h"
+#include "src/base/strings.h"
+
+namespace xoar {
+namespace analysis {
+namespace flow {
+namespace {
+
+const char kHypercallEnum[] = "Hypercall";
+
+std::string WitnessStep(const CallGraph& graph, int fn) {
+  const FunctionDef& def = graph.functions[fn];
+  return StrFormat("%s [%s:%d]", QualifiedName(def).c_str(),
+                   def.file.c_str(), def.line);
+}
+
+}  // namespace
+
+std::vector<std::vector<OpMention>> CollectDirectOps(
+    const std::vector<SourceFile>& files, const CallGraph& graph) {
+  std::vector<std::vector<OpMention>> ops(graph.functions.size());
+  for (std::size_t fi = 0; fi < graph.functions.size(); ++fi) {
+    const FunctionDef& def = graph.functions[fi];
+    const std::vector<Token>& t = files[def.file_index].lexed.tokens;
+    std::map<std::string, int> first_line;
+    const std::size_t end = std::min(def.body_end, t.size());
+    for (std::size_t i = def.body_begin; i + 2 < end; ++i) {
+      if (!IsIdent(t[i], kHypercallEnum) || !IsPunct(t[i + 1], "::") ||
+          t[i + 2].kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      const std::string& op = t[i + 2].text;
+      if (op.size() < 2 || op[0] != 'k' || op == "kCount") {
+        continue;
+      }
+      first_line.emplace(op, t[i + 2].line);  // keeps the first mention
+    }
+    for (const auto& [op, line] : first_line) {
+      ops[fi].push_back({op, line});
+    }
+  }
+  return ops;
+}
+
+std::vector<ShardClosure> TraverseShards(const CallGraph& graph,
+                                         const std::vector<ShardSpec>& specs) {
+  // Entry class -> owning shard, for the boundary-stop rule.
+  std::map<std::string, std::string> shard_of_class;
+  for (const ShardSpec& spec : specs) {
+    for (const std::string& cls : spec.entry_classes) {
+      shard_of_class.emplace(cls, spec.shard);
+    }
+  }
+
+  std::vector<ShardClosure> closures;
+  closures.reserve(specs.size());
+  for (const ShardSpec& spec : specs) {
+    ShardClosure closure;
+    closure.shard = spec.shard;
+    std::deque<int> queue;
+    for (const std::string& cls : spec.entry_classes) {
+      auto it = graph.by_class.find(cls);
+      if (it == graph.by_class.end()) {
+        continue;
+      }
+      for (int fn : it->second) {
+        if (closure.parent.emplace(fn, std::make_pair(-1, 0)).second) {
+          queue.push_back(fn);
+        }
+      }
+    }
+    while (!queue.empty()) {
+      const int cur = queue.front();
+      queue.pop_front();
+      // hv functions are issuance leaves (see header).
+      if (graph.functions[cur].module == "hv") {
+        continue;
+      }
+      for (const CallEdge& edge : graph.edges[cur]) {
+        const FunctionDef& callee = graph.functions[edge.callee];
+        auto owner = callee.qualifier.empty()
+                         ? shard_of_class.end()
+                         : shard_of_class.find(callee.qualifier);
+        if (owner != shard_of_class.end() && owner->second != spec.shard) {
+          if (!edge.widened) {
+            closure.stop_edges.push_back(
+                {cur, edge.callee, edge.line, owner->second});
+          }
+          continue;
+        }
+        if (edge.widened) {
+          closure.widened = true;
+        }
+        if (closure.parent
+                .emplace(edge.callee, std::make_pair(cur, edge.line))
+                .second) {
+          queue.push_back(edge.callee);
+        }
+      }
+    }
+    std::sort(closure.stop_edges.begin(), closure.stop_edges.end(),
+              [](const StopEdge& a, const StopEdge& b) {
+                return std::tie(a.caller, a.callee, a.line) <
+                       std::tie(b.caller, b.callee, b.line);
+              });
+    closures.push_back(std::move(closure));
+  }
+  return closures;
+}
+
+std::vector<Finding> CheckPrivilegeFlow(
+    const CallGraph& graph, const std::vector<ShardClosure>& closures,
+    const std::vector<std::vector<OpMention>>& direct_ops,
+    const std::vector<PrivilegeRow>& rows,
+    const std::set<std::string>& unprivileged_ops) {
+  std::map<std::string, const PrivilegeRow*> row_of;
+  for (const PrivilegeRow& row : rows) {
+    row_of.emplace(row.shard, &row);
+  }
+
+  std::vector<Finding> findings;
+  for (const ShardClosure& closure : closures) {
+    auto row_it = row_of.find(closure.shard);
+    const PrivilegeRow* row =
+        row_it == row_of.end() ? nullptr : row_it->second;
+    if (row != nullptr && row->all_privileges) {
+      continue;
+    }
+    std::set<std::string> reported;
+    // parent is an ordered map over function indices, which are themselves
+    // (file, line)-ordered, so iteration (and therefore which witness wins
+    // for a deduped op) is deterministic.
+    for (const auto& [fn, discovered] : closure.parent) {
+      (void)discovered;
+      for (const OpMention& mention : direct_ops[fn]) {
+        if (unprivileged_ops.count(mention.op) > 0 ||
+            (row != nullptr && row->ops.count(mention.op) > 0) ||
+            reported.count(mention.op) > 0) {
+          continue;
+        }
+        reported.insert(mention.op);
+
+        // Witness path: entry function down to the issuing function.
+        std::vector<int> chain;
+        for (int hop = fn; hop != -1; hop = closure.parent.at(hop).first) {
+          chain.push_back(hop);
+        }
+        std::reverse(chain.begin(), chain.end());
+        std::string path;
+        for (int hop : chain) {
+          if (!path.empty()) {
+            path += " -> ";
+          }
+          path += WitnessStep(graph, hop);
+        }
+        path += StrFormat(" issues %s::%s at line %d", kHypercallEnum,
+                          mention.op.c_str(), mention.line);
+
+        Finding finding;
+        finding.rule = "privilege_flow";
+        if (chain.size() >= 2) {
+          // Anchor at the call site of the final edge into the issuer —
+          // a real code line a suppression comment can sit on.
+          const int caller = closure.parent.at(fn).first;
+          finding.file = graph.functions[caller].file;
+          finding.line = closure.parent.at(fn).second;
+        } else {
+          finding.file = graph.functions[fn].file;
+          finding.line = mention.line;
+        }
+        finding.message = StrFormat(
+            "shard \"%s\" reaches %s::%s with no Fig 3.1 grant%s: %s",
+            closure.shard.c_str(), kHypercallEnum, mention.op.c_str(),
+            closure.widened ? " (closure includes widened edges)" : "",
+            path.c_str());
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace flow
+}  // namespace analysis
+}  // namespace xoar

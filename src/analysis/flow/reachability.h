@@ -1,0 +1,106 @@
+// Interprocedural hypercall-privilege reachability (ANALYSIS.md
+// "Whole-program flow analysis", PAPER.md §3.1 / Fig 3.1).
+//
+// The lexical privilege rule catches a `Hypercall::k*` mention written
+// directly in a shard's source file; this pass catches the laundered case
+// the paper's audit worried about — a shard that reaches a hypercall
+// through any chain of helpers. For every shard we take the closure of the
+// call graph from the shard's entry classes and flag every hypercall op
+// issued anywhere in that closure that the shard's Fig 3.1 row does not
+// grant. Each finding carries a named witness path
+// (`NetBack::Flush -> DrainBatch -> Hypervisor::GrantCopy`) so the report
+// is actionable without rerunning the analysis.
+//
+// Two deliberate traversal rules keep the closure meaningful:
+//
+//   * hv functions are issuance leaves: their own direct op mentions count,
+//     but their out-edges are not followed. The hypervisor dispatches
+//     through callbacks into every backend; following those edges would
+//     transitively connect every shard to every hypercall and the analysis
+//     would say nothing.
+//   * resolved call edges into ANOTHER shard's entry classes are not
+//     followed — in the deployed system that boundary is a ring or an
+//     event channel, not a function call, so the callee's privileges stay
+//     with the callee. The crossing itself is recorded as a stop edge and
+//     becomes a derived communication edge (comm_graph.h). Widened
+//     (speculative) edges that land on another shard's entry class are
+//     dropped outright: a may-alias guess is not evidence of a channel.
+#ifndef XOAR_SRC_ANALYSIS_FLOW_REACHABILITY_H_
+#define XOAR_SRC_ANALYSIS_FLOW_REACHABILITY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/flow/call_graph.h"
+#include "src/analysis/rules.h"
+
+namespace xoar {
+namespace analysis {
+namespace flow {
+
+// One shard's code-level entry surface: requests from other shards (or
+// guests) arrive as method calls on these classes.
+struct ShardSpec {
+  std::string shard;
+  std::vector<std::string> entry_classes;
+};
+
+// A resolved call edge that crosses from one shard's closure into another
+// shard's entry class; traversal stops here.
+struct StopEdge {
+  int caller = 0;  // function index inside the closure
+  int callee = 0;  // entry-class method of the target shard
+  int line = 0;    // call-site line in the caller's file
+  std::string target_shard;
+};
+
+struct ShardClosure {
+  std::string shard;
+  // Function index -> (discovering caller index or -1 for entry functions,
+  // call-site line). Doubles as the visited set and the witness-path
+  // parent map; first discovery wins, and BFS order is deterministic.
+  std::map<int, std::pair<int, int>> parent;
+  std::vector<StopEdge> stop_edges;  // sorted by (caller, callee, line)
+  bool widened = false;  // closure includes at least one widened edge
+};
+
+// A `Hypercall::k*` op mentioned directly in a function body.
+struct OpMention {
+  std::string op;
+  int line = 0;  // first mention
+};
+
+// Direct op mentions per function (indexed like graph.functions).
+std::vector<std::vector<OpMention>> CollectDirectOps(
+    const std::vector<SourceFile>& files, const CallGraph& graph);
+
+// BFS closure per shard, honoring the hv-leaf and shard-boundary rules
+// above. Returns one closure per spec, in spec order.
+std::vector<ShardClosure> TraverseShards(const CallGraph& graph,
+                                         const std::vector<ShardSpec>& specs);
+
+// One shard's granted ops (its Fig 3.1 row).
+struct PrivilegeRow {
+  std::string shard;
+  bool all_privileges = false;  // Bootstrapper
+  std::set<std::string> ops;
+};
+
+// Flags every (shard, op) pair where the closure issues an op outside the
+// shard's row and outside the unprivileged class. One finding per pair,
+// anchored at the call site of the final edge into the issuing function
+// (or at the mention itself when the entry function issues directly).
+std::vector<Finding> CheckPrivilegeFlow(
+    const CallGraph& graph, const std::vector<ShardClosure>& closures,
+    const std::vector<std::vector<OpMention>>& direct_ops,
+    const std::vector<PrivilegeRow>& rows,
+    const std::set<std::string>& unprivileged_ops);
+
+}  // namespace flow
+}  // namespace analysis
+}  // namespace xoar
+
+#endif  // XOAR_SRC_ANALYSIS_FLOW_REACHABILITY_H_

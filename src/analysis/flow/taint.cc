@@ -1,0 +1,246 @@
+#include "src/analysis/flow/taint.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "src/analysis/flow/token_util.h"
+#include "src/base/strings.h"
+
+namespace xoar {
+namespace analysis {
+namespace flow {
+namespace {
+
+struct UnorderedVar {
+  std::string file;  // declaration site
+  int line = 0;
+};
+
+bool IsUnorderedContainer(const std::string& text) {
+  return text == "unordered_map" || text == "unordered_set" ||
+         text == "unordered_multimap" || text == "unordered_multiset";
+}
+
+// Tree-wide unordered-container variable declarations, by name. A name
+// collision across files is folded conservatively (first declaration
+// wins for the message; every use is treated as unordered).
+std::map<std::string, UnorderedVar> CollectUnorderedVars(
+    const std::vector<SourceFile>& files) {
+  std::map<std::string, UnorderedVar> vars;
+  for (const SourceFile& file : files) {
+    const std::vector<Token>& t = file.lexed.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokenKind::kIdentifier ||
+          !IsUnorderedContainer(t[i].text) || !IsPunct(t[i + 1], "<")) {
+        continue;
+      }
+      std::size_t j = SkipAngles(t, i + 1);
+      if (j == i + 1) {
+        continue;  // unbalanced angles
+      }
+      while (j < t.size() && (IsPunct(t[j], "*") || IsPunct(t[j], "&"))) {
+        ++j;
+      }
+      if (j < t.size() && t[j].kind == TokenKind::kIdentifier &&
+          !IsControlKeyword(t[j].text)) {
+        vars.emplace(t[j].text, UnorderedVar{file.path, t[j].line});
+      }
+    }
+  }
+  return vars;
+}
+
+struct IterationSite {
+  int fn = 0;  // iterating function index
+  int line = 0;
+  std::string var;
+};
+
+// Iteration sites inside one function body: range-for over a collected
+// name, or NAME.begin()/cbegin()/rbegin().
+void FindIterationSites(const std::vector<Token>& t, int fn_index,
+                        const FunctionDef& def,
+                        const std::map<std::string, UnorderedVar>& vars,
+                        std::vector<IterationSite>* out) {
+  const std::size_t end = std::min(def.body_end, t.size());
+  for (std::size_t i = def.body_begin; i < end; ++i) {
+    if (IsIdent(t[i], "for") && i + 1 < end && IsPunct(t[i + 1], "(")) {
+      const std::size_t close = MatchingClose(t, i + 1, "(", ")");
+      if (close == kNpos || close > end) {
+        continue;
+      }
+      for (std::size_t j = i + 2; j + 1 < close; ++j) {
+        if (IsPunct(t[j], ":") && !IsPunct(t[j + 1], ":") &&
+            (j == 0 || !IsPunct(t[j - 1], ":")) &&
+            t[j + 1].kind == TokenKind::kIdentifier &&
+            vars.count(t[j + 1].text) > 0 &&
+            (j + 2 == close || IsPunct(t[j + 2], ")"))) {
+          out->push_back({fn_index, t[j + 1].line, t[j + 1].text});
+        }
+      }
+      continue;
+    }
+    if (t[i].kind == TokenKind::kIdentifier && vars.count(t[i].text) > 0 &&
+        i + 3 < end && (IsPunct(t[i + 1], ".") || IsPunct(t[i + 1], "->")) &&
+        t[i + 2].kind == TokenKind::kIdentifier &&
+        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin" ||
+         t[i + 2].text == "rbegin") &&
+        IsPunct(t[i + 3], "(")) {
+      out->push_back({fn_index, t[i].line, t[i].text});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> CheckNondetFlow(const std::vector<SourceFile>& files,
+                                     const CallGraph& graph,
+                                     const std::vector<SinkSpec>& sinks) {
+  const std::map<std::string, UnorderedVar> vars = CollectUnorderedVars(files);
+  if (vars.empty()) {
+    return {};
+  }
+
+  // Sink function indices, and the label each one carries.
+  std::map<int, std::string> sink_fns;
+  for (const SinkSpec& sink : sinks) {
+    auto it = graph.by_class.find(sink.cls);
+    if (it == graph.by_class.end()) {
+      continue;
+    }
+    for (int fn : it->second) {
+      if (graph.functions[fn].name.rfind(sink.method_prefix, 0) == 0) {
+        sink_fns.emplace(fn, sink.label);
+      }
+    }
+  }
+  if (sink_fns.empty()) {
+    return {};
+  }
+
+  std::vector<IterationSite> sites;
+  for (std::size_t fi = 0; fi < graph.functions.size(); ++fi) {
+    const FunctionDef& def = graph.functions[fi];
+    FindIterationSites(files[def.file_index].lexed.tokens,
+                       static_cast<int>(fi), def, vars, &sites);
+  }
+  if (sites.empty()) {
+    return {};
+  }
+
+  // Reverse adjacency for the direct-caller clause.
+  std::map<int, std::vector<int>> callers;
+  for (std::size_t c = 0; c < graph.edges.size(); ++c) {
+    for (const CallEdge& edge : graph.edges[c]) {
+      callers[edge.callee].push_back(static_cast<int>(c));
+    }
+  }
+  auto direct_sink_line = [&graph, &sink_fns](int fn, int* line,
+                                              int* sink) -> bool {
+    for (const CallEdge& edge : graph.edges[fn]) {
+      if (sink_fns.count(edge.callee) > 0) {
+        *line = edge.line;
+        *sink = edge.callee;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<Finding> findings;
+  std::set<std::pair<int, std::string>> reported;  // (fn, var)
+  for (const IterationSite& site : sites) {
+    if (reported.count({site.fn, site.var}) > 0) {
+      continue;
+    }
+    const UnorderedVar& decl = vars.at(site.var);
+    const FunctionDef& def = graph.functions[site.fn];
+
+    // Forward closure from the iterating function.
+    std::map<int, std::pair<int, int>> parent;  // fn -> (caller, line)
+    std::deque<int> queue = {site.fn};
+    parent.emplace(site.fn, std::make_pair(-1, 0));
+    int hit = -1;
+    while (!queue.empty() && hit < 0) {
+      const int cur = queue.front();
+      queue.pop_front();
+      for (const CallEdge& edge : graph.edges[cur]) {
+        if (parent.emplace(edge.callee, std::make_pair(cur, edge.line))
+                .second) {
+          if (sink_fns.count(edge.callee) > 0) {
+            hit = edge.callee;
+            break;
+          }
+          queue.push_back(edge.callee);
+        }
+      }
+    }
+
+    std::string path;
+    std::string label;
+    if (hit >= 0) {
+      label = sink_fns.at(hit);
+      std::vector<int> chain;
+      for (int hop = hit; hop != -1; hop = parent.at(hop).first) {
+        chain.push_back(hop);
+      }
+      std::reverse(chain.begin(), chain.end());
+      for (int hop : chain) {
+        if (!path.empty()) {
+          path += " -> ";
+        }
+        path += StrFormat("%s [%s:%d]",
+                          QualifiedName(graph.functions[hop]).c_str(),
+                          graph.functions[hop].file.c_str(),
+                          graph.functions[hop].line);
+      }
+    } else {
+      // Direct-caller clause: some caller of the iterating function itself
+      // calls a sink — the iteration result flows up one level and out.
+      auto it = callers.find(site.fn);
+      if (it == callers.end()) {
+        continue;
+      }
+      for (int caller : it->second) {
+        int line = 0;
+        int sink = -1;
+        if (!direct_sink_line(caller, &line, &sink)) {
+          continue;
+        }
+        label = sink_fns.at(sink);
+        path = StrFormat(
+            "%s [%s:%d] -> returns to %s [%s:%d] -> %s [%s:%d]",
+            QualifiedName(def).c_str(), def.file.c_str(), def.line,
+            QualifiedName(graph.functions[caller]).c_str(),
+            graph.functions[caller].file.c_str(), line,
+            QualifiedName(graph.functions[sink]).c_str(),
+            graph.functions[sink].file.c_str(),
+            graph.functions[sink].line);
+        break;
+      }
+      if (path.empty()) {
+        continue;
+      }
+    }
+
+    reported.insert({site.fn, site.var});
+    Finding finding;
+    finding.rule = "nondet_flow";
+    finding.file = def.file;
+    finding.line = site.line;
+    finding.message = StrFormat(
+        "iteration over unordered container \"%s\" (declared %s:%d) flows "
+        "into %s output: %s; unordered iteration order is nondeterministic "
+        "— use an ordered container or sort before emitting",
+        site.var.c_str(), decl.file.c_str(), decl.line, label.c_str(),
+        path.c_str());
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+}  // namespace flow
+}  // namespace analysis
+}  // namespace xoar

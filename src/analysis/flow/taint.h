@@ -1,0 +1,50 @@
+// Nondeterminism taint: unordered-container iteration flowing into
+// journaled, audited, or BENCH-exported output (ANALYSIS.md "Whole-program
+// flow analysis", DESIGN.md §5c).
+//
+// The lexical determinism rule bans wall-clock and randomness; this pass
+// closes the subtler hole: iterating a `std::unordered_map`/`unordered_set`
+// yields an implementation-defined order, and if that order reaches the
+// replay journal, the audit log, or a byte-stable BENCH export — directly
+// or through any helper chain — record/replay divergence-diffing and
+// report byte-stability silently break.
+//
+// Detection: every unordered-container variable declaration is collected
+// tree-wide; an ITERATION SITE is a range-for over such a variable or an
+// explicit `var.begin()`/`cbegin()`/`rbegin()` call. A site is a blocking
+// "nondet_flow" finding when the iterating function's forward call-graph
+// closure reaches a sink method, or when a direct caller of the iterating
+// function itself calls a sink (the "helper returns an ordered-by-accident
+// vector" pattern). Findings anchor at the iteration site and carry the
+// forward witness path to the sink.
+#ifndef XOAR_SRC_ANALYSIS_FLOW_TAINT_H_
+#define XOAR_SRC_ANALYSIS_FLOW_TAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/flow/call_graph.h"
+#include "src/analysis/rules.h"
+
+namespace xoar {
+namespace analysis {
+namespace flow {
+
+// One deterministic-output sink: methods of `cls` whose name starts with
+// `method_prefix`. `label` names the output family in messages
+// ("journal", "audit", "bench export").
+struct SinkSpec {
+  std::string cls;
+  std::string method_prefix;
+  std::string label;
+};
+
+std::vector<Finding> CheckNondetFlow(const std::vector<SourceFile>& files,
+                                     const CallGraph& graph,
+                                     const std::vector<SinkSpec>& sinks);
+
+}  // namespace flow
+}  // namespace analysis
+}  // namespace xoar
+
+#endif  // XOAR_SRC_ANALYSIS_FLOW_TAINT_H_

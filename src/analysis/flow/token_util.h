@@ -1,0 +1,88 @@
+// Small token-stream helpers shared by the flow analyses. Header-only and
+// internal to src/analysis/flow (mirrors the static helpers in rules.cc;
+// kept separate so the flow passes do not reach into the lint engine's
+// anonymous namespace).
+#ifndef XOAR_SRC_ANALYSIS_FLOW_TOKEN_UTIL_H_
+#define XOAR_SRC_ANALYSIS_FLOW_TOKEN_UTIL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/lexer.h"
+
+namespace xoar {
+namespace analysis {
+namespace flow {
+
+inline bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+inline bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+// Index of the punct matching the opener at `open` ("(" / "{"), or kNpos.
+inline std::size_t MatchingClose(const std::vector<Token>& tokens,
+                                 std::size_t open, std::string_view open_text,
+                                 std::string_view close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (IsPunct(tokens[i], open_text)) {
+      ++depth;
+    } else if (IsPunct(tokens[i], close_text)) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return kNpos;
+}
+
+// Skips a template-argument list whose "<" sits at `from`; returns the
+// index one past the matching ">". Token-level angle matching over a
+// bounded window, because "<" is also the less-than operator: on ";" or
+// "{" (clearly not a template-argument list) or window exhaustion the
+// original index is returned and the "<" is treated as an operator.
+inline std::size_t SkipAngles(const std::vector<Token>& t, std::size_t from) {
+  int depth = 0;
+  const std::size_t limit = std::min(t.size(), from + 64);
+  for (std::size_t i = from; i < limit; ++i) {
+    if (IsPunct(t[i], "<")) {
+      ++depth;
+    } else if (IsPunct(t[i], ">")) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    } else if (IsPunct(t[i], ";") || IsPunct(t[i], "{")) {
+      break;
+    }
+  }
+  return from;
+}
+
+// Identifiers that can precede "(" without being a call or a definition.
+inline bool IsControlKeyword(const std::string& text) {
+  static const std::set<std::string>* const kKeywords =
+      new std::set<std::string>{
+          "if",       "else",     "for",      "while",     "do",
+          "switch",   "case",     "return",   "goto",      "break",
+          "continue", "new",      "delete",   "sizeof",    "alignof",
+          "alignas",  "noexcept", "decltype", "catch",     "throw",
+          "operator", "constexpr", "static_assert", "assert", "defined",
+          "typename", "template", "using",    "namespace", "class",
+          "struct",   "enum",     "void",     "auto",      "this",
+      };
+  return kKeywords->count(text) > 0;
+}
+
+}  // namespace flow
+}  // namespace analysis
+}  // namespace xoar
+
+#endif  // XOAR_SRC_ANALYSIS_FLOW_TOKEN_UTIL_H_

@@ -23,16 +23,19 @@ std::string_view Trim(std::string_view s) {
   return s;
 }
 
-// Parses the body of a line comment that begins with the xoar-lint marker
-// (the "allow(<rule>): <justification>" form described in ANALYSIS.md).
-SuppressionComment ParseSuppression(std::string_view body, int line) {
+// Parses the body of a line comment that begins with an xoar-lint or
+// xoar-flow marker (the "allow(<rule>): <justification>" form described in
+// ANALYSIS.md).
+SuppressionComment ParseSuppression(std::string_view body, int line,
+                                    std::string_view tool) {
   SuppressionComment out;
   out.line = line;
   out.valid = false;
+  out.tool = std::string(tool);
   body = Trim(body);
   constexpr std::string_view kAllow = "allow(";
   if (body.substr(0, kAllow.size()) != kAllow) {
-    out.error = "expected allow(<rule>) after xoar-lint:";
+    out.error = "expected allow(<rule>) after the marker";
     return out;
   }
   body.remove_prefix(kAllow.size());
@@ -133,10 +136,14 @@ class Lexer {
     }
     std::string_view body = src_.substr(pos_ + 2, end - pos_ - 2);
     const std::string_view trimmed = Trim(body);
-    constexpr std::string_view kMarker = "xoar-lint:";
-    if (trimmed.substr(0, kMarker.size()) == kMarker) {
-      out_.suppressions.push_back(
-          ParseSuppression(trimmed.substr(kMarker.size()), start_line));
+    constexpr std::string_view kLintMarker = "xoar-lint:";
+    constexpr std::string_view kFlowMarker = "xoar-flow:";
+    if (trimmed.substr(0, kLintMarker.size()) == kLintMarker) {
+      out_.suppressions.push_back(ParseSuppression(
+          trimmed.substr(kLintMarker.size()), start_line, "lint"));
+    } else if (trimmed.substr(0, kFlowMarker.size()) == kFlowMarker) {
+      out_.suppressions.push_back(ParseSuppression(
+          trimmed.substr(kFlowMarker.size()), start_line, "flow"));
     }
     while (pos_ < end) {
       Advance();

@@ -8,10 +8,14 @@
 //
 //   * `#include "..."` / `#include <...>` directives, with line numbers,
 //     feeding the layering rule;
-//   * `// xoar-lint: allow(<rule>): <justification>` suppression comments,
+//   * `// xoar-lint: allow(<rule>): <justification>` and
+//     `// xoar-flow: allow(<rule>): <justification>` suppression comments,
 //     feeding the suppression contract (a suppression covers findings on
 //     its own line and the line immediately below, so it works both as a
 //     trailing comment and as a standalone comment above the violation).
+//     The marker names the tool the waiver is addressed to: xoar-lint
+//     comments silence the lexical rules, xoar-flow comments silence the
+//     whole-program flow rules, and neither silences the other's findings.
 //
 // All other preprocessor lines (#define, #ifdef, ...) are skipped entirely,
 // honoring backslash continuations, so macro bodies can never trip the
@@ -49,11 +53,12 @@ struct SuppressionComment {
   std::string rule;           // rule name inside allow(...)
   std::string justification;  // text after the trailing colon, trimmed
   int line;
-  // False when the comment carries the xoar-lint marker but does not parse
-  // (missing rule, missing justification). Invalid suppressions never
-  // suppress anything and are themselves reported by the suppression rule.
+  // False when the comment carries a marker but does not parse (missing
+  // rule, missing justification). Invalid suppressions never suppress
+  // anything and are themselves reported by the suppression rule.
   bool valid;
   std::string error;  // why `valid` is false
+  std::string tool;   // "lint" (xoar-lint marker) or "flow" (xoar-flow)
 };
 
 struct LexedSource {

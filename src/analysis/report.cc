@@ -6,7 +6,6 @@
 
 namespace xoar {
 namespace analysis {
-namespace {
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -36,8 +35,6 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
 LintSummary Summarize(const std::vector<Finding>& findings,
                       std::size_t files_scanned) {
   LintSummary summary;
@@ -46,6 +43,8 @@ LintSummary Summarize(const std::vector<Finding>& findings,
   for (const Finding& finding : findings) {
     if (finding.suppressed) {
       ++summary.suppressed;
+    } else if (finding.warning) {
+      ++summary.warnings;
     } else {
       ++summary.unsuppressed;
     }
@@ -57,8 +56,10 @@ std::string FormatText(const std::vector<Finding>& findings,
                        const LintSummary& summary) {
   std::string out;
   for (const Finding& finding : findings) {
-    out += StrFormat("%s:%d: [%s] %s", finding.file.c_str(), finding.line,
-                     finding.rule.c_str(), finding.message.c_str());
+    out += StrFormat("%s:%d: [%s%s] %s", finding.file.c_str(), finding.line,
+                     finding.rule.c_str(),
+                     finding.warning && !finding.suppressed ? " warning" : "",
+                     finding.message.c_str());
     if (finding.suppressed) {
       out += StrFormat("  [suppressed: %s]",
                        finding.justification.c_str());
@@ -67,9 +68,9 @@ std::string FormatText(const std::vector<Finding>& findings,
   }
   out += StrFormat(
       "xoar_lint: %zu file(s) scanned, %zu finding(s) (%zu suppressed, "
-      "%zu blocking)\n",
+      "%zu warning(s), %zu blocking)\n",
       summary.files_scanned, summary.total, summary.suppressed,
-      summary.unsuppressed);
+      summary.warnings, summary.unsuppressed);
   return out;
 }
 
@@ -83,7 +84,7 @@ std::string FormatJson(const std::vector<Finding>& findings,
   }
   per_rule["suppression"] = 0;
   for (const Finding& finding : findings) {
-    if (!finding.suppressed) {
+    if (!finding.suppressed && !finding.warning) {
       ++per_rule[finding.rule];
     }
   }
@@ -106,17 +107,19 @@ std::string FormatJson(const std::vector<Finding>& findings,
     metric("lint.findings." + rule, "counter", count, false);
   }
   metric("lint.findings.total", "counter", summary.unsuppressed, false);
-  metric("lint.suppressed.total", "counter", summary.suppressed, true);
+  metric("lint.suppressed.total", "counter", summary.suppressed, false);
+  metric("lint.warnings.total", "counter", summary.warnings, true);
   out += "  ],\n";
   out += "  \"findings\": [\n";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     out += StrFormat(
         "    {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, "
-        "\"message\": \"%s\", \"suppressed\": %s, \"justification\": "
-        "\"%s\"}%s\n",
+        "\"message\": \"%s\", \"suppressed\": %s, \"warning\": %s, "
+        "\"justification\": \"%s\"}%s\n",
         JsonEscape(f.rule).c_str(), JsonEscape(f.file).c_str(), f.line,
         JsonEscape(f.message).c_str(), f.suppressed ? "true" : "false",
+        f.warning ? "true" : "false",
         JsonEscape(f.justification).c_str(),
         i + 1 == findings.size() ? "" : ",");
   }

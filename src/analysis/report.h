@@ -36,8 +36,9 @@ namespace analysis {
 struct LintSummary {
   std::size_t files_scanned = 0;
   std::size_t total = 0;        // every finding, suppressed or not
-  std::size_t unsuppressed = 0;
+  std::size_t unsuppressed = 0;  // blocking: neither suppressed nor warning
   std::size_t suppressed = 0;
+  std::size_t warnings = 0;      // reported but not build-failing
 };
 
 LintSummary Summarize(const std::vector<Finding>& findings,
@@ -50,6 +51,9 @@ std::string FormatText(const std::vector<Finding>& findings,
 // The BENCH-style JSON document described above.
 std::string FormatJson(const std::vector<Finding>& findings,
                        const LintSummary& summary);
+
+// JSON string-escaping helper, shared with the flow report formatter.
+std::string JsonEscape(const std::string& s);
 
 }  // namespace analysis
 }  // namespace xoar

@@ -157,49 +157,6 @@ void CheckLayering(const std::vector<SourceFile>& files,
 // Privilege flow
 // ---------------------------------------------------------------------------
 
-// Parses IsUnprivilegedHypercall's switch in src/hv/hypercall.h: every
-// `case Hypercall::kX:` that reaches `return true` is in the default-grant
-// (unprivileged) class.
-std::set<std::string> ExtractUnprivilegedOps(const SourceFile& file) {
-  std::set<std::string> ops;
-  const Tokens& t = file.lexed.tokens;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (!IsIdent(t[i], "IsUnprivilegedHypercall") || !IsPunct(t[i + 1], "(")) {
-      continue;
-    }
-    const std::size_t close = MatchingClose(t, i + 1, "(", ")");
-    if (close == static_cast<std::size_t>(-1)) {
-      break;
-    }
-    std::size_t body = close + 1;
-    while (body < t.size() && !IsPunct(t[body], "{") &&
-           !IsPunct(t[body], ";")) {
-      ++body;
-    }
-    if (body >= t.size() || !IsPunct(t[body], "{")) {
-      continue;  // declaration only
-    }
-    const std::size_t end = MatchingClose(t, body, "{", "}");
-    std::vector<std::string> pending;
-    for (std::size_t j = body;
-         j < std::min(end, t.size()); ++j) {
-      if (IsIdent(t[j], "case") && j + 4 < t.size() &&
-          IsIdent(t[j + 1], "Hypercall") && IsPunct(t[j + 2], "::")) {
-        pending.push_back(t[j + 3].text);
-        continue;
-      }
-      if (IsIdent(t[j], "return") && j + 1 < t.size()) {
-        if (IsIdent(t[j + 1], "true")) {
-          ops.insert(pending.begin(), pending.end());
-        }
-        pending.clear();
-      }
-    }
-    break;
-  }
-  return ops;
-}
-
 struct ExtractedGrant {
   std::string target_token;
   std::string op;  // enumerator name
@@ -311,7 +268,8 @@ void CheckPrivilege(const std::vector<SourceFile>& files,
   }
   for (const SourceFile& file : files) {
     if (EndsWith(file.path, config.hypercall_header_suffix)) {
-      const std::set<std::string> unprivileged = ExtractUnprivilegedOps(file);
+      const std::set<std::string> unprivileged =
+          ExtractUnprivilegedHypercallOps(file);
       attributable.insert(unprivileged.begin(), unprivileged.end());
     }
   }
@@ -549,13 +507,17 @@ void CheckAudit(const std::vector<SourceFile>& files, const LintConfig& config,
   }
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Suppressions
+// Suppressions (shared by xoar_lint and xoar_flow)
 // ---------------------------------------------------------------------------
 
-void ApplySuppressions(const std::vector<SourceFile>& files,
-                       std::vector<Finding>* findings) {
-  const std::vector<std::string> known = SuppressibleRules();
+void ApplyToolSuppressions(const std::vector<SourceFile>& files,
+                           std::string_view tool,
+                           const std::vector<std::string>& known_rules,
+                           bool strict, std::vector<Finding>* findings) {
+  const std::string marker = "xoar-" + std::string(tool);
   struct Key {
     std::string file;
     std::string rule;
@@ -567,21 +529,25 @@ void ApplySuppressions(const std::vector<SourceFile>& files,
   std::map<Key, const SuppressionComment*> index;
   for (const SourceFile& file : files) {
     for (const SuppressionComment& sup : file.lexed.suppressions) {
+      if (sup.tool != tool) {
+        continue;  // addressed to the other tool
+      }
       if (!sup.valid) {
         findings->push_back(
             {"suppression", file.path, sup.line,
-             StrFormat("malformed xoar-lint comment: %s (expected "
-                       "\"xoar-lint: allow(<rule>): <justification>\")",
-                       sup.error.c_str()),
+             StrFormat("malformed %s comment: %s (expected "
+                       "\"%s: allow(<rule>): <justification>\")",
+                       marker.c_str(), sup.error.c_str(), marker.c_str()),
              false,
              ""});
         continue;
       }
-      if (std::find(known.begin(), known.end(), sup.rule) == known.end()) {
+      if (std::find(known_rules.begin(), known_rules.end(), sup.rule) ==
+          known_rules.end()) {
         findings->push_back(
             {"suppression", file.path, sup.line,
-             StrFormat("xoar-lint: allow(%s) names an unknown rule",
-                       sup.rule.c_str()),
+             StrFormat("%s: allow(%s) names an unknown rule",
+                       marker.c_str(), sup.rule.c_str()),
              false,
              ""});
         continue;
@@ -589,6 +555,7 @@ void ApplySuppressions(const std::vector<SourceFile>& files,
       index[{file.path, sup.rule, sup.line}] = &sup;
     }
   }
+  std::set<const SuppressionComment*> used;
   for (Finding& finding : *findings) {
     if (finding.rule == "suppression") {
       continue;  // the suppression rule cannot be suppressed
@@ -598,13 +565,68 @@ void ApplySuppressions(const std::vector<SourceFile>& files,
       if (it != index.end()) {
         finding.suppressed = true;
         finding.justification = it->second->justification;
+        used.insert(it->second);
         break;
       }
     }
   }
+  // A waiver that silences nothing has rotted: the violation it excused was
+  // fixed or moved, and leaving the comment behind would pre-excuse the
+  // next (possibly unrelated) violation on that line.
+  for (const auto& [key, sup] : index) {
+    if (used.count(sup) > 0) {
+      continue;
+    }
+    findings->push_back(
+        {"suppression", key.file, key.line,
+         StrFormat("stale suppression: %s: allow(%s) no longer silences "
+                   "any finding; remove the comment",
+                   marker.c_str(), key.rule.c_str()),
+         false,
+         "",
+         /*warning=*/!strict});
+  }
 }
 
-}  // namespace
+std::set<std::string> ExtractUnprivilegedHypercallOps(const SourceFile& file) {
+  std::set<std::string> ops;
+  const Tokens& t = file.lexed.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdent(t[i], "IsUnprivilegedHypercall") || !IsPunct(t[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t close = MatchingClose(t, i + 1, "(", ")");
+    if (close == static_cast<std::size_t>(-1)) {
+      break;
+    }
+    std::size_t body = close + 1;
+    while (body < t.size() && !IsPunct(t[body], "{") &&
+           !IsPunct(t[body], ";")) {
+      ++body;
+    }
+    if (body >= t.size() || !IsPunct(t[body], "{")) {
+      continue;  // declaration only
+    }
+    const std::size_t end = MatchingClose(t, body, "{", "}");
+    std::vector<std::string> pending;
+    for (std::size_t j = body;
+         j < std::min(end, t.size()); ++j) {
+      if (IsIdent(t[j], "case") && j + 4 < t.size() &&
+          IsIdent(t[j + 1], "Hypercall") && IsPunct(t[j + 2], "::")) {
+        pending.push_back(t[j + 3].text);
+        continue;
+      }
+      if (IsIdent(t[j], "return") && j + 1 < t.size()) {
+        if (IsIdent(t[j + 1], "true")) {
+          ops.insert(pending.begin(), pending.end());
+        }
+        pending.clear();
+      }
+    }
+    break;
+  }
+  return ops;
+}
 
 LintConfig DefaultConfig() {
   LintConfig config;
@@ -701,7 +723,8 @@ std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
   CheckPrivilege(files, config, &findings);
   CheckDeterminism(files, config, &findings);
   CheckAudit(files, config, &findings);
-  ApplySuppressions(files, &findings);
+  ApplyToolSuppressions(files, "lint", SuppressibleRules(), config.strict,
+                        &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule, a.message) <

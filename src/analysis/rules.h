@@ -27,7 +27,9 @@
 #ifndef XOAR_SRC_ANALYSIS_RULES_H_
 #define XOAR_SRC_ANALYSIS_RULES_H_
 
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/analysis/source_tree.h"
@@ -42,6 +44,10 @@ struct Finding {
   std::string message;
   bool suppressed = false;
   std::string justification;  // set when suppressed
+  // Warnings (stale suppressions, declared-but-dead comm edges) are
+  // reported but never fail the build; --strict promotes them to blocking
+  // at creation time, so a strict run emits them with warning == false.
+  bool warning = false;
 };
 
 // One shard's declared privilege grants (the paper's Fig 3.1 assignments,
@@ -83,6 +89,9 @@ struct LintConfig {
   // so renaming a privileged operation cannot silently detach its rule.
   // Fixture trees set this to false.
   bool require_audited_op_definitions = true;
+
+  // Promote warnings (stale suppressions) to blocking findings.
+  bool strict = false;
 };
 
 // The one authoritative table set. Layering mirrors src/*/CMakeLists.txt
@@ -91,6 +100,24 @@ LintConfig DefaultConfig();
 
 // Rules a suppression comment may name.
 std::vector<std::string> SuppressibleRules();
+
+// Parses IsUnprivilegedHypercall's switch in src/hv/hypercall.h: every
+// `case Hypercall::kX:` that reaches `return true` is in the default-grant
+// (unprivileged) class. Shared by the lexical privilege rule and the
+// interprocedural privilege-reachability rule in src/analysis/flow.
+std::set<std::string> ExtractUnprivilegedHypercallOps(const SourceFile& file);
+
+// Shared suppression machinery for xoar_lint and xoar_flow. Considers only
+// the suppression comments carrying `tool`'s marker ("lint" or "flow"):
+// reports malformed comments and unknown rule names, suppresses matching
+// findings (same file + rule, on the comment's line or the line below), and
+// reports every valid suppression that silenced nothing as a stale-
+// suppression warning (blocking when `strict`), so waivers cannot rot. The
+// "suppression" pseudo-rule itself can never be suppressed.
+void ApplyToolSuppressions(const std::vector<SourceFile>& files,
+                           std::string_view tool,
+                           const std::vector<std::string>& known_rules,
+                           bool strict, std::vector<Finding>* findings);
 
 // Runs every rule over the tree, applies suppressions, reports invalid
 // suppressions, and returns findings sorted by (file, line, rule, message).

@@ -34,8 +34,10 @@ Status ConsoleBackend::ConnectGuest(DomainId guest, bool use_foreign_map) {
   XOAR_ASSIGN_OR_RETURN(console.ring_pfn,
                         hv_->memory().AllocatePages(guest, 1));
   if (use_foreign_map) {
-    XOAR_ASSIGN_OR_RETURN(MappedPage page,
-                          hv_->ForeignMap(self_, guest, console.ring_pfn));
+    XOAR_ASSIGN_OR_RETURN(
+        MappedPage page,
+        // xoar-flow: allow(privilege_flow): stock-Dom0 baseline branch only — the deployed Xoar configuration takes the grant path below (§4.4)
+        hv_->ForeignMap(self_, guest, console.ring_pfn));
     (void)page;
   } else {
     XOAR_ASSIGN_OR_RETURN(

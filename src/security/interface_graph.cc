@@ -1,0 +1,66 @@
+#include "src/security/interface_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace xoar {
+namespace security {
+
+InterfaceGraphStats AnalyzeInterfaceGraph(
+    const std::vector<InterfaceEdge>& edges, const std::string& guest_node) {
+  std::set<std::string> nodes;
+  std::set<std::pair<std::string, std::string>> pairs;
+  std::map<std::string, std::set<std::string>> adjacency;
+  std::set<std::string> guest_adjacent;
+  for (const InterfaceEdge& edge : edges) {
+    nodes.insert(edge.from);
+    nodes.insert(edge.to);
+    pairs.insert({edge.from, edge.to});
+    adjacency[edge.from].insert(edge.to);
+    if (edge.from == guest_node && edge.to != guest_node) {
+      guest_adjacent.insert(edge.to);
+    }
+    if (edge.to == guest_node && edge.from != guest_node) {
+      guest_adjacent.insert(edge.from);
+    }
+  }
+
+  InterfaceGraphStats stats;
+  stats.nodes = nodes.size();
+  stats.edges = pairs.size();
+  stats.attack_surface = guest_adjacent.size();
+  if (nodes.empty()) {
+    return stats;
+  }
+
+  std::size_t reach_sum = 0;
+  for (const std::string& start : nodes) {
+    std::set<std::string> visited = {start};
+    std::deque<std::string> queue = {start};
+    while (!queue.empty()) {
+      const std::string cur = queue.front();
+      queue.pop_front();
+      auto it = adjacency.find(cur);
+      if (it == adjacency.end()) {
+        continue;
+      }
+      for (const std::string& next : it->second) {
+        if (visited.insert(next).second) {
+          queue.push_back(next);
+        }
+      }
+    }
+    const std::size_t reach = visited.size() - 1;  // self excluded
+    reach_sum += reach;
+    stats.max_reach = std::max(stats.max_reach, reach);
+  }
+  stats.mean_reach_milli =
+      (reach_sum * 1000 + nodes.size() / 2) / nodes.size();
+  return stats;
+}
+
+}  // namespace security
+}  // namespace xoar

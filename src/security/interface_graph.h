@@ -1,0 +1,47 @@
+// Containment metrics over a shard interface graph (PAPER.md §2.1, §6.2.1).
+//
+// CompromiseAnalyzer (containment.h) replays concrete vulnerabilities
+// against a LIVE platform; this analyzer answers the coarser architectural
+// question for a graph handed to it as data: given who-talks-to-whom, how
+// much of the system does one compromised node touch? Because the input is
+// plain edges, the same metrics can be computed for the DECLARED shard DAG
+// and for the communication graph xoar_flow DERIVES from the
+// implementation, and exported side by side — if the derived numbers are
+// worse, the code has grown coupling the design argument does not cover.
+#ifndef XOAR_SRC_SECURITY_INTERFACE_GRAPH_H_
+#define XOAR_SRC_SECURITY_INTERFACE_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xoar {
+namespace security {
+
+// One directed communication edge, node names as strings so both declared
+// tables and code-derived graphs feed in without conversion.
+struct InterfaceEdge {
+  std::string from;
+  std::string to;
+  std::string kind;  // "rpc" | "xenstore" | "evtchn" | "grant" | "map"
+};
+
+struct InterfaceGraphStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;  // distinct (from, to) pairs, kinds folded
+  // Shards sharing ANY channel with the guest node — the paper's attack
+  // surface: each is directly reachable by a malicious guest.
+  std::size_t attack_surface = 0;
+  // Directed-closure reach per node (nodes reachable, self excluded):
+  // worst case and mean (in thousandths, so reports stay integer-valued).
+  std::size_t max_reach = 0;
+  std::size_t mean_reach_milli = 0;
+};
+
+InterfaceGraphStats AnalyzeInterfaceGraph(
+    const std::vector<InterfaceEdge>& edges, const std::string& guest_node);
+
+}  // namespace security
+}  // namespace xoar
+
+#endif  // XOAR_SRC_SECURITY_INTERFACE_GRAPH_H_

@@ -76,8 +76,10 @@ Status XenStoreService::Connect(DomainId client) {
   if (monolithic_) {
     // Stock Xen: xenstored uses Dom0 privilege to directly map the ring
     // (§4.4) — no grant entry exists.
-    XOAR_ASSIGN_OR_RETURN(MappedPage page,
-                          hv_->ForeignMap(logic_domain_, client, conn.ring_pfn));
+    XOAR_ASSIGN_OR_RETURN(
+        MappedPage page,
+        // xoar-flow: allow(privilege_flow): stock-xenstored §4.4 baseline branch only — Xoar mode uses the Builder-created grant below
+        hv_->ForeignMap(logic_domain_, client, conn.ring_pfn));
     (void)page;
   } else {
     // Xoar: the Builder pre-creates a grant entry so a *deprivileged*

@@ -1,0 +1,16 @@
+// Fixture: namespace-aliased qualified calls must resolve to the aliased
+// namespace's function, not dangle as an unknown callee.
+namespace xoar_fixture {
+
+namespace netutil {
+int Checksum(int frame) { return frame ^ 0x5a; }
+}  // namespace netutil
+
+namespace util = netutil;
+
+class NetBack {
+ public:
+  int Seal(int frame) { return util::Checksum(frame); }
+};
+
+}  // namespace xoar_fixture

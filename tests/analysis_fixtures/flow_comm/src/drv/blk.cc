@@ -1,0 +1,9 @@
+// Fixture: the block backend's entry surface. Harmless on its own.
+namespace xoar_fixture {
+
+class BlkBack {
+ public:
+  bool CreateImage(int vbd) { return vbd >= 0; }
+};
+
+}  // namespace xoar_fixture

@@ -1,0 +1,18 @@
+// Fixture: exactly one undeclared communication edge. NetBack holds a
+// typed reference to BlkBack and calls straight into its entry surface —
+// a NetBack -> BlkBack rpc channel no declared DAG admits. xoar_flow must
+// fail with a comm_flow finding naming the crossing call.
+namespace xoar_fixture {
+
+class BlkBack;
+
+class NetBack {
+ public:
+  explicit NetBack(BlkBack* blk) : blk_(blk) {}
+  bool AttachVif(int vif);
+
+ private:
+  BlkBack* blk_;
+};
+
+}  // namespace xoar_fixture

@@ -1,0 +1,20 @@
+// Fixture: the crossing call site lives out of line so the edge must be
+// recovered through the declared member's type, not lexical adjacency.
+namespace xoar_fixture {
+
+class BlkBack {
+ public:
+  bool CreateImage(int vbd);
+};
+
+class NetBack {
+ public:
+  bool AttachVif(int vif);
+
+ private:
+  BlkBack* blk_;
+};
+
+bool NetBack::AttachVif(int vif) { return blk_->CreateImage(vif); }
+
+}  // namespace xoar_fixture

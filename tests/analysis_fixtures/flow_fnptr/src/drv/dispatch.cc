@@ -1,0 +1,18 @@
+// Fixture: calling through a std::function member cannot be resolved, so
+// the caller must widen to every function in its module and be marked.
+#include <functional>
+
+namespace xoar_fixture {
+
+int EncodeFrame(int frame) { return frame + 1; }
+int DecodeFrame(int frame) { return frame - 1; }
+
+class NetBack {
+ public:
+  int Apply(int frame) { return hook_(frame); }
+
+ private:
+  std::function<int(int)> hook_;
+};
+
+}  // namespace xoar_fixture

@@ -1,0 +1,13 @@
+// Fixture: overloaded free functions share one call-graph node per name;
+// a single call site must not multiply into per-overload edges.
+namespace xoar_fixture {
+
+int Transmit(int frame) { return frame; }
+int Transmit(int frame, int flags) { return frame + flags; }
+
+class NetBack {
+ public:
+  int Send(int frame) { return Transmit(frame) + Transmit(frame, 1); }
+};
+
+}  // namespace xoar_fixture

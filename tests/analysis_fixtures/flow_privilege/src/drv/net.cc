@@ -1,0 +1,17 @@
+// Fixture: exactly one interprocedural privilege leak. NetBack holds no
+// Fig 3.1 grant for kSnapshotOp, yet its Flush path reaches the issuing
+// hypervisor function through the DrainBatch helper. xoar_flow must fail
+// with the witness path NetBack::Flush -> DrainBatch ->
+// Hypervisor::SnapshotDomain.
+#include "src/hv/hypercall.h"
+
+namespace xoar_fixture {
+
+bool DrainBatch(Hypervisor* hv, int domain);
+
+class NetBack {
+ public:
+  bool Flush(Hypervisor* hv, int domain) { return DrainBatch(hv, domain); }
+};
+
+}  // namespace xoar_fixture

@@ -1,0 +1,23 @@
+// Fixture: direct and mutual recursion. The reachability fixpoint must
+// terminate and the graph must carry all four edges exactly once.
+namespace xoar_fixture {
+
+int StepDomain(int budget);
+int RunQueue(int budget);
+
+int StepDomain(int budget) {
+  if (budget <= 0) return 0;
+  return StepDomain(budget - 1) + RunQueue(budget - 1);
+}
+
+int RunQueue(int budget) {
+  if (budget <= 0) return 0;
+  return StepDomain(budget - 1);
+}
+
+class NetBack {
+ public:
+  int Pump(int budget) { return RunQueue(budget); }
+};
+
+}  // namespace xoar_fixture

@@ -1,0 +1,24 @@
+// Fixture: exactly one nondeterminism-taint violation. FlushCounts walks
+// an unordered_map in bucket order and feeds each element to
+// Journal::Append, so replay of the journal diverges run to run.
+#include "src/replay/journal.h"
+
+#include <unordered_map>
+
+namespace xoar_fixture {
+
+class Exporter {
+ public:
+  void Record(int key) { counts_[key]++; }
+
+  void FlushCounts(Journal* j) {
+    for (const auto& kv : counts_) {
+      j->Append(kv.second);
+    }
+  }
+
+ private:
+  std::unordered_map<int, int> counts_;
+};
+
+}  // namespace xoar_fixture

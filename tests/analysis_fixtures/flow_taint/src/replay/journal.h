@@ -1,0 +1,17 @@
+// Fixture: miniature deterministic journal. Append is the taint sink.
+#ifndef XOAR_TESTS_ANALYSIS_FIXTURES_FLOW_TAINT_SRC_REPLAY_JOURNAL_H_
+#define XOAR_TESTS_ANALYSIS_FIXTURES_FLOW_TAINT_SRC_REPLAY_JOURNAL_H_
+
+namespace xoar_fixture {
+
+class Journal {
+ public:
+  void Append(int value) { last_ = value; }
+
+ private:
+  int last_ = 0;
+};
+
+}  // namespace xoar_fixture
+
+#endif  // XOAR_TESTS_ANALYSIS_FIXTURES_FLOW_TAINT_SRC_REPLAY_JOURNAL_H_

@@ -1,0 +1,12 @@
+// Fixture: two syntactically valid, justified suppressions that match no
+// finding. Both tools must surface them as stale warnings — exit 0 by
+// default, nonzero under --strict.
+namespace xoar_fixture {
+
+// xoar-lint: allow(determinism): the map below was migrated to std::map in the ring refactor
+int CountFlows(int flows) { return flows; }
+
+// xoar-flow: allow(nondet_flow): the journal export below now sorts keys before appending
+int ExportFlows(int flows) { return flows * 2; }
+
+}  // namespace xoar_fixture

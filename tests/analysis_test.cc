@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/analysis/flow/call_graph.h"
+#include "src/analysis/flow/flow.h"
 #include "src/analysis/lexer.h"
 #include "src/analysis/report.h"
 #include "src/analysis/rules.h"
@@ -34,6 +36,47 @@ std::vector<Finding> Unsuppressed(const std::vector<Finding>& findings) {
       out.push_back(f);
     }
   }
+  return out;
+}
+
+std::vector<SourceFile> LoadFixtureTree(const std::string& name) {
+  const std::string root = std::string(XOAR_FIXTURE_DIR) + "/" + name;
+  StatusOr<std::vector<SourceFile>> files = LoadTree(root, DefaultScanDirs());
+  EXPECT_TRUE(files.ok()) << files.status().ToString();
+  EXPECT_FALSE(files->empty()) << "fixture " << name << " has no sources";
+  return *files;
+}
+
+flow::FlowResult FlowFixture(const std::string& name, bool strict = false) {
+  flow::FlowConfig config = flow::DefaultFlowConfig();
+  config.strict = strict;
+  return flow::RunFlow(LoadFixtureTree(name), config);
+}
+
+std::vector<Finding> Blocking(const std::vector<Finding>& findings) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (!f.suppressed && !f.warning) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+// Call edges out of the function named `name` (qualified as
+// "Class::Method" for methods), as qualified callee names.
+std::vector<std::string> CalleesOf(const flow::CallGraph& graph,
+                                   const std::string& name) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    if (flow::QualifiedName(graph.functions[i]) != name) {
+      continue;
+    }
+    for (const flow::CallEdge& e : graph.edges[i]) {
+      out.push_back(flow::QualifiedName(graph.functions[e.callee]));
+    }
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -266,6 +309,142 @@ TEST(ReportTest, JsonIsStableAndCountsMatch) {
   EXPECT_NE(a.find("\"msg \\\"quoted\\\"\""), std::string::npos);
   EXPECT_NE(a.find("lint.findings.total"), std::string::npos);
   EXPECT_NE(a.find("\"sim_time_ns\": 0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// xoar_flow: call-graph corner cases over fixture trees
+// ---------------------------------------------------------------------------
+
+TEST(CallGraphTest, RecursionAndMutualRecursionTerminate) {
+  // Direct (StepDomain -> StepDomain) and mutual (StepDomain <-> RunQueue)
+  // recursion: BuildCallGraph and the reachability fixpoint must both
+  // terminate, with each edge recorded exactly once.
+  const flow::CallGraph graph = flow::BuildCallGraph(
+      LoadFixtureTree("flow_recursion"));
+  // Self-edges are pruned (StepDomain -> StepDomain adds nothing to any
+  // closure); the mutual-recursion cycle is kept and must not loop.
+  EXPECT_EQ(CalleesOf(graph, "StepDomain"),
+            (std::vector<std::string>{"RunQueue"}));
+  EXPECT_EQ(CalleesOf(graph, "RunQueue"),
+            (std::vector<std::string>{"StepDomain"}));
+  EXPECT_EQ(CalleesOf(graph, "NetBack::Pump"),
+            (std::vector<std::string>{"RunQueue"}));
+  // The cycle reaches no hypercall issuance, so the flow rules stay quiet.
+  const flow::FlowResult result = FlowFixture("flow_recursion");
+  EXPECT_TRUE(Blocking(result.findings).empty());
+}
+
+TEST(CallGraphTest, OverloadedNamesResolveToEveryCandidate) {
+  // One unqualified name, two definitions: conservative resolution links
+  // the call site to both overloads (and dedup keeps it at exactly two).
+  const flow::CallGraph graph = flow::BuildCallGraph(
+      LoadFixtureTree("flow_overloads"));
+  const auto it = graph.by_name.find("Transmit");
+  ASSERT_NE(it, graph.by_name.end());
+  EXPECT_EQ(it->second.size(), 2u);
+  EXPECT_EQ(CalleesOf(graph, "NetBack::Send"),
+            (std::vector<std::string>{"Transmit", "Transmit"}));
+}
+
+TEST(CallGraphTest, NamespaceAliasResolvesQualifiedCall) {
+  // `namespace util = netutil;` — util::Checksum(...) must land on the
+  // definition inside netutil, not dangle as an unknown callee.
+  const flow::CallGraph graph = flow::BuildCallGraph(
+      LoadFixtureTree("flow_alias"));
+  EXPECT_EQ(CalleesOf(graph, "NetBack::Seal"),
+            (std::vector<std::string>{"Checksum"}));
+}
+
+TEST(CallGraphTest, CallableValueWidensToTheCallersModule) {
+  // A call through a std::function member is unresolvable, so the caller
+  // widens to every function defined in its module and is marked.
+  const flow::CallGraph graph = flow::BuildCallGraph(
+      LoadFixtureTree("flow_fnptr"));
+  EXPECT_EQ(graph.widened_functions, 1u);
+  const std::vector<std::string> callees = CalleesOf(graph, "NetBack::Apply");
+  EXPECT_NE(std::find(callees.begin(), callees.end(), "EncodeFrame"),
+            callees.end());
+  EXPECT_NE(std::find(callees.begin(), callees.end(), "DecodeFrame"),
+            callees.end());
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    if (flow::QualifiedName(graph.functions[i]) != "NetBack::Apply") {
+      continue;
+    }
+    for (const flow::CallEdge& e : graph.edges[i]) {
+      EXPECT_TRUE(e.widened);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// xoar_flow: the three interprocedural rules over the seeded fixtures
+// ---------------------------------------------------------------------------
+
+TEST(FlowFixtureTest, HiddenHelperPrivilegeLeakNamesTheWitnessChain) {
+  const flow::FlowResult result = FlowFixture("flow_privilege");
+  const std::vector<Finding> blocking = Blocking(result.findings);
+  ASSERT_EQ(blocking.size(), 1u);
+  EXPECT_EQ(blocking[0].rule, "privilege_flow");
+  EXPECT_NE(blocking[0].message.find("kSnapshotOp"), std::string::npos);
+  EXPECT_NE(blocking[0].message.find("NetBack::Flush"), std::string::npos);
+  EXPECT_NE(blocking[0].message.find("DrainBatch"), std::string::npos);
+  EXPECT_NE(blocking[0].message.find("Hypervisor::SnapshotDomain"),
+            std::string::npos);
+}
+
+TEST(FlowFixtureTest, UndeclaredCommEdgeIsDerivedAndBlocking) {
+  const flow::FlowResult result = FlowFixture("flow_comm");
+  const std::vector<Finding> blocking = Blocking(result.findings);
+  ASSERT_EQ(blocking.size(), 1u);
+  EXPECT_EQ(blocking[0].rule, "comm_flow");
+  EXPECT_NE(blocking[0].message.find("NetBack -> BlkBack"),
+            std::string::npos);
+  bool derived = false;
+  for (const flow::CommEdge& e : result.derived_comm) {
+    if (e.from == "NetBack" && e.to == "BlkBack" && e.kind == "rpc") {
+      derived = true;
+    }
+  }
+  EXPECT_TRUE(derived);
+}
+
+TEST(FlowFixtureTest, UnorderedIterationIntoJournalIsBlocking) {
+  const flow::FlowResult result = FlowFixture("flow_taint");
+  const std::vector<Finding> blocking = Blocking(result.findings);
+  ASSERT_EQ(blocking.size(), 1u);
+  EXPECT_EQ(blocking[0].rule, "nondet_flow");
+  EXPECT_NE(blocking[0].message.find("counts_"), std::string::npos);
+  EXPECT_NE(blocking[0].message.find("Journal::Append"), std::string::npos);
+}
+
+TEST(FlowFixtureTest, StaleSuppressionWarnsAndStrictPromotes) {
+  // A justified comment that silences nothing is a warning by default;
+  // --strict turns the same comment into a blocking finding. The lexical
+  // tool's comment in the fixture is invisible to xoar_flow (tool-scoped).
+  const flow::FlowResult lax = FlowFixture("stale_suppression");
+  ASSERT_EQ(lax.findings.size(), 1u);
+  EXPECT_EQ(lax.findings[0].rule, "suppression");
+  EXPECT_TRUE(lax.findings[0].warning);
+  EXPECT_TRUE(Blocking(lax.findings).empty());
+  const flow::FlowResult strict = FlowFixture("stale_suppression", true);
+  ASSERT_EQ(strict.findings.size(), 1u);
+  EXPECT_FALSE(strict.findings[0].warning);
+  EXPECT_EQ(Blocking(strict.findings).size(), 1u);
+}
+
+TEST(FlowFixtureTest, StaleLintSuppressionWarnsUnderTheLexicalTool) {
+  // The same fixture's xoar-lint comment surfaces only through RunLint.
+  const std::vector<SourceFile> files = LoadFixtureTree("stale_suppression");
+  LintConfig config = DefaultConfig();
+  config.require_audited_op_definitions = false;
+  const std::vector<Finding> findings = RunLint(files, config);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "suppression");
+  EXPECT_TRUE(findings[0].warning);
+  config.strict = true;
+  const std::vector<Finding> promoted = RunLint(files, config);
+  ASSERT_EQ(promoted.size(), 1u);
+  EXPECT_FALSE(promoted[0].warning);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 //   validate_obs <metrics.json> <trace.json>
 //   validate_obs --campaign <BENCH_fault_campaign.json>
 //   validate_obs --lint <xoar_lint_report.json>
+//   validate_obs --flow <BENCH_analysis.json>
 //   validate_obs --sim <BENCH_sim_core.json>
 //   validate_obs --density <BENCH_density.json>
 //   validate_obs --replay <BENCH_replay.json>
@@ -47,9 +48,19 @@
 // The --lint mode checks an xoar_lint JSON report (ANALYSIS.md) beyond the
 // generic BENCH shape: the lint.* summary metrics must be present, every
 // entry in the "findings" array must be well-formed (rule/file/line/
-// message/suppressed), the blocking and suppressed counts must agree with
-// the exported totals, and every suppressed finding must carry a non-empty
-// justification (the suppression contract).
+// message/suppressed), the blocking, warning, and suppressed counts must
+// agree with the exported totals, and every suppressed finding must carry
+// a non-empty justification (the suppression contract).
+//
+// The --flow mode checks an xoar_flow report (ANALYSIS.md "Whole-program
+// flow analysis") the same way — flow.* summary metrics, well-formed
+// findings with consistent blocking/warning/suppressed totals, justified
+// suppressions — plus the flow-specific surface: the call-graph gauges
+// must show a non-trivial graph, the side-by-side containment metrics
+// (flow.containment.declared.* / .derived.*) must both be present, the
+// "comm_graph" array must be well-formed, and when the report carries the
+// bench timing gauge (lint_cost.full_tree_us, written only by
+// bench/micro_lint) it must be positive.
 //
 // The --campaign mode checks a fault-campaign report (bench/fault_campaign,
 // RESILIENCE.md) beyond the generic BENCH shape: the campaign.* summary
@@ -670,6 +681,108 @@ bool ValidateFleet(const std::string& path) {
   return true;
 }
 
+// Shared finding-array checker for the --lint and --flow modes: every
+// entry must be well-formed, suppressed findings must carry a
+// justification, and the blocking/suppressed/warning counts must agree
+// with the exported `<prefix>.findings.total` / `.suppressed.total` /
+// `.warnings.total` metrics. The "warning" bool is optional per finding
+// (absent means blocking), so older reports stay valid.
+bool ValidateFindingsArray(const std::string& path, const JsonValue& doc,
+                           const JsonValue* benchmarks,
+                           const std::string& prefix, std::size_t* blocking,
+                           std::size_t* suppressed_out) {
+  auto number_of = [&](const std::string& name, double* out) -> bool {
+    for (const JsonValue& entry : benchmarks->array()) {
+      const JsonValue* n = entry.Find("name");
+      if (n == nullptr || !n->is_string() || n->string() != name) {
+        continue;
+      }
+      const JsonValue* value = entry.Find("value");
+      if (value == nullptr || !value->is_number()) {
+        return false;
+      }
+      *out = value->number();
+      return true;
+    }
+    return false;
+  };
+
+  double findings_total = 0;
+  double suppressed_total = 0;
+  double warnings_total = 0;
+  CHECK_OR_FAIL(number_of(prefix + ".findings.total", &findings_total),
+                "%s: missing %s.findings.total counter", path.c_str(),
+                prefix.c_str());
+  CHECK_OR_FAIL(number_of(prefix + ".suppressed.total", &suppressed_total),
+                "%s: missing %s.suppressed.total counter", path.c_str(),
+                prefix.c_str());
+  CHECK_OR_FAIL(number_of(prefix + ".warnings.total", &warnings_total),
+                "%s: missing %s.warnings.total counter", path.c_str(),
+                prefix.c_str());
+
+  const JsonValue* findings = doc.Find("findings");
+  CHECK_OR_FAIL(findings != nullptr && findings->is_array(),
+                "%s: missing \"findings\" array", path.c_str());
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  std::size_t warnings = 0;
+  for (const JsonValue& finding : findings->array()) {
+    CHECK_OR_FAIL(finding.is_object(), "%s: finding is not an object",
+                  path.c_str());
+    const JsonValue* rule = finding.Find("rule");
+    CHECK_OR_FAIL(rule != nullptr && rule->is_string() &&
+                      !rule->string().empty(),
+                  "%s: finding without a \"rule\"", path.c_str());
+    const JsonValue* file = finding.Find("file");
+    CHECK_OR_FAIL(file != nullptr && file->is_string() &&
+                      !file->string().empty(),
+                  "%s: [%s] finding without a \"file\"", path.c_str(),
+                  rule->string().c_str());
+    const JsonValue* line = finding.Find("line");
+    CHECK_OR_FAIL(line != nullptr && line->is_number() &&
+                      line->number() >= 0,
+                  "%s: %s: missing or negative \"line\"", path.c_str(),
+                  file->string().c_str());
+    const JsonValue* message = finding.Find("message");
+    CHECK_OR_FAIL(message != nullptr && message->is_string() &&
+                      !message->string().empty(),
+                  "%s: %s: finding without a \"message\"", path.c_str(),
+                  file->string().c_str());
+    const JsonValue* is_suppressed = finding.Find("suppressed");
+    CHECK_OR_FAIL(is_suppressed != nullptr && is_suppressed->is_bool(),
+                  "%s: %s: missing \"suppressed\" bool", path.c_str(),
+                  file->string().c_str());
+    const JsonValue* is_warning = finding.Find("warning");
+    CHECK_OR_FAIL(is_warning == nullptr || is_warning->is_bool(),
+                  "%s: %s: \"warning\" is not a bool", path.c_str(),
+                  file->string().c_str());
+    if (is_suppressed->bool_value()) {
+      ++suppressed;
+      const JsonValue* justification = finding.Find("justification");
+      CHECK_OR_FAIL(justification != nullptr && justification->is_string() &&
+                        !justification->string().empty(),
+                    "%s: %s:%g: suppressed finding without a justification",
+                    path.c_str(), file->string().c_str(), line->number());
+    } else if (is_warning != nullptr && is_warning->bool_value()) {
+      ++warnings;
+    } else {
+      ++unsuppressed;
+    }
+  }
+  CHECK_OR_FAIL(static_cast<double>(unsuppressed) == findings_total,
+                "%s: %zu blocking findings but %s.findings.total = %g",
+                path.c_str(), unsuppressed, prefix.c_str(), findings_total);
+  CHECK_OR_FAIL(static_cast<double>(suppressed) == suppressed_total,
+                "%s: %zu suppressed findings but %s.suppressed.total = %g",
+                path.c_str(), suppressed, prefix.c_str(), suppressed_total);
+  CHECK_OR_FAIL(static_cast<double>(warnings) == warnings_total,
+                "%s: %zu warning findings but %s.warnings.total = %g",
+                path.c_str(), warnings, prefix.c_str(), warnings_total);
+  *blocking = unsuppressed;
+  *suppressed_out = suppressed;
+  return true;
+}
+
 bool ValidateLint(const std::string& path) {
   // The report must be a well-formed BENCH export first (context +
   // benchmarks with known run_types).
@@ -699,69 +812,119 @@ bool ValidateLint(const std::string& path) {
   };
 
   double files_scanned = 0;
-  double findings_total = 0;
-  double suppressed_total = 0;
   CHECK_OR_FAIL(number_of("lint.files_scanned", &files_scanned),
                 "%s: missing lint.files_scanned gauge", path.c_str());
   CHECK_OR_FAIL(files_scanned > 0,
                 "%s: lint.files_scanned is zero — the scan saw no sources",
                 path.c_str());
-  CHECK_OR_FAIL(number_of("lint.findings.total", &findings_total),
-                "%s: missing lint.findings.total counter", path.c_str());
-  CHECK_OR_FAIL(number_of("lint.suppressed.total", &suppressed_total),
-                "%s: missing lint.suppressed.total counter", path.c_str());
-
-  const JsonValue* findings = doc->Find("findings");
-  CHECK_OR_FAIL(findings != nullptr && findings->is_array(),
-                "%s: missing \"findings\" array", path.c_str());
   std::size_t unsuppressed = 0;
   std::size_t suppressed = 0;
-  for (const JsonValue& finding : findings->array()) {
-    CHECK_OR_FAIL(finding.is_object(), "%s: finding is not an object",
-                  path.c_str());
-    const JsonValue* rule = finding.Find("rule");
-    CHECK_OR_FAIL(rule != nullptr && rule->is_string() &&
-                      !rule->string().empty(),
-                  "%s: finding without a \"rule\"", path.c_str());
-    const JsonValue* file = finding.Find("file");
-    CHECK_OR_FAIL(file != nullptr && file->is_string() &&
-                      !file->string().empty(),
-                  "%s: [%s] finding without a \"file\"", path.c_str(),
-                  rule->string().c_str());
-    const JsonValue* line = finding.Find("line");
-    CHECK_OR_FAIL(line != nullptr && line->is_number() &&
-                      line->number() >= 0,
-                  "%s: %s: missing or negative \"line\"", path.c_str(),
-                  file->string().c_str());
-    const JsonValue* message = finding.Find("message");
-    CHECK_OR_FAIL(message != nullptr && message->is_string() &&
-                      !message->string().empty(),
-                  "%s: %s: finding without a \"message\"", path.c_str(),
-                  file->string().c_str());
-    const JsonValue* is_suppressed = finding.Find("suppressed");
-    CHECK_OR_FAIL(is_suppressed != nullptr && is_suppressed->is_bool(),
-                  "%s: %s: missing \"suppressed\" bool", path.c_str(),
-                  file->string().c_str());
-    if (is_suppressed->bool_value()) {
-      ++suppressed;
-      const JsonValue* justification = finding.Find("justification");
-      CHECK_OR_FAIL(justification != nullptr && justification->is_string() &&
-                        !justification->string().empty(),
-                    "%s: %s:%g: suppressed finding without a justification",
-                    path.c_str(), file->string().c_str(), line->number());
-    } else {
-      ++unsuppressed;
-    }
+  if (!ValidateFindingsArray(path, *doc, benchmarks, "lint", &unsuppressed,
+                             &suppressed)) {
+    return false;
   }
-  CHECK_OR_FAIL(static_cast<double>(unsuppressed) == findings_total,
-                "%s: %zu blocking findings but lint.findings.total = %g",
-                path.c_str(), unsuppressed, findings_total);
-  CHECK_OR_FAIL(static_cast<double>(suppressed) == suppressed_total,
-                "%s: %zu suppressed findings but lint.suppressed.total = %g",
-                path.c_str(), suppressed, suppressed_total);
 
   std::printf("%s: lint OK (%g files, %zu blocking, %zu suppressed)\n",
               path.c_str(), files_scanned, unsuppressed, suppressed);
+  return true;
+}
+
+bool ValidateFlow(const std::string& path) {
+  if (!ValidateMetrics(path)) {
+    return false;
+  }
+  StatusOr<JsonValue> doc = ParseJsonFile(path);
+  CHECK_OR_FAIL(doc.ok(), "%s: parse failed: %s", path.c_str(),
+                doc.status().ToString().c_str());
+  const JsonValue* benchmarks = doc->Find("benchmarks");
+
+  auto find_number = [&](const std::string& name, double* out) -> bool {
+    for (const JsonValue& entry : benchmarks->array()) {
+      const JsonValue* n = entry.Find("name");
+      if (n == nullptr || !n->is_string() || n->string() != name) {
+        continue;
+      }
+      const JsonValue* value = entry.Find("value");
+      if (value == nullptr || !value->is_number()) {
+        return false;
+      }
+      *out = value->number();
+      return true;
+    }
+    return false;
+  };
+
+  double files_scanned = 0;
+  double functions = 0;
+  double call_edges = 0;
+  double widened = 0;
+  CHECK_OR_FAIL(find_number("flow.files_scanned", &files_scanned),
+                "%s: missing flow.files_scanned gauge", path.c_str());
+  CHECK_OR_FAIL(files_scanned > 0,
+                "%s: flow.files_scanned is zero — the scan saw no sources",
+                path.c_str());
+  CHECK_OR_FAIL(find_number("flow.functions", &functions),
+                "%s: missing flow.functions gauge", path.c_str());
+  CHECK_OR_FAIL(functions > 0,
+                "%s: flow.functions is zero — no definitions recognized",
+                path.c_str());
+  CHECK_OR_FAIL(find_number("flow.call_edges", &call_edges),
+                "%s: missing flow.call_edges gauge", path.c_str());
+  CHECK_OR_FAIL(find_number("flow.widened_functions", &widened),
+                "%s: missing flow.widened_functions gauge", path.c_str());
+
+  // Side-by-side containment: both recomputations must be exported.
+  for (const char* label : {"declared", "derived"}) {
+    for (const char* field :
+         {"nodes", "edges", "attack_surface", "max_reach",
+          "mean_reach_milli"}) {
+      const std::string name =
+          std::string("flow.containment.") + label + "." + field;
+      double value = 0;
+      CHECK_OR_FAIL(find_number(name, &value), "%s: missing %s gauge",
+                    path.c_str(), name.c_str());
+    }
+  }
+
+  // The bench timing gauge is optional (only bench/micro_lint writes it),
+  // but when present it must be a real measurement.
+  double full_tree_us = 0;
+  if (find_number("lint_cost.full_tree_us", &full_tree_us)) {
+    CHECK_OR_FAIL(full_tree_us > 0,
+                  "%s: lint_cost.full_tree_us present but not positive",
+                  path.c_str());
+  }
+
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  if (!ValidateFindingsArray(path, *doc, benchmarks, "flow", &unsuppressed,
+                             &suppressed)) {
+    return false;
+  }
+
+  const JsonValue* comm = doc->Find("comm_graph");
+  CHECK_OR_FAIL(comm != nullptr && comm->is_array(),
+                "%s: missing \"comm_graph\" array", path.c_str());
+  for (const JsonValue& edge : comm->array()) {
+    CHECK_OR_FAIL(edge.is_object(), "%s: comm_graph entry is not an object",
+                  path.c_str());
+    for (const char* field : {"from", "to", "kind"}) {
+      const JsonValue* value = edge.Find(field);
+      CHECK_OR_FAIL(value != nullptr && value->is_string() &&
+                        !value->string().empty(),
+                    "%s: comm_graph entry without \"%s\"", path.c_str(),
+                    field);
+    }
+    const JsonValue* line = edge.Find("witness_line");
+    CHECK_OR_FAIL(line != nullptr && line->is_number() && line->number() >= 0,
+                  "%s: comm_graph entry with bad witness_line", path.c_str());
+  }
+
+  std::printf(
+      "%s: flow OK (%g files, %g functions, %g edges, %zu comm edges, "
+      "%zu blocking, %zu suppressed)\n",
+      path.c_str(), files_scanned, functions, call_edges,
+      comm->array().size(), unsuppressed, suppressed);
   return true;
 }
 
@@ -774,6 +937,9 @@ int main(int argc, char** argv) {
   }
   if (argc == 3 && std::string(argv[1]) == "--lint") {
     return xoar::ValidateLint(argv[2]) ? 0 : 1;
+  }
+  if (argc == 3 && std::string(argv[1]) == "--flow") {
+    return xoar::ValidateFlow(argv[2]) ? 0 : 1;
   }
   if (argc == 3 && std::string(argv[1]) == "--sim") {
     return xoar::ValidateSimCore(argv[2]) ? 0 : 1;
@@ -792,12 +958,13 @@ int main(int argc, char** argv) {
                  "usage: %s <metrics.json> <trace.json>\n"
                  "       %s --campaign <BENCH_fault_campaign.json>\n"
                  "       %s --lint <xoar_lint_report.json>\n"
+                 "       %s --flow <BENCH_analysis.json>\n"
                  "       %s --sim <BENCH_sim_core.json>\n"
                  "       %s --density <BENCH_density.json>\n"
                  "       %s --replay <BENCH_replay.json>\n"
                  "       %s --fleet <BENCH_fleet.json>\n",
                  argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
-                 argv[0]);
+                 argv[0], argv[0]);
     return 2;
   }
   if (!xoar::ValidateMetrics(argv[1])) {

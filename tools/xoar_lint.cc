@@ -2,7 +2,7 @@
 // (ANALYSIS.md, DESIGN.md §5e). Run by CTest on every tier-1 pass:
 //
 //   xoar_lint --root <repo> [--json <report.json>] [--quiet]
-//             [--lenient-audit]
+//             [--lenient-audit] [--strict]
 //
 // Scans src/, tools/, examples/ and bench/ under --root and enforces the
 // four rule families (layering, privilege, determinism, audit) plus the
@@ -13,7 +13,8 @@
 //   2  usage or I/O error
 //
 // --lenient-audit drops the "audited operation not found anywhere" check,
-// for fixture trees that only contain a slice of the platform.
+// for fixture trees that only contain a slice of the platform. --strict
+// promotes warnings (stale suppression comments) to blocking findings.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,7 +29,7 @@ namespace analysis {
 namespace {
 
 int Run(const std::string& root, const std::string& json_path, bool quiet,
-        bool lenient_audit) {
+        bool lenient_audit, bool strict) {
   StatusOr<std::vector<SourceFile>> files = LoadTree(root, DefaultScanDirs());
   if (!files.ok()) {
     std::fprintf(stderr, "xoar_lint: %s\n",
@@ -44,6 +45,7 @@ int Run(const std::string& root, const std::string& json_path, bool quiet,
   if (lenient_audit) {
     config.require_audited_op_definitions = false;
   }
+  config.strict = strict;
   const std::vector<Finding> findings = RunLint(*files, config);
   const LintSummary summary = Summarize(findings, files->size());
 
@@ -72,6 +74,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool quiet = false;
   bool lenient_audit = false;
+  bool strict = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -82,13 +85,15 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--lenient-audit") {
       lenient_audit = true;
+    } else if (arg == "--strict") {
+      strict = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--root <dir>] [--json <report.json>] "
-                   "[--quiet] [--lenient-audit]\n",
+                   "[--quiet] [--lenient-audit] [--strict]\n",
                    argv[0]);
       return 2;
     }
   }
-  return xoar::analysis::Run(root, json_path, quiet, lenient_audit);
+  return xoar::analysis::Run(root, json_path, quiet, lenient_audit, strict);
 }
